@@ -1,0 +1,67 @@
+"""Figure 3 — bytes shuffled by the MIS implementations.
+
+The paper plots, per dataset: bytes shuffled by the AMPC MIS, bytes of
+KV-store communication by the AMPC MIS, and bytes shuffled by the MPC MIS.
+Headline shapes: the AMPC algorithm always shuffles (much) less than the
+MPC algorithm — its single shuffle is proportional to the input — while its
+KV communication is of the same order as (and usually below) the MPC
+shuffle volume.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_DATASETS, run_once
+from repro.analysis.experiment import run_ampc_mis, run_mpc_mis
+from repro.analysis.reporting import Table, format_bytes
+
+#: the annotations on top of the Figure 3 bars (bytes)
+PAPER_BYTES = {
+    "OK": (1.4e9, 3.4e9, 8.9e9),
+    "TW": (1.6e10, 6.3e10, 7.1e10),
+    "FS": (2.4e10, 1.4e11, 1.5e11),
+    "CW": (5.3e11, 5.6e12, 3.4e12),
+    "HL": (1.7e12, 3.5e12, 7.8e12),
+}
+
+
+def test_fig3_shuffle_bytes(benchmark, datasets):
+    def compute():
+        rows = {}
+        for ds in BENCH_DATASETS:
+            graph = datasets[ds]
+            ampc = run_ampc_mis(graph)
+            mpc = run_mpc_mis(graph)
+            rows[ds] = (
+                ampc["shuffle_bytes"],
+                ampc["kv_bytes"],
+                mpc["shuffle_bytes"],
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    table = Table(
+        "Figure 3: MIS communication volume (bytes)",
+        ["Dataset", "AMPC shuffle", "AMPC KV comm", "MPC shuffle",
+         "MPC/AMPC shuffle ratio", "paper ratio"],
+    )
+    for ds, paper_key in zip(BENCH_DATASETS, PAPER_BYTES):
+        ampc_shuffle, ampc_kv, mpc_shuffle = rows[ds]
+        paper_ampc, paper_kv, paper_mpc = PAPER_BYTES[paper_key]
+        table.add_row(
+            ds,
+            format_bytes(ampc_shuffle),
+            format_bytes(ampc_kv),
+            format_bytes(mpc_shuffle),
+            f"{mpc_shuffle / ampc_shuffle:.2f}x",
+            f"{paper_mpc / paper_ampc:.2f}x",
+        )
+    table.show()
+
+    for ds in BENCH_DATASETS:
+        ampc_shuffle, ampc_kv, mpc_shuffle = rows[ds]
+        # The AMPC algorithm always shuffles fewer bytes (Figure 3).
+        assert ampc_shuffle < mpc_shuffle
+        # KV communication stays within a small factor of the MPC shuffle
+        # volume (the paper's CW is the one case where it exceeds it).
+        assert ampc_kv < 4 * mpc_shuffle

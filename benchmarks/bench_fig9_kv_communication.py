@@ -1,0 +1,77 @@
+"""Figure 9 — KV-store communication vs. input size.
+
+The paper plots total bytes communicated to the key-value store (x: number
+of edges, y: bytes, log-log) for the AMPC MIS, MM and MSF across the five
+datasets and observes "a consistent linear trend ... with respect to the
+number of edges".  We reproduce the series and check the linearity by
+regressing log(bytes) on log(edges): the slope should be ~1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_DATASETS, run_once
+from repro.analysis.experiment import (
+    run_ampc_matching,
+    run_ampc_mis,
+    run_ampc_msf,
+)
+from repro.analysis.reporting import Table, format_bytes
+
+
+def _log_log_slope(xs, ys):
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    var = sum((a - mean_x) ** 2 for a in lx)
+    return cov / var
+
+
+def test_fig9_kv_bytes_linear_in_edges(benchmark, datasets, weighted_datasets):
+    def compute():
+        rows = {}
+        for ds in BENCH_DATASETS:
+            graph = datasets[ds]
+            weighted = weighted_datasets[ds]
+            rows[ds] = {
+                "edges": graph.num_edges,
+                "MIS": run_ampc_mis(graph)["kv_bytes"],
+                "MM": run_ampc_matching(graph)["kv_bytes"],
+                "MSF": run_ampc_msf(weighted)["kv_bytes"],
+            }
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    table = Table(
+        "Figure 9: total bytes of KV-store communication",
+        ["Dataset", "Edges", "MIS", "MM", "MSF"],
+    )
+    for ds in BENCH_DATASETS:
+        row = rows[ds]
+        table.add_row(ds, row["edges"], format_bytes(row["MIS"]),
+                      format_bytes(row["MM"]), format_bytes(row["MSF"]))
+    edges = [rows[ds]["edges"] for ds in BENCH_DATASETS]
+    slopes = {}
+    for algorithm in ("MIS", "MM", "MSF"):
+        series = [rows[ds][algorithm] for ds in BENCH_DATASETS]
+        slopes[algorithm] = _log_log_slope(edges, series)
+    table.add_row("log-log slope", "-",
+                  f"{slopes['MIS']:.2f}", f"{slopes['MM']:.2f}",
+                  f"{slopes['MSF']:.2f}")
+    table.show()
+
+    # "A consistent linear trend": slope ~1 on the log-log plot.  Allow the
+    # slack the paper's own plot shows — dataset structure (hub skew on
+    # CW-S) moves individual points off the trend line.
+    for algorithm, slope in slopes.items():
+        assert 0.6 < slope < 1.7, (algorithm, slope)
+    # Grows with input size end to end (individual inversions allowed, as
+    # between the paper's CW and HL points).
+    for algorithm in ("MIS", "MM", "MSF"):
+        series = [rows[ds][algorithm] for ds in BENCH_DATASETS]
+        assert series[0] < series[-1]

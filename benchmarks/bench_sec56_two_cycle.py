@@ -1,0 +1,79 @@
+"""Section 5.6 — 1-vs-2-Cycle: AMPC vs CC-LocalContraction.
+
+Paper results on the 2 x k family:
+
+* AMPC-1-vs-2-Cycle achieves 3.40-9.87x speedup over the MPC baseline;
+* the AMPC algorithm uses a single shuffle;
+* the MPC algorithm shortens the cycle ~2.59-3x per iteration (average
+  2.69x), needing 4-9 iterations (12-27 shuffles).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.datasets import cycle_instance
+from repro.analysis.experiment import (
+    run_ampc_two_cycle,
+    run_mpc_local_contraction,
+)
+from repro.analysis.reporting import Table
+
+CYCLE_SIZES = [1_000, 10_000, 100_000]
+
+
+def test_sec56_one_vs_two_cycle(benchmark):
+    def compute():
+        rows = {}
+        for k in CYCLE_SIZES:
+            for two in (False, True):
+                graph = cycle_instance(k, two=two, seed=21)
+                ampc = run_ampc_two_cycle(graph, seed=21)
+                mpc = run_mpc_local_contraction(graph, seed=21)
+                rows[(k, two)] = (ampc, mpc)
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    table = Table(
+        "Section 5.6: 1-vs-2-Cycle, AMPC vs CC-LocalContraction",
+        ["Instance", "Truth", "AMPC ans", "MPC ans", "AMPC time",
+         "MPC time", "Speedup", "AMPC shuffles", "MPC phases",
+         "MPC shrink/iter"],
+    )
+    for (k, two), (ampc, mpc) in sorted(rows.items()):
+        truth = 2 if two else 1
+        counts = [2 * k] + mpc["vertices_per_phase"]
+        shrinks = [
+            before / after
+            for before, after in zip(counts, counts[1:]) if after > 0
+        ]
+        mean_shrink = (
+            sum(shrinks[:-1]) / max(1, len(shrinks) - 1)
+            if len(shrinks) > 1 else (shrinks[0] if shrinks else 0.0)
+        )
+        table.add_row(
+            f"{'2x' + str(k) if two else '1x' + str(2 * k)}",
+            truth, ampc["output_size"], mpc["output_size"],
+            f"{ampc['simulated_time_s']:.2f}s",
+            f"{mpc['simulated_time_s']:.2f}s",
+            f"{mpc['simulated_time_s'] / ampc['simulated_time_s']:.2f}x",
+            ampc["shuffles"], mpc["phases"], f"{mean_shrink:.2f}x",
+        )
+    table.show()
+
+    for (k, two), (ampc, mpc) in rows.items():
+        truth = 2 if two else 1
+        # Both algorithms answer correctly.
+        assert ampc["output_size"] == truth
+        assert mpc["output_size"] == truth
+        # The AMPC algorithm uses a single shuffle and wins on time.
+        assert ampc["shuffles"] == 1
+        assert ampc["simulated_time_s"] < mpc["simulated_time_s"]
+        # Speedups in (or above) the paper's 3.40-9.87x band at the top end.
+        speedup = mpc["simulated_time_s"] / ampc["simulated_time_s"]
+        assert speedup > 2.0
+        # The MPC cycle shrinks geometrically per iteration.
+        counts = [2 * k] + mpc["vertices_per_phase"]
+        for before, after in zip(counts, counts[1:]):
+            if before > 64:
+                assert after < 0.7 * before

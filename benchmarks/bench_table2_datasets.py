@@ -1,0 +1,57 @@
+"""Table 2 — dataset statistics.
+
+Regenerates the paper's dataset table for the scaled analogues: vertices,
+edges, diameter (double-sweep lower bound, starred, exactly as the paper
+does for its large graphs), number of components and the largest component.
+The paper's original numbers are printed alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_DATASETS, run_once
+from repro.analysis.datasets import dataset_spec
+from repro.analysis.reporting import Table
+from repro.graph.properties import summarize
+
+
+def test_table2_dataset_statistics(benchmark, datasets):
+    def compute():
+        return {
+            name: summarize(name, datasets[name], exact_diameter_max_n=0)
+            for name in BENCH_DATASETS
+        }
+
+    summaries = run_once(benchmark, compute)
+
+    table = Table(
+        "Table 2: graph inputs (paper original -> scaled analogue)",
+        ["Dataset", "n (paper)", "n", "m (paper)", "m",
+         "Diam (paper)", "Diam", "#CC (paper)", "#CC",
+         "Largest CC (paper)", "Largest CC"],
+    )
+    for name in BENCH_DATASETS:
+        spec = dataset_spec(name)
+        paper = spec.paper
+        measured = summaries[name]
+        paper_diam = f"{paper.diameter}{'*' if paper.diameter_is_lower_bound else ''}"
+        table.add_row(
+            name,
+            f"{paper.num_vertices:.2e}", measured.num_vertices,
+            f"{paper.num_edges:.2e}", measured.num_edges,
+            paper_diam, measured.row()[3],
+            paper.num_components, measured.num_components,
+            f"{paper.largest_component:.2e}", measured.largest_component,
+        )
+    table.show()
+
+    # The qualitative Table 2 invariants the evaluation relies on.
+    names = BENCH_DATASETS
+    for smaller, larger in zip(names, names[1:]):
+        assert summaries[smaller].num_edges < summaries[larger].num_edges
+    assert summaries["OK-S"].num_components == 1
+    assert summaries["TW-S"].num_components == 2
+    assert summaries["FS-S"].num_components == 1
+    assert summaries["CW-S"].num_components > 20
+    assert summaries["HL-S"].num_components > 10
+    assert summaries["OK-S"].diameter < summaries["CW-S"].diameter
+    assert summaries["CW-S"].diameter < summaries["HL-S"].diameter

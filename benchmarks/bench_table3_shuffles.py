@@ -1,0 +1,98 @@
+"""Table 3 — number of shuffles (costly rounds) per implementation.
+
+Paper values:
+
+    Algorithm                    OK  TW  FS  CW  HL
+    AMPC MIS                      1   1   1   1   1
+    AMPC Maximal Matching         1   1   1   1   1
+    AMPC MSF                      5   5   5   5   5
+    MPC MIS                       8  10  10  12  14
+    MPC Maximal Matching          8  12  12  14  16
+    MPC MSF                      33  54  57  84   -
+
+Also reproduces the Section 5.3 note that *simulating* the AMPC MIS in
+plain MPC (one shuffle per adaptive lookup) needs vastly more shuffles than
+the rootset baseline, which is why the rootset algorithm is the baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_DATASETS, run_once
+from repro.analysis.experiment import (
+    run_ampc_matching,
+    run_ampc_mis,
+    run_ampc_msf,
+    run_mpc_boruvka,
+    run_mpc_matching,
+    run_mpc_mis,
+)
+from repro.analysis.reporting import Table
+from repro.core import mpc_simulated_mis_shuffles
+
+PAPER_ROWS = {
+    "AMPC MIS": [1, 1, 1, 1, 1],
+    "AMPC MM": [1, 1, 1, 1, 1],
+    "AMPC MSF": [5, 5, 5, 5, 5],
+    "MPC MIS": [8, 10, 10, 12, 14],
+    "MPC MM": [8, 12, 12, 14, 16],
+    "MPC MSF": [33, 54, 57, 84, None],
+}
+
+
+def test_table3_shuffle_counts(benchmark, datasets, weighted_datasets):
+    def compute():
+        measured = {name: [] for name in PAPER_ROWS}
+        for ds in BENCH_DATASETS:
+            graph = datasets[ds]
+            weighted = weighted_datasets[ds]
+            measured["AMPC MIS"].append(run_ampc_mis(graph)["shuffles"])
+            measured["AMPC MM"].append(run_ampc_matching(graph)["shuffles"])
+            measured["AMPC MSF"].append(run_ampc_msf(weighted)["shuffles"])
+            measured["MPC MIS"].append(run_mpc_mis(graph)["shuffles"])
+            measured["MPC MM"].append(run_mpc_matching(graph)["shuffles"])
+            measured["MPC MSF"].append(run_mpc_boruvka(weighted)["shuffles"])
+        return measured
+
+    measured = run_once(benchmark, compute)
+
+    table = Table(
+        "Table 3: shuffles per algorithm (measured, paper in parentheses)",
+        ["Algorithm"] + BENCH_DATASETS,
+    )
+    for algorithm, paper_row in PAPER_ROWS.items():
+        cells = [algorithm]
+        for value, paper in zip(measured[algorithm], paper_row):
+            reference = "-" if paper is None else str(paper)
+            cells.append(f"{value} ({reference})")
+        table.add_row(*cells)
+    table.show()
+
+    # The structural claims of Table 3.
+    assert all(v == 1 for v in measured["AMPC MIS"])
+    assert all(v == 1 for v in measured["AMPC MM"])
+    assert all(v == 5 for v in measured["AMPC MSF"])
+    for ds_index in range(len(BENCH_DATASETS)):
+        assert measured["MPC MIS"][ds_index] > measured["AMPC MIS"][ds_index]
+        assert measured["MPC MM"][ds_index] > measured["AMPC MM"][ds_index]
+        assert measured["MPC MSF"][ds_index] > 3 * measured["AMPC MSF"][ds_index]
+
+
+def test_table3_simulating_ampc_in_mpc_is_hopeless(benchmark, datasets):
+    """Section 5.3: the per-lookup MPC simulation needs >> rootset shuffles
+    (the paper measured >1000 shuffles and a >50x slowdown on Orkut)."""
+
+    def compute():
+        graph = datasets["OK-S"]
+        simulated = mpc_simulated_mis_shuffles(graph, seed=0)
+        rootset = run_mpc_mis(graph)["shuffles"]
+        return simulated, rootset
+
+    simulated, rootset = run_once(benchmark, compute)
+    table = Table(
+        "Section 5.3: shuffles to run the AMPC MIS *in* MPC (OK-S)",
+        ["Implementation", "Shuffles"],
+    )
+    table.add_row("MPC simulation of AMPC MIS (1 shuffle/lookup)", simulated)
+    table.add_row("Rootset MPC baseline", rootset)
+    table.show()
+    assert simulated > 5 * rootset

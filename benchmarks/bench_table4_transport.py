@@ -1,0 +1,120 @@
+"""Table 4 — RDMA vs TCP/IP vs MPC, for 1-vs-2-Cycle and MIS.
+
+The paper swaps the key-value store's RDMA transport for TCP/IP RPCs and
+reports normalized times:
+
+    2-Cycle:  TCP/RDMA 1.74 / 3.75 / 5.90 on 2x10^8 / 2x10^9 / 2x10^10;
+              MPC/RDMA 3.40 / 6.70 / 9.87.
+    MIS:      TCP/RDMA 1.50-1.85 across the five graphs;
+              MPC/RDMA 2.30-3.04.
+
+Headline shapes: TCP is slower than RDMA (more so for the search-dominated
+2-cycle problem, increasingly with cycle length) but *still beats the MPC
+baseline* — the paper's conclusion that AMPC does not fundamentally require
+RDMA.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_DATASETS, run_once
+from repro.analysis.datasets import cycle_instance
+from repro.analysis.experiment import (
+    bench_config,
+    run_ampc_mis,
+    run_ampc_two_cycle,
+    run_mpc_local_contraction,
+    run_mpc_mis,
+)
+from repro.analysis.reporting import Table
+
+CYCLE_SIZES = [1_000, 10_000, 100_000]
+PAPER_CYCLE = {1_000: (1.74, 3.40), 10_000: (3.75, 6.70),
+               100_000: (5.90, 9.87)}
+PAPER_MIS_TCP = {"OK-S": 1.85, "TW-S": 1.63, "FS-S": 1.50, "CW-S": 1.68,
+                 "HL-S": 1.71}
+PAPER_MIS_MPC = {"OK-S": 2.39, "TW-S": 3.04, "FS-S": 2.98, "CW-S": 2.37,
+                 "HL-S": 2.30}
+
+
+def test_table4_two_cycle_transports(benchmark):
+    def compute():
+        rows = {}
+        for k in CYCLE_SIZES:
+            graph = cycle_instance(k, two=True, seed=11)
+            rdma = run_ampc_two_cycle(graph, seed=11)
+            tcp = run_ampc_two_cycle(graph, seed=11,
+                                     config=bench_config(transport="tcp"))
+            mpc = run_mpc_local_contraction(graph, seed=11)
+            rows[k] = (rdma, tcp, mpc)
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    table = Table(
+        "Table 4 (top): 1-vs-2-Cycle normalized times (RDMA = 1)",
+        ["2 x k", "RDMA", "TCP/IP", "paper TCP", "MPC", "paper MPC"],
+    )
+    for k in CYCLE_SIZES:
+        rdma, tcp, mpc = rows[k]
+        base = rdma["simulated_time_s"]
+        paper_tcp, paper_mpc = PAPER_CYCLE[k]
+        table.add_row(
+            f"2x{k}", "1.00",
+            f"{tcp['simulated_time_s'] / base:.2f}", f"{paper_tcp:.2f}",
+            f"{mpc['simulated_time_s'] / base:.2f}", f"{paper_mpc:.2f}",
+        )
+    table.show()
+
+    tcp_ratios = []
+    for k in CYCLE_SIZES:
+        rdma, tcp, mpc = rows[k]
+        base = rdma["simulated_time_s"]
+        tcp_ratio = tcp["simulated_time_s"] / base
+        tcp_ratios.append(tcp_ratio)
+        # TCP slower than RDMA; MPC slower than both transports.
+        assert tcp_ratio > 1.0
+        assert mpc["simulated_time_s"] > tcp["simulated_time_s"]
+        # All three agree on the answer.
+        assert rdma["output_size"] == 2
+        assert mpc["output_size"] == 2
+    # The TCP penalty grows with cycle length (search-dominated regime).
+    assert tcp_ratios[-1] > tcp_ratios[0]
+
+
+def test_table4_mis_transports(benchmark, datasets):
+    def compute():
+        rows = {}
+        for ds in BENCH_DATASETS:
+            graph = datasets[ds]
+            rdma = run_ampc_mis(graph)
+            tcp = run_ampc_mis(graph, config=bench_config(transport="tcp"))
+            mpc = run_mpc_mis(graph)
+            rows[ds] = (rdma, tcp, mpc)
+        return rows
+
+    rows = run_once(benchmark, compute)
+
+    table = Table(
+        "Table 4 (bottom): MIS normalized times (RDMA = 1)",
+        ["Dataset", "RDMA", "TCP/IP", "paper TCP", "MPC", "paper MPC"],
+    )
+    for ds in BENCH_DATASETS:
+        rdma, tcp, mpc = rows[ds]
+        base = rdma["simulated_time_s"]
+        table.add_row(
+            ds, "1.00",
+            f"{tcp['simulated_time_s'] / base:.2f}",
+            f"{PAPER_MIS_TCP[ds]:.2f}",
+            f"{mpc['simulated_time_s'] / base:.2f}",
+            f"{PAPER_MIS_MPC[ds]:.2f}",
+        )
+    table.show()
+
+    for ds in BENCH_DATASETS:
+        rdma, tcp, mpc = rows[ds]
+        # TCP modestly slower than RDMA for MIS (paper: 1.5-1.85x) and the
+        # TCP-backed AMPC algorithm still beats the MPC baseline.
+        assert rdma["simulated_time_s"] < tcp["simulated_time_s"]
+        assert tcp["simulated_time_s"] < mpc["simulated_time_s"]
+        tcp_ratio = tcp["simulated_time_s"] / rdma["simulated_time_s"]
+        assert tcp_ratio < 3.0

@@ -1,0 +1,156 @@
+"""Theory checks for Section 3: Lemma 3.3 / 3.4 and the KKT reduction.
+
+These reproduce the paper's analytical claims empirically:
+
+* **Lemma 3.3** — one TruncatedPrim round on a ternarized graph shrinks the
+  vertex count by a factor Omega(n^{eps/2}).
+* **Lemma 3.4** — Algorithm 1 makes O(n log n) queries; via Lemma A.2 the
+  per-vertex query cost is bounded by the ternary treap subtree size, whose
+  height is O(log n) w.h.p. (Lemma A.1).
+* **Lemma 3.10** — the KKT reduction's query count beats the direct
+  O(m log n) bound on dense graphs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.ampc.runtime import AMPCRuntime
+from repro.analysis.experiment import bench_config
+from repro.analysis.reporting import Table
+from repro.core.kkt import kkt_msf
+from repro.core.msf import _default_budget, truncated_prim_round
+from repro.core.ranks import vertex_ranks
+from repro.graph.generators import erdos_renyi_gnm, random_weighted
+from repro.graph.ternarize import ternarize
+from repro.trees.treap import build_ternary_treap
+from repro.sequential.mst import kruskal_msf
+
+
+def test_lemma33_contraction_shrink(benchmark):
+    """One TruncatedPrim round shrinks vertices by ~n^(eps/2)."""
+
+    def compute():
+        rows = []
+        for n in (1024, 4096, 16384):
+            graph = random_weighted(erdos_renyi_gnm(n, 2 * n, seed=n), seed=n)
+            tern = ternarize(graph)
+            t_graph = tern.graph
+            budget = _default_budget(t_graph.num_vertices, 0.5)
+            runtime = AMPCRuntime(config=bench_config())
+            _, __, contracted_n = truncated_prim_round(
+                t_graph, runtime=runtime, seed=1, budget=budget
+            )
+            queries = runtime.metrics.kv_reads
+            rows.append((n, t_graph.num_vertices, budget, contracted_n,
+                         queries))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        "Lemma 3.3 / 3.4: TruncatedPrim shrink factor and query count",
+        ["n", "ternarized n", "budget n^(eps/2)", "contracted n",
+         "shrink factor", "KV queries", "queries / (n log n)"],
+    )
+    for n, tn, budget, contracted, queries in rows:
+        shrink = tn / max(1, contracted)
+        ratio = queries / (tn * math.log2(max(2, tn)))
+        table.add_row(n, tn, budget, contracted, f"{shrink:.1f}x", queries,
+                      f"{ratio:.3f}")
+    table.show()
+
+    for n, tn, budget, contracted, queries in rows:
+        # Lemma 3.3: shrink by a constant fraction of the budget.
+        assert tn / max(1, contracted) > budget / 4
+        # Lemma 3.4: O(n log n) queries with a small constant.
+        assert queries <= 2 * tn * math.log2(max(2, tn))
+
+
+def test_lemma_a1_treap_height(benchmark):
+    """Treap depth structure on the trees the algorithm actually explores.
+
+    **Reproduction finding** (recorded in EXPERIMENTS.md): Lemma A.1's
+    O(log n) *height* bound does not hold for arbitrary degree<=3 trees —
+    on a complete binary tree the expected depth is Sum_j 1/(dist+1), which
+    is super-logarithmic when balls grow exponentially; we measure ~n/log n
+    heights there.  On *path-like* trees (the cycle-connectivity setting of
+    [19] the lemma generalizes from) the height is the classic random-BST
+    O(log n).  The bound that matters for Theorem 1 is the *total query*
+    bound of Lemma 3.4 (checked above at ~0.35 n log2 n), and the
+    algorithm's explicit n^{eps/2} truncation caps the worst case
+    regardless.
+    """
+
+    def compute():
+        rows = []
+        # Path-like trees: classic logarithmic treap heights.
+        for n in (4096, 32768):
+            edges = [(i, i + 1) for i in range(n - 1)]
+            treap = build_ternary_treap(n, edges, vertex_ranks(n, seed=n))
+            rows.append(("path", n, treap.height()))
+        # Balanced ternary trees: the adversarial case where the stated
+        # height bound degenerates.
+        for depth in (9, 12):
+            n = 2 ** depth - 1
+            edges = [((i - 1) // 2, i) for i in range(1, n)]
+            treap = build_ternary_treap(n, edges, vertex_ranks(n, seed=n))
+            rows.append(("complete-binary", n, treap.height()))
+        # Ternarized MSF trees (the algorithm's instances): intermediate.
+        for n in (1024, 8192):
+            graph = random_weighted(erdos_renyi_gnm(n, 2 * n, seed=n), seed=n)
+            tern = ternarize(graph.subgraph_edges(kruskal_msf(graph)))
+            forest_t = kruskal_msf(tern.graph)
+            t_n = tern.graph.num_vertices
+            treap = build_ternary_treap(t_n, forest_t,
+                                        vertex_ranks(t_n, seed=n))
+            rows.append(("ternarized-msf", t_n, treap.height()))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        "Lemma A.1: treap heights by tree family",
+        ["Family", "n", "Height", "Height / log2 n"],
+    )
+    for family, n, height in rows:
+        table.add_row(family, n, height, f"{height / math.log2(n):.2f}")
+    table.show()
+
+    for family, n, height in rows:
+        if family == "path":
+            # Random-BST regime: the lemma's bound holds.
+            assert height <= 8 * math.log2(n)
+        else:
+            # Sub-linear in all cases (the truncation keeps the algorithm
+            # safe), but super-logarithmic on balanced trees.
+            assert height < n / 4
+    binary = [(n, h) for family, n, h in rows if family == "complete-binary"]
+    assert binary[-1][1] > 8 * math.log2(binary[-1][0])
+
+
+def test_lemma310_kkt_query_reduction(benchmark):
+    """Algorithm 3 beats the direct O(m log n) query bound when m >> n."""
+
+    def compute():
+        rows = []
+        for n, m in ((256, 8192), (512, 32768)):
+            graph = random_weighted(erdos_renyi_gnm(n, m, seed=n), seed=n)
+            result = kkt_msf(graph, config=bench_config(), seed=1)
+            direct = m * math.log2(n)
+            rows.append((n, m, result.total_queries, direct,
+                         result.light_edges))
+            assert result.forest == sorted(kruskal_msf(graph))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        "Lemma 3.10: KKT query complexity vs direct m log n",
+        ["n", "m", "KKT queries", "direct m log n", "F-light edges"],
+    )
+    for n, m, queries, direct, light in rows:
+        table.add_row(n, m, queries, f"{direct:.0f}", light)
+    table.show()
+    for n, m, queries, direct, light in rows:
+        assert queries < direct
+        # The sampling lemma: O(n / p) = O(n log n) light edges.
+        assert light <= 3 * n * math.log2(n)

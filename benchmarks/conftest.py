@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper, printing a
+side-by-side text table (paper numbers vs. measured) in addition to the
+pytest-benchmark wall-clock statistics.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Benchmarks execute once per measurement (``pedantic`` with one round):
+each run is a full deterministic simulation, so repetition adds no
+information, only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.datasets import (
+    DATASET_NAMES,
+    load_dataset,
+    load_weighted_dataset,
+)
+
+#: datasets every multi-dataset benchmark sweeps, in paper (size) order
+BENCH_DATASETS = list(DATASET_NAMES)
+
+#: the smaller prefix used by the heaviest benchmarks
+SMALL_BENCH_DATASETS = BENCH_DATASETS[:3]
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All scaled datasets, built once per session."""
+    return {name: load_dataset(name) for name in BENCH_DATASETS}
+
+
+@pytest.fixture(scope="session")
+def weighted_datasets():
+    """Degree-weighted variants (the paper's MSF inputs)."""
+    return {name: load_weighted_dataset(name) for name in BENCH_DATASETS}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,76 @@
+"""repro — AMPC graph algorithms in constant adaptive rounds.
+
+A faithful Python reproduction of Behnezhad, Dhulipala, Esfandiari, Łącki,
+Mirrokni, Schudy: "Parallel Graph Algorithms in Constant Adaptive Rounds:
+Theory meets Practice" (VLDB 2020), including the AMPC/MPC cluster
+simulator, the distributed hash table, the dataflow engine, every AMPC
+algorithm of the paper, every MPC baseline it compares against, and the
+benchmark harness for its tables and figures.
+
+Top-level convenience re-exports cover the common path::
+
+    from repro import ClusterConfig, ampc_mis, barabasi_albert_graph
+
+    graph = barabasi_albert_graph(500, attach=3, seed=7)
+    result = ampc_mis(graph, config=ClusterConfig(num_machines=10), seed=1)
+    print(len(result.independent_set), result.metrics.shuffles)
+
+Deeper layers live in the subpackages: :mod:`repro.graph`,
+:mod:`repro.trees`, :mod:`repro.sequential`, :mod:`repro.dataflow`,
+:mod:`repro.ampc`, :mod:`repro.mpc`, :mod:`repro.core`,
+:mod:`repro.baselines`, :mod:`repro.analysis`.
+"""
+
+__version__ = "1.0.0"
+
+_EXPORTS = {
+    # graphs
+    "Graph": "repro.graph.graph",
+    "WeightedGraph": "repro.graph.graph",
+    "barabasi_albert_graph": "repro.graph.generators",
+    "cycle_graph": "repro.graph.generators",
+    "two_cycles": "repro.graph.generators",
+    "erdos_renyi_gnm": "repro.graph.generators",
+    "degree_weighted": "repro.graph.generators",
+    # the simulated environment
+    "ClusterConfig": "repro.ampc.cluster",
+    "CostModel": "repro.ampc.cost_model",
+    "FaultPlan": "repro.ampc.faults",
+    "AMPCRuntime": "repro.ampc.runtime",
+    # the paper's algorithms
+    "ampc_mis": "repro.core.mis",
+    "ampc_maximal_matching": "repro.core.matching",
+    "ampc_matching_phases": "repro.core.matching",
+    "ampc_msf": "repro.core.msf",
+    "ampc_msf_theory": "repro.core.msf",
+    "kkt_msf": "repro.core.kkt",
+    "find_f_light_edges": "repro.core.kkt",
+    "ampc_connected_components": "repro.core.connectivity",
+    "ampc_forest_connectivity": "repro.core.connectivity",
+    "ampc_one_vs_two_cycle": "repro.core.two_cycle",
+    "approximate_max_weight_matching": "repro.core.matching_derived",
+    "approximate_maximum_matching": "repro.core.matching_derived",
+    "approximate_vertex_cover": "repro.core.matching_derived",
+    "ampc_random_walks": "repro.core.random_walks",
+    "ampc_pagerank": "repro.core.random_walks",
+    # the MPC baselines
+    "mpc_rootset_mis": "repro.baselines.rootset_mis",
+    "mpc_rootset_matching": "repro.baselines.rootset_matching",
+    "mpc_boruvka_msf": "repro.baselines.boruvka_msf",
+    "mpc_local_contraction_cc": "repro.baselines.local_contraction_cc",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

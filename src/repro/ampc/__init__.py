@@ -1,0 +1,58 @@
+"""AMPC model substrate: simulated cluster, DHT, cost model and runtime.
+
+The paper's environment is a production data center (100 machines, 72
+hyper-threads each, 20 Gbps NICs) running Flume-C++ with an RDMA key-value
+store.  This package rebuilds that environment as a deterministic simulator:
+
+* :class:`ClusterConfig` / :class:`Cluster` — machines, threads, partitioning.
+* :class:`CostModel` — latency/bandwidth constants for the RDMA and TCP/IP
+  transports, shuffle (durable write) costs and serialization sizes.
+* :class:`DHTService` / :class:`DHTStore` — the distributed hash tables
+  D0, D1, ... of the AMPC model, with per-shard load accounting.
+* :class:`Metrics` — every counter the paper reports: shuffles, shuffle
+  bytes, KV reads/writes/bytes, rounds, per-phase simulated time.
+* :class:`FaultPlan` — preemption injection with re-execution from durable
+  inputs (the fault-tolerance contract of Section 2).
+* :class:`AMPCRuntime` — ties the above to the dataflow engine.
+"""
+
+from repro.ampc.cost_model import (
+    BYTES_PER_ID,
+    BYTES_PER_WEIGHT,
+    CostModel,
+    estimate_bytes,
+)
+from repro.ampc.metrics import Metrics, PhaseBreakdown
+from repro.ampc.dht import DHTService, DHTStore, StoreSealedError
+from repro.ampc.cluster import Cluster, ClusterConfig
+from repro.ampc.faults import FaultPlan
+
+# AMPCRuntime depends on repro.dataflow, which itself builds on the modules
+# above; importing it lazily (PEP 562) keeps `import repro.dataflow` free of
+# circular imports while `from repro.ampc import AMPCRuntime` still works.
+_LAZY = {"AMPCRuntime", "BudgetExceededError"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.ampc import runtime
+
+        return getattr(runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BYTES_PER_ID",
+    "BYTES_PER_WEIGHT",
+    "CostModel",
+    "estimate_bytes",
+    "Metrics",
+    "PhaseBreakdown",
+    "DHTService",
+    "DHTStore",
+    "StoreSealedError",
+    "Cluster",
+    "ClusterConfig",
+    "FaultPlan",
+    "AMPCRuntime",
+    "BudgetExceededError",
+]

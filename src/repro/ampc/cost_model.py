@@ -1,0 +1,108 @@
+"""Cost model: the constants behind simulated running times.
+
+The paper's empirical section measures wall-clock time on a specific
+production testbed.  We cannot re-run that testbed, so every benchmark in
+this repository reports *simulated time* computed from first principles:
+
+* a **shuffle** writes its bytes to durable storage (the fault-tolerance
+  contract of Flume-C++), so it pays a per-stage setup cost plus
+  ``bytes / (machines * disk_bandwidth)``;
+* a **KV lookup** pays the transport latency, hidden by up to
+  ``threads_per_machine`` concurrent outstanding requests when the
+  multithreading optimization is on (Section 5.3), and is additionally
+  bounded by NIC/aggregate network bandwidth (the paper observed an
+  80 Gb/s aggregate ceiling, Section 5.7);
+* **compute** is charged per elementary operation.
+
+Absolute constants are freely configurable; the defaults are chosen to be
+self-consistent and are **scaled to the repository's dataset sizes**: the
+scaled datasets are ~1000x smaller than the paper's, so per-query latencies
+are scaled up by the same factor to keep the *phase-time ratios* (shuffle
+vs. KV search vs. compute) in the regime the paper reports.  What matters
+for every reproduced figure is the ratio structure: RDMA lookups above
+DRAM, TCP/IP a few-fold above RDMA (their measured end-to-end gap in
+Table 4), and shuffles carrying a large fixed durable-write cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: serialized size of one vertex id (the paper uses 64-bit NodeIds)
+BYTES_PER_ID = 8
+#: serialized size of one edge weight
+BYTES_PER_WEIGHT = 8
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency/bandwidth constants of the simulated environment."""
+
+    #: human-readable transport name ("rdma" or "tcp")
+    transport: str = "rdma"
+    #: one synchronous KV read, no latency hiding (scaled; see module doc)
+    kv_read_latency_s: float = 8.0e-3
+    #: one KV write (writes are batched more aggressively than reads)
+    kv_write_latency_s: float = 8.0e-3
+    #: local DRAM/cache hit (used when the caching optimization answers)
+    dram_latency_s: float = 1.0e-5
+    #: per-machine NIC bandwidth (20 Gbps in the paper's testbed, scaled)
+    nic_bandwidth_bytes_per_s: float = 2.5e6
+    #: aggregate KV-store network ceiling (80 Gb/s observed, Section 5.7,
+    #: scaled by the same factor)
+    aggregate_kv_bandwidth_bytes_per_s: float = 2.0e7
+    #: fixed cost of spawning a shuffle stage (scheduling + durable commit)
+    shuffle_setup_s: float = 0.2
+    #: per-machine durable-storage write bandwidth for shuffle outputs.
+    #: Scaled so that shuffle time is *bytes-dominated*, as in the paper
+    #: (its MPC phases get cheaper as the graph shrinks).
+    disk_bandwidth_bytes_per_s: float = 1.0e5
+    #: elementary compute operations per second per machine
+    compute_ops_per_s: float = 2.0e8
+
+    @classmethod
+    def rdma(cls) -> "CostModel":
+        """The default RDMA-backed key-value store."""
+        return cls()
+
+    @classmethod
+    def tcp(cls) -> "CostModel":
+        """The TCP/IP RPC variant of Table 4.
+
+        The raw latency gap between RDMA and kernel TCP is an order of
+        magnitude, but the end-to-end gap the paper measures (Table 4) is
+        a few-fold because batching and pipelining recover part of it; the
+        default encodes that effective 4x.
+        """
+        return cls(
+            transport="tcp",
+            kv_read_latency_s=3.2e-2,
+            kv_write_latency_s=3.2e-2,
+        )
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        return replace(self, **kwargs)
+
+
+def estimate_bytes(obj) -> int:
+    """Serialized size estimate for dataflow elements and KV values.
+
+    Ints and floats are machine words, strings are their UTF-8 length, and
+    containers are the sum of their parts (per-element framing is ignored —
+    consistent with the paper, which reports payload bytes).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, dict):
+        return sum(estimate_bytes(k) + estimate_bytes(v) for k, v in obj.items())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(estimate_bytes(item) for item in obj)
+    raise TypeError(f"cannot estimate serialized size of {type(obj).__name__}")

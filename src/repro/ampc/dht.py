@@ -1,0 +1,131 @@
+"""Distributed hash tables: the defining primitive of the AMPC model.
+
+The model (Section 2) provides a sequence of hash tables D0, D1, ...; in
+round i machines read D_{i-1} and write D_i.  :class:`DHTService` owns the
+tables and enforces that lifecycle: a store accepts writes until it is
+*sealed*, after which it is read-only (the AMPC read/write separation), and
+a store can be configured to reject reads until sealed (strict mode).
+
+Each store is sharded across the cluster's machines by key hash;
+per-shard read counts are tracked so that contention (the hot-key concern
+of Section 2, "Caching and Query Contention") is observable in tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.ampc.cost_model import estimate_bytes
+
+
+class StoreSealedError(RuntimeError):
+    """Raised on writes to a sealed store (or strict reads of an open one)."""
+
+
+class DHTStore:
+    """One distributed hash table D_i, sharded over the cluster machines."""
+
+    def __init__(self, name: str, num_shards: int, *, strict_rounds: bool = False):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.name = name
+        self.num_shards = num_shards
+        self.sealed = False
+        self._strict_rounds = strict_rounds
+        self._shards: List[Dict[Any, Any]] = [dict() for _ in range(num_shards)]
+        #: reads served per shard (contention accounting)
+        self.shard_reads: List[int] = [0] * num_shards
+        self.total_entries = 0
+        self.total_value_bytes = 0
+
+    def shard_of(self, key: Any) -> int:
+        return hash(key) % self.num_shards
+
+    # -- writes --------------------------------------------------------
+
+    def write(self, key: Any, value: Any) -> int:
+        """Store a key-value pair; returns the serialized value size.
+
+        Duplicate keys overwrite, matching the put semantics of the
+        key-value stores the paper builds on.
+        """
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard = self._shards[self.shard_of(key)]
+        if key not in shard:
+            self.total_entries += 1
+        value_bytes = estimate_bytes(value)
+        self.total_value_bytes += value_bytes
+        shard[key] = value
+        return value_bytes
+
+    def write_all(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        return sum(self.write(key, value) for key, value in items)
+
+    def seal(self) -> None:
+        """Freeze the store: subsequent writes raise."""
+        self.sealed = True
+
+    # -- reads ---------------------------------------------------------
+
+    def lookup(self, key: Any) -> Any:
+        """Read one key; returns None for missing keys (get semantics)."""
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        return self._shards[shard_index].get(key)
+
+    def contains(self, key: Any) -> bool:
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        return key in self._shards[shard_index]
+
+    # -- introspection (driver-side; free of charge) ---------------------
+
+    def keys(self) -> List[Any]:
+        result = []
+        for shard in self._shards:
+            result.extend(shard.keys())
+        return result
+
+    def max_shard_load(self) -> int:
+        return max(self.shard_reads)
+
+    def __len__(self) -> int:
+        return self.total_entries
+
+    def __repr__(self) -> str:
+        return (
+            f"DHTStore({self.name!r}, entries={self.total_entries}, "
+            f"sealed={self.sealed})"
+        )
+
+
+class DHTService:
+    """Factory and registry for the DHT sequence D0, D1, ..."""
+
+    def __init__(self, num_shards: int, *, strict_rounds: bool = False):
+        self.num_shards = num_shards
+        self.strict_rounds = strict_rounds
+        self._stores: Dict[str, DHTStore] = {}
+        self._counter = 0
+
+    def create(self, name: Optional[str] = None) -> DHTStore:
+        if name is None:
+            name = f"D{self._counter}"
+        if name in self._stores:
+            raise ValueError(f"store {name!r} already exists")
+        self._counter += 1
+        store = DHTStore(name, self.num_shards, strict_rounds=self.strict_rounds)
+        self._stores[name] = store
+        return store
+
+    def get(self, name: str) -> DHTStore:
+        return self._stores[name]
+
+    def stores(self) -> List[DHTStore]:
+        return list(self._stores.values())

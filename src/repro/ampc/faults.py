@@ -1,0 +1,49 @@
+"""Preemption injection.
+
+The paper's environment runs batch jobs at low priority in a shared data
+center, where machines are routinely preempted (Section 5.1, citing the
+Borg traces of Tirmazi et al.).  Both Flume-C++ and the AMPC extension
+survive this because every stage's *input* is durable: shuffle outputs are
+written to durable storage and the DHT is fault-tolerant (Section 2).
+Recovery therefore re-executes only the lost machine's partition.
+
+:class:`FaultPlan` models exactly that: during a stage, each machine is
+independently preempted with probability ``preempt_probability``; a
+preempted machine's work is re-run, which adds its stage time again (the
+work is deterministic, so the *output* is unchanged — asserted by the
+fault-injection tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic preemption schedule."""
+
+    preempt_probability: float = 0.0
+    seed: int = 0
+    #: an upper bound on re-executions of one machine in one stage
+    max_retries_per_stage: int = 3
+
+    def __post_init__(self):
+        if not (0.0 <= self.preempt_probability < 1.0):
+            raise ValueError("preempt_probability must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def executions_for(self, stage_index: int, machine_id: int) -> int:
+        """How many times this machine runs its partition in this stage.
+
+        1 means no preemption; k means k-1 preemptions occurred before a
+        successful run.  Deterministic given (seed, call order).
+        """
+        executions = 1
+        while (
+            executions <= self.max_retries_per_stage
+            and self._rng.random() < self.preempt_probability
+        ):
+            executions += 1
+        return executions

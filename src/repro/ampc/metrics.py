@@ -1,0 +1,117 @@
+"""Execution metrics: every counter the paper's evaluation reports.
+
+One :class:`Metrics` object accompanies each algorithm run.  Phases mirror
+the paper's running-time breakdowns (e.g. DirectGraph / KV-Write / IsInMIS
+in Figure 5): algorithms open a phase with :meth:`Metrics.phase` and all
+simulated time accrued inside is attributed to it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PhaseBreakdown:
+    """Ordered (phase name -> simulated seconds) mapping."""
+
+    order: List[str] = field(default_factory=list)
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, value: float) -> None:
+        if name not in self.seconds:
+            self.order.append(name)
+            self.seconds[name] = 0.0
+        self.seconds[name] += value
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def items(self):
+        return [(name, self.seconds[name]) for name in self.order]
+
+
+class Metrics:
+    """Counters for one distributed algorithm execution."""
+
+    def __init__(self):
+        #: number of shuffle stages (the paper's "costly rounds", Table 3)
+        self.shuffles = 0
+        #: total bytes written during shuffles (Figure 3)
+        self.shuffle_bytes = 0
+        #: KV-store traffic (Figures 3, 9)
+        self.kv_reads = 0
+        self.kv_writes = 0
+        self.kv_read_bytes = 0
+        self.kv_write_bytes = 0
+        #: cache behaviour (Section 5.3 caching optimization)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: AMPC/MPC round counter, incremented by algorithms at round edges
+        self.rounds = 0
+        #: machine preemptions injected and recovered from
+        self.preemptions = 0
+        #: largest number of KV queries a single machine made in one stage
+        self.max_machine_queries_per_stage = 0
+        #: simulated wall-clock
+        self.simulated_time_s = 0.0
+        self.phases = PhaseBreakdown()
+        self._phase_stack: List[str] = []
+
+    # -- phase attribution -------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute simulated time accrued in this block to ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._phase_stack.pop()
+
+    def charge_time(self, seconds: float) -> None:
+        """Advance simulated time, attributing it to the innermost phase."""
+        self.simulated_time_s += seconds
+        if self._phase_stack:
+            self.phases.add(self._phase_stack[-1], seconds)
+        else:
+            self.phases.add("(unattributed)", seconds)
+
+    # -- totals --------------------------------------------------------
+
+    @property
+    def kv_bytes(self) -> int:
+        """Total KV-store communication (the y-axis of Figure 9)."""
+        return self.kv_read_bytes + self.kv_write_bytes
+
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of every counter, for reports and tests."""
+        return {
+            "shuffles": self.shuffles,
+            "shuffle_bytes": self.shuffle_bytes,
+            "kv_reads": self.kv_reads,
+            "kv_writes": self.kv_writes,
+            "kv_read_bytes": self.kv_read_bytes,
+            "kv_write_bytes": self.kv_write_bytes,
+            "kv_bytes": self.kv_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "rounds": self.rounds,
+            "preemptions": self.preemptions,
+            "max_machine_queries_per_stage": self.max_machine_queries_per_stage,
+            "simulated_time_s": self.simulated_time_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics(shuffles={self.shuffles}, "
+            f"shuffle_bytes={self.shuffle_bytes}, kv_reads={self.kv_reads}, "
+            f"kv_bytes={self.kv_bytes}, "
+            f"time={self.simulated_time_s:.3f}s)"
+        )

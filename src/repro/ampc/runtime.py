@@ -1,0 +1,93 @@
+"""The AMPC runtime: rounds, DHT lifecycle, and store-writing helpers.
+
+An AMPC computation (Section 2) proceeds in rounds; in round i machines
+read D_{i-1} and write D_i, each performing at most O(S) communication.
+:class:`AMPCRuntime` wraps a dataflow :class:`Pipeline` with:
+
+* a :class:`DHTService` sharded across the cluster's machines;
+* :meth:`write_store`, the "write the directed graph to the key-value
+  store" stage that appears in every AMPC implementation of Section 5
+  (a ParDo whose per-element work is one KV write — *not* a shuffle);
+* a round counter advanced by :meth:`next_round`, which seals the stores
+  created in the finishing round (strict mode turns violations into errors).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.ampc.cluster import Cluster, ClusterConfig
+from repro.ampc.dht import DHTService, DHTStore
+from repro.ampc.faults import FaultPlan
+from repro.dataflow.dofn import DoFn
+from repro.dataflow.pcollection import BudgetExceededError, PCollection
+from repro.dataflow.pipeline import Pipeline
+
+__all__ = ["AMPCRuntime", "BudgetExceededError"]
+
+
+class _WriteStoreDoFn(DoFn):
+    """Writes ``key_fn(element) -> value_fn(element)`` into a DHT store."""
+
+    def __init__(self, store: DHTStore, key_fn, value_fn):
+        self._store = store
+        self._key_fn = key_fn
+        self._value_fn = value_fn
+
+    def process(self, element, ctx):
+        ctx.write(self._store, self._key_fn(element), self._value_fn(element))
+        return ()
+
+
+class AMPCRuntime:
+    """One AMPC computation: a pipeline plus the DHT sequence."""
+
+    def __init__(self, cluster: Optional[Cluster] = None,
+                 config: Optional[ClusterConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 strict_rounds: bool = False):
+        self.pipeline = Pipeline(cluster=cluster, config=config,
+                                 fault_plan=fault_plan)
+        self.cluster = self.pipeline.cluster
+        self.metrics = self.cluster.metrics
+        self.dht = DHTService(
+            self.cluster.config.num_machines, strict_rounds=strict_rounds
+        )
+        self._round_stores = []
+
+    @property
+    def config(self) -> ClusterConfig:
+        return self.cluster.config
+
+    def new_store(self, name: Optional[str] = None) -> DHTStore:
+        """Create the next hash table D_i (writable this round).
+
+        Names are uniquified so that re-running a sub-algorithm on the same
+        runtime (e.g. one matching per peeling level of Algorithm 4) never
+        collides.
+        """
+        if name is not None and any(
+            store.name == name for store in self.dht.stores()
+        ):
+            name = f"{name}-{len(self.dht.stores())}"
+        store = self.dht.create(name)
+        self._round_stores.append(store)
+        return store
+
+    def write_store(self, pcollection: PCollection, store: DHTStore,
+                    key_fn: Callable[[Any], Any],
+                    value_fn: Callable[[Any], Any],
+                    seal: bool = True) -> None:
+        """Write a PCollection into a store (ParDo of KV writes)."""
+        pcollection.par_do(_WriteStoreDoFn(store, key_fn, value_fn),
+                           name=f"write:{store.name}")
+        if seal:
+            store.seal()
+
+    def next_round(self) -> int:
+        """Advance the round counter; seal all stores of the closing round."""
+        for store in self._round_stores:
+            store.seal()
+        self._round_stores = []
+        self.metrics.rounds += 1
+        return self.metrics.rounds

@@ -1,0 +1,45 @@
+"""Experiment infrastructure: datasets, runners and reporting.
+
+* :mod:`repro.analysis.datasets` — the scaled analogues of the paper's
+  five real-world graphs (Table 2) and the 2 x k cycle family.
+* :mod:`repro.analysis.experiment` — one-call runners that execute an
+  algorithm on a dataset and return a flat metrics record.
+* :mod:`repro.analysis.reporting` — text tables in the style of the
+  paper's tables/figures, used by every benchmark.
+"""
+
+from repro.analysis.datasets import (
+    DATASET_NAMES,
+    DatasetSpec,
+    cycle_instance,
+    dataset_spec,
+    load_dataset,
+    load_weighted_dataset,
+)
+from repro.analysis.experiment import (
+    run_ampc_matching,
+    run_ampc_mis,
+    run_ampc_msf,
+    run_mpc_boruvka,
+    run_mpc_matching,
+    run_mpc_mis,
+)
+from repro.analysis.reporting import Table, format_bytes, normalize
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "cycle_instance",
+    "dataset_spec",
+    "load_dataset",
+    "load_weighted_dataset",
+    "run_ampc_matching",
+    "run_ampc_mis",
+    "run_ampc_msf",
+    "run_mpc_boruvka",
+    "run_mpc_matching",
+    "run_mpc_mis",
+    "Table",
+    "format_bytes",
+    "normalize",
+]

@@ -1,0 +1,81 @@
+"""Plain-text tables in the spirit of the paper's tables and figures.
+
+Benchmarks print these so that a single ``pytest benchmarks/`` run shows,
+for every experiment, the paper's numbers next to the measured ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte counts (1.4e9 style, as the paper annotates)."""
+    if num_bytes == 0:
+        return "0"
+    return f"{num_bytes:.2e}"
+
+
+def format_seconds(seconds: float) -> str:
+    return f"{seconds:,.2f}s"
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Normalize against the minimum (the paper's 'slowdown relative to
+    fastest' presentation in Figures 4-7)."""
+    fastest = min(value for value in values if value > 0)
+    return [value / fastest if value > 0 else 0.0 for value in values]
+
+
+class Table:
+    """A fixed-column text table with a title."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._render(cell) for cell in cells])
+
+    @staticmethod
+    def _render(cell: Cell) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1e6 or abs(cell) < 1e-3:
+                return f"{cell:.2e}"
+            return f"{cell:,.2f}"
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(name) for name in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,197 @@
+"""MPC connectivity via local contractions (the Section 5.6 baseline).
+
+This is the general-purpose MPC connectivity algorithm of Lacki, Mirrokni
+and Wlodarczyk (CC-LocalContraction) that prior work found to be the
+fastest MPC connectivity implementation, and that the paper compares its
+AMPC 1-vs-2-Cycle algorithm against.
+
+Each phase, every vertex points to the minimum-rank vertex of its closed
+neighborhood (priorities are hashed, so this costs no communication once
+the adjacency is grouped), and all edges are rewritten through the pointer
+map.  On a cycle the surviving ids are the local rank minima — one third of
+the vertices in expectation, matching the paper's observed 2.59-3x
+(average 2.69x) per-iteration shrink.  Three shuffles per phase: adjacency
+grouping plus the two endpoint rewrites.
+
+Pointer maps are not idempotent (the pointer target may itself point
+elsewhere); that is sound for connectivity because every pointer stays
+inside its component, and the final labels are resolved when composing the
+per-phase maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.faults import FaultPlan
+from repro.ampc.metrics import Metrics
+from repro.core.ranks import hash_rank
+from repro.graph.graph import Graph, edge_key
+from repro.mpc.runtime import MPCRuntime
+
+EdgeId = Tuple[int, int]
+
+
+@dataclass
+class LocalContractionResult:
+    """Component labels from the MPC local-contraction baseline."""
+
+    labels: List[int]
+    metrics: Metrics
+    phases: int = 0
+    #: vertex counts after each phase (for the shrink-factor analysis)
+    vertices_per_phase: List[int] = field(default_factory=list)
+
+    @property
+    def num_components(self) -> int:
+        return len(set(self.labels))
+
+
+def mpc_local_contraction_cc(graph: Graph, *,
+                             runtime: Optional[MPCRuntime] = None,
+                             config: Optional[ClusterConfig] = None,
+                             fault_plan: Optional[FaultPlan] = None,
+                             seed: int = 0,
+                             in_memory_threshold: int = 512,
+                             max_phases: int = 10_000) -> LocalContractionResult:
+    """Connected-component labels via iterated local contraction."""
+    if runtime is None:
+        runtime = MPCRuntime(config=config, fault_plan=fault_plan)
+    metrics = runtime.metrics
+
+    n = graph.num_vertices
+    label = list(range(n))
+    current = runtime.pipeline.from_items(
+        [edge_key(u, v) for u, v in graph.edges()]
+    )
+    phases = 0
+    vertices_per_phase: List[int] = []
+    while True:
+        edge_count = current.count()
+        if edge_count == 0:
+            break
+        if edge_count <= in_memory_threshold:
+            remaining = runtime.run_in_memory(current, solver=list)
+            _merge_labels(label, remaining)
+            break
+        phases += 1
+        if phases > max_phases:
+            raise RuntimeError("local contraction did not converge")
+        runtime.next_round()
+        phase_seed = (seed, phases)
+
+        def _rank(vertex: int) -> Tuple[float, int]:
+            return (hash_rank(phase_seed[0], phase_seed[1], vertex), vertex)
+
+        # Shuffle 1: adjacency grouping; each vertex picks the minimum-rank
+        # vertex of its closed neighborhood (hash priorities: no shuffle).
+        adjacency = current.flat_map(
+            lambda edge: [(edge[0], edge[1]), (edge[1], edge[0])],
+            name="key-by-endpoints",
+        ).group_by_key(name="group-adjacency")
+        pointers = adjacency.map_elements(
+            lambda group: (group[0],
+                           min([group[0]] + list(group[1]), key=_rank)),
+            name="local-minima-pointers",
+        )
+        pointer_map = dict(pointers.collect())
+        # Compose into the global labels (driver-side output bookkeeping).
+        for v in range(n):
+            label[v] = pointer_map.get(label[v], label[v])
+
+        # Shuffles 2 + 3: rewrite both endpoints through the pointer map.
+        tagged_ptrs = pointers.map_elements(
+            lambda pair: (pair[0], ("ptr", pair[1])), name="tag-pointers"
+        )
+        keyed_u = current.map_elements(
+            lambda edge: (edge[0], ("edge", edge)), name="key-by-u"
+        )
+        joined_u = keyed_u.flatten_with(tagged_ptrs).group_by_key(
+            name="rewrite-u"
+        )
+
+        def _apply_u(group):
+            vertex, tags = group
+            root = vertex
+            pending = []
+            for kind, payload in tags:
+                if kind == "ptr":
+                    root = payload
+                else:
+                    pending.append(payload)
+            return [(v, ("edge", (root, v))) for (u, v) in pending]
+
+        half = joined_u.flat_map(_apply_u, name="emit-half")
+        joined_v = half.flatten_with(tagged_ptrs).group_by_key(
+            name="rewrite-v"
+        )
+
+        def _apply_v(group):
+            vertex, tags = group
+            root = vertex
+            pending = []
+            for kind, payload in tags:
+                if kind == "ptr":
+                    root = payload
+                else:
+                    pending.append(payload)
+            seen: Set[EdgeId] = set()
+            output = []
+            for (u, v) in pending:
+                if u == root:
+                    continue
+                edge = edge_key(u, root)
+                if edge not in seen:
+                    seen.add(edge)
+                    output.append(edge)
+            return output
+
+        current = joined_v.flat_map(_apply_v, name="drop-self-loops")
+        vertices_per_phase.append(
+            len({x for edge in current.collect() for x in edge})
+        )
+
+    # Resolve label chains (vertices relabeled to ids that were themselves
+    # relabeled in the same phase).
+    resolved = _resolve_chains(label)
+    return LocalContractionResult(labels=resolved, metrics=metrics,
+                                  phases=phases,
+                                  vertices_per_phase=vertices_per_phase)
+
+
+def _merge_labels(label: List[int], remaining_edges: List[EdgeId]) -> None:
+    """Union the residual edges into the label array (in-memory tail)."""
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != x:
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in remaining_edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    for v in range(len(label)):
+        label[v] = find(label[v])
+
+
+def _resolve_chains(label: List[int]) -> List[int]:
+    """Follow label chains to fixpoints (path-compressed)."""
+    resolved = list(label)
+    for v in range(len(resolved)):
+        chain = []
+        x = v
+        while resolved[x] != x and resolved[resolved[x]] != resolved[x]:
+            chain.append(x)
+            x = resolved[x]
+        final = resolved[x]
+        for node in chain:
+            resolved[node] = final
+        resolved[v] = final
+    return resolved

@@ -1,0 +1,67 @@
+"""The paper's contribution: AMPC graph algorithms in O(1) adaptive rounds.
+
+Public entry points (each returns a result object carrying the output and
+the full :class:`repro.ampc.Metrics` of the execution):
+
+* :func:`ampc_mis` — maximal independent set (Section 5.3 implementation of
+  the O(1)-round algorithm of Behnezhad et al. 2019).
+* :func:`ampc_maximal_matching` — Theorem 2: the O(1)-round vertex query
+  process (part 2) and :func:`ampc_matching_phases` for the
+  O(log log n)-round Algorithm 4 (part 1).
+* :func:`ampc_msf` — Section 5.5's practical minimum spanning forest;
+  :func:`ampc_msf_theory` for the ternarize + TruncatedPrim Algorithm 2.
+* :func:`kkt_msf` / :func:`find_f_light_edges` — Algorithm 3 + Algorithm 5.
+* :func:`ampc_connected_components` / :func:`ampc_forest_connectivity`.
+* :func:`ampc_one_vs_two_cycle` — Section 5.6.
+* Corollary 4.1 consequences in :mod:`repro.core.matching_derived`.
+
+Attributes resolve lazily (PEP 562) so that submodules can be imported
+individually without pulling in the whole package.
+"""
+
+_EXPORTS = {
+    "hash_rank": "repro.core.ranks",
+    "edge_rank_fn": "repro.core.ranks",
+    "vertex_ranks": "repro.core.ranks",
+    "MISResult": "repro.core.mis",
+    "ampc_mis": "repro.core.mis",
+    "mpc_simulated_mis_shuffles": "repro.core.mis",
+    "MatchingResult": "repro.core.matching",
+    "ampc_maximal_matching": "repro.core.matching",
+    "ampc_matching_phases": "repro.core.matching",
+    "VertexCoverResult": "repro.core.matching_derived",
+    "WeightedMatchingResult": "repro.core.matching_derived",
+    "approximate_maximum_matching": "repro.core.matching_derived",
+    "approximate_max_weight_matching": "repro.core.matching_derived",
+    "approximate_vertex_cover": "repro.core.matching_derived",
+    "MSFResult": "repro.core.msf",
+    "ampc_msf": "repro.core.msf",
+    "ampc_msf_theory": "repro.core.msf",
+    "find_f_light_edges": "repro.core.kkt",
+    "kkt_msf": "repro.core.kkt",
+    "ConnectivityResult": "repro.core.connectivity",
+    "ampc_connected_components": "repro.core.connectivity",
+    "ampc_forest_connectivity": "repro.core.connectivity",
+    "TwoCycleResult": "repro.core.two_cycle",
+    "ampc_one_vs_two_cycle": "repro.core.two_cycle",
+    "RandomWalkResult": "repro.core.random_walks",
+    "PageRankResult": "repro.core.random_walks",
+    "ampc_random_walks": "repro.core.random_walks",
+    "ampc_pagerank": "repro.core.random_walks",
+    "pagerank_power_iteration": "repro.core.random_walks",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

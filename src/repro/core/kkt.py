@@ -1,0 +1,169 @@
+"""The Karger-Klein-Tarjan reduction (Algorithm 3) and F-light edge
+classification (Algorithm 5 / Appendix B).
+
+Algorithm 3 reduces MSF query complexity from O(m log n) to
+O(m + n log^2 n): sample each edge with probability 1/log n, compute the
+MSF ``F`` of the sample, discard every *F-heavy* edge (no MSF edge is
+F-heavy, Proposition 3.8), and solve the survivors (F-light edges, O(n/p)
+of them in expectation by the KKT sampling lemma).
+
+Algorithm 5 classifies edges with exactly the tree machinery of Appendix B:
+forest components, rooting, levels, an Euler tour + RMQ for LCA, and a
+heavy-light decomposition with per-heavy-path RMQs so that the maximum
+weight on any tree path is answered in O(log n) probes.
+
+All comparisons use the strict (weight, endpoints) total order, so the
+classification is exact even with tied weights, and ``kkt_msf`` is
+edge-identical to Kruskal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.metrics import Metrics
+from repro.ampc.runtime import AMPCRuntime
+from repro.core.ranks import hash_rank
+from repro.graph.graph import WeightedGraph, edge_key
+from repro.sequential.mst import kruskal_msf
+from repro.trees.euler_tour import RootedForest
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.lca import LCAIndex
+
+EdgeId = Tuple[int, int]
+
+#: sentinels comparable with (weight, u, v) order keys
+_NEG = (float("-inf"), -1, -1)
+_POS = (float("inf"), -1, -1)
+
+
+@dataclass
+class FLightReport:
+    """Classification output plus the query accounting of Lemma B.2."""
+
+    light_edges: List[EdgeId]
+    heavy_edges: List[EdgeId]
+    #: simulated per-edge query count (a constant number of RMQ/LCA probes
+    #: plus O(log n) pivot segments — the O(n log n) bound of Lemma B.2)
+    total_queries: int
+
+
+def find_f_light_edges(graph: WeightedGraph,
+                       forest_edges: Sequence[EdgeId]) -> FLightReport:
+    """Algorithm 5: split the edges of ``graph`` into F-light and F-heavy.
+
+    ``forest_edges`` must form a forest that is a subgraph of ``graph``.
+    An edge is F-light iff its endpoints lie in different forest components
+    or its order key is at most the maximum order key on its forest path.
+    """
+    n = graph.num_vertices
+    forest = RootedForest(n, forest_edges)
+
+    def weight_to_parent(v: int) -> Tuple[float, int, int]:
+        return graph.weight_order_key(v, forest.parent[v])
+
+    lca_index = LCAIndex(forest)
+    hld = HeavyLightDecomposition(forest, weight_to_parent,
+                                  neg_infinity=_NEG, pos_infinity=_POS)
+
+    light: List[EdgeId] = []
+    heavy: List[EdgeId] = []
+    queries = 0
+    for u, v, _ in graph.edges():
+        # LCA + two root-paths of O(log n) heavy segments each (Lemma B.1).
+        queries += 2 + hld.num_light_edges_above(u) + hld.num_light_edges_above(v)
+        path_max = hld.max_edge_on_path(u, v, lca_index)
+        if graph.weight_order_key(u, v) <= path_max:
+            light.append(edge_key(u, v))
+        else:
+            heavy.append(edge_key(u, v))
+    return FLightReport(light_edges=light, heavy_edges=heavy,
+                        total_queries=queries)
+
+
+@dataclass
+class KKTResult:
+    """Output of the KKT-reduced MSF (Algorithm 3) with query accounting."""
+
+    forest: List[EdgeId]
+    metrics: Metrics
+    #: edges sampled into H
+    sampled_edges: int = 0
+    #: F-light survivors that the final solve ran on
+    light_edges: int = 0
+    #: query accounting: sampling + classification + the two sub-MSF calls
+    total_queries: int = 0
+
+
+def kkt_msf(graph: WeightedGraph, *,
+            config: Optional[ClusterConfig] = None,
+            seed: int = 0,
+            sample_probability: Optional[float] = None,
+            base_msf: Optional[Callable[[WeightedGraph], List[EdgeId]]] = None
+            ) -> KKTResult:
+    """Algorithm 3: MSF via KKT sampling in O(1) extra AMPC rounds.
+
+    ``base_msf`` computes the two sub-MSFs (of the sample, and of
+    F + F-light edges); it defaults to sequential Kruskal, and the AMPC
+    benchmarks plug in the Algorithm 2 pipeline.  The sampling, the
+    classification (Algorithm 5) and the final solve are each O(1) rounds;
+    the query accounting mirrors Lemma 3.10.
+    """
+    runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    n, m = graph.num_vertices, graph.num_edges
+    if m == 0:
+        return KKTResult(forest=[], metrics=metrics)
+    solver = base_msf or kruskal_msf
+    probability = sample_probability or 1.0 / max(2.0, math.log(max(n, 2)))
+
+    # Line 1: sample H (one ParDo over the edges; O(m) queries).
+    with metrics.phase("SampleH"):
+        edges = runtime.pipeline.from_items(
+            [(u, v) for u, v, _ in graph.edges()]
+        )
+        sampled_pcoll = edges.filter_elements(
+            lambda e: hash_rank(seed, *edge_key(*e)) < probability,
+            name="sample-edges",
+        )
+        sampled = sampled_pcoll.collect()
+        sample_graph = graph.subgraph_edges(sampled)
+    runtime.next_round()
+
+    # Line 2: F = MSF(H).
+    with metrics.phase("MSF-of-H"):
+        runtime.pipeline.run_on_driver(
+            len(sampled) * max(1, len(sampled).bit_length())
+        )
+        forest_of_sample = solver(sample_graph)
+    runtime.next_round()
+
+    # Line 3: the F-light edges of G (Algorithm 5).
+    with metrics.phase("FLight"):
+        report = find_f_light_edges(graph, forest_of_sample)
+        runtime.pipeline.run_on_driver(report.total_queries)
+    runtime.next_round()
+
+    # Line 4: MSF(F + E_L).
+    with metrics.phase("FinalMSF"):
+        survivor_edges = set(report.light_edges) | {
+            edge_key(u, v) for u, v in forest_of_sample
+        }
+        final_graph = graph.subgraph_edges(survivor_edges)
+        runtime.pipeline.run_on_driver(
+            len(survivor_edges) * max(1, len(survivor_edges).bit_length())
+        )
+        forest = solver(final_graph)
+    runtime.next_round()
+
+    total_queries = m + report.total_queries + len(sampled) + len(survivor_edges)
+    return KKTResult(
+        forest=sorted(edge_key(u, v) for u, v in forest),
+        metrics=metrics,
+        sampled_edges=len(sampled),
+        light_edges=len(report.light_edges),
+        total_queries=total_queries,
+    )

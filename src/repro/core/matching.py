@@ -1,0 +1,441 @@
+"""AMPC Maximal Matching (Section 4 / Section 5.4).
+
+Two algorithms, both computing the lexicographically-first maximal matching
+for hashed edge ranks (so they agree with each other and with the
+sequential greedy reference):
+
+* :func:`ampc_maximal_matching` — Theorem 2 part 2 as the paper implements
+  it (Section 5.4): one shuffle builds the *edge-permuted graph* (each
+  vertex's incident edges sorted by rank), it is written to the DHT, and a
+  per-vertex query process resolves edges adaptively.  The per-machine
+  cache stores one entry per **vertex** — either its matched partner or
+  the highest-rank incident edge already known unmatched — exactly the
+  cache the paper describes.  An optional per-search budget runs the
+  multi-round vertex-truncated theory schedule.
+
+* :func:`ampc_matching_phases` — Theorem 2 part 1 (Algorithm 4): peel
+  O(log log Delta) levels; at each level run GreedyMM on the rank-sampled
+  subgraph ``H_i`` (equivalently, MIS on its line graph — Proposition 4.2)
+  and drop matched vertices.  The rank threshold ``Delta^{-0.5^i}`` knocks
+  the maximum degree down to ``O(sqrt(Delta_i) log n)`` per Lemma 4.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.dht import DHTStore
+from repro.ampc.metrics import Metrics
+from repro.ampc.runtime import AMPCRuntime
+from repro.core.ranks import hash_rank
+from repro.dataflow.dofn import DoFn, MachineContext
+from repro.graph.graph import Graph, edge_key
+
+EdgeId = Tuple[int, int]
+
+#: vertex cache states (the per-vertex cache of Section 5.4)
+_MATCHED = "matched"
+_SEARCHED = "searched"
+
+_PARKED = object()
+
+
+@dataclass
+class MatchingResult:
+    """Output of an AMPC maximal matching run."""
+
+    matching: Set[EdgeId]
+    metrics: Metrics
+    rounds: int = 0
+    #: Algorithm 4 only: matchings found per peeling level
+    level_sizes: List[int] = field(default_factory=list)
+
+
+def _edge_rank(seed: int, u: int, v: int) -> float:
+    a, b = edge_key(u, v)
+    return hash_rank(seed, a, b)
+
+
+def _edge_order(seed: int, u: int, v: int) -> Tuple[float, int, int]:
+    """Strict total order on edges: rank, then canonical endpoints."""
+    a, b = edge_key(u, v)
+    return (hash_rank(seed, a, b), a, b)
+
+
+def _permuted_incident(vertex: int, neighbors: Sequence[int],
+                       seed: int) -> Tuple[Tuple[float, int], ...]:
+    """Incident edges of ``vertex`` as (rank, neighbor), rank-ascending."""
+    incident = [(_edge_rank(seed, vertex, u), u) for u in neighbors]
+    incident.sort(key=lambda pair: (pair[0],) + edge_key(vertex, pair[1]))
+    return tuple(incident)
+
+
+class _IsInMM(DoFn):
+    """The vertex query process of Theorem 2 part 2.
+
+    For each vertex, walk its incident edges in rank order; each edge is
+    resolved by the recursive edge process (an edge joins the matching iff
+    no lower-rank incident edge does).  Stops at the first matched edge.
+    """
+
+    def __init__(self, store: DHTStore, seed: int, *,
+                 resolved_store: Optional[DHTStore] = None,
+                 budget: Optional[int] = None):
+        self._store = store
+        self._seed = seed
+        self._resolved_store = resolved_store
+        self._budget = budget
+        self._cache: Optional[Dict[int, tuple]] = None
+
+    def start_machine(self, ctx: MachineContext) -> None:
+        self._cache = {} if ctx.caching_enabled else None
+
+    def process(self, element, ctx):
+        vertex, incident = element
+        outcome = self._vertex_search(vertex, incident, ctx)
+        if outcome is _PARKED:
+            yield ("parked", vertex, incident)
+        elif outcome is not None:
+            # Each matched edge is reported by both endpoints; the driver's
+            # result set deduplicates.
+            yield ("matched", vertex, outcome)
+
+    # -- vertex state ------------------------------------------------------
+
+    def _vertex_state(self, vertex: int, ctx: MachineContext):
+        if self._cache is not None and vertex in self._cache:
+            ctx.note_cache_hit()
+            return self._cache[vertex]
+        if self._resolved_store is not None:
+            state = ctx.lookup(self._resolved_store, vertex)
+            if state is not None:
+                state = tuple(state)
+                if self._cache is not None:
+                    self._cache[vertex] = state
+                return state
+        return None
+
+    def _set_matched(self, u: int, v: int, rank: float) -> None:
+        if self._cache is not None:
+            self._cache[u] = (_MATCHED, v, rank)
+            self._cache[v] = (_MATCHED, u, rank)
+
+    def _raise_searched(self, vertex: int, rank: float) -> None:
+        """Record: every edge of ``vertex`` with rank <= ``rank`` is out."""
+        if self._cache is None:
+            return
+        state = self._cache.get(vertex)
+        if state is not None and state[0] == _MATCHED:
+            return
+        if state is None or state[1] < rank:
+            self._cache[vertex] = (_SEARCHED, rank)
+
+    def _edge_status_from_states(self, rank: float, a: int, b: int,
+                                 ctx: MachineContext) -> Optional[bool]:
+        """Resolve edge (a, b) from vertex states alone, if possible."""
+        for x, y in ((a, b), (b, a)):
+            state = self._vertex_state(x, ctx)
+            if state is None:
+                continue
+            if state[0] == _MATCHED:
+                return state[1] == y and state[2] == rank
+            if state[0] == _SEARCHED and rank <= state[1]:
+                return False
+        return None
+
+    # -- the edge query process (iterative recursion) -----------------------
+
+    def _fetch_incident(self, vertex: int, ctx: MachineContext, counter):
+        counter[0] += 1
+        return ctx.lookup(self._store, vertex) or ()
+
+    def _lower_incident(self, rank: float, a: int, b: int,
+                        incident_a, incident_b) -> List[Tuple[float, int, int]]:
+        """Incident edges of a and b with order below edge (a, b), merged
+        ascending by the global edge order."""
+        me = _edge_order(self._seed, a, b)
+        merged = []
+        for endpoint, incident in ((a, incident_a), (b, incident_b)):
+            for r, u in incident:
+                edge = edge_key(endpoint, u)
+                order = (r,) + edge
+                if order < me:
+                    merged.append((order, endpoint, u))
+                else:
+                    # Incident lists are rank-sorted: everything after is
+                    # above this edge.
+                    break
+        merged.sort()
+        seen = set()
+        result = []
+        for order, x, y in merged:
+            edge = edge_key(x, y)
+            if edge not in seen:
+                seen.add(edge)
+                result.append((order[0], x, y))
+        return result
+
+    def _resolve_edge(self, rank: float, a: int, b: int,
+                      ctx: MachineContext, counter) -> object:
+        """True if edge (a, b) is in the matching; _PARKED on budget."""
+        known = self._edge_status_from_states(rank, a, b, ctx)
+        if known is not None:
+            return known
+        # Frame: [rank, a, b, lower_edges, index]
+        incident_a = self._fetch_incident(a, ctx, counter)
+        incident_b = self._fetch_incident(b, ctx, counter)
+        frames = [[rank, a, b,
+                   self._lower_incident(rank, a, b, incident_a, incident_b), 0]]
+        returning: Optional[bool] = None
+        while frames:
+            if self._budget is not None and counter[0] > self._budget:
+                return _PARKED
+            frame = frames[-1]
+            erank, ea, eb, lower, index = frame
+            if returning is not None:
+                child_in, returning = returning, None
+                if child_in:
+                    frames.pop()
+                    returning = False
+                    continue
+                index += 1
+                frame[4] = index
+            descended = False
+            while index < len(lower):
+                crank, ca, cb = lower[index]
+                known = self._edge_status_from_states(crank, ca, cb, ctx)
+                if known is True:
+                    frames.pop()
+                    returning = False
+                    descended = True
+                    break
+                if known is False:
+                    index += 1
+                    frame[4] = index
+                    continue
+                if self._budget is not None and counter[0] > self._budget:
+                    return _PARKED
+                child_a = self._fetch_incident(ca, ctx, counter)
+                child_b = self._fetch_incident(cb, ctx, counter)
+                frames.append([crank, ca, cb,
+                               self._lower_incident(crank, ca, cb,
+                                                    child_a, child_b), 0])
+                descended = True
+                break
+            if descended:
+                continue
+            # No lower-rank incident edge in the matching: this edge joins.
+            self._set_matched(ea, eb, erank)
+            frames.pop()
+            returning = True
+        return returning
+
+    # -- the vertex process --------------------------------------------------
+
+    def _vertex_search(self, vertex: int, incident, ctx: MachineContext):
+        """Matched edge of ``vertex`` or None; _PARKED on budget."""
+        state = self._vertex_state(vertex, ctx)
+        if state is not None:
+            if state[0] == _MATCHED:
+                return edge_key(vertex, state[1])
+            if state[0] == _SEARCHED and state[1] >= 1.0:
+                return None
+        counter = [0]
+        for rank, neighbor in incident:
+            status = self._resolve_edge(rank, vertex, neighbor, ctx, counter)
+            if status is _PARKED:
+                return _PARKED
+            if status:
+                return edge_key(vertex, neighbor)
+            self._raise_searched(vertex, rank)
+        self._raise_searched(vertex, 1.0)
+        return None
+
+
+def ampc_maximal_matching(graph: Graph, *,
+                          runtime: Optional[AMPCRuntime] = None,
+                          config: Optional[ClusterConfig] = None,
+                          seed: int = 0,
+                          search_budget: Optional[int] = None,
+                          max_rounds: int = 64) -> MatchingResult:
+    """Theorem 2 part 2: O(1)-round maximal matching via vertex searches.
+
+    Without ``search_budget`` this is the 2-round practical implementation
+    of Section 5.4; with it, the n^epsilon-truncated multi-round schedule.
+    """
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+
+    # Round 1: the one shuffle — the edge-permuted (rank-sorted) graph.
+    with metrics.phase("PermuteGraph"):
+        nodes = runtime.pipeline.from_items(
+            [(v, graph.neighbors(v)) for v in graph.vertices()]
+        )
+        permuted = nodes.map_elements(
+            lambda record: (record[0],
+                            _permuted_incident(record[0], record[1], seed)),
+            name="permute-edges",
+        )
+        permuted = permuted.repartition(lambda record: record[0],
+                                        name="place-permuted-graph")
+
+    with metrics.phase("KV-Write"):
+        store = runtime.new_store("mm-permuted-graph")
+        runtime.write_store(permuted, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+
+    matching: Set[EdgeId] = set()
+    pending = permuted
+    resolved_store: Optional[DHTStore] = None
+    budget = search_budget
+    if budget is not None:
+        # A vertex must always be able to re-scan its incident list.
+        budget = max(budget, 2 * graph.max_degree() + 2)
+    rounds_used = 0
+    while True:
+        rounds_used += 1
+        if rounds_used > max_rounds:
+            raise RuntimeError(
+                f"matching did not converge within {max_rounds} rounds"
+            )
+        with metrics.phase("IsInMM"):
+            outcome = pending.par_do(
+                _IsInMM(store, seed, resolved_store=resolved_store,
+                        budget=budget),
+                name="is-in-mm",
+            )
+        parked_records = []
+        for tag, vertex, payload in outcome.collect():
+            if tag == "matched":
+                matching.add(payload)
+            else:
+                parked_records.append((vertex, payload))
+        if budget is None or not parked_records:
+            runtime.next_round()
+            break
+        with metrics.phase("CommitStates"):
+            states = _vertex_states(graph, matching,
+                                    {v for v, _ in parked_records}, seed)
+            states_pcoll = runtime.pipeline.from_items(states)
+            next_store = runtime.new_store(f"mm-states-r{rounds_used}")
+            runtime.write_store(states_pcoll, next_store,
+                                key_fn=lambda kv: kv[0],
+                                value_fn=lambda kv: kv[1])
+            resolved_store = next_store
+        runtime.next_round()
+        pending = runtime.pipeline.from_items(parked_records)
+
+    return MatchingResult(matching=matching, metrics=metrics,
+                          rounds=rounds_used + 1)
+
+
+def _vertex_states(graph: Graph, matching: Set[EdgeId],
+                   parked: Set[int], seed: int) -> List[Tuple[int, tuple]]:
+    """Vertex states known after a truncated round (committed to the DHT)."""
+    states: List[Tuple[int, tuple]] = []
+    matched_partner: Dict[int, Tuple[int, float]] = {}
+    for u, v in matching:
+        rank = _edge_rank(seed, u, v)
+        matched_partner[u] = (v, rank)
+        matched_partner[v] = (u, rank)
+    for vertex in graph.vertices():
+        if vertex in matched_partner:
+            partner, rank = matched_partner[vertex]
+            states.append((vertex, (_MATCHED, partner, rank)))
+        elif vertex not in parked:
+            # Its search completed without finding a matched edge.
+            states.append((vertex, (_SEARCHED, 1.0)))
+    return states
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2 part 1: Algorithm 4 (degree peeling in O(log log Delta) levels)
+# ---------------------------------------------------------------------------
+
+
+def ampc_matching_phases(graph: Graph, *,
+                         config: Optional[ClusterConfig] = None,
+                         seed: int = 0) -> MatchingResult:
+    """Algorithm 4: maximal matching by O(log log Delta) sampled levels.
+
+    Level i keeps only the edges of rank at most ``Delta^{-0.5^i}`` (once
+    the residual degree exceeds ``10 log n``), finds their greedy maximal
+    matching via the MIS-on-line-graph query process of Proposition 4.2
+    (the same query machinery as :func:`ampc_maximal_matching`, restricted
+    to the sampled subgraph), and removes matched vertices.
+    """
+    runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    n = graph.num_vertices
+    delta = graph.max_degree()
+    if delta == 0:
+        return MatchingResult(matching=set(), metrics=metrics, rounds=0)
+    log_n = math.log(max(n, 2))
+    levels = max(1, math.ceil(math.log2(max(2.0, math.log2(max(delta, 2))))) + 1)
+
+    alive = set(graph.vertices())
+    matching: Set[EdgeId] = set()
+    level_sizes: List[int] = []
+    for level in range(1, levels + 1):
+        residual, degree = _residual(graph, alive)
+        if not residual:
+            break
+        if degree > 10 * log_n:
+            threshold = delta ** -(0.5 ** level)
+            subgraph_edges = [
+                edge for edge in _residual_edges(residual)
+                if _edge_rank(seed, *edge) <= threshold
+            ]
+        else:
+            subgraph_edges = list(_residual_edges(residual))
+        level_graph = Graph(n)
+        for u, v in subgraph_edges:
+            level_graph.add_edge(u, v)
+        with metrics.phase(f"Level{level}"):
+            level_result = ampc_maximal_matching(
+                level_graph, runtime=runtime, seed=seed
+            )
+        matched = level_result.matching
+        level_sizes.append(len(matched))
+        matching.update(matched)
+        for u, v in matched:
+            alive.discard(u)
+            alive.discard(v)
+    # Final sweep: the loop above is maximal w.h.p. (Lemma 4.5); guard
+    # against the low-probability leftover deterministically.
+    residual, degree = _residual(graph, alive)
+    if residual:
+        leftover = Graph(n)
+        for u, v in _residual_edges(residual):
+            leftover.add_edge(u, v)
+        with metrics.phase("Cleanup"):
+            tail = ampc_maximal_matching(leftover, runtime=runtime, seed=seed)
+        matching.update(tail.matching)
+        level_sizes.append(len(tail.matching))
+    return MatchingResult(matching=matching, metrics=metrics,
+                          rounds=metrics.rounds, level_sizes=level_sizes)
+
+
+def _residual(graph: Graph, alive: Set[int]):
+    """Adjacency of the graph induced on ``alive`` + its max degree."""
+    residual: Dict[int, List[int]] = {}
+    degree = 0
+    for v in alive:
+        neighbors = [u for u in graph.neighbors(v) if u in alive]
+        if neighbors:
+            residual[v] = neighbors
+            degree = max(degree, len(neighbors))
+    return residual, degree
+
+
+def _residual_edges(residual: Dict[int, List[int]]):
+    for v, neighbors in residual.items():
+        for u in neighbors:
+            if v < u:
+                yield (v, u)

@@ -1,0 +1,177 @@
+"""Consequences of Theorem 2 (Corollary 4.1).
+
+The paper notes that the maximal matching algorithm immediately yields:
+
+* a (1 + eps)-approximate maximum matching — maximal matching is a
+  2-approximation, and short augmenting-path rounds push the ratio toward
+  1 + eps (we implement length-3 augmentation rounds, each one a constant
+  number of AMPC matchings, giving 3/2 after one round and approaching
+  (1 + eps) as rounds grow);
+* a (2 + eps)-approximate maximum *weight* matching via the classic
+  weight-bucketing reduction: split edges into geometric weight levels and
+  run maximal matching from the heaviest level down;
+* a 2-approximate minimum vertex cover: the endpoints of any maximal
+  matching.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.metrics import Metrics
+from repro.ampc.runtime import AMPCRuntime
+from repro.core.matching import ampc_maximal_matching
+from repro.graph.graph import Graph, WeightedGraph, edge_key
+
+EdgeId = Tuple[int, int]
+
+
+@dataclass
+class WeightedMatchingResult:
+    """A (2 + eps)-approximate maximum weight matching."""
+
+    matching: Set[EdgeId]
+    weight: float
+    metrics: Metrics
+    #: number of geometric weight levels processed
+    levels: int = 0
+
+
+@dataclass
+class VertexCoverResult:
+    """A 2-approximate minimum vertex cover (matched endpoints)."""
+
+    cover: Set[int]
+    metrics: Metrics
+
+
+def approximate_vertex_cover(graph: Graph, *,
+                             config: Optional[ClusterConfig] = None,
+                             seed: int = 0) -> VertexCoverResult:
+    """2-approximate minimum vertex cover: V(maximal matching)."""
+    result = ampc_maximal_matching(graph, config=config, seed=seed)
+    cover = {x for edge in result.matching for x in edge}
+    return VertexCoverResult(cover=cover, metrics=result.metrics)
+
+
+def approximate_max_weight_matching(graph: WeightedGraph, *,
+                                    config: Optional[ClusterConfig] = None,
+                                    seed: int = 0,
+                                    epsilon: float = 0.2
+                                    ) -> WeightedMatchingResult:
+    """(2 + eps)-approximate maximum weight matching by weight bucketing.
+
+    Edges are split into levels ``[(1+eps)^k, (1+eps)^{k+1})``; levels are
+    processed from heaviest to lightest, running the AMPC maximal matching
+    on each level's residual subgraph.  Greedy-by-level loses at most a
+    factor (1 + eps) on top of maximal matching's factor 2.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    edges = list(graph.edges())
+    if not edges:
+        return WeightedMatchingResult(matching=set(), weight=0.0,
+                                      metrics=metrics)
+    if any(w <= 0 for _, _, w in edges):
+        raise ValueError("weights must be positive for the bucketing scheme")
+    base = 1.0 + epsilon
+
+    def level_of(weight: float) -> int:
+        return math.floor(math.log(weight, base))
+
+    by_level: Dict[int, List[EdgeId]] = {}
+    for u, v, w in edges:
+        by_level.setdefault(level_of(w), []).append(edge_key(u, v))
+
+    matching: Set[EdgeId] = set()
+    matched_vertices: Set[int] = set()
+    levels_processed = 0
+    for level in sorted(by_level, reverse=True):
+        candidates = [
+            (u, v) for u, v in by_level[level]
+            if u not in matched_vertices and v not in matched_vertices
+        ]
+        if not candidates:
+            continue
+        levels_processed += 1
+        level_graph = Graph(graph.num_vertices)
+        for u, v in candidates:
+            level_graph.add_edge(u, v)
+        result = ampc_maximal_matching(level_graph, runtime=runtime,
+                                       seed=seed + level_of_hash(level))
+        for u, v in result.matching:
+            matching.add((u, v))
+            matched_vertices.add(u)
+            matched_vertices.add(v)
+    weight = sum(graph.weight(u, v) for u, v in matching)
+    return WeightedMatchingResult(matching=matching, weight=weight,
+                                  metrics=metrics, levels=levels_processed)
+
+
+def level_of_hash(level: int) -> int:
+    """Fold (possibly negative) level indices into non-negative seeds."""
+    return abs(level) * 2 + (1 if level < 0 else 0)
+
+
+def approximate_maximum_matching(graph: Graph, *,
+                                 config: Optional[ClusterConfig] = None,
+                                 seed: int = 0,
+                                 augmentation_rounds: int = 1
+                                 ) -> Tuple[Set[EdgeId], Metrics]:
+    """Approximate maximum (cardinality) matching (Corollary 4.1).
+
+    Starts from the AMPC maximal matching (a 2-approximation) and applies
+    rounds of vertex-disjoint length-3 augmentations: each round finds, for
+    matched edges with two distinct free neighbors, a greedy disjoint set
+    of augmenting paths and flips them.  One round already guarantees a
+    3/2-approximation; more rounds approach the (1 + eps) bound.
+    """
+    base = ampc_maximal_matching(graph, config=config, seed=seed)
+    matching = set(base.matching)
+    metrics = base.metrics
+    for round_index in range(augmentation_rounds):
+        flipped = _augment_once(graph, matching)
+        if not flipped:
+            break
+    return matching, metrics
+
+
+def _augment_once(graph: Graph, matching: Set[EdgeId]) -> int:
+    """One pass of greedy vertex-disjoint length-3 augmentation.
+
+    For each matched edge (u, v), look for free a ~ u and free b ~ v with
+    a != b, claiming free vertices greedily; flip u-v out and a-u, v-b in.
+    Returns the number of augmentations performed.
+    """
+    matched_vertices = {x for edge in matching for x in edge}
+    claimed: Set[int] = set()
+    flips: List[Tuple[EdgeId, EdgeId, EdgeId]] = []
+    for u, v in sorted(matching):
+        free_u = [a for a in graph.neighbors(u)
+                  if a not in matched_vertices and a not in claimed]
+        free_v = [b for b in graph.neighbors(v)
+                  if b not in matched_vertices and b not in claimed]
+        chosen_a = None
+        chosen_b = None
+        for a in free_u:
+            for b in free_v:
+                if a != b:
+                    chosen_a, chosen_b = a, b
+                    break
+            if chosen_a is not None:
+                break
+        if chosen_a is None:
+            continue
+        claimed.add(chosen_a)
+        claimed.add(chosen_b)
+        flips.append(((u, v), edge_key(chosen_a, u), edge_key(v, chosen_b)))
+    for old, new_a, new_b in flips:
+        matching.discard(old)
+        matching.add(new_a)
+        matching.add(new_b)
+    return len(flips)

@@ -1,0 +1,564 @@
+"""AMPC Minimum Spanning Forest (Section 3 / Section 5.5).
+
+Two entry points:
+
+* :func:`ampc_msf` — the paper's *practical* implementation (Section 5.5):
+
+  1. **SortGraph** (shuffle): per-vertex adjacency sorted by edge weight.
+  2. **KV-Write**: adjacency into the DHT.
+  3. **PrimSearch**: a truncated Prim search from every vertex, stopping on
+     (a) the exploration budget, (b) exhausting the component, or (c)
+     reaching a higher-priority (lower-rank) vertex.  Every edge the search
+     adds is an MSF edge by the cut property; every visited lower-priority
+     vertex emits a ``(visited, visitor)`` tuple.
+  4. **Combine** (shuffle): group by visited vertex, keep the
+     highest-priority visitor — a pointer forest (ranks strictly decrease
+     along pointers, so no cycles).
+  5. **PointerJump**: chase pointers through the DHT to tree roots.
+  6. **Contract** (2 shuffles): rewrite both edge endpoints through the
+     root mapping, then solve the contracted graph in memory and merge.
+
+* :func:`ampc_msf_theory` — Algorithm 2: ternarize sparse graphs, run
+  Algorithm 1 (``TruncatedPrim`` with the terminal-edge forest F), contract,
+  and fall back to the dense routine.  The dense routine of Proposition 3.1
+  (the [19] DenseMSF we cannot import) is substituted by repeated
+  contraction rounds until the instance fits in one machine's memory — the
+  same O(log log) shrink schedule, documented in DESIGN.md.
+
+All variants carry the *original* endpoints of every edge through
+contraction and solve with the strict total order (weight, endpoints), so
+the output is edge-identical to Kruskal even with heavily tied weights
+(e.g. the degree-weighted graphs of Section 5.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.dht import DHTStore
+from repro.ampc.metrics import Metrics
+from repro.ampc.runtime import AMPCRuntime
+from repro.core.ranks import vertex_ranks, hash_rank
+from repro.dataflow.dofn import DoFn, MachineContext
+from repro.graph.graph import WeightedGraph, edge_key
+from repro.graph.ternarize import ternarize
+
+EdgeId = Tuple[int, int]
+#: (weight, original_u, original_v, current_u, current_v)
+EdgeRecord = Tuple[float, int, int, int, int]
+
+
+@dataclass
+class MSFResult:
+    """Output of an AMPC MSF run: the forest plus pipeline statistics."""
+
+    forest: List[EdgeId]
+    metrics: Metrics
+    rounds: int = 0
+    #: vertices of the contracted graph after the Prim round(s)
+    contracted_vertices: int = 0
+    #: MSF edges discovered directly by the Prim searches
+    prim_edges: int = 0
+    #: maximum pointer-chain length seen while jumping (paper saw <= 33)
+    max_pointer_depth: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Prim searches
+# ---------------------------------------------------------------------------
+
+
+class _PrimSearch(DoFn):
+    """Truncated Prim search from every vertex (Algorithm 1, lines 5-12).
+
+    Emits ``("msf", edge)`` for each discovered MSF edge, ``("visit",
+    visited, visitor)`` for every lower-priority visited vertex, and
+    ``("ptr", v, u)`` when the search stops at a higher-priority vertex
+    (the F edge of the theory algorithm).
+    """
+
+    def __init__(self, store: DHTStore, ranks: Sequence[float], budget: int):
+        self._store = store
+        self._ranks = ranks
+        self._budget = budget
+
+    def process(self, element, ctx):
+        vertex, incident = element
+        ranks = self._ranks
+        my_rank = (ranks[vertex], vertex)
+        visited = {vertex}
+        heap = [((w,) + edge_key(vertex, u), vertex, u) for u, w in incident]
+        heapq.heapify(heap)
+        while heap:
+            if len(visited) >= self._budget:
+                break  # stopping condition (1): budget exhausted
+            order, x, y = heapq.heappop(heap)
+            if y in visited:
+                continue
+            visited.add(y)
+            yield ("msf", edge_key(x, y), 0)
+            if (ranks[y], y) < my_rank:
+                # stopping condition (3): reached a higher-priority vertex.
+                yield ("ptr", vertex, y)
+                break
+            yield ("visit", y, vertex)
+            fetched = ctx.lookup(self._store, y) or ()
+            for u, w in fetched:
+                if u not in visited:
+                    heapq.heappush(heap, ((w,) + edge_key(y, u), y, u))
+        # Falling out of the loop with an empty heap is stopping
+        # condition (2): the component is fully explored.
+
+
+class _PointerJump(DoFn):
+    """Chase parent pointers to the root, with per-machine memoization."""
+
+    def __init__(self, store: DHTStore):
+        self._store = store
+        self._cache: Optional[Dict[int, int]] = None
+        self.max_depth = 0
+
+    def start_machine(self, ctx: MachineContext) -> None:
+        self._cache = {} if ctx.caching_enabled else None
+
+    def process(self, element, ctx):
+        vertex = element
+        chain = []
+        current = vertex
+        while True:
+            if self._cache is not None and current in self._cache:
+                ctx.note_cache_hit()
+                current = self._cache[current]
+                break
+            parent = ctx.lookup(self._store, current)
+            if parent is None or parent == current:
+                break
+            chain.append(current)
+            current = parent
+        self.max_depth = max(self.max_depth, len(chain))
+        if self._cache is not None:
+            for node in chain:
+                self._cache[node] = current
+        yield (vertex, current)
+
+
+# ---------------------------------------------------------------------------
+# Shared pieces
+# ---------------------------------------------------------------------------
+
+
+def _sorted_incident(graph: WeightedGraph, vertex: int):
+    """Incident (neighbor, weight) pairs sorted by the edge total order."""
+    return tuple(graph.neighbor_items(vertex))
+
+
+def _contract_edges(runtime: AMPCRuntime, edge_records: Iterable[EdgeRecord],
+                    roots_pcoll) -> List[EdgeRecord]:
+    """Rewrite edge endpoints through the root mapping (2 shuffles)."""
+    edges = runtime.pipeline.from_items(
+        [("edge", record) for record in edge_records]
+    )
+    tagged_edges = edges.map_elements(
+        lambda item: (item[1][3], ("edge", item[1])), name="key-by-u"
+    )
+    tagged_roots = roots_pcoll.map_elements(
+        lambda pair: (pair[0], ("root", pair[1])), name="tag-roots"
+    )
+    joined = tagged_edges.flatten_with(tagged_roots).group_by_key(
+        name="contract-join-u"
+    )
+
+    def _rewrite_u(record):
+        vertex, tags = record
+        root = vertex
+        pending = []
+        for kind, payload in tags:
+            if kind == "root":
+                root = payload
+            else:
+                pending.append(payload)
+        return [
+            (cv, ("edge", (w, ou, ov, root, cv)))
+            for (w, ou, ov, cu, cv) in pending
+        ]
+
+    half = joined.flat_map(_rewrite_u, name="rewrite-u")
+    joined2 = half.flatten_with(tagged_roots).group_by_key(
+        name="contract-join-v"
+    )
+
+    def _rewrite_v(record):
+        vertex, tags = record
+        root = vertex
+        pending = []
+        for kind, payload in tags:
+            if kind == "root":
+                root = payload
+            else:
+                pending.append(payload)
+        return [
+            (w, ou, ov, cu, root)
+            for (w, ou, ov, cu, cv) in pending
+            if cu != root
+        ]
+
+    contracted = joined2.flat_map(_rewrite_v, name="rewrite-v")
+    return contracted.collect()
+
+
+class _DictUnionFind:
+    """Union-find over arbitrary hashable ids (contracted vertex names)."""
+
+    def __init__(self):
+        self._parent: Dict = {}
+
+    def find(self, x):
+        parent = self._parent
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != x:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x, y) -> bool:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        self._parent[ry] = rx
+        return True
+
+
+def _kruskal_records(records: Iterable[EdgeRecord]) -> List[EdgeId]:
+    """Kruskal over contracted edges, ordered by (weight, original edge)."""
+    uf = _DictUnionFind()
+    forest: List[EdgeId] = []
+    for w, ou, ov, cu, cv in sorted(records, key=lambda r: (r[0], r[1], r[2])):
+        if cu != cv and uf.union(cu, cv):
+            forest.append(edge_key(ou, ov))
+    return forest
+
+
+def _default_budget(num_vertices: int, epsilon: float) -> int:
+    """The n^(epsilon/2) exploration budget of Algorithm 1."""
+    if num_vertices <= 1:
+        return 2
+    return max(2, math.ceil(num_vertices ** (epsilon / 2.0)))
+
+
+# ---------------------------------------------------------------------------
+# The practical pipeline (Section 5.5)
+# ---------------------------------------------------------------------------
+
+
+def ampc_msf(graph: WeightedGraph, *,
+             runtime: Optional[AMPCRuntime] = None,
+             config: Optional[ClusterConfig] = None,
+             seed: int = 0,
+             epsilon: float = 0.5,
+             search_budget: Optional[int] = None) -> MSFResult:
+    """Section 5.5's practical AMPC MSF: one Prim round, then contract.
+
+    Exactly 5 shuffles (Table 3): SortGraph, Combine-on-visited,
+    pointer-map placement, and two contraction joins.
+    """
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    n = graph.num_vertices
+    ranks = vertex_ranks(n, seed)
+    budget = search_budget or _default_budget(n, epsilon)
+
+    # Shuffle 1: weight-sorted adjacency onto its home machines.
+    with metrics.phase("SortGraph"):
+        nodes = runtime.pipeline.from_items(
+            [(v, _sorted_incident(graph, v)) for v in graph.vertices()]
+        )
+        placed = nodes.repartition(lambda record: record[0],
+                                   name="place-sorted-graph")
+    with metrics.phase("KV-Write"):
+        store = runtime.new_store("msf-adjacency")
+        runtime.write_store(placed, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+
+    with metrics.phase("PrimSearch"):
+        search_output = placed.par_do(
+            _PrimSearch(store, ranks, budget), name="prim-search"
+        )
+    prim_edges: Set[EdgeId] = set()
+    visits: List[Tuple[int, int]] = []
+    for tag, a, b in search_output.collect():
+        if tag == "msf":
+            prim_edges.add(a)
+        elif tag == "visit":
+            visits.append((a, b))
+
+    # Shuffle 2: combine on visited vertices -> best (min-rank) visitor.
+    with metrics.phase("PointerJump"):
+        visit_pcoll = runtime.pipeline.from_items(visits)
+        grouped = visit_pcoll.group_by_key(name="combine-visitors")
+        pointers = grouped.map_elements(
+            lambda record: (record[0],
+                            min(record[1], key=lambda v: (ranks[v], v))),
+            name="select-best-visitor",
+        )
+        # Shuffle 3: place the pointer map, then write it to the DHT.
+        pointers = pointers.repartition(lambda pair: pair[0],
+                                        name="place-pointers")
+        pointer_store = runtime.new_store("msf-pointers")
+        runtime.write_store(pointers, pointer_store,
+                            key_fn=lambda pair: pair[0],
+                            value_fn=lambda pair: pair[1])
+        runtime.next_round()
+        jumper = _PointerJump(pointer_store)
+        vertices = runtime.pipeline.from_items(list(graph.vertices()))
+        roots = vertices.par_do(jumper, name="pointer-jump")
+    runtime.next_round()
+
+    # Shuffles 4 + 5: contract, then solve in memory.  All edges take part,
+    # including the already-discovered MSF edges: classes of the pointer
+    # forest may be internally connected only *through* other classes, so
+    # discovered edges that cross classes must stay visible to the
+    # contracted solve (dropping them can force a heavier replacement).
+    with metrics.phase("Contract"):
+        edge_records = [
+            (w, u, v, u, v) for u, v, w in graph.edges()
+        ]
+        contracted = _contract_edges(runtime, edge_records, roots)
+        operations = len(contracted) * max(1, len(contracted).bit_length())
+        runtime.pipeline.run_on_driver(operations)
+        contracted_forest = _kruskal_records(contracted)
+    runtime.next_round()
+
+    forest = sorted(prim_edges | set(contracted_forest))
+    root_ids = {root for _, root in roots.collect()}
+    return MSFResult(
+        forest=forest,
+        metrics=metrics,
+        rounds=metrics.rounds,
+        contracted_vertices=len(root_ids),
+        prim_edges=len(prim_edges),
+        max_pointer_depth=jumper.max_depth,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The theory pipeline (Algorithms 1 + 2)
+# ---------------------------------------------------------------------------
+
+
+def truncated_prim_round(graph: WeightedGraph, *,
+                         runtime: AMPCRuntime,
+                         seed: int,
+                         budget: int) -> Tuple[Set[EdgeId], List[EdgeRecord], int]:
+    """One application of Algorithm 1 on a (ternarized) graph.
+
+    Returns ``(discovered MSF edges, contracted edge records, contracted
+    vertex count)``.  The contraction follows the theory algorithm: F is
+    the set of terminal ``(v, u)`` edges (rank strictly decreases along
+    them), contracted to roots by pointer jumping.
+    """
+    metrics = runtime.metrics
+    n = graph.num_vertices
+    ranks = vertex_ranks(n, seed)
+
+    with metrics.phase("SortGraph"):
+        nodes = runtime.pipeline.from_items(
+            [(v, _sorted_incident(graph, v)) for v in graph.vertices()]
+        )
+        placed = nodes.repartition(lambda record: record[0],
+                                   name="place-sorted-graph")
+    with metrics.phase("KV-Write"):
+        store = runtime.new_store("tprim-adjacency")
+        runtime.write_store(placed, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+
+    with metrics.phase("PrimSearch"):
+        search_output = placed.par_do(
+            _PrimSearch(store, ranks, budget), name="truncated-prim"
+        )
+    prim_edges: Set[EdgeId] = set()
+    f_pointers: List[Tuple[int, int]] = []
+    for tag, a, b in search_output.collect():
+        if tag == "msf":
+            prim_edges.add(a)
+        elif tag == "ptr":
+            f_pointers.append((a, b))
+
+    # Proposition 3.2: contract the directed trees of F to their roots.
+    with metrics.phase("PointerJump"):
+        pointer_pcoll = runtime.pipeline.from_items(f_pointers)
+        pointer_pcoll = pointer_pcoll.repartition(lambda pair: pair[0],
+                                                  name="place-f-pointers")
+        pointer_store = runtime.new_store("tprim-pointers")
+        runtime.write_store(pointer_pcoll, pointer_store,
+                            key_fn=lambda pair: pair[0],
+                            value_fn=lambda pair: pair[1])
+        runtime.next_round()
+        vertices = runtime.pipeline.from_items(list(graph.vertices()))
+        roots = vertices.par_do(_PointerJump(pointer_store),
+                                name="f-pointer-jump")
+    runtime.next_round()
+
+    with metrics.phase("Contract"):
+        edge_records = [
+            (w, u, v, u, v) for u, v, w in graph.edges()
+        ]
+        contracted = _contract_edges(runtime, edge_records, roots)
+    runtime.next_round()
+    # Surviving vertices of the contracted graph: roots that still carry an
+    # edge (isolated contracted vertices are removed, Algorithm 1 line 14).
+    surviving = {root for _, root in roots.collect()}
+    live = {cu for _, _, _, cu, cv in contracted} | {
+        cv for _, _, _, cu, cv in contracted
+    }
+    return prim_edges, contracted, len(surviving & live)
+
+
+def _dense_msf(edge_records: List[EdgeRecord], *,
+               runtime: AMPCRuntime,
+               seed: int,
+               epsilon: float,
+               in_memory_threshold: int,
+               max_rounds: int = 32) -> List[EdgeId]:
+    """Substitute for the DenseMSF of Proposition 3.1 ([19]).
+
+    Repeats contraction rounds (each a truncated Prim round on the current
+    contracted multigraph) until the instance fits in one machine's memory,
+    then finishes with Kruskal — the same geometric shrink schedule as the
+    original O(log log) routine.  The substitution is recorded in DESIGN.md.
+    """
+    forest: List[EdgeId] = []
+    records = edge_records
+    round_index = 0
+    while len(records) > in_memory_threshold:
+        round_index += 1
+        if round_index > max_rounds:
+            break
+        graph, id_map = _records_to_graph(records)
+        budget = _default_budget(graph.num_vertices, epsilon)
+        prim_edges, contracted, _ = truncated_prim_round(
+            graph, runtime=runtime, seed=seed + round_index, budget=budget
+        )
+        forest.extend(id_map[edge] for edge in prim_edges)
+        # Contracted records still reference the graph's local vertex ids for
+        # (cu, cv), but their (w, ou, ov) are the local original pairs; map
+        # them back to the true original edges.
+        records = [
+            (w,) + id_map[edge_key(ou, ov)] + (("c", round_index, cu),
+                                               ("c", round_index, cv))
+            for (w, ou, ov, cu, cv) in contracted
+        ]
+        if not records:
+            break
+    runtime.pipeline.run_on_driver(
+        len(records) * max(1, len(records).bit_length())
+    )
+    forest.extend(_kruskal_records(records))
+    return forest
+
+
+def _records_to_graph(records: List[EdgeRecord]):
+    """Build a dense-id weighted graph from contracted edge records.
+
+    Returns the graph and a map from each local canonical edge to the true
+    original canonical edge it represents.  Parallel super-edges keep the
+    minimum-order representative (the only MSF candidate).
+
+    Local edge weights are replaced by their *rank index* in the global
+    order (weight, original endpoints): relabeling changes the endpoint
+    tie-break, so tied weights could otherwise make the relabeled instance
+    resolve ties differently from the original graph.  Rank-index weights
+    are distinct, keeping the MSF order-identical.
+    """
+    ids = sorted({cu for _, _, _, cu, cv in records}
+                 | {cv for _, _, _, cu, cv in records})
+    index = {vid: i for i, vid in enumerate(ids)}
+    best: Dict[EdgeId, Tuple[float, int, int]] = {}
+    for w, ou, ov, cu, cv in records:
+        if cu == cv:
+            continue
+        local = edge_key(index[cu], index[cv])
+        candidate = (w, ou, ov)
+        if local not in best or candidate < best[local]:
+            best[local] = candidate
+    graph = WeightedGraph(len(ids))
+    id_map: Dict[EdgeId, EdgeId] = {}
+    ordered = sorted(best.items(), key=lambda item: item[1])
+    for order_index, ((a, b), (w, ou, ov)) in enumerate(ordered):
+        graph.add_edge(a, b, float(order_index))
+        id_map[(a, b)] = edge_key(ou, ov)
+    return graph, id_map
+
+
+def _order_normalized(graph: WeightedGraph) -> WeightedGraph:
+    """Replace weights by their rank index in the (weight, endpoints) order.
+
+    A monotone transformation of the edge order, so the MSF is unchanged —
+    but the resulting weights are distinct, which makes the MSF invariant
+    under the vertex relabeling done by ternarization and contraction.
+    """
+    ordered = sorted(graph.edges(), key=lambda e: (e[2], e[0], e[1]))
+    normalized = WeightedGraph(graph.num_vertices)
+    for order_index, (u, v, _) in enumerate(ordered):
+        normalized.add_edge(u, v, float(order_index))
+    return normalized
+
+
+def ampc_msf_theory(graph: WeightedGraph, *,
+                    config: Optional[ClusterConfig] = None,
+                    seed: int = 0,
+                    epsilon: float = 0.5,
+                    in_memory_threshold: int = 256) -> MSFResult:
+    """Algorithm 2: the O(1)-round theory MSF.
+
+    Sparse graphs (m < n^(1 + eps/2)) are ternarized and fed to Algorithm 1;
+    the contracted remainder goes to the dense routine.  Dense graphs go to
+    the dense routine directly.
+    """
+    runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    n, m = graph.num_vertices, graph.num_edges
+    if m == 0:
+        return MSFResult(forest=[], metrics=metrics, rounds=0)
+
+    sparse = m < n ** (1.0 + epsilon / 2.0)
+    if sparse:
+        with metrics.phase("Ternarize"):
+            # Normalize to distinct rank-index weights first: ternarization
+            # renames vertices, which would otherwise perturb tie-breaking.
+            tern = ternarize(_order_normalized(graph))
+            # Ternarization itself is a sorting step: one shuffle.
+            runtime.cluster.charge_shuffle(8 * tern.graph.num_vertices)
+        t_graph = tern.graph
+        budget = _default_budget(t_graph.num_vertices, epsilon)
+        prim_edges, contracted, contracted_n = truncated_prim_round(
+            t_graph, runtime=runtime, seed=seed, budget=budget
+        )
+        dense_edges = _dense_msf(
+            contracted, runtime=runtime, seed=seed + 1, epsilon=epsilon,
+            in_memory_threshold=in_memory_threshold,
+        )
+        ternarized_forest = set(prim_edges) | set(dense_edges)
+        forest = sorted(set(tern.project_edges(ternarized_forest)))
+        return MSFResult(forest=forest, metrics=metrics,
+                         rounds=metrics.rounds,
+                         contracted_vertices=contracted_n,
+                         prim_edges=len(prim_edges))
+
+    records = [
+        (w, u, v, u, v) for u, v, w in _order_normalized(graph).edges()
+    ]
+    forest = sorted(set(_dense_msf(
+        records, runtime=runtime, seed=seed, epsilon=epsilon,
+        in_memory_threshold=in_memory_threshold,
+    )))
+    return MSFResult(forest=forest, metrics=metrics, rounds=metrics.rounds)

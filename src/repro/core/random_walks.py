@@ -1,0 +1,204 @@
+"""Random walks and Monte-Carlo PageRank in AMPC (Section 5.7 extension).
+
+The paper closes by naming random-walk problems — PageRank, Personalized
+PageRank, and walk-based embeddings — as the natural next AMPC
+applications, "since it efficiently supports random access".  This module
+implements that direction:
+
+* :func:`ampc_random_walks` — from every start vertex, walk ``walk_length``
+  steps choosing hash-pseudo-random neighbors through adaptive DHT lookups:
+  one shuffle to place the adjacency, one adaptive round for all walks, of
+  any length — the round structure MPC fundamentally cannot match (each
+  walk step is a dependent lookup, i.e. an MPC round).
+* :func:`ampc_pagerank` — the complete-path Monte-Carlo PageRank estimator:
+  from each vertex run ``walks_per_vertex`` walks that terminate with
+  probability ``1 - damping`` per step; the visit counts, scaled by
+  ``(1 - damping) / (n * walks_per_vertex)``, estimate the PageRank vector.
+* :func:`pagerank_power_iteration` — the sequential reference the tests
+  compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.metrics import Metrics
+from repro.ampc.runtime import AMPCRuntime
+from repro.core.ranks import hash_rank
+from repro.dataflow.dofn import DoFn
+from repro.graph.graph import Graph
+
+
+@dataclass
+class RandomWalkResult:
+    """Endpoints and visit counts of one AMPC random-walk round."""
+
+    #: endpoint of each walk, keyed by (start, walk index)
+    endpoints: Dict[Tuple[int, int], int]
+    #: visits[v] = number of times any walk visited v (including starts)
+    visits: List[int]
+    metrics: Metrics
+
+
+@dataclass
+class PageRankResult:
+    """Monte-Carlo PageRank estimates plus execution metrics."""
+
+    scores: List[float]
+    metrics: Metrics
+    total_steps: int = 0
+
+
+class _WalkDoFn(DoFn):
+    """Run all walks of a start vertex through adaptive lookups."""
+
+    def __init__(self, store, seed: int, num_walks: int, walk_length: int,
+                 damping: Optional[float]):
+        self._store = store
+        self._seed = seed
+        self._num_walks = num_walks
+        self._walk_length = walk_length
+        self._damping = damping
+
+    def process(self, element, ctx):
+        start, neighbors = element
+        for walk in range(self._num_walks):
+            current = start
+            current_neighbors = neighbors
+            yield ("visit", start, 1)
+            step = 0
+            while True:
+                if self._damping is None:
+                    if step >= self._walk_length:
+                        break
+                elif hash_rank(self._seed, 1, start, walk, step) \
+                        >= self._damping:
+                    break  # geometric termination: 1 - damping per step
+                if step >= self._walk_length:
+                    break  # hard cap, keeps the O(S) budget honest
+                if not current_neighbors:
+                    break  # dangling vertex: terminate the walk
+                choice = hash_rank(self._seed, 2, start, walk, step)
+                nxt = current_neighbors[int(choice * len(current_neighbors))]
+                current = nxt
+                current_neighbors = ctx.lookup(self._store, nxt) or ()
+                yield ("visit", current, 1)
+                step += 1
+            yield ("end", (start, walk), current)
+
+
+def _walk_round(graph: Graph, *, runtime: AMPCRuntime, seed: int,
+                num_walks: int, walk_length: int,
+                damping: Optional[float]):
+    metrics = runtime.metrics
+    with metrics.phase("PlaceGraph"):
+        nodes = runtime.pipeline.from_items(
+            [(v, graph.neighbors(v)) for v in graph.vertices()]
+        ).repartition(lambda record: record[0], name="place-walk-graph")
+    with metrics.phase("KV-Write"):
+        store = runtime.new_store("walk-adjacency")
+        runtime.write_store(nodes, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+    with metrics.phase("Walks"):
+        outputs = nodes.par_do(
+            _WalkDoFn(store, seed, num_walks, walk_length, damping),
+            name="random-walks",
+        ).collect()
+    runtime.next_round()
+    return outputs
+
+
+def ampc_random_walks(graph: Graph, *,
+                      runtime: Optional[AMPCRuntime] = None,
+                      config: Optional[ClusterConfig] = None,
+                      seed: int = 0,
+                      walks_per_vertex: int = 1,
+                      walk_length: int = 10) -> RandomWalkResult:
+    """Fixed-length random walks from every vertex in 2 AMPC rounds."""
+    if walk_length < 0 or walks_per_vertex < 1:
+        raise ValueError("need walk_length >= 0 and walks_per_vertex >= 1")
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    outputs = _walk_round(graph, runtime=runtime, seed=seed,
+                          num_walks=walks_per_vertex,
+                          walk_length=walk_length, damping=None)
+    visits = [0] * graph.num_vertices
+    endpoints: Dict[Tuple[int, int], int] = {}
+    for tag, key, value in outputs:
+        if tag == "visit":
+            visits[key] += value
+        else:
+            endpoints[key] = value
+    return RandomWalkResult(endpoints=endpoints, visits=visits,
+                            metrics=runtime.metrics)
+
+
+def ampc_pagerank(graph: Graph, *,
+                  runtime: Optional[AMPCRuntime] = None,
+                  config: Optional[ClusterConfig] = None,
+                  seed: int = 0,
+                  damping: float = 0.85,
+                  walks_per_vertex: int = 16,
+                  max_walk_length: int = 64) -> PageRankResult:
+    """Complete-path Monte-Carlo PageRank in 2 AMPC rounds.
+
+    Each of the ``n * walks_per_vertex`` walks terminates with probability
+    ``1 - damping`` per step (expected length damping/(1-damping));
+    ``scores[v] = visits(v) * (1 - damping) / (n * walks_per_vertex)``
+    estimates the PageRank of ``v`` (Avrachenkov et al.'s estimator).
+    """
+    if not (0.0 < damping < 1.0):
+        raise ValueError("damping must be in (0, 1)")
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    outputs = _walk_round(graph, runtime=runtime, seed=seed,
+                          num_walks=walks_per_vertex,
+                          walk_length=max_walk_length, damping=damping)
+    visits = [0] * graph.num_vertices
+    total_steps = 0
+    for tag, key, value in outputs:
+        if tag == "visit":
+            visits[key] += value
+            total_steps += 1
+    n = graph.num_vertices
+    scale = (1.0 - damping) / (n * walks_per_vertex)
+    scores = [count * scale for count in visits]
+    return PageRankResult(scores=scores, metrics=runtime.metrics,
+                          total_steps=total_steps)
+
+
+def pagerank_power_iteration(graph: Graph, *, damping: float = 0.85,
+                             iterations: int = 100,
+                             tolerance: float = 1e-10) -> List[float]:
+    """Sequential reference: power iteration with uniform teleportation.
+
+    Dangling vertices teleport (their walk terminates and restarts), which
+    matches the Monte-Carlo estimator's termination-at-dangling behaviour.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    scores = [1.0 / n] * n
+    for _ in range(iterations):
+        incoming = [0.0] * n
+        for v in graph.vertices():
+            degree = graph.degree(v)
+            if degree == 0:
+                continue
+            share = scores[v] / degree
+            for u in graph.neighbors(v):
+                incoming[u] += share
+        updated = [(1.0 - damping) / n + damping * incoming[v]
+                   for v in range(n)]
+        # Renormalize the mass lost at dangling vertices.
+        total = sum(updated)
+        updated = [value / total for value in updated]
+        delta = sum(abs(a - b) for a, b in zip(updated, scores))
+        scores = updated
+        if delta < tolerance:
+            break
+    return scores

@@ -1,0 +1,52 @@
+"""Hash-based random priorities.
+
+Both the AMPC and MPC implementations in the paper derive per-vertex (and
+per-edge) priorities by *hashing* ids (``NodePriority`` in Figures 1 and 2),
+so that any machine can evaluate any priority without communication, and so
+that the AMPC and MPC algorithms — and the sequential greedy reference —
+all see the same permutation and therefore compute the same object.
+
+We use a splitmix64 finalizer: a high-quality, dependency-free integer hash
+that is stable across interpreter runs (unlike the builtin ``hash`` of
+strings).  Ranks land in [0, 1); ties have probability ~2^-53 and every
+consumer breaks them by id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.graph.graph import edge_key
+
+_MASK = (1 << 64) - 1
+_INV_2_64 = 1.0 / float(1 << 64)
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def hash_rank(seed: int, *items: int) -> float:
+    """Deterministic pseudo-random rank in [0, 1) for (seed, items)."""
+    state = _splitmix64(seed & _MASK)
+    for item in items:
+        state = _splitmix64(state ^ (item & _MASK))
+    return state * _INV_2_64
+
+
+def vertex_ranks(num_vertices: int, seed: int) -> List[float]:
+    """Precomputed ``hash_rank(seed, v)`` for every vertex (driver-side)."""
+    return [hash_rank(seed, v) for v in range(num_vertices)]
+
+
+def edge_rank_fn(seed: int) -> Callable[[int, int], float]:
+    """A rank function on undirected edges, symmetric in the endpoints."""
+
+    def rank(u: int, v: int) -> float:
+        a, b = edge_key(u, v)
+        return hash_rank(seed, a, b)
+
+    return rank

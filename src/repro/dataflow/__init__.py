@@ -1,0 +1,24 @@
+"""A miniature Flume/Beam-style dataflow engine.
+
+The paper implements every algorithm (MPC and AMPC alike) in Flume-C++,
+whose essential vocabulary is:
+
+* a ``PCollection`` — a distributed multi-set of elements;
+* a ``DoFn`` applied with ``ParDo`` — per-element transformation that runs
+  where the data lives (no communication);
+* a *shuffle* (``GroupByKey`` and friends) — the only way workers exchange
+  bulk data, and the operation whose durable writes dominate MPC running
+  times (Section 5.3: "most of the computation time in the MPC algorithms
+  ... is spent on shuffles").
+
+This package reproduces that model on the simulated cluster.  Every shuffle
+is counted and byte-metered; every ParDo charges the critical-path machine
+time, including KV-store lookups made from inside DoFns (the one capability
+that distinguishes the paper's AMPC programs from its MPC programs).
+"""
+
+from repro.dataflow.dofn import DoFn, MachineContext
+from repro.dataflow.pcollection import PCollection
+from repro.dataflow.pipeline import Pipeline
+
+__all__ = ["DoFn", "MachineContext", "PCollection", "Pipeline"]

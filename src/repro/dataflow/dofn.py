@@ -1,0 +1,87 @@
+"""DoFns and the per-machine execution context.
+
+A :class:`DoFn` transforms elements of a PCollection; :meth:`DoFn.process`
+is called once per element and yields zero or more outputs.  The
+:class:`MachineContext` passed alongside identifies the executing machine
+and is the *only* way a DoFn may touch a DHT store — every lookup and write
+goes through it so that the cluster can charge latency, bandwidth and the
+per-machine AMPC communication budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.ampc.cluster import Cluster, MachineWork
+from repro.ampc.cost_model import estimate_bytes
+from repro.ampc.dht import DHTStore
+
+
+class MachineContext:
+    """Execution context of one machine within one ParDo stage."""
+
+    def __init__(self, machine_id: int, cluster: Cluster):
+        self.machine_id = machine_id
+        self.cluster = cluster
+        self.work = MachineWork()
+
+    # -- KV-store access (the AMPC extension) ----------------------------
+
+    def lookup(self, store: DHTStore, key: Any) -> Any:
+        """Synchronous KV read; returns None for missing keys."""
+        value = store.lookup(key)
+        self.work.kv_reads += 1
+        self.work.kv_read_bytes += estimate_bytes(key) + estimate_bytes(value)
+        return value
+
+    def write(self, store: DHTStore, key: Any, value: Any) -> None:
+        """KV write into the current round's output store."""
+        value_bytes = store.write(key, value)
+        self.work.kv_writes += 1
+        self.work.kv_write_bytes += estimate_bytes(key) + value_bytes
+
+    def note_cache_hit(self) -> None:
+        """Record that a per-machine cache answered instead of the DHT."""
+        self.work.cache_hits += 1
+
+    def charge_compute(self, operations: int) -> None:
+        """Charge extra elementary operations beyond the per-element default."""
+        self.work.compute_ops += operations
+
+    @property
+    def caching_enabled(self) -> bool:
+        return self.cluster.config.caching
+
+
+class DoFn:
+    """Base class for per-element transformations.
+
+    Subclasses override :meth:`process`; :meth:`start_machine` runs once per
+    machine per stage and is where per-machine state (such as the caching
+    optimization's table) is created.
+    """
+
+    def start_machine(self, ctx: MachineContext) -> None:
+        """Per-machine setup hook (default: nothing)."""
+
+    def process(self, element: Any, ctx: MachineContext) -> Optional[Iterable[Any]]:
+        raise NotImplementedError
+
+
+class _CallableDoFn(DoFn):
+    """Adapter for the map/filter/flat_map conveniences."""
+
+    def __init__(self, fn, mode: str):
+        self._fn = fn
+        self._mode = mode
+
+    def process(self, element, ctx):
+        if self._mode == "map":
+            yield self._fn(element)
+        elif self._mode == "flat_map":
+            yield from self._fn(element)
+        elif self._mode == "filter":
+            if self._fn(element):
+                yield element
+        else:  # pragma: no cover - internal invariant
+            raise AssertionError(f"unknown mode {self._mode}")

@@ -1,0 +1,162 @@
+"""PCollections: partitioned datasets and the operations on them.
+
+A PCollection is a list of per-machine partitions.  ParDo-style operations
+keep elements on their machine; ``group_by_key`` / ``repartition`` /
+``to_single_machine`` move data and are charged as shuffles.  ``collect``
+materializes on the driver free of charge — it models inspecting the final
+output, never an intermediate step of an algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.ampc.cluster import MachineWork
+from repro.ampc.cost_model import estimate_bytes
+from repro.dataflow.dofn import DoFn, MachineContext, _CallableDoFn
+
+
+class BudgetExceededError(RuntimeError):
+    """A machine exceeded its per-stage AMPC communication budget O(S)."""
+
+
+class PCollection:
+    """A distributed multi-set of elements (one list per machine)."""
+
+    def __init__(self, pipeline, partitions: List[List[Any]]):
+        self.pipeline = pipeline
+        if len(partitions) != pipeline.cluster.config.num_machines:
+            raise ValueError("partition count must equal machine count")
+        self._partitions = partitions
+
+    # -- computation stages (no data movement) ----------------------------
+
+    def par_do(self, dofn: DoFn, name: Optional[str] = None) -> "PCollection":
+        """Apply a DoFn to every element in place; charges machine time."""
+        cluster = self.pipeline.cluster
+        budget = cluster.config.query_budget_per_machine
+        output_partitions: List[List[Any]] = []
+        works: List[MachineWork] = []
+        for machine_id, partition in enumerate(self._partitions):
+            ctx = MachineContext(machine_id, cluster)
+            dofn.start_machine(ctx)
+            outputs: List[Any] = []
+            for element in partition:
+                produced = dofn.process(element, ctx)
+                if produced is not None:
+                    outputs.extend(produced)
+            ctx.work.compute_ops += len(partition) + len(outputs)
+            if budget is not None and ctx.work.kv_queries > budget:
+                raise BudgetExceededError(
+                    f"machine {machine_id} made {ctx.work.kv_queries} KV "
+                    f"queries in stage {name or dofn.__class__.__name__!r}, "
+                    f"budget is {budget}"
+                )
+            works.append(ctx.work)
+            output_partitions.append(outputs)
+        cluster.charge_stage(works)
+        metrics = cluster.metrics
+        for work in works:
+            metrics.kv_reads += work.kv_reads
+            metrics.kv_writes += work.kv_writes
+            metrics.kv_read_bytes += work.kv_read_bytes
+            metrics.kv_write_bytes += work.kv_write_bytes
+            metrics.cache_hits += work.cache_hits
+            metrics.cache_misses += work.kv_reads
+        return PCollection(self.pipeline, output_partitions)
+
+    def map_elements(self, fn: Callable[[Any], Any],
+                     name: Optional[str] = None) -> "PCollection":
+        return self.par_do(_CallableDoFn(fn, "map"), name=name)
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]],
+                 name: Optional[str] = None) -> "PCollection":
+        return self.par_do(_CallableDoFn(fn, "flat_map"), name=name)
+
+    def filter_elements(self, predicate: Callable[[Any], bool],
+                        name: Optional[str] = None) -> "PCollection":
+        return self.par_do(_CallableDoFn(predicate, "filter"), name=name)
+
+    # -- shuffles (data movement; the costly operations) -------------------
+
+    def group_by_key(self, name: Optional[str] = None) -> "PCollection":
+        """Group ``(key, value)`` pairs by key.  One shuffle.
+
+        Output elements are ``(key, [values])``, placed on the machine that
+        owns the key's hash.
+        """
+        cluster = self.pipeline.cluster
+        total_bytes = self._total_bytes()
+        cluster.charge_shuffle(total_bytes)
+        num_machines = cluster.config.num_machines
+        grouped: List[dict] = [dict() for _ in range(num_machines)]
+        for partition in self._partitions:
+            for key, value in partition:
+                grouped[cluster.machine_for(key)].setdefault(key, []).append(value)
+        output = [list(machine_dict.items()) for machine_dict in grouped]
+        return PCollection(self.pipeline, output)
+
+    def repartition(self, key_fn: Callable[[Any], Any],
+                    name: Optional[str] = None) -> "PCollection":
+        """Move each element to the machine owning ``key_fn(element)``.
+
+        One shuffle (this is how a "sort into a directed graph" stage lands
+        every vertex record on its home machine before a KV write).
+        """
+        cluster = self.pipeline.cluster
+        cluster.charge_shuffle(self._total_bytes())
+        num_machines = cluster.config.num_machines
+        output: List[List[Any]] = [[] for _ in range(num_machines)]
+        for partition in self._partitions:
+            for element in partition:
+                output[cluster.machine_for(key_fn(element))].append(element)
+        return PCollection(self.pipeline, output)
+
+    def to_single_machine(self, name: Optional[str] = None) -> "PCollection":
+        """Gather everything onto machine 0.  One shuffle.
+
+        This is the "send the graph to a single machine" fallback every MPC
+        baseline in the paper uses once an instance is small enough.
+        """
+        cluster = self.pipeline.cluster
+        cluster.charge_shuffle(self._total_bytes())
+        merged: List[Any] = []
+        for partition in self._partitions:
+            merged.extend(partition)
+        output = [[] for _ in range(cluster.config.num_machines)]
+        output[0] = merged
+        return PCollection(self.pipeline, output)
+
+    # -- combinators -------------------------------------------------------
+
+    def flatten_with(self, *others: "PCollection") -> "PCollection":
+        """Union of PCollections; elements stay on their machines (free)."""
+        partitions = [list(p) for p in self._partitions]
+        for other in others:
+            for machine_id, partition in enumerate(other._partitions):
+                partitions[machine_id].extend(partition)
+        return PCollection(self.pipeline, partitions)
+
+    # -- driver-side access (free; end-of-pipeline only) -------------------
+
+    def collect(self) -> List[Any]:
+        result: List[Any] = []
+        for partition in self._partitions:
+            result.extend(partition)
+        return result
+
+    def count(self) -> int:
+        return sum(len(partition) for partition in self._partitions)
+
+    def is_empty(self) -> bool:
+        return self.count() == 0
+
+    def partition_sizes(self) -> List[int]:
+        return [len(partition) for partition in self._partitions]
+
+    def _total_bytes(self) -> int:
+        return sum(
+            estimate_bytes(element)
+            for partition in self._partitions
+            for element in partition
+        )

@@ -1,0 +1,49 @@
+"""The pipeline object: entry point of the dataflow engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.ampc.cluster import Cluster, ClusterConfig
+from repro.ampc.faults import FaultPlan
+from repro.dataflow.pcollection import PCollection
+
+
+class Pipeline:
+    """Binds PCollections to a simulated cluster.
+
+    Input data (``from_items``) is placed without charge: in the AMPC model
+    the input already lives in D0, and in Flume the input files already sit
+    in the distributed file system.
+    """
+
+    def __init__(self, cluster: Optional[Cluster] = None,
+                 config: Optional[ClusterConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None):
+        if cluster is not None:
+            self.cluster = cluster
+        else:
+            self.cluster = Cluster(config or ClusterConfig(), fault_plan)
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics
+
+    def from_items(self, items: Iterable[Any],
+                   key_fn: Optional[Callable[[Any], Any]] = None) -> PCollection:
+        """Create a PCollection from driver-side items (no charge).
+
+        With ``key_fn`` elements are placed on the machine owning the key's
+        hash (matching later ``group_by_key`` placement); otherwise they are
+        dealt round-robin.
+        """
+        partitions = self.cluster.partition(list(items), key_fn)
+        return PCollection(self, partitions)
+
+    def empty(self) -> PCollection:
+        return self.from_items([])
+
+    def run_on_driver(self, operations: int) -> None:
+        """Charge single-machine compute (the in-memory fallback solvers)."""
+        model = self.cluster.config.cost_model
+        self.cluster.metrics.charge_time(operations / model.compute_ops_per_s)

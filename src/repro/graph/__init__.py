@@ -1,0 +1,65 @@
+"""Graph substrate: data structures, generators, properties and transforms.
+
+This package provides the in-memory graph representations that every other
+layer of the reproduction builds on.  Graphs are undirected, with vertices
+identified by dense integers ``0..n-1``.  Weighted graphs carry one float
+weight per undirected edge and expose a *strict total order* on edges (weight
+with deterministic tie-breaking) so that minimum spanning forests are unique,
+matching the assumption used throughout Section 3 of the paper.
+"""
+
+from repro.graph.graph import Graph, WeightedGraph, edge_key
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    complete_graph,
+    cycle_graph,
+    degree_weighted,
+    disjoint_union,
+    erdos_renyi_gnm,
+    grid_graph,
+    path_graph,
+    random_spanning_tree_graph,
+    star_graph,
+    two_cycles,
+)
+from repro.graph.line_graph import line_graph, line_graph_size
+from repro.graph.properties import (
+    GraphSummary,
+    connected_component_sizes,
+    connected_components,
+    diameter,
+    diameter_lower_bound,
+    is_connected,
+    summarize,
+)
+from repro.graph.ternarize import TernarizedGraph, ternarize
+
+__all__ = [
+    "Graph",
+    "WeightedGraph",
+    "edge_key",
+    "barabasi_albert_graph",
+    "chung_lu_graph",
+    "complete_graph",
+    "cycle_graph",
+    "degree_weighted",
+    "disjoint_union",
+    "erdos_renyi_gnm",
+    "grid_graph",
+    "path_graph",
+    "random_spanning_tree_graph",
+    "star_graph",
+    "two_cycles",
+    "line_graph",
+    "line_graph_size",
+    "GraphSummary",
+    "connected_component_sizes",
+    "connected_components",
+    "diameter",
+    "diameter_lower_bound",
+    "is_connected",
+    "summarize",
+    "TernarizedGraph",
+    "ternarize",
+]

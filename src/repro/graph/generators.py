@@ -1,0 +1,253 @@
+"""Synthetic graph generators.
+
+All generators take an explicit ``seed`` where randomness is involved and are
+fully deterministic for a given seed.  They are implemented from scratch (no
+networkx dependency) so the repository is self-contained.
+
+The two families that matter most for the paper's evaluation:
+
+* :func:`two_cycles` / :func:`cycle_graph` — the 1-vs-2-Cycle inputs
+  (Section 5.6 / Table 4).
+* :func:`chung_lu_graph` and :func:`barabasi_albert_graph` — skewed,
+  social-network-like graphs used to build the scaled analogues of the
+  paper's real-world datasets (Table 2) in :mod:`repro.analysis.datasets`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.graph.graph import Graph, WeightedGraph
+
+
+def path_graph(n: int) -> Graph:
+    """A simple path on ``n`` vertices (n-1 edges)."""
+    graph = Graph(n)
+    for v in range(n - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def cycle_graph(n: int, *, shuffle_ids: bool = False, seed: int = 0) -> Graph:
+    """A single cycle on ``n`` vertices.
+
+    With ``shuffle_ids=True`` the vertex ids are randomly permuted, so that
+    consecutive cycle positions do not have consecutive ids; this removes any
+    accidental locality that could favor one algorithm.
+    """
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    ids = list(range(n))
+    if shuffle_ids:
+        random.Random(seed).shuffle(ids)
+    graph = Graph(n)
+    for i in range(n):
+        graph.add_edge(ids[i], ids[(i + 1) % n])
+    return graph
+
+
+def two_cycles(k: int, *, shuffle_ids: bool = False, seed: int = 0) -> Graph:
+    """Two disjoint cycles on ``k`` vertices each (the ``2 x k`` graphs).
+
+    This is the canonical hard instance for the 1-vs-2-Cycle problem
+    (Section 5.6): distinguishing this graph from ``cycle_graph(2 * k)``
+    requires Omega(log n) MPC rounds under the 1-vs-2-Cycle conjecture.
+    """
+    if k < 3:
+        raise ValueError("each cycle needs at least 3 vertices")
+    ids = list(range(2 * k))
+    if shuffle_ids:
+        random.Random(seed).shuffle(ids)
+    graph = Graph(2 * k)
+    for i in range(k):
+        graph.add_edge(ids[i], ids[(i + 1) % k])
+    for i in range(k):
+        graph.add_edge(ids[k + i], ids[k + (i + 1) % k])
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(n: int, center: int = 0) -> Graph:
+    """A star: ``center`` connected to every other vertex (extreme skew)."""
+    graph = Graph(n)
+    for v in range(n):
+        if v != center:
+            graph.add_edge(center, v)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows x cols grid; useful as a bounded-degree, high-diameter input."""
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def erdos_renyi_gnm(n: int, m: int, seed: int = 0) -> Graph:
+    """G(n, m): ``m`` distinct uniformly random edges on ``n`` vertices."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"requested {m} edges but K_{n} has only {max_edges}")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    while graph.num_edges < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def chung_lu_graph(expected_degrees: Sequence[float], seed: int = 0) -> Graph:
+    """Chung-Lu random graph with the given expected degree sequence.
+
+    Each edge ``{u, v}`` appears independently with probability
+    ``min(1, d_u * d_v / sum(d))``.  Implemented with the standard O(n + m)
+    skip-sampling trick over the weight-sorted vertex order, so it scales to
+    the dataset sizes used in the benchmarks.
+    """
+    n = len(expected_degrees)
+    order = sorted(range(n), key=lambda v: -expected_degrees[v])
+    weights = [float(expected_degrees[v]) for v in order]
+    total = sum(weights)
+    if total <= 0:
+        return Graph(n)
+    rng = random.Random(seed)
+    graph = Graph(n)
+    import math
+
+    for i in range(n - 1):
+        w_i = weights[i]
+        if w_i <= 0:
+            break
+        j = i + 1
+        p = min(1.0, w_i * weights[j] / total)
+        while j < n and p > 0:
+            if p < 1.0:
+                # Skip ahead geometrically over non-edges.
+                r = rng.random()
+                skip = int(math.log(r) / math.log(1.0 - p)) if r > 0 else 0
+                j += skip
+            if j >= n:
+                break
+            q = min(1.0, w_i * weights[j] / total)
+            if rng.random() < q / p:
+                graph.add_edge(order[i], order[j])
+            p = q
+            j += 1
+    return graph
+
+
+def power_law_degrees(
+    n: int, exponent: float = 2.5, min_degree: float = 1.0,
+    max_degree: Optional[float] = None, seed: int = 0,
+) -> List[float]:
+    """Sample ``n`` expected degrees from a bounded Pareto distribution."""
+    if max_degree is None:
+        max_degree = float(n) ** 0.5
+    rng = random.Random(seed)
+    alpha = exponent - 1.0
+    lo, hi = float(min_degree), float(max_degree)
+    degrees = []
+    for _ in range(n):
+        u = rng.random()
+        # Inverse CDF of the bounded Pareto distribution.
+        value = (lo ** -alpha - u * (lo ** -alpha - hi ** -alpha)) ** (-1.0 / alpha)
+        degrees.append(value)
+    return degrees
+
+
+def barabasi_albert_graph(n: int, attach: int, seed: int = 0) -> Graph:
+    """Preferential attachment: each new vertex attaches to ``attach`` others.
+
+    Produces a connected power-law graph (exponent ~3) with hubs, matching
+    the qualitative degree skew of the paper's social-network inputs.
+    """
+    if attach < 1 or attach >= n:
+        raise ValueError("need 1 <= attach < n")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    # Seed clique keeps early attachment well-defined.
+    targets = list(range(attach + 1))
+    for u in range(attach + 1):
+        for v in range(u + 1, attach + 1):
+            graph.add_edge(u, v)
+    # repeated_nodes holds each vertex once per incident edge endpoint,
+    # so uniform sampling from it is degree-proportional sampling.
+    repeated_nodes: List[int] = []
+    for u in range(attach + 1):
+        repeated_nodes.extend([u] * attach)
+    for v in range(attach + 1, n):
+        chosen = set()
+        while len(chosen) < attach:
+            candidate = repeated_nodes[rng.randrange(len(repeated_nodes))]
+            chosen.add(candidate)
+        for u in chosen:
+            graph.add_edge(v, u)
+            repeated_nodes.append(u)
+        repeated_nodes.extend([v] * attach)
+    return graph
+
+
+def random_spanning_tree_graph(n: int, extra_edges: int = 0, seed: int = 0) -> Graph:
+    """A random tree on ``n`` vertices plus ``extra_edges`` random chords.
+
+    The tree is a uniform random recursive tree (each vertex attaches to a
+    uniformly random earlier vertex); always connected.
+    """
+    rng = random.Random(seed)
+    graph = Graph(n)
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v))
+    added = 0
+    while added < extra_edges:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union; vertex ids of graph i are offset by sum of earlier n."""
+    total = sum(g.num_vertices for g in graphs)
+    union = Graph(total)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            union.add_edge(u + offset, v + offset)
+        offset += g.num_vertices
+    return union
+
+
+def degree_weighted(graph: Graph) -> WeightedGraph:
+    """Weight every edge ``(u, v)`` by ``deg(u) + deg(v)``.
+
+    This is exactly the weighting the paper uses for its MSF experiments
+    (Section 5.2: "the weight of an edge (u, v) is proportional to
+    deg(u) + deg(v)").
+    """
+    return WeightedGraph.from_graph(
+        graph, lambda u, v: float(graph.degree(u) + graph.degree(v))
+    )
+
+
+def random_weighted(graph: Graph, seed: int = 0) -> WeightedGraph:
+    """Assign i.i.d. uniform(0, 1) weights; used for CC-via-MSF experiments."""
+    rng = random.Random(seed)
+    return WeightedGraph.from_graph(graph, lambda u, v: rng.random())

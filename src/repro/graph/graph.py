@@ -1,0 +1,268 @@
+"""Core graph data structures.
+
+Vertices are dense integers ``0..n-1``.  Both classes store an adjacency map
+per vertex; :class:`WeightedGraph` maps each neighbor to the edge weight.
+Insertion order is deterministic, and all algorithms in the repository that
+depend on ordering sort explicitly, so results are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+EdgeTuple = Tuple[int, int]
+WeightedEdgeTuple = Tuple[int, int, float]
+
+
+def edge_key(u: int, v: int) -> EdgeTuple:
+    """Canonical undirected edge identifier ``(min(u, v), max(u, v))``."""
+    if u <= v:
+        return (u, v)
+    return (v, u)
+
+
+class Graph:
+    """An undirected, unweighted graph over vertices ``0..n-1``.
+
+    The representation is an adjacency set per vertex.  Self loops are
+    rejected; parallel edges collapse.  ``num_vertices`` counts the vertex-id
+    space, including isolated vertices.
+    """
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._adj: List[set] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[EdgeTuple]) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs."""
+        graph = cls(num_vertices)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_vertex(self) -> int:
+        """Append a fresh vertex and return its id."""
+        self._adj.append(set())
+        return len(self._adj) - 1
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add undirected edge ``{u, v}``; returns False if it already existed."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self loop on vertex {u} is not allowed")
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove undirected edge ``{u, v}``; raises KeyError if absent."""
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
+        self._num_edges -= 1
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < len(self._adj)):
+            return False
+        return v in self._adj[u]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Neighbors of ``v`` in sorted order (deterministic)."""
+        return tuple(sorted(self._adj[v]))
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+    def edges(self) -> Iterator[EdgeTuple]:
+        """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        for u, neighbors in enumerate(self._adj):
+            for v in sorted(neighbors):
+                if u < v:
+                    yield (u, v)
+
+    def subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Induced subgraph on ``vertices``; returns (graph, old->new id map)."""
+        ordered = sorted(set(vertices))
+        relabel = {old: new for new, old in enumerate(ordered)}
+        sub = Graph(len(ordered))
+        for old in ordered:
+            for neighbor in self._adj[old]:
+                if neighbor in relabel and old < neighbor:
+                    sub.add_edge(relabel[old], relabel[neighbor])
+        return sub, relabel
+
+    def copy(self) -> "Graph":
+        clone = Graph(self.num_vertices)
+        clone._adj = [set(neighbors) for neighbors in self._adj]
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < len(self._adj)):
+            raise IndexError(f"vertex {v} out of range [0, {len(self._adj)})")
+
+
+class WeightedGraph:
+    """An undirected graph with one float weight per edge.
+
+    Edge weights need not be distinct: every ordering-sensitive consumer uses
+    :meth:`weight_order_key`, a strict total order that breaks ties by the
+    canonical endpoint pair.  Under this order the minimum spanning forest is
+    unique, which Section 3 of the paper assumes throughout.
+    """
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._adj: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[WeightedEdgeTuple]
+    ) -> "WeightedGraph":
+        graph = cls(num_vertices)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    @classmethod
+    def from_graph(cls, graph: Graph, weight_fn=None) -> "WeightedGraph":
+        """Lift an unweighted graph; ``weight_fn(u, v) -> float`` (default 1)."""
+        weighted = cls(graph.num_vertices)
+        for u, v in graph.edges():
+            weight = 1.0 if weight_fn is None else weight_fn(u, v)
+            weighted.add_edge(u, v, weight)
+        return weighted
+
+    def add_vertex(self) -> int:
+        self._adj.append(dict())
+        return len(self._adj) - 1
+
+    def add_edge(self, u: int, v: int, weight: float) -> bool:
+        """Add edge ``{u, v}``; on a duplicate, keeps the smaller weight."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self loop on vertex {u} is not allowed")
+        existing = self._adj[u].get(v)
+        if existing is not None:
+            if weight < existing:
+                self._adj[u][v] = weight
+                self._adj[v][u] = weight
+            return False
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._num_edges += 1
+        return True
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < len(self._adj)):
+            return False
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        return self._adj[u][v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        return tuple(sorted(self._adj[v]))
+
+    def neighbor_items(self, v: int) -> List[Tuple[int, float]]:
+        """``(neighbor, weight)`` pairs sorted by the edge total order."""
+        items = [(w, u) for u, w in self._adj[v].items()]
+        items.sort(key=lambda pair: (pair[0],) + edge_key(v, pair[1]))
+        return [(u, w) for w, u in items]
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+    def edges(self) -> Iterator[WeightedEdgeTuple]:
+        for u, neighbors in enumerate(self._adj):
+            for v in sorted(neighbors):
+                if u < v:
+                    yield (u, v, neighbors[v])
+
+    def weight_order_key(self, u: int, v: int) -> Tuple[float, int, int]:
+        """Strict total order on edges: weight, then canonical endpoints."""
+        return (self._adj[u][v],) + edge_key(u, v)
+
+    def total_weight(self) -> float:
+        return sum(w for _, _, w in self.edges())
+
+    def unweighted(self) -> Graph:
+        """Forget the weights."""
+        graph = Graph(self.num_vertices)
+        for u, v, _ in self.edges():
+            graph.add_edge(u, v)
+        return graph
+
+    def subgraph_edges(
+        self, edges: Iterable[EdgeTuple]
+    ) -> "WeightedGraph":
+        """Same vertex set, keeping only the given edges (weights copied)."""
+        sub = WeightedGraph(self.num_vertices)
+        for u, v in edges:
+            sub.add_edge(u, v, self._adj[u][v])
+        return sub
+
+    def copy(self) -> "WeightedGraph":
+        clone = WeightedGraph(self.num_vertices)
+        clone._adj = [dict(neighbors) for neighbors in self._adj]
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < len(self._adj)):
+            raise IndexError(f"vertex {v} out of range [0, {len(self._adj)})")

@@ -1,0 +1,79 @@
+"""Edge-list I/O.
+
+The paper's datasets are distributed as edge lists; directed inputs (Twitter,
+ClueWeb, Hyperlink2012) are symmetrized before the algorithms run
+(Section 5.2).  We support the same plain-text format: one ``u v`` (or
+``u v w``) per line, ``#``-prefixed comment lines ignored.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.graph.graph import Graph, WeightedGraph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write an unweighted graph as ``u v`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def write_weighted_edge_list(graph: WeightedGraph, path: PathLike) -> None:
+    """Write a weighted graph as ``u v w`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for u, v, w in graph.edges():
+            handle.write(f"{u} {v} {w!r}\n")
+
+
+def _parse_header_and_edges(path: PathLike):
+    declared_vertices = None
+    rows = []
+    max_vertex = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices":
+                    declared_vertices = int(parts[1])
+                continue
+            parts = line.split()
+            u, v = int(parts[0]), int(parts[1])
+            weight = float(parts[2]) if len(parts) > 2 else None
+            rows.append((u, v, weight))
+            max_vertex = max(max_vertex, u, v)
+    num_vertices = declared_vertices if declared_vertices is not None else max_vertex + 1
+    return num_vertices, rows
+
+
+def read_edge_list(path: PathLike, *, symmetrize: bool = True) -> Graph:
+    """Read an unweighted graph.  Directed duplicates collapse (symmetrize).
+
+    ``symmetrize`` is accepted for interface symmetry: an undirected edge set
+    is produced either way because :class:`Graph` stores each edge once.
+    """
+    num_vertices, rows = _parse_header_and_edges(path)
+    graph = Graph(num_vertices)
+    for u, v, _ in rows:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def read_weighted_edge_list(path: PathLike) -> WeightedGraph:
+    """Read a weighted graph (missing weights default to 1.0)."""
+    num_vertices, rows = _parse_header_and_edges(path)
+    graph = WeightedGraph(num_vertices)
+    for u, v, w in rows:
+        if u != v:
+            graph.add_edge(u, v, 1.0 if w is None else w)
+    return graph

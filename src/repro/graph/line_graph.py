@@ -1,0 +1,44 @@
+"""Line graph construction.
+
+The maximal matching algorithm of Section 4 relies on the classical fact
+that a maximal independent set of the line graph L(G) is a maximal matching
+of G.  The paper is explicit that L(G) can be Theta(m * Delta) large, which
+is why Algorithm 4 only ever materializes line graphs of *sampled* subgraphs
+whose maximum degree has been knocked down; :func:`line_graph_size` exposes
+the size so callers (and tests) can check the space bound before building.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph, edge_key
+
+EdgeId = Tuple[int, int]
+
+
+def line_graph_size(graph: Graph) -> int:
+    """Number of edges of L(G): sum over vertices of C(deg, 2)."""
+    return sum(
+        graph.degree(v) * (graph.degree(v) - 1) // 2 for v in graph.vertices()
+    )
+
+
+def line_graph(graph: Graph) -> Tuple[Graph, List[EdgeId]]:
+    """Build L(G).
+
+    Returns ``(L, edge_of_vertex)`` where vertex ``i`` of ``L`` corresponds
+    to the undirected edge ``edge_of_vertex[i]`` of ``G`` and two vertices of
+    ``L`` are adjacent iff their edges share an endpoint in ``G``.
+    """
+    edge_of_vertex: List[EdgeId] = [edge_key(u, v) for u, v in graph.edges()]
+    index_of_edge: Dict[EdgeId, int] = {
+        edge: i for i, edge in enumerate(edge_of_vertex)
+    }
+    lg = Graph(len(edge_of_vertex))
+    for v in graph.vertices():
+        incident = [index_of_edge[edge_key(v, u)] for u in graph.neighbors(v)]
+        for a in range(len(incident)):
+            for b in range(a + 1, len(incident)):
+                lg.add_edge(incident[a], incident[b])
+    return lg, edge_of_vertex

@@ -1,0 +1,160 @@
+"""Graph property computations used to build Table 2 of the paper.
+
+Includes connected components (BFS), exact diameter (all-pairs BFS, only
+sensible for small graphs), and the double-sweep diameter lower bound the
+paper falls back to for its largest inputs (Table 2 marks those with ``*``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+
+
+def connected_components(graph: Graph) -> List[int]:
+    """Label vertices by component: ``labels[v]`` is the min vertex id in v's
+    component.  Runs BFS from each unvisited vertex."""
+    n = graph.num_vertices
+    labels = [-1] * n
+    for source in range(n):
+        if labels[source] != -1:
+            continue
+        labels[source] = source
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if labels[v] == -1:
+                    labels[v] = source
+                    queue.append(v)
+    return labels
+
+
+def connected_component_sizes(graph: Graph) -> Dict[int, int]:
+    """Map component label -> component size."""
+    sizes: Dict[int, int] = {}
+    for label in connected_components(graph):
+        sizes[label] = sizes.get(label, 0) + 1
+    return sizes
+
+
+def is_connected(graph: Graph) -> bool:
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_component_sizes(graph)) == 1
+
+
+def bfs_eccentricity(graph: Graph, source: int) -> Tuple[int, int]:
+    """Return ``(eccentricity, farthest_vertex)`` of ``source`` within its
+    component."""
+    dist = {source: 0}
+    queue = deque([source])
+    farthest = source
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+                farthest = v
+    return dist[farthest], farthest
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter of the largest component via all-pairs BFS.
+
+    Quadratic; intended for test-scale graphs.  Use
+    :func:`diameter_lower_bound` for larger inputs, as the paper does.
+    """
+    best = 0
+    labels = connected_components(graph)
+    sizes: Dict[int, int] = {}
+    for label in labels:
+        sizes[label] = sizes.get(label, 0) + 1
+    if not sizes:
+        return 0
+    largest = max(sizes, key=lambda lab: (sizes[lab], -lab))
+    for v in range(graph.num_vertices):
+        if labels[v] == largest:
+            ecc, _ = bfs_eccentricity(graph, v)
+            best = max(best, ecc)
+    return best
+
+
+def diameter_lower_bound(graph: Graph, sweeps: int = 4, seed: int = 0) -> int:
+    """Double-sweep lower bound on the diameter of the largest component.
+
+    Start from a pseudo-random vertex of the largest component, BFS to the
+    farthest vertex, repeat ``sweeps`` times; the largest eccentricity seen
+    is a lower bound on the true diameter (this is the standard technique,
+    and the one behind the ``*`` entries of the paper's Table 2).
+    """
+    if graph.num_vertices == 0:
+        return 0
+    labels = connected_components(graph)
+    sizes: Dict[int, int] = {}
+    for label in labels:
+        sizes[label] = sizes.get(label, 0) + 1
+    largest = max(sizes, key=lambda lab: (sizes[lab], -lab))
+    start = next(v for v in range(graph.num_vertices) if labels[v] == largest)
+    best = 0
+    current = start
+    for _ in range(sweeps):
+        ecc, far = bfs_eccentricity(graph, current)
+        best = max(best, ecc)
+        if far == current:
+            break
+        current = far
+    return best
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One row of Table 2: the dataset statistics the paper reports."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    diameter: int
+    diameter_is_lower_bound: bool
+    num_components: int
+    largest_component: int
+
+    def row(self) -> Tuple:
+        diam = f"{self.diameter}*" if self.diameter_is_lower_bound else str(self.diameter)
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            diam,
+            self.num_components,
+            self.largest_component,
+        )
+
+
+def summarize(name: str, graph: Graph, *, exact_diameter_max_n: int = 4096) -> GraphSummary:
+    """Compute the Table 2 statistics for one graph.
+
+    Uses the exact diameter when the graph is small enough, otherwise the
+    double-sweep lower bound (flagged, matching the paper's ``*`` rows).
+    """
+    sizes = connected_component_sizes(graph)
+    num_components = len(sizes)
+    largest = max(sizes.values()) if sizes else 0
+    use_exact = graph.num_vertices <= exact_diameter_max_n
+    if use_exact:
+        diam = diameter(graph)
+    else:
+        diam = diameter_lower_bound(graph)
+    return GraphSummary(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        diameter=diam,
+        diameter_is_lower_bound=not use_exact,
+        num_components=num_components,
+        largest_component=largest,
+    )

@@ -1,0 +1,110 @@
+"""Graph ternarization (Algorithm 2, line 2 of the paper).
+
+Every vertex of degree k > 3 is replaced by a cycle of length k; the i-th
+edge incident to the vertex attaches to the i-th cycle vertex.  Cycle
+("dummy") edges receive a weight strictly below the lightest real edge
+weight, so that a minimum spanning forest of the ternarized graph contains
+all but one dummy edge of each cycle and its real edges project onto the
+minimum spanning forest of the original graph.
+
+The resulting graph has maximum degree <= 3 and Theta(m) vertices, which is
+the precondition for the TruncatedPrim analysis (Lemma 3.3 relies on the
+bounded degree to show the Omega(n^{eps/2}) shrink factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph, WeightedGraph, edge_key
+
+EdgeId = Tuple[int, int]
+
+
+@dataclass
+class TernarizedGraph:
+    """A ternarized weighted graph plus the bookkeeping to undo it."""
+
+    graph: WeightedGraph
+    #: new vertex id -> the original vertex it represents
+    original_of: List[int]
+    #: weight used for dummy (cycle) edges; strictly below all real weights
+    dummy_weight: float
+    #: canonical new edge -> canonical original edge (real edges only)
+    edge_map: Dict[EdgeId, EdgeId] = field(default_factory=dict)
+
+    def is_dummy_edge(self, u: int, v: int) -> bool:
+        return edge_key(u, v) not in self.edge_map
+
+    def project_edges(self, edges) -> List[EdgeId]:
+        """Map ternarized edges back to original edges, dropping dummies."""
+        projected = []
+        for u, v in edges:
+            original = self.edge_map.get(edge_key(u, v))
+            if original is not None:
+                projected.append(original)
+        return projected
+
+
+def ternarize(graph: WeightedGraph) -> TernarizedGraph:
+    """Ternarize ``graph``; identity-like for graphs with max degree <= 3.
+
+    Vertices of degree <= 3 keep a single representative; higher-degree
+    vertices expand into a dummy-edge cycle with one slot per incident edge.
+    """
+    if graph.num_edges == 0:
+        empty = WeightedGraph(graph.num_vertices)
+        return TernarizedGraph(
+            graph=empty,
+            original_of=list(range(graph.num_vertices)),
+            dummy_weight=0.0,
+        )
+
+    min_weight = min(w for _, _, w in graph.edges())
+    dummy_weight = min_weight - 1.0
+
+    # Assign each (vertex, incident-edge) pair a slot vertex in the new graph.
+    original_of: List[int] = []
+    slot_of: Dict[Tuple[int, int], int] = {}  # (v, neighbor) -> new vertex id
+    for v in graph.vertices():
+        degree = graph.degree(v)
+        if degree <= 3:
+            vid = len(original_of)
+            original_of.append(v)
+            for u in graph.neighbors(v):
+                slot_of[(v, u)] = vid
+        else:
+            first = len(original_of)
+            for u in graph.neighbors(v):
+                slot_of[(v, u)] = len(original_of)
+                original_of.append(v)
+            # The cycle itself is added after all slots exist.
+            slot_of[(v, -1)] = first  # remember the base for the cycle below
+
+    new_graph = WeightedGraph(len(original_of))
+    edge_map: Dict[EdgeId, EdgeId] = {}
+
+    # Dummy cycles for expanded vertices.
+    for v in graph.vertices():
+        degree = graph.degree(v)
+        if degree > 3:
+            base = slot_of[(v, -1)]
+            for i in range(degree):
+                a = base + i
+                b = base + (i + 1) % degree
+                new_graph.add_edge(a, b, dummy_weight)
+
+    # Real edges between the matching slots.
+    for u, v, w in graph.edges():
+        a = slot_of[(u, v)]
+        b = slot_of[(v, u)]
+        new_graph.add_edge(a, b, w)
+        edge_map[edge_key(a, b)] = edge_key(u, v)
+
+    return TernarizedGraph(
+        graph=new_graph,
+        original_of=original_of,
+        dummy_weight=dummy_weight,
+        edge_map=edge_map,
+    )

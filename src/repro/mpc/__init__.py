@@ -1,0 +1,11 @@
+"""MPC model substrate.
+
+MPC programs are dataflow pipelines that never touch a DHT: all
+communication happens through shuffles.  :class:`MPCRuntime` is a thin
+wrapper that provides the round counter and the single-machine fallback
+helper the paper's baselines use.
+"""
+
+from repro.mpc.runtime import MPCRuntime
+
+__all__ = ["MPCRuntime"]

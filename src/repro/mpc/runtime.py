@@ -1,0 +1,56 @@
+"""The MPC runtime.
+
+An MPC round ends at a communication barrier: machines exchange messages
+(a shuffle) and the next round starts.  MPC algorithms in this repository
+are plain dataflow pipelines — the runtime only adds a round counter and
+the in-memory fallback used by every baseline in the paper once the
+instance drops below a size threshold (Sections 5.3-5.5 use 5 * 10^7 edges
+on the production testbed; the scaled datasets use a proportionally scaled
+threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.ampc.cluster import Cluster, ClusterConfig
+from repro.ampc.faults import FaultPlan
+from repro.dataflow.pcollection import PCollection
+from repro.dataflow.pipeline import Pipeline
+
+
+class MPCRuntime:
+    """One MPC computation: a pipeline plus round accounting."""
+
+    def __init__(self, cluster: Optional[Cluster] = None,
+                 config: Optional[ClusterConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.pipeline = Pipeline(cluster=cluster, config=config,
+                                 fault_plan=fault_plan)
+        self.cluster = self.pipeline.cluster
+        self.metrics = self.cluster.metrics
+
+    @property
+    def config(self) -> ClusterConfig:
+        return self.cluster.config
+
+    def next_round(self) -> int:
+        self.metrics.rounds += 1
+        return self.metrics.rounds
+
+    def run_in_memory(self, pcollection: PCollection,
+                      solver: Callable[[List[Any]], Any],
+                      operations_estimate: Optional[int] = None) -> Any:
+        """Ship a PCollection to one machine and solve it there.
+
+        Charges the gather shuffle plus the sequential compute (estimated as
+        ``operations_estimate`` elementary operations; defaults to an
+        m log m sort-like bound on the element count).
+        """
+        gathered = pcollection.to_single_machine(name="gather-for-fallback")
+        items = gathered.collect()
+        if operations_estimate is None:
+            count = max(1, len(items))
+            operations_estimate = count * max(1, count.bit_length())
+        self.pipeline.run_on_driver(operations_estimate)
+        return solver(items)

@@ -1,0 +1,47 @@
+"""Single-machine reference algorithms.
+
+These serve three roles in the reproduction:
+
+1. Ground truth in tests (the distributed algorithms must agree with them).
+2. The "in-memory fallback" that both the paper's MPC baselines and its AMPC
+   MSF implementation invoke once an instance fits on one machine
+   (Sections 5.3-5.5 all describe such thresholds).
+3. Building blocks of the KKT reduction (Algorithm 3 computes an MSF of a
+   sampled subgraph).
+"""
+
+from repro.sequential.union_find import UnionFind
+from repro.sequential.mst import kruskal_msf, msf_weight, prim_msf
+from repro.sequential.greedy import (
+    greedy_matching,
+    greedy_mis,
+    random_edge_ranks,
+    random_vertex_ranks,
+)
+from repro.sequential.validate import (
+    is_forest,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_spanning_forest,
+    matching_weight,
+)
+
+__all__ = [
+    "UnionFind",
+    "kruskal_msf",
+    "msf_weight",
+    "prim_msf",
+    "greedy_matching",
+    "greedy_mis",
+    "random_edge_ranks",
+    "random_vertex_ranks",
+    "is_forest",
+    "is_independent_set",
+    "is_matching",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "is_spanning_forest",
+    "matching_weight",
+]

@@ -1,0 +1,65 @@
+"""Sequential random-greedy MIS and maximal matching.
+
+Given an explicit rank function these compute the *lexicographically-first*
+MIS / maximal matching: scan vertices (edges) in increasing rank and take
+each one whose neighbors (incident edges) taken so far allow it.  The AMPC
+query-process algorithms of the paper compute exactly the same object for
+the same ranks (Section 5.3: "By specifying the same source of randomness,
+both the MPC and AMPC algorithms compute the same MIS"), which is what the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.graph import Graph, edge_key
+
+EdgeId = Tuple[int, int]
+
+
+def random_vertex_ranks(n: int, seed: int) -> List[float]:
+    """A deterministic random rank in (0, 1) per vertex.
+
+    Ranks are drawn independently; ties have probability zero in theory and
+    are broken by vertex id wherever ranks are compared in this repository.
+    """
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+def random_edge_ranks(graph: Graph, seed: int) -> Dict[EdgeId, float]:
+    """A deterministic random rank in (0, 1) per undirected edge."""
+    rng = random.Random(seed)
+    return {edge_key(u, v): rng.random() for u, v in graph.edges()}
+
+
+def greedy_mis(graph: Graph, ranks: List[float]) -> Set[int]:
+    """Lexicographically-first MIS for the vertex order induced by ranks."""
+    order = sorted(graph.vertices(), key=lambda v: (ranks[v], v))
+    in_mis: Set[int] = set()
+    blocked = [False] * graph.num_vertices
+    for v in order:
+        if blocked[v]:
+            continue
+        in_mis.add(v)
+        for u in graph.neighbors(v):
+            blocked[u] = True
+    return in_mis
+
+
+def greedy_matching(graph: Graph, ranks: Dict[EdgeId, float]) -> Set[EdgeId]:
+    """Lexicographically-first maximal matching for the edge ranks."""
+    order = sorted(
+        (edge_key(u, v) for u, v in graph.edges()),
+        key=lambda e: (ranks[e], e),
+    )
+    matched_vertex = [False] * graph.num_vertices
+    matching: Set[EdgeId] = set()
+    for u, v in order:
+        if not matched_vertex[u] and not matched_vertex[v]:
+            matching.add((u, v))
+            matched_vertex[u] = True
+            matched_vertex[v] = True
+    return matching

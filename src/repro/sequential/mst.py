@@ -1,0 +1,62 @@
+"""Sequential minimum spanning forest algorithms (Kruskal and Prim).
+
+Both respect the repository-wide strict total order on edges
+(:meth:`WeightedGraph.weight_order_key`), so with any weight function the
+minimum spanning forest is unique and the two algorithms — and every
+distributed MSF in :mod:`repro.core` — return the identical edge set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Set, Tuple
+
+from repro.graph.graph import WeightedGraph, edge_key
+from repro.sequential.union_find import UnionFind
+
+EdgeId = Tuple[int, int]
+
+
+def kruskal_msf(graph: WeightedGraph) -> List[EdgeId]:
+    """Kruskal's algorithm; returns MSF edges as canonical pairs."""
+    edges = sorted(
+        ((u, v) for u, v, _ in graph.edges()),
+        key=lambda e: graph.weight_order_key(*e),
+    )
+    forest: List[EdgeId] = []
+    uf = UnionFind(graph.num_vertices)
+    for u, v in edges:
+        if uf.union(u, v):
+            forest.append(edge_key(u, v))
+    return forest
+
+
+def prim_msf(graph: WeightedGraph) -> List[EdgeId]:
+    """Prim's algorithm run from every unvisited vertex (handles forests)."""
+    n = graph.num_vertices
+    visited = [False] * n
+    forest: List[EdgeId] = []
+    for source in range(n):
+        if visited[source]:
+            continue
+        visited[source] = True
+        heap = [
+            (graph.weight_order_key(source, u), source, u)
+            for u in graph.neighbors(source)
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _, u, v = heapq.heappop(heap)
+            if visited[v]:
+                continue
+            visited[v] = True
+            forest.append(edge_key(u, v))
+            for w in graph.neighbors(v):
+                if not visited[w]:
+                    heapq.heappush(heap, (graph.weight_order_key(v, w), v, w))
+    return forest
+
+
+def msf_weight(graph: WeightedGraph, forest: List[EdgeId]) -> float:
+    """Total weight of a forest's edges in ``graph``."""
+    return sum(graph.weight(u, v) for u, v in forest)

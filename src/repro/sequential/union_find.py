@@ -1,0 +1,54 @@
+"""Disjoint-set union with union by rank and path compression."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class UnionFind:
+    """Classic disjoint-set forest over elements ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._num_sets = n
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    def find(self, x: int) -> int:
+        """Representative of x's set (with path halving)."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of x and y; returns True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        self._num_sets -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def component_labels(self) -> List[int]:
+        """Label each element by the minimum element of its set."""
+        n = len(self._parent)
+        min_of_root: Dict[int, int] = {}
+        for x in range(n):
+            root = self.find(x)
+            if root not in min_of_root or x < min_of_root[root]:
+                min_of_root[root] = x
+        return [min_of_root[self.find(x)] for x in range(n)]

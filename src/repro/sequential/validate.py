@@ -1,0 +1,107 @@
+"""Validation predicates used throughout the test suite.
+
+These are intentionally brute force: every distributed result is checked
+against first-principles definitions rather than against another clever
+algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.graph.graph import Graph, WeightedGraph, edge_key
+from repro.sequential.union_find import UnionFind
+
+EdgeId = Tuple[int, int]
+
+
+def is_independent_set(graph: Graph, vertices: Set[int]) -> bool:
+    """No two selected vertices are adjacent."""
+    for v in vertices:
+        for u in graph.neighbors(v):
+            if u in vertices:
+                return False
+    return True
+
+
+def is_maximal_independent_set(graph: Graph, vertices: Set[int]) -> bool:
+    """Independent, and every unselected vertex has a selected neighbor."""
+    if not is_independent_set(graph, vertices):
+        return False
+    for v in graph.vertices():
+        if v in vertices:
+            continue
+        if not any(u in vertices for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def is_matching(graph: Graph, edges: Iterable[EdgeId]) -> bool:
+    """Edges exist in the graph and are pairwise vertex-disjoint."""
+    seen: Set[int] = set()
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            return False
+        if u in seen or v in seen:
+            return False
+        seen.add(u)
+        seen.add(v)
+    return True
+
+
+def is_maximal_matching(graph: Graph, edges: Iterable[EdgeId]) -> bool:
+    """A matching that no graph edge can extend."""
+    edges = list(edges)
+    if not is_matching(graph, edges):
+        return False
+    matched: Set[int] = set()
+    for u, v in edges:
+        matched.add(u)
+        matched.add(v)
+    for u, v in graph.edges():
+        if u not in matched and v not in matched:
+            return False
+    return True
+
+
+def is_forest(num_vertices: int, edges: Iterable[EdgeId]) -> bool:
+    """The edge set is acyclic."""
+    uf = UnionFind(num_vertices)
+    for u, v in edges:
+        if not uf.union(u, v):
+            return False
+    return True
+
+
+def is_spanning_forest(graph: Graph, edges: Iterable[EdgeId]) -> bool:
+    """Acyclic, subgraph of ``graph``, and spans every component."""
+    edges = list(edges)
+    uf = UnionFind(graph.num_vertices)
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            return False
+        if not uf.union(u, v):
+            return False
+    # Spanning: the forest must connect everything the graph connects.
+    graph_uf = UnionFind(graph.num_vertices)
+    for u, v in graph.edges():
+        graph_uf.union(u, v)
+    return graph_uf.num_sets == uf.num_sets
+
+
+def matching_weight(graph: WeightedGraph, edges: Iterable[EdgeId]) -> float:
+    return sum(graph.weight(u, v) for u, v in edges)
+
+
+def components_equal(labels_a: List[int], labels_b: List[int]) -> bool:
+    """Two component labelings induce the same partition."""
+    if len(labels_a) != len(labels_b):
+        return False
+    map_ab: Dict[int, int] = {}
+    map_ba: Dict[int, int] = {}
+    for a, b in zip(labels_a, labels_b):
+        if map_ab.setdefault(a, b) != b:
+            return False
+        if map_ba.setdefault(b, a) != a:
+            return False
+    return True

@@ -1,0 +1,27 @@
+"""Tree-algorithm substrate.
+
+Everything Appendix B of the paper relies on: sparse-table range-minimum
+queries, Euler tours, lowest common ancestors, heavy-light decomposition
+(Algorithm 5), plus the ternary treap of Appendix A used to analyze
+TruncatedPrim, and pointer jumping used by forest connectivity.
+"""
+
+from repro.trees.rmq import RangeMax, RangeMin
+from repro.trees.euler_tour import EulerTour, RootedForest
+from repro.trees.lca import LCAIndex
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.treap import TernaryTreap, build_ternary_treap
+from repro.trees.pointer_jumping import find_roots, forest_depth
+
+__all__ = [
+    "RangeMax",
+    "RangeMin",
+    "EulerTour",
+    "RootedForest",
+    "LCAIndex",
+    "HeavyLightDecomposition",
+    "TernaryTreap",
+    "build_ternary_treap",
+    "find_roots",
+    "forest_depth",
+]

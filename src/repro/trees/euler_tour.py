@@ -1,0 +1,122 @@
+"""Rooted forests and Euler tours (Algorithm 5, lines 2-4).
+
+:class:`RootedForest` turns an undirected forest into parent/children/level
+arrays (rooting each component at its minimum-id vertex by default), and
+:class:`EulerTour` produces the tour sequence used for LCA computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+EdgeId = Tuple[int, int]
+
+
+class RootedForest:
+    """An undirected forest rooted at one vertex per component.
+
+    Construction is iterative (explicit stack), so trees of any depth are
+    handled without hitting the interpreter recursion limit.
+    """
+
+    def __init__(self, num_vertices: int, edges: Iterable[EdgeId],
+                 roots: Optional[Sequence[int]] = None):
+        self.num_vertices = num_vertices
+        adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+        edge_count = 0
+        for u, v in edges:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            edge_count += 1
+        self.parent: List[int] = [-1] * num_vertices
+        self.level: List[int] = [-1] * num_vertices
+        self.children: List[List[int]] = [[] for _ in range(num_vertices)]
+        self.root_of: List[int] = [-1] * num_vertices
+        self.roots: List[int] = []
+
+        visited = [False] * num_vertices
+        seeds = list(roots) if roots is not None else list(range(num_vertices))
+        visited_count = 0
+        for seed in seeds:
+            if visited[seed]:
+                continue
+            self.roots.append(seed)
+            visited[seed] = True
+            self.level[seed] = 0
+            self.root_of[seed] = seed
+            stack = [seed]
+            while stack:
+                u = stack.pop()
+                visited_count += 1
+                for v in sorted(adjacency[u]):
+                    if not visited[v]:
+                        visited[v] = True
+                        self.parent[v] = u
+                        self.level[v] = self.level[u] + 1
+                        self.children[u].append(v)
+                        self.root_of[v] = seed
+                        stack.append(v)
+        if visited_count != num_vertices:
+            raise ValueError("roots did not cover every component")
+        if edge_count != num_vertices - len(self.roots):
+            raise ValueError("edge set is not a forest (cycle or duplicate)")
+
+    @classmethod
+    def from_graph(cls, forest: Graph,
+                   roots: Optional[Sequence[int]] = None) -> "RootedForest":
+        return cls(forest.num_vertices, forest.edges(), roots=roots)
+
+    def same_tree(self, u: int, v: int) -> bool:
+        return self.root_of[u] == self.root_of[v]
+
+    def is_ancestor_of(self, a: int, v: int) -> bool:
+        """True if ``a`` lies on the path from ``v`` to its root (walks up)."""
+        while v != -1:
+            if v == a:
+                return True
+            v = self.parent[v]
+        return False
+
+
+class EulerTour:
+    """Euler tour of a rooted forest: each tree contributes a 2k-1 sequence.
+
+    ``first[v]`` is the first tour index of vertex ``v``; the vertex of
+    minimum level between ``first[u]`` and ``first[v]`` is ``LCA(u, v)``.
+    Trees are concatenated; cross-tree queries are guarded by the caller
+    (different components have no LCA).
+    """
+
+    def __init__(self, forest: RootedForest):
+        self.forest = forest
+        self.tour: List[int] = []
+        self.first: List[int] = [-1] * forest.num_vertices
+        for root in forest.roots:
+            self._tour_tree(root)
+
+    def _tour_tree(self, root: int) -> None:
+        # Iterative Euler tour: push (vertex, next-child-index) frames.
+        tour, first = self.tour, self.first
+        children = self.forest.children
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        first[root] = len(tour)
+        tour.append(root)
+        while stack:
+            vertex, child_index = stack[-1]
+            if child_index < len(children[vertex]):
+                stack[-1] = (vertex, child_index + 1)
+                child = children[vertex][child_index]
+                first[child] = len(tour)
+                tour.append(child)
+                stack.append((child, 0))
+            else:
+                stack.pop()
+                if stack:
+                    tour.append(stack[-1][0])
+
+    def levels_along_tour(self) -> List[int]:
+        """The level of each tour entry (input array for the LCA RMQ)."""
+        level = self.forest.level
+        return [level[v] for v in self.tour]

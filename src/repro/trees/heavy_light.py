@@ -1,0 +1,152 @@
+"""Heavy-light decomposition with maximum-edge-weight path queries.
+
+Algorithm 5 (Appendix B) classifies every edge of a rooted tree as heavy
+(to the largest-subtree child) or light, decomposes the tree into heavy
+paths, and precomputes an RMQ per heavy path so that the maximum edge weight
+on any vertex-to-ancestor path is answered by touching O(log n) path
+segments (Lemma B.1).  This class packages exactly that machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.trees.euler_tour import RootedForest
+from repro.trees.lca import LCAIndex
+from repro.trees.rmq import RangeMax
+
+NEG_INF = float("-inf")
+
+
+class HeavyLightDecomposition:
+    """Heavy paths + per-path RangeMax over parent-edge weights.
+
+    ``weight_to_parent(v)`` must return the weight of the edge from ``v`` to
+    its parent; it is never called on roots.  Weights may be any totally
+    ordered values (e.g. the (weight, endpoint, endpoint) keys Algorithm 5
+    compares); pass matching ``neg_infinity`` / ``pos_infinity`` sentinels
+    when they are not plain floats.
+    """
+
+    def __init__(self, forest: RootedForest,
+                 weight_to_parent: Callable[[int], float],
+                 neg_infinity=NEG_INF,
+                 pos_infinity=float("inf")):
+        self.forest = forest
+        self._neg_infinity = neg_infinity
+        self._pos_infinity = pos_infinity
+        n = forest.num_vertices
+        self._subtree_size = self._compute_subtree_sizes()
+        #: id of the heavy path a vertex belongs to (the path's top vertex)
+        self.path_head: List[int] = [-1] * n
+        #: position of the vertex inside its heavy path (0 = head)
+        self.path_position: List[int] = [-1] * n
+        #: vertices of each heavy path, head first, keyed by head vertex
+        self._path_vertices = {}
+        self._assign_heavy_paths()
+        # Per-path RangeMax over weight(path[k] -> parent(path[k])).
+        # Position 0 (the head) stores the head's *light* parent edge, which
+        # lies just above the path; queries that should exclude it use
+        # position ranges starting at 1.
+        self._path_rmq = {}
+        for head, vertices in self._path_vertices.items():
+            weights = [
+                weight_to_parent(v) if forest.parent[v] != -1
+                else self._neg_infinity
+                for v in vertices
+            ]
+            self._path_rmq[head] = RangeMax(weights)
+
+    # -- construction ------------------------------------------------------
+
+    def _compute_subtree_sizes(self) -> List[int]:
+        forest = self.forest
+        size = [1] * forest.num_vertices
+        # Children are known, so process vertices in decreasing level order.
+        by_level = sorted(
+            range(forest.num_vertices), key=lambda v: -forest.level[v]
+        )
+        for v in by_level:
+            parent = forest.parent[v]
+            if parent != -1:
+                size[parent] += size[v]
+        return size
+
+    def _heavy_child(self, v: int) -> Optional[int]:
+        children = self.forest.children[v]
+        if not children:
+            return None
+        # Largest subtree wins; ties broken by smaller vertex id.
+        return max(children, key=lambda c: (self._subtree_size[c], -c))
+
+    def _assign_heavy_paths(self) -> None:
+        forest = self.forest
+        for root in forest.roots:
+            stack = [root]
+            while stack:
+                head = stack.pop()
+                # Walk the heavy chain starting at `head`.
+                path = []
+                v: Optional[int] = head
+                while v is not None:
+                    self.path_head[v] = head
+                    self.path_position[v] = len(path)
+                    path.append(v)
+                    heavy = self._heavy_child(v)
+                    for child in forest.children[v]:
+                        if child != heavy:
+                            stack.append(child)
+                    v = heavy
+                self._path_vertices[head] = path
+
+    # -- queries -----------------------------------------------------------
+
+    def heavy_paths(self) -> List[List[int]]:
+        """All heavy paths (each a list of vertices, head first)."""
+        return [list(path) for path in self._path_vertices.values()]
+
+    def num_light_edges_above(self, v: int) -> int:
+        """Number of light edges on the path from ``v`` to its root."""
+        count = 0
+        forest = self.forest
+        while forest.parent[self.path_head[v]] != -1:
+            count += 1
+            v = forest.parent[self.path_head[v]]
+        return count
+
+    def max_edge_to_ancestor(self, v: int, ancestor: int) -> float:
+        """Maximum edge weight on the tree path from ``v`` up to ``ancestor``.
+
+        ``ancestor`` must be an ancestor of ``v`` (or ``v`` itself, giving
+        ``-inf`` for the empty path).  Runs in O(log n) RMQ probes.
+        """
+        forest = self.forest
+        best = self._neg_infinity
+        while self.path_head[v] != self.path_head[ancestor]:
+            head = self.path_head[v]
+            rmq = self._path_rmq[head]
+            # Segment: edges from v down-path to head, plus head's light
+            # parent edge (positions 0..pos[v] include both).
+            best = max(best, rmq.query(0, self.path_position[v]))
+            v = forest.parent[head]
+        if v != ancestor:
+            rmq = self._path_rmq[self.path_head[v]]
+            lo = self.path_position[ancestor] + 1
+            hi = self.path_position[v]
+            best = max(best, rmq.query(lo, hi))
+        return best
+
+    def max_edge_on_path(self, u: int, v: int, lca_index: LCAIndex) -> float:
+        """Maximum edge weight on the tree path between u and v.
+
+        Returns ``+inf`` when u and v lie in different trees, matching the
+        convention of Definition 3.7 (``w_F(x, y) = infinity`` across
+        components, so every cross-component edge is F-light).
+        """
+        ancestor = lca_index.lca(u, v)
+        if ancestor is None:
+            return self._pos_infinity
+        return max(
+            self.max_edge_to_ancestor(u, ancestor),
+            self.max_edge_to_ancestor(v, ancestor),
+        )

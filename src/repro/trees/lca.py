@@ -1,0 +1,52 @@
+"""Lowest common ancestors via Euler tour + range-minimum queries.
+
+This is the reduction Appendix B uses (lines 4-6 of Algorithm 5): build an
+Euler tour, annotate each tour position with the vertex level, and answer
+``LCA(u, v)`` as the minimum-level vertex on the tour between the first
+occurrences of ``u`` and ``v``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.trees.euler_tour import EulerTour, RootedForest
+from repro.trees.rmq import RangeMin
+
+EdgeId = Tuple[int, int]
+
+
+class LCAIndex:
+    """O(1) LCA queries over a rooted forest after O(n log n) preprocessing."""
+
+    def __init__(self, forest: RootedForest):
+        self.forest = forest
+        self._tour = EulerTour(forest)
+        self._rmq = RangeMin(self._tour.levels_along_tour())
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[EdgeId],
+                   roots: Optional[Sequence[int]] = None) -> "LCAIndex":
+        return cls(RootedForest(num_vertices, edges, roots=roots))
+
+    def lca(self, u: int, v: int) -> Optional[int]:
+        """LCA of u and v, or None when they lie in different trees."""
+        if not self.forest.same_tree(u, v):
+            return None
+        i, j = self._tour.first[u], self._tour.first[v]
+        position = self._rmq.argquery(min(i, j), max(i, j))
+        return self._tour.tour[position]
+
+    def level(self, v: int) -> int:
+        return self.forest.level[v]
+
+    def parent(self, v: int) -> int:
+        return self.forest.parent[v]
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        """Tree distance (number of edges), None across trees."""
+        ancestor = self.lca(u, v)
+        if ancestor is None:
+            return None
+        level = self.forest.level
+        return level[u] + level[v] - 2 * level[ancestor]

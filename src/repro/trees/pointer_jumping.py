@@ -1,0 +1,68 @@
+"""Pointer jumping over directed forests.
+
+The AMPC MSF implementation contracts the directed trees induced by the
+"visited" relationships by repeatedly querying the parent of a vertex until
+it reaches a root (Section 5.5).  These sequential helpers are the in-memory
+reference; the distributed version with per-query accounting lives in
+:mod:`repro.core.connectivity`.
+
+Parent convention: ``parent[v] == v`` marks a root.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def find_roots(parent: Sequence[int]) -> List[int]:
+    """Root of every vertex, with path compression.  O(n alpha)."""
+    roots = list(parent)
+    for v in range(len(roots)):
+        # Find the root of v's chain.
+        chain = []
+        x = v
+        while roots[x] != x:
+            chain.append(x)
+            x = roots[x]
+        for node in chain:
+            roots[node] = x
+    return roots
+
+
+def forest_depth(parent: Sequence[int]) -> int:
+    """Maximum pointer-chain length (the paper observed max 33 in practice)."""
+    depth = [0] * len(parent)
+    known = [False] * len(parent)
+    best = 0
+    for v in range(len(parent)):
+        chain = []
+        x = v
+        while not known[x] and parent[x] != x:
+            chain.append(x)
+            x = parent[x]
+        base = depth[x]
+        for offset, node in enumerate(reversed(chain), start=1):
+            depth[node] = base + offset
+            known[node] = True
+        known[v] = True
+        best = max(best, depth[v])
+    return best
+
+
+def validate_parent_array(parent: Sequence[int]) -> None:
+    """Raise ValueError if the parent array contains a cycle of length > 1."""
+    state = [0] * len(parent)  # 0 = unseen, 1 = on stack, 2 = done
+    for v in range(len(parent)):
+        if state[v]:
+            continue
+        chain = []
+        x = v
+        while state[x] == 0 and parent[x] != x:
+            state[x] = 1
+            chain.append(x)
+            x = parent[x]
+        if state[x] == 1 and parent[x] != x:
+            raise ValueError(f"cycle through vertex {x} in parent array")
+        for node in chain:
+            state[node] = 2
+        state[x] = 2

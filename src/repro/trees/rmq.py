@@ -1,0 +1,63 @@
+"""Sparse-table range minimum / maximum queries.
+
+This is the RMQ data structure described in Appendix B of the paper
+(attributed there to Andoni et al.): an O(k log k)-space table ``b[x][y]``
+holding the argmin of ``a[x .. x + 2^y - 1]``, answering queries with two
+overlapping power-of-two windows in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class RangeMin:
+    """O(1) range-minimum queries over a static array after O(k log k) build."""
+
+    def __init__(self, values: Sequence[float]):
+        self._values = list(values)
+        k = len(self._values)
+        self._log = [0] * (k + 1)
+        for i in range(2, k + 1):
+            self._log[i] = self._log[i // 2] + 1
+        # _table[y][x] = index of the min of values[x .. x + 2^y - 1]
+        self._table: List[List[int]] = [list(range(k))]
+        y = 1
+        while (1 << y) <= k:
+            prev = self._table[y - 1]
+            half = 1 << (y - 1)
+            row = []
+            for x in range(k - (1 << y) + 1):
+                left, right = prev[x], prev[x + half]
+                row.append(left if self._pick(left, right) else right)
+            self._table.append(row)
+            y += 1
+
+    def _pick(self, left: int, right: int) -> bool:
+        """True if index ``left`` wins the comparison (ties go left)."""
+        return self._values[left] <= self._values[right]
+
+    def argquery(self, i: int, j: int) -> int:
+        """Index of the extreme value on the inclusive range [i, j]."""
+        if i > j:
+            i, j = j, i
+        if not (0 <= i and j < len(self._values)):
+            raise IndexError(f"range [{i}, {j}] out of bounds")
+        span = self._log[j - i + 1]
+        left = self._table[span][i]
+        right = self._table[span][j - (1 << span) + 1]
+        return left if self._pick(left, right) else right
+
+    def query(self, i: int, j: int) -> float:
+        """Extreme value on the inclusive range [i, j]."""
+        return self._values[self.argquery(i, j)]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class RangeMax(RangeMin):
+    """Range-maximum variant; shares the table construction with RangeMin."""
+
+    def _pick(self, left: int, right: int) -> bool:
+        return self._values[left] >= self._values[right]

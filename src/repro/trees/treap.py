@@ -1,0 +1,116 @@
+"""Ternary treaps (Appendix A of the paper).
+
+Given a tree ``T`` with maximum degree <= 3 and a rank permutation ``pi``,
+the *ternary treap* is the unique recursive structure whose root is the
+minimum-rank vertex of ``T``; removing it splits ``T`` into at most three
+subtrees, each of which recursively forms a child subtree.
+
+The paper uses two facts about this object, both of which the test suite
+checks empirically:
+
+* Lemma A.1 — the treap height is O(log n) w.h.p.
+* Lemma A.2 — the number of queries made by a TruncatedPrim search from
+  ``v`` is at most O(|R_v|), the size of ``v``'s treap subtree, which yields
+  the O(n log n) total query bound (Lemma 3.4).
+
+Construction is the standard DSU sweep: process vertices in decreasing rank
+order; when ``v`` is processed, the roots of the already-processed clusters
+adjacent to ``v`` become its treap children.  O(n alpha(n)) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.sequential.union_find import UnionFind
+
+EdgeId = Tuple[int, int]
+
+
+@dataclass
+class TernaryTreap:
+    """Parent/children arrays of the treap, plus derived statistics."""
+
+    parent: List[int]
+    children: List[List[int]]
+    roots: List[int]
+
+    def subtree_sizes(self) -> List[int]:
+        """|R_v| for every vertex (the quantity in Lemma A.2)."""
+        n = len(self.parent)
+        size = [1] * n
+        order = self._topological_leaves_first()
+        for v in order:
+            if self.parent[v] != -1:
+                size[self.parent[v]] += size[v]
+        return size
+
+    def depths(self) -> List[int]:
+        """Depth of every vertex (root = 0)."""
+        n = len(self.parent)
+        depth = [0] * n
+        for v in self._topological_roots_first():
+            if self.parent[v] != -1:
+                depth[v] = depth[self.parent[v]] + 1
+        return depth
+
+    def height(self) -> int:
+        """Height = 1 + max depth (0 for an empty treap)."""
+        depths = self.depths()
+        return 1 + max(depths) if depths else 0
+
+    def _topological_roots_first(self) -> List[int]:
+        order: List[int] = []
+        stack = list(self.roots)
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(self.children[v])
+        return order
+
+    def _topological_leaves_first(self) -> List[int]:
+        return list(reversed(self._topological_roots_first()))
+
+
+def build_ternary_treap(
+    num_vertices: int,
+    edges: Iterable[EdgeId],
+    ranks: Sequence[float],
+) -> TernaryTreap:
+    """Build the ternary treap of a forest under the given vertex ranks.
+
+    Works on any forest (the degree <= 3 restriction only matters for the
+    paper's probabilistic analysis, not for well-definedness: the root of
+    each cluster is always the unique minimum-rank vertex processed so far).
+    """
+    adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+
+    order = sorted(range(num_vertices), key=lambda v: (-ranks[v], -v))
+    processed = [False] * num_vertices
+    uf = UnionFind(num_vertices)
+    # cluster_root[find(x)] = treap root (min-rank vertex) of x's cluster
+    cluster_root: Dict[int, int] = {}
+    parent = [-1] * num_vertices
+    children: List[List[int]] = [[] for _ in range(num_vertices)]
+
+    for v in order:
+        processed[v] = True
+        cluster_root[uf.find(v)] = v
+        for u in adjacency[v]:
+            if not processed[u]:
+                continue
+            root_u = cluster_root[uf.find(u)]
+            if root_u == v:
+                continue  # already merged through another neighbor
+            parent[root_u] = v
+            children[v].append(root_u)
+            uf.union(u, v)
+            cluster_root[uf.find(v)] = v
+
+    roots = [v for v in range(num_vertices) if parent[v] == -1]
+    return TernaryTreap(parent=parent, children=children, roots=roots)

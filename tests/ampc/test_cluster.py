@@ -1,0 +1,121 @@
+"""Tests for the simulated cluster's partitioning and timing."""
+
+import pytest
+
+from repro.ampc import Cluster, ClusterConfig, CostModel, FaultPlan
+from repro.ampc.cluster import MachineWork
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        config = ClusterConfig()
+        assert config.num_machines >= 1
+        assert config.caching and config.multithreading
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_machines=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(threads_per_machine=0)
+
+    def test_with_overrides(self):
+        config = ClusterConfig(num_machines=7).with_overrides(caching=False)
+        assert config.num_machines == 7
+        assert not config.caching
+
+
+class TestPartitioning:
+    def test_round_robin_balance(self):
+        cluster = Cluster(ClusterConfig(num_machines=4))
+        parts = cluster.partition(list(range(10)))
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+    def test_key_partition_consistent_with_machine_for(self):
+        cluster = Cluster(ClusterConfig(num_machines=4))
+        parts = cluster.partition(list(range(100)), key_fn=lambda x: x)
+        for machine_id, part in enumerate(parts):
+            for item in part:
+                assert cluster.machine_for(item) == machine_id
+
+
+class TestTiming:
+    def test_multithreading_hides_latency(self):
+        slow = Cluster(ClusterConfig(num_machines=1, multithreading=False))
+        fast = Cluster(ClusterConfig(num_machines=1, multithreading=True,
+                                     threads_per_machine=72))
+        work = MachineWork(kv_reads=10_000)
+        assert fast.machine_stage_time(work) < slow.machine_stage_time(work)
+
+    def test_stage_time_is_critical_path(self):
+        cluster = Cluster(ClusterConfig(num_machines=2))
+        light = MachineWork(compute_ops=10)
+        heavy = MachineWork(compute_ops=10_000_000)
+        stage_time = cluster.charge_stage([light, heavy])
+        assert stage_time == pytest.approx(
+            cluster.machine_stage_time(heavy)
+        )
+
+    def test_bandwidth_bound_kicks_in(self):
+        # Few reads but enormous bytes: the bandwidth term must dominate.
+        cluster = Cluster(ClusterConfig(num_machines=1))
+        work = MachineWork(kv_reads=1, kv_read_bytes=10**12)
+        model = cluster.config.cost_model
+        expected_floor = work.kv_read_bytes / model.nic_bandwidth_bytes_per_s
+        assert cluster.machine_stage_time(work) >= expected_floor
+
+    def test_aggregate_bandwidth_shared_across_machines(self):
+        few = Cluster(ClusterConfig(num_machines=2))
+        many = Cluster(ClusterConfig(num_machines=100))
+        work = MachineWork(kv_read_bytes=10**10)
+        # With 100 machines each gets a smaller slice of the aggregate.
+        assert many.machine_stage_time(work) > few.machine_stage_time(work)
+
+    def test_shuffle_charges_setup_and_bytes(self):
+        cluster = Cluster(ClusterConfig(num_machines=10))
+        time = cluster.charge_shuffle(0)
+        model = cluster.config.cost_model
+        assert time == pytest.approx(model.shuffle_setup_s)
+        assert cluster.metrics.shuffles == 1
+        big_time = cluster.charge_shuffle(10**10)
+        assert big_time > model.shuffle_setup_s
+        assert cluster.metrics.shuffle_bytes == 10**10
+
+    def test_max_machine_queries_tracked(self):
+        cluster = Cluster(ClusterConfig(num_machines=2))
+        cluster.charge_stage([MachineWork(kv_reads=5), MachineWork(kv_reads=9)])
+        assert cluster.metrics.max_machine_queries_per_stage == 9
+
+
+class TestFaults:
+    def test_no_faults_by_default(self):
+        cluster = Cluster(ClusterConfig(num_machines=4))
+        cluster.charge_stage([MachineWork(compute_ops=100)] * 4)
+        assert cluster.metrics.preemptions == 0
+
+    def test_preemptions_add_time_and_are_counted(self):
+        plan = FaultPlan(preempt_probability=0.5, seed=1)
+        faulty = Cluster(ClusterConfig(num_machines=8), fault_plan=plan)
+        clean = Cluster(ClusterConfig(num_machines=8))
+        works = [MachineWork(compute_ops=10**7) for _ in range(8)]
+        faulty_time = faulty.charge_stage(works)
+        clean_time = clean.charge_stage(works)
+        assert faulty.metrics.preemptions > 0
+        assert faulty_time >= clean_time
+
+    def test_fault_plan_deterministic(self):
+        times = []
+        for _ in range(2):
+            plan = FaultPlan(preempt_probability=0.3, seed=42)
+            cluster = Cluster(ClusterConfig(num_machines=8), fault_plan=plan)
+            works = [MachineWork(compute_ops=10**6) for _ in range(8)]
+            times.append(cluster.charge_stage(works))
+        assert times[0] == times[1]
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(preempt_probability=1.5)
+
+    def test_retry_bound(self):
+        plan = FaultPlan(preempt_probability=0.99, seed=0,
+                         max_retries_per_stage=3)
+        assert plan.executions_for(0, 0) <= 4

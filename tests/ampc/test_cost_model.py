@@ -1,0 +1,52 @@
+"""Tests for the cost model and byte estimation."""
+
+import pytest
+
+from repro.ampc import CostModel, estimate_bytes
+
+
+class TestCostModel:
+    def test_rdma_default(self):
+        model = CostModel.rdma()
+        assert model.transport == "rdma"
+
+    def test_tcp_is_slower(self):
+        rdma, tcp = CostModel.rdma(), CostModel.tcp()
+        assert tcp.kv_read_latency_s >= 3 * rdma.kv_read_latency_s
+        assert tcp.transport == "tcp"
+
+    def test_rdma_latency_above_dram(self):
+        # Section 5.3: RDMA lookups are ~an order of magnitude above DRAM.
+        model = CostModel.rdma()
+        assert model.kv_read_latency_s >= 5 * model.dram_latency_s
+
+    def test_with_overrides(self):
+        model = CostModel.rdma().with_overrides(shuffle_setup_s=9.0)
+        assert model.shuffle_setup_s == 9.0
+        assert model.kv_read_latency_s == CostModel.rdma().kv_read_latency_s
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel.rdma().transport = "x"
+
+
+class TestEstimateBytes:
+    def test_scalars(self):
+        assert estimate_bytes(7) == 8
+        assert estimate_bytes(3.14) == 8
+        assert estimate_bytes(True) == 1
+        assert estimate_bytes(None) == 0
+
+    def test_strings_and_bytes(self):
+        assert estimate_bytes("abcd") == 4
+        assert estimate_bytes(b"xyz") == 3
+
+    def test_containers(self):
+        assert estimate_bytes((1, 2)) == 16
+        assert estimate_bytes([1, 2, 3]) == 24
+        assert estimate_bytes({1: (2, 3)}) == 24
+        assert estimate_bytes((1, (2, [3, 4.5]))) == 32
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            estimate_bytes(object())

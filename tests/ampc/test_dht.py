@@ -1,0 +1,88 @@
+"""Tests for the distributed hash table."""
+
+import pytest
+
+from repro.ampc import DHTService, DHTStore, StoreSealedError
+
+
+class TestDHTStore:
+    def test_write_and_lookup(self):
+        store = DHTStore("t", num_shards=4)
+        store.write("a", (1, 2))
+        assert store.lookup("a") == (1, 2)
+        assert store.lookup("missing") is None
+
+    def test_overwrite_keeps_entry_count(self):
+        store = DHTStore("t", num_shards=2)
+        store.write("a", 1)
+        store.write("a", 2)
+        assert len(store) == 1
+        assert store.lookup("a") == 2
+
+    def test_sealed_store_rejects_writes(self):
+        store = DHTStore("t", num_shards=2)
+        store.write("a", 1)
+        store.seal()
+        with pytest.raises(StoreSealedError):
+            store.write("b", 2)
+        assert store.lookup("a") == 1
+
+    def test_strict_round_store_rejects_early_reads(self):
+        store = DHTStore("t", num_shards=2, strict_rounds=True)
+        store.write("a", 1)
+        with pytest.raises(StoreSealedError):
+            store.lookup("a")
+        store.seal()
+        assert store.lookup("a") == 1
+
+    def test_shard_load_accounting(self):
+        store = DHTStore("t", num_shards=4)
+        store.write("hot", 1)
+        for _ in range(10):
+            store.lookup("hot")
+        assert store.max_shard_load() == 10
+        assert sum(store.shard_reads) == 10
+
+    def test_write_returns_value_bytes(self):
+        store = DHTStore("t", num_shards=1)
+        assert store.write("k", (1, 2, 3)) == 24
+
+    def test_write_all_and_keys(self):
+        store = DHTStore("t", num_shards=3)
+        store.write_all([("a", 1), ("b", 2)])
+        assert sorted(store.keys()) == ["a", "b"]
+
+    def test_contains(self):
+        store = DHTStore("t", num_shards=2)
+        store.write("a", 1)
+        assert store.contains("a")
+        assert not store.contains("b")
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            DHTStore("t", num_shards=0)
+
+
+class TestDHTService:
+    def test_sequential_names(self):
+        service = DHTService(num_shards=2)
+        assert service.create().name == "D0"
+        assert service.create().name == "D1"
+
+    def test_named_store_and_get(self):
+        service = DHTService(num_shards=2)
+        store = service.create("graph")
+        assert service.get("graph") is store
+
+    def test_duplicate_name_rejected(self):
+        service = DHTService(num_shards=2)
+        service.create("x")
+        with pytest.raises(ValueError):
+            service.create("x")
+
+    def test_strict_mode_propagates(self):
+        service = DHTService(num_shards=2, strict_rounds=True)
+        store = service.create()
+        store.write("a", 1)
+        with pytest.raises(StoreSealedError):
+            store.lookup("a")

@@ -1,0 +1,62 @@
+"""Tests for metrics and phase attribution."""
+
+from repro.ampc import Metrics
+
+
+def test_initial_counters_zero():
+    metrics = Metrics()
+    summary = metrics.summary()
+    assert all(value == 0 for value in summary.values())
+
+
+def test_charge_time_unattributed():
+    metrics = Metrics()
+    metrics.charge_time(1.5)
+    assert metrics.simulated_time_s == 1.5
+    assert metrics.phases.seconds["(unattributed)"] == 1.5
+
+
+def test_phase_attribution():
+    metrics = Metrics()
+    with metrics.phase("SortGraph"):
+        metrics.charge_time(2.0)
+    with metrics.phase("PrimSearch"):
+        metrics.charge_time(3.0)
+    assert metrics.phases.seconds == {"SortGraph": 2.0, "PrimSearch": 3.0}
+    assert metrics.phases.order == ["SortGraph", "PrimSearch"]
+    assert metrics.phases.total() == 5.0
+
+
+def test_nested_phases_charge_innermost():
+    metrics = Metrics()
+    with metrics.phase("outer"):
+        metrics.charge_time(1.0)
+        with metrics.phase("inner"):
+            metrics.charge_time(2.0)
+        metrics.charge_time(4.0)
+    assert metrics.phases.seconds["outer"] == 5.0
+    assert metrics.phases.seconds["inner"] == 2.0
+
+
+def test_repeated_phase_accumulates():
+    metrics = Metrics()
+    for _ in range(3):
+        with metrics.phase("loop"):
+            metrics.charge_time(1.0)
+    assert metrics.phases.seconds["loop"] == 3.0
+    assert metrics.phases.order == ["loop"]
+
+
+def test_kv_bytes_total():
+    metrics = Metrics()
+    metrics.kv_read_bytes = 100
+    metrics.kv_write_bytes = 50
+    assert metrics.kv_bytes == 150
+
+
+def test_cache_hit_rate():
+    metrics = Metrics()
+    assert metrics.cache_hit_rate() == 0.0
+    metrics.cache_hits = 3
+    metrics.cache_misses = 1
+    assert metrics.cache_hit_rate() == 0.75

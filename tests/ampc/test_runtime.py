@@ -1,0 +1,71 @@
+"""Tests for the AMPC and MPC runtimes."""
+
+import pytest
+
+from repro.ampc import AMPCRuntime, ClusterConfig, StoreSealedError
+from repro.mpc import MPCRuntime
+
+
+class TestAMPCRuntime:
+    def test_write_store_seals_and_meters(self):
+        runtime = AMPCRuntime(config=ClusterConfig(num_machines=4))
+        store = runtime.new_store("graph")
+        data = runtime.pipeline.from_items([(i, (i, i + 1)) for i in range(10)])
+        runtime.write_store(data, store, key_fn=lambda e: e[0],
+                            value_fn=lambda e: e[1])
+        assert store.sealed
+        assert len(store) == 10
+        assert runtime.metrics.kv_writes == 10
+        assert runtime.metrics.kv_write_bytes > 0
+        # A KV write stage is not a shuffle.
+        assert runtime.metrics.shuffles == 0
+
+    def test_next_round_seals_round_stores(self):
+        runtime = AMPCRuntime(config=ClusterConfig(num_machines=2))
+        store = runtime.new_store()
+        store.write("a", 1)
+        assert runtime.next_round() == 1
+        with pytest.raises(StoreSealedError):
+            store.write("b", 2)
+        assert runtime.metrics.rounds == 1
+
+    def test_strict_rounds_forbid_same_round_reads(self):
+        runtime = AMPCRuntime(config=ClusterConfig(num_machines=2),
+                              strict_rounds=True)
+        store = runtime.new_store()
+        store.write("a", 1)
+        with pytest.raises(StoreSealedError):
+            store.lookup("a")
+        runtime.next_round()
+        assert store.lookup("a") == 1
+
+    def test_unsealed_write_store_allows_more_writes(self):
+        runtime = AMPCRuntime(config=ClusterConfig(num_machines=2))
+        store = runtime.new_store()
+        data = runtime.pipeline.from_items([(1, "x")])
+        runtime.write_store(data, store, key_fn=lambda e: e[0],
+                            value_fn=lambda e: e[1], seal=False)
+        store.write(2, "y")
+        assert len(store) == 2
+
+
+class TestMPCRuntime:
+    def test_round_counter(self):
+        runtime = MPCRuntime(config=ClusterConfig(num_machines=2))
+        assert runtime.next_round() == 1
+        assert runtime.next_round() == 2
+
+    def test_run_in_memory_charges_gather_shuffle(self):
+        runtime = MPCRuntime(config=ClusterConfig(num_machines=4))
+        data = runtime.pipeline.from_items(range(100))
+        total = runtime.run_in_memory(data, solver=sum)
+        assert total == sum(range(100))
+        assert runtime.metrics.shuffles == 1
+        assert runtime.metrics.simulated_time_s > 0
+
+    def test_run_in_memory_explicit_ops(self):
+        runtime = MPCRuntime(config=ClusterConfig(num_machines=2))
+        data = runtime.pipeline.from_items(range(10))
+        runtime.run_in_memory(data, solver=len, operations_estimate=10**6)
+        model = runtime.config.cost_model
+        assert runtime.metrics.simulated_time_s >= 10**6 / model.compute_ops_per_s

@@ -1,0 +1,92 @@
+"""Tests for the scaled dataset registry."""
+
+import pytest
+
+from repro.analysis.datasets import (
+    DATASET_NAMES,
+    build_dataset,
+    cycle_instance,
+    dataset_spec,
+    load_dataset,
+    load_weighted_dataset,
+)
+from repro.graph.properties import connected_component_sizes
+
+
+# Small scale keeps these tests fast; structure is scale-invariant.
+SCALE = 0.25
+
+
+class TestRegistry:
+    def test_five_datasets(self):
+        assert DATASET_NAMES == ["OK-S", "TW-S", "FS-S", "CW-S", "HL-S"]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            dataset_spec("nope")
+
+    def test_specs_carry_paper_stats(self):
+        for name in DATASET_NAMES:
+            spec = dataset_spec(name)
+            assert spec.paper.num_vertices > 1e6
+            assert spec.paper.num_edges > spec.paper.num_vertices
+
+    def test_size_ordering(self):
+        graphs = {name: load_dataset(name, scale=SCALE)
+                  for name in DATASET_NAMES}
+        sizes = [graphs[name].num_edges for name in DATASET_NAMES]
+        assert sizes == sorted(sizes)
+
+    def test_component_structure(self):
+        ok = load_dataset("OK-S", scale=SCALE)
+        tw = load_dataset("TW-S", scale=SCALE)
+        cw = load_dataset("CW-S", scale=SCALE)
+        assert len(connected_component_sizes(ok)) == 1
+        assert len(connected_component_sizes(tw)) == 2
+        assert len(connected_component_sizes(cw)) == 23
+
+    def test_hub_skew(self):
+        """CW-S must have the most extreme hubs relative to average degree
+        (the join-skew driver of Section 5.3)."""
+        cw = load_dataset("CW-S", scale=SCALE)
+        ok = load_dataset("OK-S", scale=SCALE)
+        cw_ratio = cw.max_degree() / (2 * cw.num_edges / cw.num_vertices)
+        ok_ratio = ok.max_degree() / (2 * ok.num_edges / ok.num_vertices)
+        assert cw_ratio > ok_ratio
+
+    def test_deterministic(self):
+        a = build_dataset(dataset_spec("OK-S"), scale=SCALE)
+        b = build_dataset(dataset_spec("OK-S"), scale=SCALE)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("OK-S", scale=SCALE)
+        b = load_dataset("OK-S", scale=SCALE)
+        assert a is b
+
+    def test_weighted_uses_degree_rule(self):
+        graph = load_dataset("OK-S", scale=SCALE)
+        weighted = load_weighted_dataset("OK-S", scale=SCALE)
+        u, v, w = next(iter(weighted.edges()))
+        assert w == float(graph.degree(u) + graph.degree(v))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_dataset(dataset_spec("OK-S"), scale=0)
+
+
+class TestCycleInstances:
+    def test_single_cycle(self):
+        graph = cycle_instance(50, two=False, seed=1)
+        assert graph.num_vertices == 100
+        sizes = connected_component_sizes(graph)
+        assert list(sizes.values()) == [100]
+
+    def test_two_cycles(self):
+        graph = cycle_instance(50, two=True, seed=1)
+        sizes = connected_component_sizes(graph)
+        assert sorted(sizes.values()) == [50, 50]
+
+    def test_all_degree_two(self):
+        graph = cycle_instance(40, two=True, seed=2)
+        assert all(graph.degree(v) == 2 for v in graph.vertices())

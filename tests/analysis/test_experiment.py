@@ -1,0 +1,77 @@
+"""Tests for the experiment runners (on tiny inputs for speed)."""
+
+from repro.analysis.experiment import (
+    bench_config,
+    run_ampc_matching,
+    run_ampc_mis,
+    run_ampc_msf,
+    run_ampc_two_cycle,
+    run_mpc_boruvka,
+    run_mpc_local_contraction,
+    run_mpc_matching,
+    run_mpc_mis,
+)
+from repro.graph.generators import (
+    cycle_graph,
+    erdos_renyi_gnm,
+    random_weighted,
+    two_cycles,
+)
+
+GRAPH = erdos_renyi_gnm(60, 180, seed=4)
+WEIGHTED = random_weighted(GRAPH, seed=4)
+
+
+class TestBenchConfig:
+    def test_default_rdma(self):
+        config = bench_config()
+        assert config.cost_model.transport == "rdma"
+        assert config.num_machines == 10
+
+    def test_tcp_transport(self):
+        config = bench_config(transport="tcp")
+        assert config.cost_model.transport == "tcp"
+
+    def test_ablation_flags(self):
+        config = bench_config(caching=False, multithreading=False)
+        assert not config.caching
+        assert not config.multithreading
+
+
+class TestRunners:
+    def test_mis_records(self):
+        ampc = run_ampc_mis(GRAPH, seed=1)
+        mpc = run_mpc_mis(GRAPH, seed=1, in_memory_threshold=16)
+        assert ampc["output_size"] == mpc["output_size"]
+        assert ampc["shuffles"] == 1
+        assert "phase_breakdown" in ampc
+        assert ampc["simulated_time_s"] > 0
+
+    def test_matching_records(self):
+        ampc = run_ampc_matching(GRAPH, seed=1)
+        mpc = run_mpc_matching(GRAPH, seed=1, in_memory_threshold=16)
+        assert ampc["output_size"] == mpc["output_size"]
+        assert ampc["shuffles"] == 1
+
+    def test_msf_records(self):
+        ampc = run_ampc_msf(WEIGHTED, seed=1)
+        mpc = run_mpc_boruvka(WEIGHTED, seed=1, in_memory_threshold=16)
+        assert ampc["output_size"] == mpc["output_size"]
+        assert ampc["shuffles"] == 5
+        assert "contracted_vertices" in ampc
+
+    def test_two_cycle_records(self):
+        one = run_ampc_two_cycle(cycle_graph(80, shuffle_ids=True, seed=2),
+                                 seed=2)
+        two = run_ampc_two_cycle(two_cycles(40, shuffle_ids=True, seed=2),
+                                 seed=2)
+        assert one["output_size"] == 1
+        assert two["output_size"] == 2
+
+    def test_local_contraction_records(self):
+        record = run_mpc_local_contraction(
+            cycle_graph(128, shuffle_ids=True, seed=3), seed=3,
+            in_memory_threshold=8)
+        assert record["output_size"] == 1
+        assert record["phases"] >= 1
+        assert len(record["vertices_per_phase"]) == record["phases"]

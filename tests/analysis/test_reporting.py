@@ -1,0 +1,49 @@
+"""Tests for report-table formatting."""
+
+import pytest
+
+from repro.analysis.reporting import Table, format_bytes, format_seconds, normalize
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(0) == "0"
+        assert format_bytes(1.4e9) == "1.40e+09"
+
+    def test_format_seconds(self):
+        assert format_seconds(1234.5) == "1,234.50s"
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+
+    def test_normalize_skips_zeros(self):
+        assert normalize([0.0, 2.0, 4.0]) == [0.0, 1.0, 2.0]
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("My Table", ["a", "b"])
+        table.add_row("x", 12)
+        table.add_row("longer-cell", 3.5)
+        text = table.render()
+        assert "My Table" in text
+        assert "longer-cell" in text
+        assert "12" in text
+        assert "3.50" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_cell_rendering(self):
+        assert Table._render(True) == "yes"
+        assert Table._render(1234567) == "1,234,567"
+        assert Table._render(1.5e-7) == "1.50e-07"
+        assert Table._render("s") == "s"
+
+    def test_show_prints(self, capsys):
+        table = Table("t", ["a"])
+        table.add_row(1)
+        table.show()
+        assert "t" in capsys.readouterr().out

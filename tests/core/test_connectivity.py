@@ -1,0 +1,149 @@
+"""Tests for AMPC connectivity and the local-contraction MPC baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import ClusterConfig
+from repro.baselines import mpc_local_contraction_cc
+from repro.core import ampc_connected_components, ampc_forest_connectivity
+from repro.graph import (
+    Graph,
+    cycle_graph,
+    disjoint_union,
+    grid_graph,
+    path_graph,
+    star_graph,
+    two_cycles,
+)
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_gnm
+from repro.graph.properties import connected_components
+from repro.sequential.validate import components_equal
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+class TestForestConnectivity:
+    def test_single_path(self):
+        result = ampc_forest_connectivity(6, [(0, 1), (1, 2), (2, 3), (3, 4),
+                                              (4, 5)], config=CONFIG)
+        assert len(set(result.labels)) == 1
+
+    def test_two_trees(self):
+        result = ampc_forest_connectivity(6, [(0, 1), (1, 2), (3, 4)],
+                                          config=CONFIG)
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_empty_forest(self):
+        result = ampc_forest_connectivity(4, [], config=CONFIG)
+        assert result.labels == [0, 1, 2, 3]
+        assert result.iterations == 0
+
+    def test_star_forest(self):
+        edges = [(0, i) for i in range(1, 10)]
+        result = ampc_forest_connectivity(10, edges, config=CONFIG)
+        assert len(set(result.labels)) == 1
+
+    def test_matches_bfs_partition(self):
+        import random
+        rng = random.Random(7)
+        n = 60
+        edges = []
+        for v in range(1, n):
+            if rng.random() < 0.8:
+                edges.append((rng.randrange(v), v))
+        forest_graph = Graph.from_edges(n, edges)
+        expected = connected_components(forest_graph)
+        result = ampc_forest_connectivity(n, edges, config=CONFIG)
+        assert components_equal(result.labels, expected)
+
+    def test_iterations_bounded(self):
+        edges = list(path_graph(200).edges())
+        result = ampc_forest_connectivity(200, edges, config=CONFIG)
+        assert result.iterations <= 12
+
+
+class TestAMPCConnectedComponents:
+    def test_matches_bfs(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(60, 80, seed=seed)
+            result = ampc_connected_components(graph, seed=seed, config=CONFIG)
+            assert components_equal(result.labels, connected_components(graph))
+
+    def test_multi_component(self):
+        graph = disjoint_union([cycle_graph(8), grid_graph(3, 3),
+                                star_graph(5), path_graph(4)])
+        result = ampc_connected_components(graph, seed=1, config=CONFIG)
+        assert components_equal(result.labels, connected_components(graph))
+        assert len(set(result.labels)) == 4
+
+    def test_spanning_forest_returned(self):
+        graph = barabasi_albert_graph(80, 2, seed=2)
+        result = ampc_connected_components(graph, seed=2, config=CONFIG)
+        # Connected graph: spanning tree has n - 1 edges.
+        assert len(result.forest) == graph.num_vertices - 1
+
+    def test_two_cycles_two_components(self):
+        graph = two_cycles(20)
+        result = ampc_connected_components(graph, seed=3, config=CONFIG)
+        assert len(set(result.labels)) == 2
+
+
+class TestLocalContraction:
+    def test_matches_bfs(self):
+        for seed in range(4):
+            graph = erdos_renyi_gnm(60, 90, seed=seed)
+            result = mpc_local_contraction_cc(graph, seed=seed, config=CONFIG,
+                                              in_memory_threshold=8)
+            assert components_equal(result.labels, connected_components(graph))
+
+    def test_cycle_shrink_factor(self):
+        """Section 5.6: the cycle shrinks geometrically per phase."""
+        graph = cycle_graph(512, shuffle_ids=True, seed=5)
+        result = mpc_local_contraction_cc(graph, seed=5, config=CONFIG,
+                                          in_memory_threshold=8)
+        counts = [512] + result.vertices_per_phase
+        for before, after in zip(counts, counts[1:]):
+            if before > 32:  # ratios are noisy at the tail
+                assert after < 0.75 * before
+
+    def test_three_shuffles_per_phase(self):
+        graph = cycle_graph(256, shuffle_ids=True, seed=6)
+        result = mpc_local_contraction_cc(graph, seed=6, config=CONFIG,
+                                          in_memory_threshold=8)
+        # 3 per phase + final gather.
+        assert result.metrics.shuffles == 3 * result.phases + 1
+
+    def test_two_cycles_detected(self):
+        one = cycle_graph(200, shuffle_ids=True, seed=7)
+        two = two_cycles(100, shuffle_ids=True, seed=7)
+        r_one = mpc_local_contraction_cc(one, seed=7, config=CONFIG,
+                                         in_memory_threshold=8)
+        r_two = mpc_local_contraction_cc(two, seed=7, config=CONFIG,
+                                         in_memory_threshold=8)
+        assert r_one.num_components == 1
+        assert r_two.num_components == 2
+
+    def test_isolated_vertices(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1)
+        result = mpc_local_contraction_cc(graph, seed=0, config=CONFIG)
+        assert components_equal(result.labels, connected_components(graph))
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=15, deadline=None)
+def test_local_contraction_property(n, seed):
+    m = min(2 * n, n * (n - 1) // 2)
+    graph = erdos_renyi_gnm(n, m, seed=seed)
+    result = mpc_local_contraction_cc(graph, seed=seed,
+                                      config=ClusterConfig(num_machines=3),
+                                      in_memory_threshold=4)
+    assert components_equal(result.labels, connected_components(graph))

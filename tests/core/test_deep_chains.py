@@ -1,0 +1,48 @@
+"""Deep-dependency robustness: the query processes use explicit stacks.
+
+A path whose ranks decrease monotonically toward one end forces the MIS /
+matching query processes into their worst-case dependency depth (O(n));
+the iterative implementations must handle it without recursion limits,
+with and without the caching optimization.
+"""
+
+import sys
+
+from repro.ampc import ClusterConfig
+from repro.core import ampc_maximal_matching, ampc_mis, vertex_ranks
+from repro.core.ranks import hash_rank
+from repro.graph import path_graph
+from repro.graph.graph import edge_key
+from repro.sequential import greedy_matching, greedy_mis
+
+CONFIG = ClusterConfig(num_machines=2)
+DEPTH = 3000  # well beyond the default interpreter recursion limit
+
+
+def test_depth_exceeds_recursion_limit():
+    assert DEPTH > sys.getrecursionlimit()
+
+
+def test_mis_on_deep_chain_cached():
+    graph = path_graph(DEPTH)
+    result = ampc_mis(graph, config=CONFIG, seed=2)
+    expected = greedy_mis(graph, vertex_ranks(DEPTH, 2))
+    assert result.independent_set == expected
+
+
+def test_mis_on_deep_chain_uncached():
+    graph = path_graph(DEPTH)
+    config = CONFIG.with_overrides(caching=False)
+    result = ampc_mis(graph, config=config, seed=2)
+    expected = greedy_mis(graph, vertex_ranks(DEPTH, 2))
+    assert result.independent_set == expected
+
+
+def test_matching_on_deep_chain():
+    graph = path_graph(DEPTH)
+    result = ampc_maximal_matching(graph, config=CONFIG, seed=2)
+    ranks = {
+        edge_key(u, v): hash_rank(2, *edge_key(u, v))
+        for u, v in graph.edges()
+    }
+    assert result.matching == greedy_matching(graph, ranks)

@@ -1,0 +1,163 @@
+"""Tests for the KKT reduction (Algorithm 3) and F-light edges (Algorithm 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import ClusterConfig
+from repro.core import find_f_light_edges, kkt_msf
+from repro.graph import WeightedGraph, cycle_graph, path_graph
+from repro.graph.generators import erdos_renyi_gnm, random_weighted
+from repro.graph.graph import edge_key
+from repro.sequential import kruskal_msf
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+def brute_force_f_light(graph, forest_edges):
+    """F-light by explicit path maxima (Definition 3.7)."""
+    from repro.graph import Graph
+    from repro.graph.properties import connected_components
+
+    forest = Graph(graph.num_vertices)
+    for u, v in forest_edges:
+        forest.add_edge(u, v)
+    labels = connected_components(forest)
+
+    def path_max_key(u, v):
+        # BFS through the forest tracking the max edge key on the path.
+        from collections import deque
+
+        best = {u: (float("-inf"), -1, -1)}
+        queue = deque([u])
+        while queue:
+            x = queue.popleft()
+            for y in forest.neighbors(x):
+                if y not in best:
+                    key = max(best[x], graph.weight_order_key(x, y))
+                    best[y] = key
+                    queue.append(y)
+        return best[v]
+
+    light = set()
+    for u, v, _ in graph.edges():
+        if labels[u] != labels[v]:
+            light.add(edge_key(u, v))
+        elif graph.weight_order_key(u, v) <= path_max_key(u, v):
+            light.add(edge_key(u, v))
+    return light
+
+
+class TestFLight:
+    def test_forest_edges_are_light(self):
+        graph = random_weighted(cycle_graph(12), seed=0)
+        forest = kruskal_msf(graph)
+        report = find_f_light_edges(graph, forest)
+        assert set(forest) <= set(report.light_edges)
+
+    def test_cross_component_edges_are_light(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        graph.add_edge(1, 2, 100.0)
+        report = find_f_light_edges(graph, [(0, 1), (2, 3)])
+        assert (1, 2) in report.light_edges
+
+    def test_heavy_edge_detected(self):
+        # Cycle where one edge is clearly the heaviest.
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 2.0)
+        graph.add_edge(2, 3, 3.0)
+        graph.add_edge(3, 0, 50.0)
+        forest = [(0, 1), (1, 2), (2, 3)]
+        report = find_f_light_edges(graph, forest)
+        assert report.heavy_edges == [(0, 3)]
+
+    def test_no_msf_edge_is_heavy(self):
+        """Proposition 3.8 on random graphs with a random sampled forest."""
+        for seed in range(4):
+            graph = random_weighted(erdos_renyi_gnm(40, 120, seed=seed),
+                                    seed=seed)
+            sampled = [
+                (u, v) for i, (u, v, _) in enumerate(graph.edges())
+                if (i * 2654435761 + seed) % 3 == 0
+            ]
+            forest = kruskal_msf(graph.subgraph_edges(sampled))
+            report = find_f_light_edges(graph, forest)
+            msf = set(kruskal_msf(graph))
+            assert msf <= set(report.light_edges)
+
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            graph = random_weighted(erdos_renyi_gnm(30, 90, seed=seed),
+                                    seed=seed)
+            sampled = [
+                (u, v) for i, (u, v, _) in enumerate(graph.edges())
+                if i % 2 == 0
+            ]
+            forest = kruskal_msf(graph.subgraph_edges(sampled))
+            report = find_f_light_edges(graph, forest)
+            assert set(report.light_edges) == brute_force_f_light(graph, forest)
+
+    def test_query_bound(self):
+        """Lemma B.2: O(log n) probes per edge."""
+        graph = random_weighted(erdos_renyi_gnm(200, 600, seed=5), seed=5)
+        forest = kruskal_msf(graph)
+        report = find_f_light_edges(graph, forest)
+        per_edge = report.total_queries / graph.num_edges
+        assert per_edge <= 4 * math.log2(graph.num_vertices) + 4
+
+
+class TestKKT:
+    def test_matches_kruskal(self):
+        for seed in range(4):
+            graph = random_weighted(erdos_renyi_gnm(50, 150, seed=seed),
+                                    seed=seed)
+            result = kkt_msf(graph, seed=seed, config=CONFIG)
+            assert result.forest == sorted(kruskal_msf(graph))
+
+    def test_light_edges_bounded(self):
+        """The KKT sampling lemma: O(n/p) F-light edges in expectation."""
+        graph = random_weighted(erdos_renyi_gnm(300, 3000, seed=1), seed=1)
+        result = kkt_msf(graph, seed=1, config=CONFIG, sample_probability=0.5)
+        # n/p = 600; allow generous slack over the expectation.
+        assert result.light_edges < 4 * graph.num_vertices / 0.5
+
+    def test_queries_below_direct_mlogn(self):
+        """The point of the reduction: fewer queries than O(m log n)."""
+        graph = random_weighted(erdos_renyi_gnm(200, 4000, seed=2), seed=2)
+        result = kkt_msf(graph, seed=2, config=CONFIG)
+        direct = graph.num_edges * math.log2(graph.num_vertices)
+        assert result.total_queries < direct
+
+    def test_empty_graph(self):
+        result = kkt_msf(WeightedGraph(4), seed=0, config=CONFIG)
+        assert result.forest == []
+
+    def test_custom_base_solver(self):
+        graph = random_weighted(path_graph(10), seed=3)
+        calls = []
+
+        def tracking_solver(g):
+            calls.append(g.num_edges)
+            return kruskal_msf(g)
+
+        result = kkt_msf(graph, seed=3, config=CONFIG,
+                         base_msf=tracking_solver)
+        assert result.forest == sorted(kruskal_msf(graph))
+        assert len(calls) == 2  # MSF of H, then of F + E_L
+
+
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=20, deadline=None)
+def test_kkt_property(n, seed):
+    m = min(3 * n, n * (n - 1) // 2)
+    graph = random_weighted(erdos_renyi_gnm(n, m, seed=seed), seed=seed)
+    result = kkt_msf(graph, seed=seed, config=ClusterConfig(num_machines=2))
+    assert result.forest == sorted(kruskal_msf(graph))

@@ -1,0 +1,151 @@
+"""Tests for AMPC maximal matching (both Theorem 2 variants) and the MPC
+rootset baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import ClusterConfig
+from repro.baselines import mpc_rootset_matching
+from repro.core import ampc_maximal_matching, ampc_matching_phases
+from repro.core.ranks import hash_rank
+from repro.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_gnm
+from repro.graph.graph import edge_key
+from repro.sequential import greedy_matching, is_maximal_matching
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+def reference_matching(graph, seed):
+    ranks = {
+        edge_key(u, v): hash_rank(seed, *edge_key(u, v))
+        for u, v in graph.edges()
+    }
+    return greedy_matching(graph, ranks)
+
+
+class TestAMPCMatching:
+    def test_matches_sequential_greedy(self):
+        for seed in range(5):
+            graph = erdos_renyi_gnm(40, 90, seed=seed)
+            result = ampc_maximal_matching(graph, seed=seed, config=CONFIG)
+            assert result.matching == reference_matching(graph, seed)
+
+    def test_always_maximal(self):
+        graph = barabasi_albert_graph(120, 3, seed=1)
+        result = ampc_maximal_matching(graph, seed=1, config=CONFIG)
+        assert is_maximal_matching(graph, result.matching)
+
+    def test_single_shuffle(self):
+        """Table 3: AMPC MM uses exactly one shuffle."""
+        graph = erdos_renyi_gnm(50, 100, seed=2)
+        result = ampc_maximal_matching(graph, seed=2, config=CONFIG)
+        assert result.metrics.shuffles == 1
+
+    def test_empty_graph(self):
+        result = ampc_maximal_matching(Graph(4), seed=0, config=CONFIG)
+        assert result.matching == set()
+
+    def test_path_alternation(self):
+        graph = path_graph(2)
+        result = ampc_maximal_matching(graph, seed=0, config=CONFIG)
+        assert result.matching == {(0, 1)}
+
+    def test_star_single_edge(self):
+        graph = star_graph(9)
+        result = ampc_maximal_matching(graph, seed=3, config=CONFIG)
+        assert len(result.matching) == 1
+
+    def test_complete_graph_perfect_matching(self):
+        graph = complete_graph(8)
+        result = ampc_maximal_matching(graph, seed=4, config=CONFIG)
+        assert len(result.matching) == 4
+
+    def test_caching_reduces_lookups(self):
+        graph = barabasi_albert_graph(150, 3, seed=5)
+        cached = ampc_maximal_matching(
+            graph, seed=5, config=CONFIG.with_overrides(caching=True))
+        uncached = ampc_maximal_matching(
+            graph, seed=5, config=CONFIG.with_overrides(caching=False))
+        assert cached.matching == uncached.matching
+        assert cached.metrics.kv_reads < uncached.metrics.kv_reads
+
+    def test_phase_breakdown(self):
+        graph = erdos_renyi_gnm(40, 80, seed=6)
+        result = ampc_maximal_matching(graph, seed=6, config=CONFIG)
+        for phase in ("PermuteGraph", "KV-Write", "IsInMM"):
+            assert phase in result.metrics.phases.seconds
+
+    def test_truncated_matches(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(40, 100, seed=seed)
+            expected = reference_matching(graph, seed)
+            result = ampc_maximal_matching(graph, seed=seed, config=CONFIG,
+                                           search_budget=6)
+            assert result.matching == expected
+
+
+class TestAlgorithm4:
+    def test_matches_sequential_greedy(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(60, 200, seed=seed)
+            result = ampc_matching_phases(graph, seed=seed, config=CONFIG)
+            assert result.matching == reference_matching(graph, seed)
+
+    def test_high_degree_graph_peels_levels(self):
+        graph = barabasi_albert_graph(200, 6, seed=2)
+        result = ampc_matching_phases(graph, seed=2, config=CONFIG)
+        assert is_maximal_matching(graph, result.matching)
+        assert len(result.level_sizes) >= 1
+
+    def test_empty_graph(self):
+        result = ampc_matching_phases(Graph(5), seed=0, config=CONFIG)
+        assert result.matching == set()
+
+    def test_level_count_log_log(self):
+        """Algorithm 4 runs ceil(log2 log2 Delta) + 1 levels (plus
+        possibly a cleanup)."""
+        import math
+        graph = barabasi_albert_graph(300, 5, seed=3)
+        delta = graph.max_degree()
+        bound = math.ceil(math.log2(max(2, math.log2(delta)))) + 2
+        result = ampc_matching_phases(graph, seed=3, config=CONFIG)
+        assert len(result.level_sizes) <= bound
+
+
+class TestRootsetMatching:
+    def test_matches_ampc(self):
+        for seed in range(4):
+            graph = erdos_renyi_gnm(50, 130, seed=seed)
+            ampc = ampc_maximal_matching(graph, seed=seed, config=CONFIG)
+            mpc = mpc_rootset_matching(graph, seed=seed, config=CONFIG,
+                                       in_memory_threshold=16)
+            assert ampc.matching == mpc.matching
+
+    def test_more_shuffles_than_ampc(self):
+        graph = erdos_renyi_gnm(80, 300, seed=5)
+        ampc = ampc_maximal_matching(graph, seed=5, config=CONFIG)
+        mpc = mpc_rootset_matching(graph, seed=5, config=CONFIG,
+                                   in_memory_threshold=8)
+        assert mpc.metrics.shuffles > ampc.metrics.shuffles
+
+    def test_cycle(self):
+        graph = cycle_graph(20)
+        result = mpc_rootset_matching(graph, seed=6, config=CONFIG,
+                                      in_memory_threshold=4)
+        assert is_maximal_matching(graph, result.matching)
+
+
+@given(
+    st.integers(min_value=2, max_value=25),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_ampc_matching_property(n, seed):
+    m = min(2 * n, n * (n - 1) // 2)
+    graph = erdos_renyi_gnm(n, m, seed=seed)
+    result = ampc_maximal_matching(graph, seed=seed,
+                                   config=ClusterConfig(num_machines=3))
+    assert result.matching == reference_matching(graph, seed)
+    assert is_maximal_matching(graph, result.matching)

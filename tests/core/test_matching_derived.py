@@ -1,0 +1,175 @@
+"""Tests for Corollary 4.1: weighted matching, vertex cover, augmentation."""
+
+import itertools
+
+import pytest
+
+from repro.ampc import ClusterConfig
+from repro.core import (
+    approximate_max_weight_matching,
+    approximate_maximum_matching,
+    approximate_vertex_cover,
+)
+from repro.graph import Graph, WeightedGraph, cycle_graph, path_graph, star_graph
+from repro.graph.generators import erdos_renyi_gnm, random_weighted
+from repro.sequential import is_matching
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+def brute_force_max_weight(graph: WeightedGraph) -> float:
+    """Exact maximum weight matching by enumeration (tiny graphs only)."""
+    edges = list(graph.edges())
+    best = 0.0
+    for size in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, size):
+            used = set()
+            ok = True
+            weight = 0.0
+            for u, v, w in subset:
+                if u in used or v in used:
+                    ok = False
+                    break
+                used.add(u)
+                used.add(v)
+                weight += w
+            if ok:
+                best = max(best, weight)
+    return best
+
+
+def brute_force_max_cardinality(graph: Graph) -> int:
+    edges = list(graph.edges())
+    best = 0
+    for size in range(len(edges), 0, -1):
+        for subset in itertools.combinations(edges, size):
+            used = set()
+            ok = True
+            for u, v in subset:
+                if u in used or v in used:
+                    ok = False
+                    break
+                used.add(u)
+                used.add(v)
+            if ok:
+                return size
+    return best
+
+
+def brute_force_min_vertex_cover(graph: Graph) -> int:
+    n = graph.num_vertices
+    edges = list(graph.edges())
+    for size in range(n + 1):
+        for subset in itertools.combinations(range(n), size):
+            chosen = set(subset)
+            if all(u in chosen or v in chosen for u, v in edges):
+                return size
+    return n
+
+
+class TestVertexCover:
+    def test_covers_all_edges(self):
+        graph = erdos_renyi_gnm(30, 60, seed=1)
+        result = approximate_vertex_cover(graph, seed=1, config=CONFIG)
+        for u, v in graph.edges():
+            assert u in result.cover or v in result.cover
+
+    def test_within_factor_two(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(10, 18, seed=seed)
+            result = approximate_vertex_cover(graph, seed=seed, config=CONFIG)
+            optimal = brute_force_min_vertex_cover(graph)
+            assert len(result.cover) <= 2 * optimal
+
+    def test_star_cover(self):
+        result = approximate_vertex_cover(star_graph(8), seed=0, config=CONFIG)
+        assert len(result.cover) == 2  # one matched edge -> both endpoints
+
+
+class TestWeightedMatching:
+    def test_valid_matching(self):
+        graph = random_weighted(erdos_renyi_gnm(30, 70, seed=2), seed=2)
+        positive = WeightedGraph(graph.num_vertices)
+        for u, v, w in graph.edges():
+            positive.add_edge(u, v, w + 0.01)
+        result = approximate_max_weight_matching(positive, seed=2,
+                                                 config=CONFIG)
+        assert is_matching(positive.unweighted(), result.matching)
+        assert result.weight > 0
+
+    def test_within_factor_2_plus_eps(self):
+        for seed in range(3):
+            base = erdos_renyi_gnm(9, 14, seed=seed)
+            graph = WeightedGraph(9)
+            import random as random_module
+            rng = random_module.Random(seed)
+            for u, v in base.edges():
+                graph.add_edge(u, v, 0.5 + rng.random() * 9.5)
+            if graph.num_edges == 0:
+                continue
+            result = approximate_max_weight_matching(graph, seed=seed,
+                                                     config=CONFIG,
+                                                     epsilon=0.2)
+            optimal = brute_force_max_weight(graph)
+            assert result.weight >= optimal / (2 * 1.2) - 1e-9
+
+    def test_prefers_heavy_levels(self):
+        # A triangle path where the middle edge is enormous.
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 100.0)
+        graph.add_edge(2, 3, 1.0)
+        result = approximate_max_weight_matching(graph, seed=0, config=CONFIG)
+        assert (1, 2) in result.matching
+
+    def test_rejects_nonpositive_weights(self):
+        graph = WeightedGraph(2)
+        graph.add_edge(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            approximate_max_weight_matching(graph, config=CONFIG)
+
+    def test_rejects_bad_epsilon(self):
+        graph = WeightedGraph(2)
+        graph.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            approximate_max_weight_matching(graph, config=CONFIG, epsilon=0)
+
+    def test_empty(self):
+        result = approximate_max_weight_matching(WeightedGraph(3),
+                                                 config=CONFIG)
+        assert result.matching == set()
+        assert result.weight == 0.0
+
+
+class TestAugmentedMatching:
+    def test_still_a_matching(self):
+        graph = erdos_renyi_gnm(30, 60, seed=3)
+        matching, _ = approximate_maximum_matching(graph, seed=3,
+                                                   config=CONFIG,
+                                                   augmentation_rounds=2)
+        assert is_matching(graph, matching)
+
+    def test_at_least_maximal_size(self):
+        from repro.core import ampc_maximal_matching
+
+        graph = erdos_renyi_gnm(30, 70, seed=4)
+        base = ampc_maximal_matching(graph, seed=4, config=CONFIG)
+        augmented, _ = approximate_maximum_matching(graph, seed=4,
+                                                    config=CONFIG)
+        assert len(augmented) >= len(base.matching)
+
+    def test_three_halves_on_small_graphs(self):
+        for seed in range(4):
+            graph = erdos_renyi_gnm(10, 16, seed=seed)
+            matching, _ = approximate_maximum_matching(graph, seed=seed,
+                                                       config=CONFIG)
+            optimal = brute_force_max_cardinality(graph)
+            assert 3 * len(matching) >= 2 * optimal
+
+    def test_augmentation_improves_path(self):
+        # Path a-b-c-d with the middle edge matched is augmentable.
+        graph = path_graph(4)
+        for seed in range(8):
+            matching, _ = approximate_maximum_matching(graph, seed=seed,
+                                                       config=CONFIG)
+            assert len(matching) == 2  # always reaches the perfect matching

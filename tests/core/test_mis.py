@@ -1,0 +1,171 @@
+"""Tests for the AMPC MIS algorithm and the MPC rootset baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import ClusterConfig
+from repro.baselines import mpc_rootset_mis
+from repro.core import ampc_mis, mpc_simulated_mis_shuffles, vertex_ranks
+from repro.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_gnm
+from repro.sequential import greedy_mis, is_maximal_independent_set
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+class TestAMPCMIS:
+    def test_matches_sequential_greedy(self):
+        for seed in range(5):
+            graph = erdos_renyi_gnm(40, 90, seed=seed)
+            result = ampc_mis(graph, seed=seed, config=CONFIG)
+            expected = greedy_mis(graph, vertex_ranks(40, seed))
+            assert result.independent_set == expected
+
+    def test_always_maximal(self):
+        graph = barabasi_albert_graph(120, 3, seed=1)
+        result = ampc_mis(graph, seed=1, config=CONFIG)
+        assert is_maximal_independent_set(graph, result.independent_set)
+
+    def test_single_shuffle(self):
+        """Table 3: the AMPC MIS uses exactly one shuffle."""
+        graph = erdos_renyi_gnm(50, 100, seed=2)
+        result = ampc_mis(graph, seed=2, config=CONFIG)
+        assert result.metrics.shuffles == 1
+
+    def test_two_rounds_practical(self):
+        graph = erdos_renyi_gnm(50, 100, seed=3)
+        result = ampc_mis(graph, seed=3, config=CONFIG)
+        assert result.rounds == 2
+
+    def test_isolated_vertices_all_in(self):
+        graph = Graph(5)
+        result = ampc_mis(graph, seed=0, config=CONFIG)
+        assert result.independent_set == {0, 1, 2, 3, 4}
+
+    def test_complete_graph_single_winner(self):
+        graph = complete_graph(8)
+        result = ampc_mis(graph, seed=4, config=CONFIG)
+        assert len(result.independent_set) == 1
+
+    def test_star_center_or_leaves(self):
+        graph = star_graph(10)
+        result = ampc_mis(graph, seed=5, config=CONFIG)
+        assert result.independent_set == {0} or result.independent_set == set(
+            range(1, 10)
+        )
+
+    def test_caching_reduces_lookups(self):
+        graph = barabasi_albert_graph(200, 3, seed=6)
+        cached = ampc_mis(graph, seed=6,
+                          config=CONFIG.with_overrides(caching=True))
+        uncached = ampc_mis(graph, seed=6,
+                            config=CONFIG.with_overrides(caching=False))
+        assert cached.independent_set == uncached.independent_set
+        assert cached.metrics.kv_reads < uncached.metrics.kv_reads
+        assert cached.metrics.cache_hits > 0
+
+    def test_multithreading_faster(self):
+        graph = barabasi_albert_graph(200, 3, seed=7)
+        fast = ampc_mis(graph, seed=7,
+                        config=CONFIG.with_overrides(multithreading=True))
+        slow = ampc_mis(graph, seed=7,
+                        config=CONFIG.with_overrides(multithreading=False))
+        assert fast.independent_set == slow.independent_set
+        assert fast.metrics.simulated_time_s < slow.metrics.simulated_time_s
+
+    def test_deterministic_across_machine_counts(self):
+        graph = erdos_renyi_gnm(60, 150, seed=8)
+        few = ampc_mis(graph, seed=8, config=ClusterConfig(num_machines=2))
+        many = ampc_mis(graph, seed=8, config=ClusterConfig(num_machines=16))
+        assert few.independent_set == many.independent_set
+
+    def test_phase_breakdown_present(self):
+        graph = erdos_renyi_gnm(40, 80, seed=9)
+        result = ampc_mis(graph, seed=9, config=CONFIG)
+        for phase in ("DirectGraph", "KV-Write", "IsInMIS"):
+            assert phase in result.metrics.phases.seconds
+
+
+class TestTruncatedTheoryVariant:
+    def test_matches_untruncated(self):
+        for seed in range(3):
+            graph = erdos_renyi_gnm(50, 120, seed=seed)
+            expected = greedy_mis(graph, vertex_ranks(50, seed))
+            result = ampc_mis(graph, seed=seed, config=CONFIG, search_budget=4)
+            assert result.independent_set == expected
+
+    def test_uses_more_rounds_than_practical(self):
+        graph = erdos_renyi_gnm(80, 240, seed=1)
+        truncated = ampc_mis(graph, seed=1, config=CONFIG, search_budget=4)
+        assert truncated.rounds >= 2
+
+    def test_larger_budget_fewer_rounds(self):
+        graph = erdos_renyi_gnm(80, 240, seed=2)
+        small = ampc_mis(graph, seed=2, config=CONFIG, search_budget=4)
+        large = ampc_mis(graph, seed=2, config=CONFIG, search_budget=10_000)
+        assert large.rounds <= small.rounds
+        assert small.independent_set == large.independent_set
+
+
+class TestRootsetMIS:
+    def test_matches_ampc(self):
+        for seed in range(4):
+            graph = erdos_renyi_gnm(50, 120, seed=seed)
+            ampc = ampc_mis(graph, seed=seed, config=CONFIG)
+            mpc = mpc_rootset_mis(graph, seed=seed, config=CONFIG,
+                                  in_memory_threshold=16)
+            assert ampc.independent_set == mpc.independent_set
+
+    def test_two_shuffles_per_phase(self):
+        graph = erdos_renyi_gnm(80, 300, seed=3)
+        result = mpc_rootset_mis(graph, seed=3, config=CONFIG,
+                                 in_memory_threshold=8)
+        # 2 per phase + the final gather shuffle (if the fallback ran).
+        assert result.metrics.shuffles >= 2 * result.phases
+
+    def test_more_shuffles_than_ampc(self):
+        """The Table 3 relationship: MPC uses strictly more shuffles."""
+        graph = erdos_renyi_gnm(80, 300, seed=4)
+        ampc = ampc_mis(graph, seed=4, config=CONFIG)
+        mpc = mpc_rootset_mis(graph, seed=4, config=CONFIG,
+                              in_memory_threshold=8)
+        assert mpc.metrics.shuffles > ampc.metrics.shuffles
+
+    def test_in_memory_fallback_only(self):
+        graph = path_graph(10)
+        result = mpc_rootset_mis(graph, seed=0, config=CONFIG,
+                                 in_memory_threshold=100)
+        assert result.phases == 0
+        assert is_maximal_independent_set(graph, result.independent_set)
+
+    def test_empty_graph(self):
+        result = mpc_rootset_mis(Graph(0), seed=0, config=CONFIG)
+        assert result.independent_set == set()
+
+
+class TestMPCSimulation:
+    def test_needs_many_shuffles(self):
+        """Section 5.3: simulating AMPC MIS in MPC needs far more shuffles
+        than the rootset baseline."""
+        graph = barabasi_albert_graph(300, 4, seed=5)
+        simulated = mpc_simulated_mis_shuffles(graph, seed=5)
+        rootset = mpc_rootset_mis(graph, seed=5, config=CONFIG,
+                                  in_memory_threshold=64)
+        assert simulated > 3 * rootset.metrics.shuffles
+
+    def test_cap_respected(self):
+        graph = cycle_graph(30)
+        assert mpc_simulated_mis_shuffles(graph, seed=0, shuffle_cap=5) <= 5
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_ampc_mis_property(n, seed):
+    m = min(2 * n, n * (n - 1) // 2)
+    graph = erdos_renyi_gnm(n, m, seed=seed)
+    result = ampc_mis(graph, seed=seed, config=ClusterConfig(num_machines=3))
+    assert result.independent_set == greedy_mis(graph, vertex_ranks(n, seed))

@@ -1,0 +1,150 @@
+"""Tests for the AMPC MSF pipelines and the Boruvka baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import ClusterConfig
+from repro.baselines import mpc_boruvka_msf
+from repro.core import ampc_msf, ampc_msf_theory
+from repro.graph import WeightedGraph, cycle_graph, disjoint_union, path_graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    degree_weighted,
+    erdos_renyi_gnm,
+    random_weighted,
+)
+from repro.sequential import is_spanning_forest, kruskal_msf
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+class TestPracticalMSF:
+    def test_matches_kruskal(self):
+        for seed in range(5):
+            graph = random_weighted(erdos_renyi_gnm(40, 100, seed=seed),
+                                    seed=seed)
+            result = ampc_msf(graph, seed=seed, config=CONFIG)
+            assert result.forest == sorted(kruskal_msf(graph))
+
+    def test_exactly_five_shuffles(self):
+        """Table 3: AMPC MSF uses 5 shuffles on every input."""
+        for seed in range(3):
+            graph = random_weighted(erdos_renyi_gnm(50, 120, seed=seed),
+                                    seed=seed)
+            result = ampc_msf(graph, seed=seed, config=CONFIG)
+            assert result.metrics.shuffles == 5
+
+    def test_tied_weights_degree_weighted(self):
+        """The paper's MSF weighting (deg(u) + deg(v)) is full of ties."""
+        graph = degree_weighted(barabasi_albert_graph(120, 3, seed=1))
+        result = ampc_msf(graph, seed=1, config=CONFIG)
+        assert result.forest == sorted(kruskal_msf(graph))
+
+    def test_disconnected_graph(self):
+        base = disjoint_union([cycle_graph(6), path_graph(5), cycle_graph(4)])
+        graph = random_weighted(base, seed=2)
+        result = ampc_msf(graph, seed=2, config=CONFIG)
+        assert result.forest == sorted(kruskal_msf(graph))
+        assert is_spanning_forest(graph.unweighted(), result.forest)
+
+    def test_empty_graph(self):
+        result = ampc_msf(WeightedGraph(5), seed=0, config=CONFIG)
+        assert result.forest == []
+
+    def test_contraction_shrinks(self):
+        graph = random_weighted(erdos_renyi_gnm(200, 600, seed=3), seed=3)
+        result = ampc_msf(graph, seed=3, config=CONFIG)
+        assert result.contracted_vertices < graph.num_vertices // 2
+
+    def test_phase_breakdown(self):
+        graph = random_weighted(erdos_renyi_gnm(40, 100, seed=4), seed=4)
+        result = ampc_msf(graph, seed=4, config=CONFIG)
+        for phase in ("SortGraph", "KV-Write", "PrimSearch", "PointerJump",
+                      "Contract"):
+            assert phase in result.metrics.phases.seconds
+
+    def test_pointer_depth_shallow(self):
+        """The paper observed pointer chains of length <= 33."""
+        graph = random_weighted(erdos_renyi_gnm(300, 900, seed=5), seed=5)
+        result = ampc_msf(graph, seed=5, config=CONFIG)
+        assert result.max_pointer_depth <= 40
+
+    def test_budget_controls_search(self):
+        graph = random_weighted(erdos_renyi_gnm(100, 300, seed=6), seed=6)
+        small = ampc_msf(graph, seed=6, config=CONFIG, search_budget=2)
+        large = ampc_msf(graph, seed=6, config=CONFIG, search_budget=50)
+        assert small.forest == large.forest == sorted(kruskal_msf(graph))
+        assert small.prim_edges <= large.prim_edges
+
+
+class TestTheoryMSF:
+    def test_sparse_path_matches_kruskal(self):
+        for seed in range(3):
+            # Sparse: m < n^(1 + eps/2) triggers ternarization.
+            graph = random_weighted(erdos_renyi_gnm(60, 90, seed=seed),
+                                    seed=seed)
+            result = ampc_msf_theory(graph, seed=seed, config=CONFIG,
+                                     in_memory_threshold=20)
+            assert result.forest == sorted(kruskal_msf(graph))
+
+    def test_dense_path_matches_kruskal(self):
+        graph = random_weighted(erdos_renyi_gnm(20, 150, seed=1), seed=1)
+        result = ampc_msf_theory(graph, seed=1, config=CONFIG,
+                                 in_memory_threshold=16)
+        assert result.forest == sorted(kruskal_msf(graph))
+
+    def test_tied_weights_through_ternarization(self):
+        graph = degree_weighted(barabasi_albert_graph(80, 3, seed=2))
+        result = ampc_msf_theory(graph, seed=2, config=CONFIG,
+                                 in_memory_threshold=20)
+        assert result.forest == sorted(kruskal_msf(graph))
+
+    def test_empty(self):
+        result = ampc_msf_theory(WeightedGraph(3), seed=0, config=CONFIG)
+        assert result.forest == []
+
+
+class TestBoruvka:
+    def test_matches_kruskal(self):
+        for seed in range(4):
+            graph = random_weighted(erdos_renyi_gnm(50, 140, seed=seed),
+                                    seed=seed)
+            result = mpc_boruvka_msf(graph, seed=seed, config=CONFIG,
+                                     in_memory_threshold=16)
+            assert sorted(result.forest) == sorted(kruskal_msf(graph))
+
+    def test_tied_weights(self):
+        graph = degree_weighted(barabasi_albert_graph(100, 3, seed=3))
+        result = mpc_boruvka_msf(graph, seed=3, config=CONFIG,
+                                 in_memory_threshold=16)
+        assert sorted(result.forest) == sorted(kruskal_msf(graph))
+
+    def test_three_shuffles_per_phase(self):
+        graph = random_weighted(erdos_renyi_gnm(100, 300, seed=4), seed=4)
+        result = mpc_boruvka_msf(graph, seed=4, config=CONFIG,
+                                 in_memory_threshold=16)
+        assert result.phases >= 1
+        # 3 shuffles per phase, plus one final gather.
+        assert result.metrics.shuffles == 3 * result.phases + 1
+
+    def test_many_more_shuffles_than_ampc(self):
+        """Table 3: MPC MSF uses 33-84 shuffles vs AMPC's 5."""
+        graph = random_weighted(erdos_renyi_gnm(150, 500, seed=5), seed=5)
+        ampc = ampc_msf(graph, seed=5, config=CONFIG)
+        mpc = mpc_boruvka_msf(graph, seed=5, config=CONFIG,
+                              in_memory_threshold=16)
+        assert mpc.metrics.shuffles > 3 * ampc.metrics.shuffles
+
+
+@given(
+    st.integers(min_value=2, max_value=25),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_msf_property(n, seed):
+    m = min(3 * n, n * (n - 1) // 2)
+    graph = random_weighted(erdos_renyi_gnm(n, m, seed=seed), seed=seed)
+    expected = sorted(kruskal_msf(graph))
+    result = ampc_msf(graph, seed=seed, config=ClusterConfig(num_machines=3))
+    assert result.forest == expected

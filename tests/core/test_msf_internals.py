@@ -1,0 +1,150 @@
+"""Unit tests for the MSF pipeline internals."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import AMPCRuntime, ClusterConfig
+from repro.core.msf import (
+    _default_budget,
+    _kruskal_records,
+    _order_normalized,
+    _records_to_graph,
+    truncated_prim_round,
+)
+from repro.core.ranks import vertex_ranks
+from repro.graph import WeightedGraph, ternarize
+from repro.graph.generators import erdos_renyi_gnm, random_weighted
+from repro.graph.graph import edge_key
+from repro.sequential import kruskal_msf
+from repro.trees.treap import build_ternary_treap
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+class TestOrderNormalization:
+    def test_preserves_msf(self):
+        graph = random_weighted(erdos_renyi_gnm(30, 80, seed=1), seed=1)
+        normalized = _order_normalized(graph)
+        assert kruskal_msf(graph) == kruskal_msf(normalized)
+
+    def test_weights_are_distinct_rank_indices(self):
+        graph = WeightedGraph.from_edges(
+            4, [(0, 1, 5.0), (1, 2, 5.0), (2, 3, 1.0)])
+        normalized = _order_normalized(graph)
+        weights = sorted(w for _, _, w in normalized.edges())
+        assert weights == [0.0, 1.0, 2.0]
+        # Lightest edge gets rank 0; ties resolve by endpoints.
+        assert normalized.weight(2, 3) == 0.0
+        assert normalized.weight(0, 1) == 1.0
+
+
+class TestRecordsToGraph:
+    def test_collapses_parallel_edges_to_min(self):
+        records = [
+            (5.0, 0, 1, "a", "b"),
+            (2.0, 2, 3, "a", "b"),  # lighter parallel super-edge wins
+            (7.0, 4, 5, "b", "c"),
+        ]
+        graph, id_map = _records_to_graph(records)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        # The surviving a-b representative is the original edge (2, 3).
+        locals_sorted = sorted(id_map.items())
+        assert (2, 3) in id_map.values()
+        assert (0, 1) not in id_map.values()
+
+    def test_drops_self_loops(self):
+        records = [(1.0, 0, 1, "x", "x"), (2.0, 2, 3, "x", "y")]
+        graph, _ = _records_to_graph(records)
+        assert graph.num_edges == 1
+
+    def test_rank_index_weights(self):
+        records = [(9.0, 0, 1, "a", "b"), (3.0, 2, 3, "b", "c")]
+        graph, _ = _records_to_graph(records)
+        assert sorted(w for _, _, w in graph.edges()) == [0.0, 1.0]
+
+
+class TestKruskalRecords:
+    def test_basic_forest(self):
+        records = [
+            (1.0, 0, 1, "a", "b"),
+            (2.0, 1, 2, "b", "c"),
+            (3.0, 0, 2, "a", "c"),  # closes a cycle: rejected
+        ]
+        assert _kruskal_records(records) == [(0, 1), (1, 2)]
+
+    def test_tie_break_by_original_edge(self):
+        records = [
+            (1.0, 4, 5, "a", "b"),
+            (1.0, 0, 1, "a", "b"),  # same weight, earlier original edge
+        ]
+        assert _kruskal_records(records) == [(0, 1)]
+
+
+class TestDefaultBudget:
+    def test_monotone_in_n(self):
+        assert _default_budget(16, 0.5) <= _default_budget(4096, 0.5)
+
+    def test_epsilon_scaling(self):
+        assert _default_budget(4096, 0.25) < _default_budget(4096, 1.0)
+
+    def test_minimum_two(self):
+        assert _default_budget(0, 0.5) == 2
+        assert _default_budget(1, 0.5) == 2
+
+
+class TestTruncatedPrimRound:
+    def _run(self, n, m, seed, budget=None):
+        graph = random_weighted(erdos_renyi_gnm(n, m, seed=seed), seed=seed)
+        tern = ternarize(_order_normalized(graph))
+        runtime = AMPCRuntime(config=CONFIG)
+        budget = budget or _default_budget(tern.graph.num_vertices, 0.5)
+        return tern, runtime, truncated_prim_round(
+            tern.graph, runtime=runtime, seed=seed, budget=budget)
+
+    def test_prim_edges_subset_of_msf(self):
+        tern, _, (prim_edges, _, __) = self._run(60, 120, seed=2)
+        msf = set(kruskal_msf(tern.graph))
+        assert prim_edges <= msf
+
+    def test_contraction_shrinks_by_budget_factor(self):
+        """Lemma 3.3 at unit-test scale."""
+        tern, _, (_, __, contracted_n) = self._run(400, 800, seed=3)
+        t_n = tern.graph.num_vertices
+        budget = _default_budget(t_n, 0.5)
+        assert contracted_n < t_n / (budget / 4)
+
+    def test_query_cost_bounded_by_treap_subtrees(self):
+        """Lemma A.2: total Prim queries <= c * sum of treap subtree sizes
+        (equivalently, of vertex depths)."""
+        graph = random_weighted(erdos_renyi_gnm(200, 400, seed=4), seed=4)
+        tern = ternarize(_order_normalized(graph))
+        t_graph = tern.graph
+        runtime = AMPCRuntime(config=CONFIG)
+        truncated_prim_round(t_graph, runtime=runtime, seed=4,
+                             budget=t_graph.num_vertices)  # no truncation
+        queries = runtime.metrics.kv_reads
+        forest = kruskal_msf(t_graph)
+        ranks = vertex_ranks(t_graph.num_vertices, seed=4)
+        treap = build_ternary_treap(t_graph.num_vertices, forest, ranks)
+        subtree_total = sum(treap.subtree_sizes())
+        assert queries <= 3 * subtree_total
+
+    def test_contracted_records_carry_original_edges(self):
+        tern, _, (prim_edges, contracted, __) = self._run(40, 80, seed=5)
+        edge_set = {edge_key(u, v) for u, v, _ in tern.graph.edges()}
+        for w, ou, ov, cu, cv in contracted:
+            assert edge_key(ou, ov) in edge_set
+            assert cu != cv
+
+
+@given(st.integers(min_value=4, max_value=20),
+       st.integers(min_value=0, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_order_normalization_property(n, seed):
+    m = min(3 * n, n * (n - 1) // 2)
+    graph = random_weighted(erdos_renyi_gnm(n, m, seed=seed), seed=seed)
+    assert kruskal_msf(graph) == kruskal_msf(_order_normalized(graph))

@@ -1,0 +1,130 @@
+"""Tests for the random-walk / PageRank extension (Section 5.7)."""
+
+import pytest
+
+from repro.ampc import ClusterConfig
+from repro.core.random_walks import (
+    ampc_pagerank,
+    ampc_random_walks,
+    pagerank_power_iteration,
+)
+from repro.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.generators import barabasi_albert_graph
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+class TestRandomWalks:
+    def test_walk_counts(self):
+        graph = cycle_graph(20)
+        result = ampc_random_walks(graph, config=CONFIG, seed=1,
+                                   walks_per_vertex=2, walk_length=5)
+        assert len(result.endpoints) == 40
+        # Every walk contributes walk_length + 1 visits on a cycle.
+        assert sum(result.visits) == 40 * 6
+
+    def test_endpoints_within_distance(self):
+        graph = cycle_graph(30)
+        result = ampc_random_walks(graph, config=CONFIG, seed=2,
+                                   walk_length=3)
+        for (start, _), end in result.endpoints.items():
+            distance = min((start - end) % 30, (end - start) % 30)
+            assert distance <= 3
+
+    def test_zero_length_walks_stay_home(self):
+        graph = path_graph(5)
+        result = ampc_random_walks(graph, config=CONFIG, walk_length=0)
+        assert all(start == end
+                   for (start, _), end in result.endpoints.items())
+
+    def test_dangling_vertices_terminate(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)  # vertex 2 is isolated
+        result = ampc_random_walks(graph, config=CONFIG, walk_length=4)
+        assert result.endpoints[(2, 0)] == 2
+
+    def test_two_rounds_one_shuffle(self):
+        """The walk engine inherits the AMPC shape: adaptive lookups do the
+        stepping, not shuffles."""
+        graph = barabasi_albert_graph(100, 2, seed=3)
+        result = ampc_random_walks(graph, config=CONFIG, seed=3,
+                                   walk_length=8)
+        assert result.metrics.shuffles == 1
+        assert result.metrics.rounds == 2
+        assert result.metrics.kv_reads > 0
+
+    def test_deterministic(self):
+        graph = barabasi_albert_graph(60, 2, seed=4)
+        a = ampc_random_walks(graph, config=CONFIG, seed=4, walk_length=6)
+        b = ampc_random_walks(graph, config=CONFIG, seed=4, walk_length=6)
+        assert a.endpoints == b.endpoints
+
+    def test_invalid_parameters(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            ampc_random_walks(graph, config=CONFIG, walk_length=-1)
+        with pytest.raises(ValueError):
+            ampc_random_walks(graph, config=CONFIG, walks_per_vertex=0)
+
+
+class TestPowerIteration:
+    def test_uniform_on_regular_graphs(self):
+        scores = pagerank_power_iteration(cycle_graph(10))
+        assert all(abs(s - 0.1) < 1e-6 for s in scores)
+
+    def test_sums_to_one(self):
+        graph = barabasi_albert_graph(50, 2, seed=5)
+        scores = pagerank_power_iteration(graph)
+        assert abs(sum(scores) - 1.0) < 1e-9
+
+    def test_star_center_dominates(self):
+        scores = pagerank_power_iteration(star_graph(20))
+        assert scores[0] > max(scores[1:]) * 3
+
+    def test_empty_graph(self):
+        assert pagerank_power_iteration(Graph(0)) == []
+
+
+class TestMonteCarloPageRank:
+    def test_close_to_power_iteration(self):
+        graph = barabasi_albert_graph(80, 2, seed=6)
+        exact = pagerank_power_iteration(graph)
+        estimate = ampc_pagerank(graph, config=CONFIG, seed=6,
+                                 walks_per_vertex=64)
+        l1 = sum(abs(a - b) for a, b in zip(exact, estimate.scores))
+        assert l1 < 0.25  # Monte-Carlo accuracy at this walk budget
+
+    def test_identifies_the_hub(self):
+        graph = star_graph(15)
+        result = ampc_pagerank(graph, config=CONFIG, seed=7,
+                               walks_per_vertex=32)
+        assert result.scores[0] == max(result.scores)
+
+    def test_more_walks_tighter_estimate(self):
+        graph = barabasi_albert_graph(60, 2, seed=8)
+        exact = pagerank_power_iteration(graph)
+
+        def l1_error(walks):
+            result = ampc_pagerank(graph, config=CONFIG, seed=8,
+                                   walks_per_vertex=walks)
+            return sum(abs(a - b) for a, b in zip(exact, result.scores))
+
+        assert l1_error(128) < l1_error(4) + 0.05
+
+    def test_constant_rounds(self):
+        graph = barabasi_albert_graph(60, 2, seed=9)
+        result = ampc_pagerank(graph, config=CONFIG, seed=9,
+                               walks_per_vertex=8)
+        assert result.metrics.rounds == 2
+        assert result.metrics.shuffles == 1
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            ampc_pagerank(path_graph(3), config=CONFIG, damping=1.5)
+
+    def test_scores_normalized(self):
+        graph = complete_graph(12)
+        result = ampc_pagerank(graph, config=CONFIG, seed=10,
+                               walks_per_vertex=16)
+        # Complete-path estimator: expected mass sums to ~1.
+        assert 0.6 < sum(result.scores) < 1.4

@@ -1,0 +1,49 @@
+"""Tests for hash-based priorities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranks import edge_rank_fn, hash_rank, vertex_ranks
+
+
+def test_deterministic():
+    assert hash_rank(1, 2, 3) == hash_rank(1, 2, 3)
+
+
+def test_seed_sensitivity():
+    assert hash_rank(1, 5) != hash_rank(2, 5)
+
+
+def test_item_sensitivity():
+    assert hash_rank(1, 5) != hash_rank(1, 6)
+
+
+def test_unit_interval():
+    for seed in range(5):
+        for item in range(100):
+            rank = hash_rank(seed, item)
+            assert 0.0 <= rank < 1.0
+
+
+def test_vertex_ranks_matches_hash():
+    ranks = vertex_ranks(10, seed=3)
+    assert ranks == [hash_rank(3, v) for v in range(10)]
+
+
+def test_edge_rank_symmetric():
+    rank = edge_rank_fn(seed=7)
+    assert rank(3, 9) == rank(9, 3)
+
+
+def test_roughly_uniform():
+    ranks = vertex_ranks(10_000, seed=0)
+    mean = sum(ranks) / len(ranks)
+    assert 0.45 < mean < 0.55
+    below_half = sum(1 for r in ranks if r < 0.5)
+    assert 4_500 < below_half < 5_500
+
+
+@given(st.integers(0, 2**31), st.integers(0, 2**31), st.integers(0, 2**31))
+@settings(max_examples=50, deadline=None)
+def test_rank_bounds_property(seed, a, b):
+    assert 0.0 <= hash_rank(seed, a, b) < 1.0

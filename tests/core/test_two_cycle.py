@@ -1,0 +1,78 @@
+"""Tests for the AMPC 1-vs-2-Cycle algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import ClusterConfig
+from repro.core import ampc_one_vs_two_cycle
+from repro.graph import Graph, cycle_graph, disjoint_union, path_graph, two_cycles
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+class TestOneVsTwoCycle:
+    def test_single_cycle(self):
+        graph = cycle_graph(300, shuffle_ids=True, seed=1)
+        result = ampc_one_vs_two_cycle(graph, seed=1, config=CONFIG)
+        assert result.num_cycles == 1
+
+    def test_two_cycles(self):
+        graph = two_cycles(150, shuffle_ids=True, seed=2)
+        result = ampc_one_vs_two_cycle(graph, seed=2, config=CONFIG)
+        assert result.num_cycles == 2
+
+    def test_many_cycles(self):
+        graph = disjoint_union([cycle_graph(40) for _ in range(5)])
+        result = ampc_one_vs_two_cycle(graph, seed=3, config=CONFIG)
+        assert result.num_cycles == 5
+
+    def test_single_shuffle(self):
+        """Section 5.6: the AMPC algorithm uses a single shuffle."""
+        graph = two_cycles(100, shuffle_ids=True, seed=4)
+        result = ampc_one_vs_two_cycle(graph, seed=4, config=CONFIG)
+        assert result.metrics.shuffles == 1
+
+    def test_rejects_non_cycle_graph(self):
+        with pytest.raises(ValueError):
+            ampc_one_vs_two_cycle(path_graph(10), config=CONFIG)
+        with pytest.raises(ValueError):
+            ampc_one_vs_two_cycle(Graph(0), config=CONFIG)
+
+    def test_small_cycle(self):
+        result = ampc_one_vs_two_cycle(cycle_graph(3), seed=0, config=CONFIG)
+        assert result.num_cycles == 1
+
+    def test_explicit_probability_retries_until_covered(self):
+        # A hopeless initial probability must be escalated, not wrong.
+        graph = two_cycles(64, shuffle_ids=True, seed=5)
+        result = ampc_one_vs_two_cycle(graph, seed=5, config=CONFIG,
+                                       sample_probability=1e-6)
+        assert result.num_cycles == 2
+        assert result.attempts > 1
+
+    def test_deterministic(self):
+        graph = two_cycles(80, shuffle_ids=True, seed=6)
+        a = ampc_one_vs_two_cycle(graph, seed=6, config=CONFIG)
+        b = ampc_one_vs_two_cycle(graph, seed=6, config=CONFIG)
+        assert a.num_cycles == b.num_cycles
+        assert a.num_sampled == b.num_sampled
+
+    def test_kv_reads_linear(self):
+        graph = cycle_graph(400, shuffle_ids=True, seed=7)
+        result = ampc_one_vs_two_cycle(graph, seed=7, config=CONFIG)
+        # Both-direction walks touch each edge twice; allow retry slack.
+        assert result.metrics.kv_reads <= 5 * graph.num_vertices
+
+
+@given(
+    st.integers(min_value=3, max_value=60),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=15, deadline=None)
+def test_counts_cycles_property(k, count, seed):
+    graph = disjoint_union([cycle_graph(k + i) for i in range(count)])
+    result = ampc_one_vs_two_cycle(graph, seed=seed,
+                                   config=ClusterConfig(num_machines=3))
+    assert result.num_cycles == count

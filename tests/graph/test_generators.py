@@ -1,0 +1,152 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    complete_graph,
+    cycle_graph,
+    degree_weighted,
+    disjoint_union,
+    erdos_renyi_gnm,
+    grid_graph,
+    path_graph,
+    random_spanning_tree_graph,
+    star_graph,
+    two_cycles,
+)
+from repro.graph.generators import power_law_degrees, random_weighted
+from repro.graph.properties import connected_component_sizes, is_connected
+
+
+class TestBasicShapes:
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+    def test_cycle(self):
+        graph = cycle_graph(6)
+        assert graph.num_edges == 6
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+        assert is_connected(graph)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_cycle_shuffled_ids_same_shape(self):
+        graph = cycle_graph(50, shuffle_ids=True, seed=7)
+        assert graph.num_edges == 50
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+        assert is_connected(graph)
+
+    def test_two_cycles(self):
+        graph = two_cycles(10)
+        sizes = connected_component_sizes(graph)
+        assert sorted(sizes.values()) == [10, 10]
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+
+    def test_two_cycles_shuffled(self):
+        graph = two_cycles(25, shuffle_ids=True, seed=3)
+        sizes = connected_component_sizes(graph)
+        assert sorted(sizes.values()) == [25, 25]
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+
+    def test_star(self):
+        graph = star_graph(7)
+        assert graph.degree(0) == 6
+        assert graph.num_edges == 6
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_vertices == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4
+        assert is_connected(graph)
+
+
+class TestRandomGraphs:
+    def test_gnm_exact_edge_count(self):
+        graph = erdos_renyi_gnm(50, 120, seed=1)
+        assert graph.num_edges == 120
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(4, 10)
+
+    def test_gnm_deterministic(self):
+        a = erdos_renyi_gnm(40, 80, seed=9)
+        b = erdos_renyi_gnm(40, 80, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_chung_lu_respects_expected_volume(self):
+        degrees = [10.0] * 200
+        graph = chung_lu_graph(degrees, seed=3)
+        expected_edges = sum(degrees) / 2
+        assert 0.5 * expected_edges < graph.num_edges < 1.5 * expected_edges
+
+    def test_chung_lu_skew(self):
+        degrees = power_law_degrees(500, exponent=2.2, min_degree=2, seed=4)
+        graph = chung_lu_graph(degrees, seed=4)
+        assert graph.max_degree() > 3 * (2 * graph.num_edges / 500)
+
+    def test_power_law_degrees_bounds(self):
+        degrees = power_law_degrees(1000, exponent=2.5, min_degree=1.5,
+                                    max_degree=40, seed=0)
+        assert all(1.5 <= d <= 40 for d in degrees)
+
+    def test_barabasi_albert_connected_with_hubs(self):
+        graph = barabasi_albert_graph(300, attach=3, seed=5)
+        assert is_connected(graph)
+        assert graph.max_degree() >= 15  # hubs emerge
+
+    def test_barabasi_albert_bad_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, attach=5)
+
+    def test_random_spanning_tree_connected(self):
+        graph = random_spanning_tree_graph(100, extra_edges=20, seed=2)
+        assert is_connected(graph)
+        assert graph.num_edges == 119
+
+
+class TestCombinators:
+    def test_disjoint_union(self):
+        union = disjoint_union([cycle_graph(4), path_graph(3)])
+        assert union.num_vertices == 7
+        assert union.num_edges == 6
+        sizes = connected_component_sizes(union)
+        assert sorted(sizes.values()) == [3, 4]
+
+    def test_degree_weighted_matches_paper_rule(self):
+        graph = star_graph(5)
+        weighted = degree_weighted(graph)
+        # center degree 4, leaves degree 1 -> every edge weighs 5
+        assert all(w == 5.0 for _, _, w in weighted.edges())
+
+    def test_random_weighted_unit_interval(self):
+        graph = random_weighted(cycle_graph(20), seed=11)
+        assert all(0.0 <= w < 1.0 for _, _, w in graph.edges())
+
+
+@given(st.integers(min_value=3, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_cycle_property_all_degree_two(n):
+    graph = cycle_graph(n)
+    assert graph.num_edges == n
+    assert all(graph.degree(v) == 2 for v in graph.vertices())
+
+
+@given(st.integers(min_value=3, max_value=25), st.integers(min_value=0, max_value=999))
+@settings(max_examples=20, deadline=None)
+def test_two_cycles_property(k, seed):
+    graph = two_cycles(k, shuffle_ids=True, seed=seed)
+    sizes = connected_component_sizes(graph)
+    assert sorted(sizes.values()) == [k, k]

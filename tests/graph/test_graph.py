@@ -1,0 +1,178 @@
+"""Unit tests for the core graph data structures."""
+
+import pytest
+
+from repro.graph import Graph, WeightedGraph, edge_key
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 3) == (1, 3)
+
+    def test_identity_pair(self):
+        assert edge_key(2, 2) == (2, 2)
+
+
+class TestGraph:
+    def test_empty(self):
+        graph = Graph(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_add_edge(self):
+        graph = Graph(3)
+        assert graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_collapses(self):
+        graph = Graph(3)
+        assert graph.add_edge(0, 1)
+        assert not graph.add_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        graph = Graph(3)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_neighbors_sorted(self):
+        graph = Graph(4)
+        graph.add_edge(2, 3)
+        graph.add_edge(2, 0)
+        graph.add_edge(2, 1)
+        assert graph.neighbors(2) == (0, 1, 3)
+
+    def test_degree_and_max_degree(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        graph.add_edge(0, 3)
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+        assert graph.max_degree() == 3
+
+    def test_edges_iterates_once_each(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 1)
+        graph.add_edge(3, 2)
+        assert sorted(graph.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_remove_edge(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.remove_edge(1, 0)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 0
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(3)
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_add_vertex(self):
+        graph = Graph(2)
+        new = graph.add_vertex()
+        assert new == 2
+        graph.add_edge(2, 0)
+        assert graph.has_edge(2, 0)
+
+    def test_from_edges(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.num_edges == 3
+
+    def test_subgraph_relabels(self):
+        graph = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, relabel = graph.subgraph([1, 2, 4])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 1  # only (1, 2) survives
+        assert sub.has_edge(relabel[1], relabel[2])
+
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+
+class TestWeightedGraph:
+    def test_add_edge_with_weight(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 2.5)
+        assert graph.weight(0, 1) == 2.5
+        assert graph.weight(1, 0) == 2.5
+
+    def test_duplicate_keeps_min_weight(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 5.0)
+        graph.add_edge(1, 0, 2.0)
+        assert graph.num_edges == 1
+        assert graph.weight(0, 1) == 2.0
+
+    def test_duplicate_ignores_larger_weight(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 2.0)
+        graph.add_edge(1, 0, 5.0)
+        assert graph.weight(0, 1) == 2.0
+
+    def test_self_loop_rejected(self):
+        graph = WeightedGraph(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0, 1.0)
+
+    def test_weight_order_key_breaks_ties(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        assert graph.weight_order_key(0, 1) < graph.weight_order_key(2, 3)
+        assert graph.weight_order_key(1, 0) == graph.weight_order_key(0, 1)
+
+    def test_neighbor_items_sorted_by_edge_order(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 3, 1.0)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 2, 0.5)
+        items = graph.neighbor_items(0)
+        assert items == [(2, 0.5), (1, 1.0), (3, 1.0)]
+
+    def test_from_graph_default_weight(self):
+        base = Graph.from_edges(3, [(0, 1), (1, 2)])
+        weighted = WeightedGraph.from_graph(base)
+        assert weighted.weight(0, 1) == 1.0
+        assert weighted.num_edges == 2
+
+    def test_total_weight(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        assert graph.total_weight() == 4.0
+
+    def test_unweighted_projection(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        plain = graph.unweighted()
+        assert sorted(plain.edges()) == [(0, 1), (1, 2)]
+
+    def test_subgraph_edges(self):
+        graph = WeightedGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        sub = graph.subgraph_edges([(1, 2)])
+        assert sub.num_edges == 1
+        assert sub.weight(1, 2) == 2.0
+        assert sub.num_vertices == 4
+
+    def test_copy_is_independent(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 1.0)])
+        clone = graph.copy()
+        clone.add_edge(1, 2, 9.0)
+        assert graph.num_edges == 1

@@ -1,0 +1,59 @@
+"""Tests for edge-list I/O round-trips."""
+
+from repro.graph import Graph, WeightedGraph, cycle_graph
+from repro.graph.generators import random_weighted
+from repro.graph.io import (
+    read_edge_list,
+    read_weighted_edge_list,
+    write_edge_list,
+    write_weighted_edge_list,
+)
+
+
+def test_unweighted_round_trip(tmp_path):
+    graph = cycle_graph(12)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path)
+    assert loaded.num_vertices == graph.num_vertices
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+def test_weighted_round_trip(tmp_path):
+    graph = random_weighted(cycle_graph(10), seed=3)
+    path = tmp_path / "graph.wtx"
+    write_weighted_edge_list(graph, path)
+    loaded = read_weighted_edge_list(path)
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+def test_isolated_vertices_preserved_via_header(tmp_path):
+    graph = Graph(6)
+    graph.add_edge(0, 1)
+    path = tmp_path / "sparse.txt"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path)
+    assert loaded.num_vertices == 6
+
+
+def test_reader_skips_comments_and_self_loops(tmp_path):
+    path = tmp_path / "manual.txt"
+    path.write_text("# a comment\n0 1\n1 1\n2 0\n\n")
+    loaded = read_edge_list(path)
+    assert loaded.num_edges == 2
+    assert loaded.num_vertices == 3
+
+
+def test_directed_duplicates_symmetrize(tmp_path):
+    path = tmp_path / "directed.txt"
+    path.write_text("0 1\n1 0\n1 2\n")
+    loaded = read_edge_list(path)
+    assert loaded.num_edges == 2
+
+
+def test_weighted_reader_defaults_missing_weight(tmp_path):
+    path = tmp_path / "mixed.txt"
+    path.write_text("0 1 2.5\n1 2\n")
+    loaded = read_weighted_edge_list(path)
+    assert loaded.weight(0, 1) == 2.5
+    assert loaded.weight(1, 2) == 1.0

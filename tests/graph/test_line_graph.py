@@ -1,0 +1,53 @@
+"""Tests for line graph construction."""
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    line_graph,
+    line_graph_size,
+    path_graph,
+    star_graph,
+)
+
+
+def test_path_line_graph_is_shorter_path():
+    lg, edge_of_vertex = line_graph(path_graph(5))
+    assert lg.num_vertices == 4
+    assert lg.num_edges == 3
+    assert len(edge_of_vertex) == 4
+
+
+def test_cycle_line_graph_is_cycle():
+    lg, _ = line_graph(cycle_graph(6))
+    assert lg.num_vertices == 6
+    assert lg.num_edges == 6
+    assert all(lg.degree(v) == 2 for v in lg.vertices())
+
+
+def test_star_line_graph_is_complete():
+    # Every pair of star edges shares the center.
+    lg, _ = line_graph(star_graph(5))
+    assert lg.num_vertices == 4
+    assert lg.num_edges == 4 * 3 // 2
+
+
+def test_line_graph_size_formula():
+    for graph in (path_graph(6), cycle_graph(7), star_graph(6), complete_graph(5)):
+        lg, _ = line_graph(graph)
+        assert lg.num_edges == line_graph_size(graph)
+
+
+def test_adjacency_means_shared_endpoint():
+    graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    lg, edge_of_vertex = line_graph(graph)
+    index = {edge: i for i, edge in enumerate(edge_of_vertex)}
+    assert lg.has_edge(index[(0, 1)], index[(1, 2)])
+    assert not lg.has_edge(index[(0, 1)], index[(2, 3)])
+
+
+def test_line_graph_blowup_documented():
+    # A star's line graph is quadratic in its edges -- the reason Algorithm 4
+    # never materializes the line graph of the full input.
+    star = star_graph(40)
+    assert line_graph_size(star) == 39 * 38 // 2

@@ -1,0 +1,88 @@
+"""Tests for graph property computations (Table 2 machinery)."""
+
+from repro.graph import (
+    Graph,
+    connected_component_sizes,
+    connected_components,
+    cycle_graph,
+    diameter,
+    diameter_lower_bound,
+    disjoint_union,
+    grid_graph,
+    is_connected,
+    path_graph,
+    star_graph,
+    summarize,
+    two_cycles,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        labels = connected_components(cycle_graph(5))
+        assert len(set(labels)) == 1
+
+    def test_labels_are_min_ids(self):
+        graph = disjoint_union([path_graph(3), path_graph(2)])
+        labels = connected_components(graph)
+        assert labels == [0, 0, 0, 3, 3]
+
+    def test_isolated_vertices(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        sizes = connected_component_sizes(graph)
+        assert sorted(sizes.values()) == [1, 1, 2]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph(0)) == []
+        assert is_connected(Graph(0))
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        assert diameter(path_graph(10)) == 9
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(10)) == 5
+        assert diameter(cycle_graph(11)) == 5
+
+    def test_star_diameter(self):
+        assert diameter(star_graph(20)) == 2
+
+    def test_grid_diameter(self):
+        assert diameter(grid_graph(3, 5)) == 2 + 4
+
+    def test_diameter_uses_largest_component(self):
+        graph = disjoint_union([path_graph(10), path_graph(3)])
+        assert diameter(graph) == 9
+
+    def test_lower_bound_is_a_lower_bound(self):
+        for graph in (path_graph(30), cycle_graph(30), grid_graph(5, 6)):
+            assert diameter_lower_bound(graph) <= diameter(graph)
+
+    def test_lower_bound_exact_on_paths(self):
+        # Double sweep is exact on trees.
+        assert diameter_lower_bound(path_graph(40)) == 39
+
+
+class TestSummarize:
+    def test_two_cycles_summary(self):
+        graph = two_cycles(20)
+        summary = summarize("2x20", graph)
+        assert summary.num_vertices == 40
+        assert summary.num_edges == 40
+        assert summary.num_components == 2
+        assert summary.largest_component == 20
+        assert summary.diameter == 10
+        assert not summary.diameter_is_lower_bound
+
+    def test_large_graph_uses_lower_bound(self):
+        graph = cycle_graph(50)
+        summary = summarize("c50", graph, exact_diameter_max_n=10)
+        assert summary.diameter_is_lower_bound
+        assert summary.diameter <= 25
+
+    def test_row_formatting_flags_lower_bound(self):
+        graph = cycle_graph(50)
+        summary = summarize("c50", graph, exact_diameter_max_n=10)
+        assert summary.row()[3].endswith("*")

@@ -1,0 +1,88 @@
+"""Tests for graph ternarization (Algorithm 2, line 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import WeightedGraph, cycle_graph, star_graph, ternarize
+from repro.graph.generators import erdos_renyi_gnm, random_weighted
+from repro.graph.properties import connected_component_sizes
+from repro.sequential import kruskal_msf, msf_weight
+
+
+def test_low_degree_graph_unchanged_in_shape():
+    graph = random_weighted(cycle_graph(8), seed=1)
+    result = ternarize(graph)
+    assert result.graph.num_vertices == 8
+    assert result.graph.num_edges == 8
+    assert all(not result.is_dummy_edge(u, v) for u, v, _ in result.graph.edges())
+
+
+def test_star_expansion():
+    graph = random_weighted(star_graph(6), seed=2)  # center degree 5
+    result = ternarize(graph)
+    # Center becomes a 5-cycle; leaves stay single vertices.
+    assert result.graph.num_vertices == 5 + 5
+    # 5 dummy cycle edges + 5 real edges.
+    assert result.graph.num_edges == 10
+    assert result.graph.max_degree() <= 3
+
+
+def test_dummy_weight_below_all_real_weights():
+    graph = random_weighted(star_graph(6), seed=3)
+    result = ternarize(graph)
+    min_real = min(w for _, _, w in graph.edges())
+    assert result.dummy_weight < min_real
+
+
+def test_projection_recovers_original_edges():
+    graph = random_weighted(star_graph(6), seed=4)
+    result = ternarize(graph)
+    real_edges = [
+        (u, v) for u, v, _ in result.graph.edges()
+        if not result.is_dummy_edge(u, v)
+    ]
+    projected = result.project_edges(real_edges)
+    assert sorted(projected) == sorted((u, v) for u, v, _ in graph.edges())
+
+
+def test_connectivity_preserved():
+    graph = random_weighted(erdos_renyi_gnm(30, 60, seed=5), seed=5)
+    result = ternarize(graph)
+    original_sizes = len(connected_component_sizes(graph.unweighted()))
+    # Isolated original vertices stay isolated; expanded components stay whole.
+    ternarized_sizes = len(connected_component_sizes(result.graph.unweighted()))
+    assert ternarized_sizes == original_sizes
+
+
+def test_msf_weight_preserved_via_projection():
+    """MSF(ternarized) projected back equals MSF(original)."""
+    graph = random_weighted(erdos_renyi_gnm(25, 70, seed=6), seed=6)
+    result = ternarize(graph)
+    ternarized_msf = kruskal_msf(result.graph)
+    projected = result.project_edges(ternarized_msf)
+    original_msf = kruskal_msf(graph)
+    assert sorted(projected) == sorted(original_msf)
+
+
+def test_empty_graph():
+    result = ternarize(WeightedGraph(5))
+    assert result.graph.num_vertices == 5
+    assert result.graph.num_edges == 0
+
+
+@given(st.integers(min_value=5, max_value=30), st.integers(min_value=0, max_value=99))
+@settings(max_examples=25, deadline=None)
+def test_ternarize_properties(n, seed):
+    m = min(2 * n, n * (n - 1) // 2)
+    graph = random_weighted(erdos_renyi_gnm(n, m, seed=seed), seed=seed)
+    result = ternarize(graph)
+    # Max degree bound is the whole point.
+    assert result.graph.max_degree() <= 3
+    # Every real edge maps back; counts match.
+    real = sum(
+        1 for u, v, _ in result.graph.edges() if not result.is_dummy_edge(u, v)
+    )
+    assert real == graph.num_edges
+    # MSF weight is preserved through projection.
+    projected = result.project_edges(kruskal_msf(result.graph))
+    assert sorted(projected) == sorted(kruskal_msf(graph))

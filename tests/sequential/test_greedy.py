@@ -1,0 +1,90 @@
+"""Tests for sequential random-greedy MIS and maximal matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.sequential import (
+    greedy_matching,
+    greedy_mis,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    random_edge_ranks,
+    random_vertex_ranks,
+)
+
+
+class TestGreedyMIS:
+    def test_star_low_center_rank(self):
+        graph = star_graph(5)
+        ranks = [0.0, 0.5, 0.6, 0.7, 0.8]
+        assert greedy_mis(graph, ranks) == {0}
+
+    def test_star_high_center_rank(self):
+        graph = star_graph(5)
+        ranks = [0.9, 0.1, 0.2, 0.3, 0.4]
+        assert greedy_mis(graph, ranks) == {1, 2, 3, 4}
+
+    def test_complete_graph_single_vertex(self):
+        graph = complete_graph(6)
+        ranks = random_vertex_ranks(6, seed=0)
+        mis = greedy_mis(graph, ranks)
+        assert len(mis) == 1
+
+    def test_always_maximal(self):
+        for seed in range(5):
+            graph = erdos_renyi_gnm(30, 60, seed=seed)
+            ranks = random_vertex_ranks(30, seed=seed)
+            assert is_maximal_independent_set(graph, greedy_mis(graph, ranks))
+
+    def test_deterministic_for_fixed_seed(self):
+        graph = erdos_renyi_gnm(25, 50, seed=1)
+        ranks = random_vertex_ranks(25, seed=7)
+        assert greedy_mis(graph, ranks) == greedy_mis(graph, ranks)
+
+
+class TestGreedyMatching:
+    def test_path_lowest_rank_first(self):
+        graph = path_graph(3)
+        ranks = {(0, 1): 0.2, (1, 2): 0.1}
+        assert greedy_matching(graph, ranks) == {(1, 2)}
+
+    def test_always_maximal(self):
+        for seed in range(5):
+            graph = erdos_renyi_gnm(30, 70, seed=seed)
+            ranks = random_edge_ranks(graph, seed=seed)
+            assert is_maximal_matching(graph, greedy_matching(graph, ranks))
+
+    def test_cycle_matching_size(self):
+        graph = cycle_graph(6)
+        ranks = random_edge_ranks(graph, seed=3)
+        matching = greedy_matching(graph, ranks)
+        assert len(matching) in (2, 3)  # maximal matchings of C6
+
+
+class TestRanks:
+    def test_vertex_ranks_deterministic(self):
+        assert random_vertex_ranks(10, seed=5) == random_vertex_ranks(10, seed=5)
+
+    def test_vertex_ranks_in_unit_interval(self):
+        assert all(0 <= r < 1 for r in random_vertex_ranks(100, seed=1))
+
+    def test_edge_ranks_cover_all_edges(self):
+        graph = cycle_graph(8)
+        ranks = random_edge_ranks(graph, seed=2)
+        assert len(ranks) == 8
+
+
+@given(
+    st.integers(min_value=1, max_value=25),
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_greedy_outputs_valid_random(n, seed):
+    m = min(2 * n, n * (n - 1) // 2)
+    graph = erdos_renyi_gnm(n, m, seed=seed)
+    vranks = random_vertex_ranks(n, seed=seed)
+    eranks = random_edge_ranks(graph, seed=seed)
+    assert is_maximal_independent_set(graph, greedy_mis(graph, vranks))
+    assert is_maximal_matching(graph, greedy_matching(graph, eranks))

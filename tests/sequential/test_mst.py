@@ -1,0 +1,62 @@
+"""Tests for sequential MSF algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import WeightedGraph, cycle_graph, disjoint_union, path_graph
+from repro.graph.generators import erdos_renyi_gnm, random_weighted
+from repro.sequential import is_spanning_forest, kruskal_msf, msf_weight, prim_msf
+
+
+def test_path_msf_is_whole_path():
+    graph = random_weighted(path_graph(6), seed=0)
+    forest = kruskal_msf(graph)
+    assert len(forest) == 5
+
+
+def test_cycle_msf_drops_heaviest_edge():
+    graph = WeightedGraph(4)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 2.0)
+    graph.add_edge(2, 3, 3.0)
+    graph.add_edge(3, 0, 9.0)
+    forest = kruskal_msf(graph)
+    assert sorted(forest) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_forest_spans_all_components():
+    base = disjoint_union([cycle_graph(4), cycle_graph(5)])
+    graph = random_weighted(base, seed=1)
+    forest = kruskal_msf(graph)
+    assert len(forest) == (4 - 1) + (5 - 1)
+    assert is_spanning_forest(graph.unweighted(), forest)
+
+
+def test_prim_equals_kruskal_with_ties():
+    # All weights equal: the strict total order must still give a unique MSF.
+    graph = WeightedGraph.from_graph(erdos_renyi_gnm(20, 50, seed=2))
+    assert sorted(prim_msf(graph)) == sorted(kruskal_msf(graph))
+
+
+def test_empty_graph():
+    assert kruskal_msf(WeightedGraph(3)) == []
+    assert prim_msf(WeightedGraph(3)) == []
+
+
+def test_msf_weight_helper():
+    graph = WeightedGraph.from_edges(3, [(0, 1, 1.5), (1, 2, 2.0)])
+    assert msf_weight(graph, [(0, 1), (1, 2)]) == 3.5
+
+
+@given(
+    st.integers(min_value=2, max_value=25),
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_prim_equals_kruskal_random(n, seed):
+    m = min(3 * n, n * (n - 1) // 2)
+    graph = random_weighted(erdos_renyi_gnm(n, m, seed=seed), seed=seed)
+    kruskal = kruskal_msf(graph)
+    prim = prim_msf(graph)
+    assert sorted(kruskal) == sorted(prim)
+    assert is_spanning_forest(graph.unweighted(), kruskal)

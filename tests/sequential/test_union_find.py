@@ -1,0 +1,76 @@
+"""Tests for the disjoint-set forest."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequential import UnionFind
+
+
+def test_initial_state():
+    uf = UnionFind(5)
+    assert uf.num_sets == 5
+    assert all(uf.find(i) == i for i in range(5))
+
+
+def test_union_merges():
+    uf = UnionFind(4)
+    assert uf.union(0, 1)
+    assert uf.connected(0, 1)
+    assert not uf.connected(0, 2)
+    assert uf.num_sets == 3
+
+
+def test_union_idempotent():
+    uf = UnionFind(3)
+    assert uf.union(0, 1)
+    assert not uf.union(1, 0)
+    assert uf.num_sets == 2
+
+
+def test_transitive_connectivity():
+    uf = UnionFind(5)
+    uf.union(0, 1)
+    uf.union(1, 2)
+    uf.union(3, 4)
+    assert uf.connected(0, 2)
+    assert not uf.connected(2, 3)
+
+
+def test_component_labels_are_min_elements():
+    uf = UnionFind(6)
+    uf.union(5, 3)
+    uf.union(3, 1)
+    uf.union(0, 2)
+    labels = uf.component_labels()
+    assert labels == [0, 1, 0, 1, 4, 1]
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        UnionFind(-1)
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=80),
+)
+@settings(max_examples=40, deadline=None)
+def test_union_find_matches_naive_partition(n, pairs):
+    """Compare with a brute-force partition refinement."""
+    uf = UnionFind(n)
+    naive = [{i} for i in range(n)]
+    membership = list(range(n))
+    for a, b in pairs:
+        if a >= n or b >= n:
+            continue
+        uf.union(a, b)
+        ra, rb = membership[a], membership[b]
+        if ra != rb:
+            naive[ra] |= naive[rb]
+            for x in naive[rb]:
+                membership[x] = ra
+            naive[rb] = set()
+    for i in range(n):
+        for j in range(n):
+            assert uf.connected(i, j) == (membership[i] == membership[j])

@@ -1,0 +1,71 @@
+"""Tests for the validation predicates themselves."""
+
+from repro.graph import Graph, cycle_graph, path_graph
+from repro.sequential import (
+    is_forest,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_spanning_forest,
+)
+from repro.sequential.validate import components_equal
+
+
+class TestIndependentSet:
+    def test_accepts_independent(self):
+        assert is_independent_set(path_graph(4), {0, 2})
+
+    def test_rejects_adjacent(self):
+        assert not is_independent_set(path_graph(4), {0, 1})
+
+    def test_maximal_requires_domination(self):
+        graph = path_graph(5)
+        assert not is_maximal_independent_set(graph, {0})  # 3, 4 undominated
+        assert is_maximal_independent_set(graph, {0, 2, 4})
+
+
+class TestMatching:
+    def test_accepts_disjoint_edges(self):
+        assert is_matching(path_graph(4), [(0, 1), (2, 3)])
+
+    def test_rejects_shared_vertex(self):
+        assert not is_matching(path_graph(4), [(0, 1), (1, 2)])
+
+    def test_rejects_non_edges(self):
+        assert not is_matching(path_graph(4), [(0, 2)])
+
+    def test_maximal_matching(self):
+        graph = path_graph(5)
+        assert not is_maximal_matching(graph, [(0, 1)])  # (2,3) addable
+        assert is_maximal_matching(graph, [(0, 1), (2, 3)])
+        assert is_maximal_matching(graph, [(1, 2), (3, 4)])
+
+
+class TestForest:
+    def test_accepts_acyclic(self):
+        assert is_forest(4, [(0, 1), (1, 2)])
+
+    def test_rejects_cycle(self):
+        assert not is_forest(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_spanning_forest_requires_full_span(self):
+        graph = cycle_graph(4)
+        assert is_spanning_forest(graph, [(0, 1), (1, 2), (2, 3)])
+        assert not is_spanning_forest(graph, [(0, 1), (2, 3)])  # 2 trees, 1 CC
+
+    def test_spanning_forest_rejects_foreign_edges(self):
+        graph = path_graph(4)
+        assert not is_spanning_forest(graph, [(0, 3), (1, 2), (0, 1)])
+
+
+class TestComponentsEqual:
+    def test_same_partition_different_labels(self):
+        assert components_equal([0, 0, 2, 2], [7, 7, 9, 9])
+
+    def test_different_partitions(self):
+        assert not components_equal([0, 0, 2, 2], [0, 1, 2, 2])
+        assert not components_equal([0, 1, 2, 2], [0, 0, 2, 2])
+
+    def test_length_mismatch(self):
+        assert not components_equal([0], [0, 0])

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import (
+    cycle_graph,
+    erdos_renyi_gnm,
+    random_weighted,
+    two_cycles,
+)
+from repro.graph.io import write_edge_list, write_weighted_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(erdos_renyi_gnm(40, 100, seed=1), path)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_mis_command(graph_file, capsys):
+    out = run_cli(capsys, "mis", graph_file, "--machines", "4")
+    assert "maximal independent set" in out
+    assert "shuffles: 1" in out
+
+
+def test_matching_command(graph_file, capsys):
+    out = run_cli(capsys, "matching", graph_file, "--machines", "4")
+    assert "maximal matching" in out
+
+
+def test_msf_degree_weighted(graph_file, capsys):
+    out = run_cli(capsys, "msf", graph_file, "--machines", "4")
+    assert "minimum spanning forest" in out
+    assert "shuffles: 5" in out
+
+
+def test_msf_weighted_file(tmp_path, capsys):
+    path = tmp_path / "weighted.txt"
+    write_weighted_edge_list(
+        random_weighted(erdos_renyi_gnm(30, 70, seed=2), seed=2), path)
+    out = run_cli(capsys, "msf", str(path), "--weighted", "--machines", "4")
+    assert "minimum spanning forest" in out
+
+
+def test_components_command(graph_file, capsys):
+    out = run_cli(capsys, "components", graph_file, "--machines", "4")
+    assert "connected components" in out
+
+
+def test_two_cycle_command(tmp_path, capsys):
+    path = tmp_path / "cycles.txt"
+    write_edge_list(two_cycles(60, shuffle_ids=True, seed=3), path)
+    out = run_cli(capsys, "two-cycle", str(path), "--machines", "4")
+    assert "number of cycles: 2" in out
+
+
+def test_pagerank_command(tmp_path, capsys):
+    path = tmp_path / "pr.txt"
+    write_edge_list(cycle_graph(30), path)
+    out = run_cli(capsys, "pagerank", str(path), "--machines", "4",
+                  "--walks", "4", "--top", "3")
+    assert "PageRank" in out
+
+
+def test_ablation_flags(graph_file, capsys):
+    out = run_cli(capsys, "mis", graph_file, "--machines", "4",
+                  "--no-caching", "--no-multithreading",
+                  "--transport", "tcp")
+    assert "cache hit rate: 0.0%" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate", "x.txt"])
+
+
+def test_module_entry_point(graph_file):
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "mis", graph_file,
+         "--machines", "2"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0
+    assert "maximal independent set" in result.stdout

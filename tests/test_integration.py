@@ -1,0 +1,139 @@
+"""Cross-cutting integration tests.
+
+These exercise full pipelines across module boundaries: AMPC vs MPC vs
+sequential agreement on the scaled datasets, fault injection end to end,
+communication-budget enforcement on a real algorithm, and the strict AMPC
+round semantics.
+"""
+
+import pytest
+
+from repro.ampc import AMPCRuntime, ClusterConfig, FaultPlan
+from repro.ampc.runtime import BudgetExceededError
+from repro.analysis.datasets import load_dataset, load_weighted_dataset
+from repro.baselines import (
+    mpc_boruvka_msf,
+    mpc_local_contraction_cc,
+    mpc_rootset_matching,
+    mpc_rootset_mis,
+)
+from repro.core import (
+    ampc_connected_components,
+    ampc_maximal_matching,
+    ampc_mis,
+    ampc_msf,
+    vertex_ranks,
+)
+from repro.graph.properties import connected_components
+from repro.sequential import greedy_mis, kruskal_msf
+from repro.sequential.validate import components_equal
+
+CONFIG = ClusterConfig(num_machines=6)
+SCALE = 0.125  # tiny copies of the benchmark datasets
+
+
+@pytest.mark.parametrize("name", ["OK-S", "TW-S", "CW-S"])
+def test_three_way_mis_agreement(name):
+    """AMPC, MPC and sequential greedy agree on scaled real-ish inputs."""
+    graph = load_dataset(name, scale=SCALE)
+    expected = greedy_mis(graph, vertex_ranks(graph.num_vertices, seed=3))
+    ampc = ampc_mis(graph, config=CONFIG, seed=3)
+    mpc = mpc_rootset_mis(graph, config=CONFIG, seed=3,
+                          in_memory_threshold=max(64, graph.num_edges // 20))
+    assert ampc.independent_set == expected
+    assert mpc.independent_set == expected
+
+
+@pytest.mark.parametrize("name", ["OK-S", "CW-S"])
+def test_msf_agreement_on_datasets(name):
+    graph = load_weighted_dataset(name, scale=SCALE)
+    expected = sorted(kruskal_msf(graph))
+    ampc = ampc_msf(graph, config=CONFIG, seed=3)
+    mpc = mpc_boruvka_msf(graph, config=CONFIG, seed=3,
+                          in_memory_threshold=max(64, graph.num_edges // 20))
+    assert ampc.forest == expected
+    assert sorted(mpc.forest) == expected
+
+
+@pytest.mark.parametrize("name", ["TW-S", "HL-S"])
+def test_connectivity_agreement_on_datasets(name):
+    graph = load_dataset(name, scale=SCALE)
+    expected = connected_components(graph)
+    ampc = ampc_connected_components(graph, config=CONFIG, seed=3)
+    mpc = mpc_local_contraction_cc(
+        graph, config=CONFIG, seed=3,
+        in_memory_threshold=max(64, graph.num_edges // 20))
+    assert components_equal(ampc.labels, expected)
+    assert components_equal(mpc.labels, expected)
+
+
+def test_matching_agreement_on_dataset():
+    graph = load_dataset("FS-S", scale=SCALE)
+    ampc = ampc_maximal_matching(graph, config=CONFIG, seed=3)
+    mpc = mpc_rootset_matching(graph, config=CONFIG, seed=3,
+                               in_memory_threshold=max(64, graph.num_edges // 20))
+    assert ampc.matching == mpc.matching
+
+
+class TestFaultInjectionEndToEnd:
+    def test_outputs_unchanged_under_preemptions(self):
+        graph = load_dataset("OK-S", scale=SCALE)
+        clean = ampc_mis(graph, config=CONFIG, seed=5)
+        for probability in (0.2, 0.5):
+            plan = FaultPlan(preempt_probability=probability, seed=7)
+            runtime = AMPCRuntime(config=CONFIG, fault_plan=plan)
+            faulty = ampc_mis(graph, runtime=runtime, seed=5)
+            assert faulty.independent_set == clean.independent_set
+            assert faulty.metrics.preemptions > 0
+            assert (faulty.metrics.simulated_time_s
+                    >= clean.metrics.simulated_time_s)
+
+    def test_mpc_baseline_also_fault_tolerant(self):
+        graph = load_dataset("OK-S", scale=SCALE)
+        clean = mpc_rootset_mis(graph, config=CONFIG, seed=5,
+                                in_memory_threshold=64)
+        plan = FaultPlan(preempt_probability=0.3, seed=9)
+        faulty = mpc_rootset_mis(graph, config=CONFIG, fault_plan=plan,
+                                 seed=5, in_memory_threshold=64)
+        assert faulty.independent_set == clean.independent_set
+        assert faulty.metrics.preemptions > 0
+
+
+class TestBudgetEnforcement:
+    def test_unbudgeted_search_can_blow_the_limit(self):
+        """A machine-level O(S) budget trips the untruncated algorithm on a
+        big enough instance — the reason the theory algorithms truncate."""
+        graph = load_dataset("OK-S", scale=0.25)
+        config = CONFIG.with_overrides(query_budget_per_machine=50)
+        with pytest.raises(BudgetExceededError):
+            ampc_mis(graph, config=config, seed=1)
+
+    def test_generous_budget_passes(self):
+        graph = load_dataset("OK-S", scale=SCALE)
+        config = CONFIG.with_overrides(
+            query_budget_per_machine=10 * graph.num_edges
+        )
+        result = ampc_mis(graph, config=config, seed=1)
+        assert result.independent_set
+
+    def test_budget_tracking_in_metrics(self):
+        graph = load_dataset("OK-S", scale=SCALE)
+        result = ampc_mis(graph, config=CONFIG, seed=1)
+        assert result.metrics.max_machine_queries_per_stage > 0
+
+
+class TestDeterminism:
+    def test_full_pipeline_deterministic(self):
+        graph = load_weighted_dataset("TW-S", scale=SCALE)
+        a = ampc_msf(graph, config=CONFIG, seed=4)
+        b = ampc_msf(graph, config=CONFIG, seed=4)
+        assert a.forest == b.forest
+        assert a.metrics.kv_reads == b.metrics.kv_reads
+        assert a.metrics.simulated_time_s == b.metrics.simulated_time_s
+
+    def test_different_seeds_same_answer_size_class(self):
+        graph = load_weighted_dataset("TW-S", scale=SCALE)
+        a = ampc_msf(graph, config=CONFIG, seed=4)
+        b = ampc_msf(graph, config=CONFIG, seed=5)
+        # The MSF is weight-unique, hence seed-independent.
+        assert a.forest == b.forest

@@ -1,0 +1,37 @@
+"""The top-level public API surface resolves and works end to end."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_every_export_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_unknown_attribute():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_symbol
+
+
+def test_dir_lists_exports():
+    listing = dir(repro)
+    assert "ampc_mis" in listing
+    assert "ClusterConfig" in listing
+
+
+def test_end_to_end_through_top_level():
+    graph = repro.barabasi_albert_graph(60, attach=2, seed=1)
+    config = repro.ClusterConfig(num_machines=4)
+    mis = repro.ampc_mis(graph, config=config, seed=1)
+    matching = repro.ampc_maximal_matching(graph, config=config, seed=1)
+    forest = repro.ampc_msf(repro.degree_weighted(graph), config=config,
+                            seed=1)
+    assert mis.independent_set
+    assert matching.matching
+    assert len(forest.forest) == graph.num_vertices - 1

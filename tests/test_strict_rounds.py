@@ -1,0 +1,61 @@
+"""Strict AMPC round semantics across full algorithms.
+
+In the model (Section 2), round i reads D_{i-1} and writes D_i: a store
+must never be read in the round that writes it.  ``strict_rounds=True``
+turns violations into errors — these tests prove the shipped algorithms
+respect the discipline end to end.
+"""
+
+import pytest
+
+from repro.ampc import AMPCRuntime, ClusterConfig, StoreSealedError
+from repro.core.matching import ampc_maximal_matching
+from repro.core.mis import ampc_mis
+from repro.core.msf import ampc_msf
+from repro.graph.generators import (
+    degree_weighted,
+    erdos_renyi_gnm,
+)
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+def test_mis_respects_round_discipline():
+    graph = erdos_renyi_gnm(50, 120, seed=1)
+    runtime = AMPCRuntime(config=CONFIG, strict_rounds=True)
+    loose = ampc_mis(graph, config=CONFIG, seed=1)
+    strict = ampc_mis(graph, runtime=runtime, seed=1)
+    assert strict.independent_set == loose.independent_set
+
+
+def test_truncated_mis_respects_round_discipline():
+    graph = erdos_renyi_gnm(50, 120, seed=2)
+    runtime = AMPCRuntime(config=CONFIG, strict_rounds=True)
+    result = ampc_mis(graph, runtime=runtime, seed=2, search_budget=5)
+    loose = ampc_mis(graph, config=CONFIG, seed=2)
+    assert result.independent_set == loose.independent_set
+
+
+def test_matching_respects_round_discipline():
+    graph = erdos_renyi_gnm(40, 100, seed=3)
+    runtime = AMPCRuntime(config=CONFIG, strict_rounds=True)
+    strict = ampc_maximal_matching(graph, runtime=runtime, seed=3)
+    loose = ampc_maximal_matching(graph, config=CONFIG, seed=3)
+    assert strict.matching == loose.matching
+
+
+def test_msf_respects_round_discipline():
+    graph = degree_weighted(erdos_renyi_gnm(40, 100, seed=4))
+    runtime = AMPCRuntime(config=CONFIG, strict_rounds=True)
+    strict = ampc_msf(graph, runtime=runtime, seed=4)
+    loose = ampc_msf(graph, config=CONFIG, seed=4)
+    assert strict.forest == loose.forest
+
+
+def test_violation_is_detected():
+    """Reading a store before its round is sealed raises in strict mode."""
+    runtime = AMPCRuntime(config=CONFIG, strict_rounds=True)
+    store = runtime.new_store("early")
+    store.write("k", 1)
+    with pytest.raises(StoreSealedError):
+        store.lookup("k")

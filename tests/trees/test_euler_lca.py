@@ -1,0 +1,135 @@
+"""Tests for rooted forests, Euler tours and LCA."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import EulerTour, LCAIndex, RootedForest
+
+
+def _random_forest_edges(n, num_trees, seed):
+    """A random forest: each non-root vertex attaches to an earlier vertex of
+    its tree."""
+    rng = random.Random(seed)
+    roots = sorted(rng.sample(range(n), num_trees))
+    tree_of = {}
+    members = {r: [r] for r in roots}
+    for r in roots:
+        tree_of[r] = r
+    unassigned = [v for v in range(n) if v not in tree_of]
+    edges = []
+    for v in unassigned:
+        root = roots[rng.randrange(num_trees)]
+        parent = members[root][rng.randrange(len(members[root]))]
+        edges.append((parent, v))
+        members[root].append(v)
+        tree_of[v] = root
+    return edges, tree_of
+
+
+class TestRootedForest:
+    def test_path_rooting(self):
+        forest = RootedForest(4, [(0, 1), (1, 2), (2, 3)])
+        assert forest.roots == [0]
+        assert forest.parent == [-1, 0, 1, 2]
+        assert forest.level == [0, 1, 2, 3]
+
+    def test_two_trees(self):
+        forest = RootedForest(5, [(0, 1), (3, 4)])
+        assert forest.roots == [0, 2, 3]
+        assert forest.same_tree(0, 1)
+        assert not forest.same_tree(1, 3)
+
+    def test_explicit_roots(self):
+        forest = RootedForest(3, [(0, 1), (1, 2)], roots=[2, 0, 1])
+        assert forest.roots == [2]
+        assert forest.level[0] == 2
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            RootedForest(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_is_ancestor_of(self):
+        forest = RootedForest(4, [(0, 1), (1, 2), (1, 3)])
+        assert forest.is_ancestor_of(0, 2)
+        assert forest.is_ancestor_of(1, 3)
+        assert not forest.is_ancestor_of(2, 3)
+        assert forest.is_ancestor_of(2, 2)
+
+
+class TestEulerTour:
+    def test_tour_length(self):
+        forest = RootedForest(4, [(0, 1), (1, 2), (1, 3)])
+        tour = EulerTour(forest)
+        assert len(tour.tour) == 2 * 4 - 1
+
+    def test_first_occurrence_is_first(self):
+        forest = RootedForest(5, [(0, 1), (0, 2), (2, 3), (2, 4)])
+        tour = EulerTour(forest)
+        for v in range(5):
+            assert tour.tour[tour.first[v]] == v
+            assert v not in tour.tour[: tour.first[v]]
+
+    def test_multi_tree_tour(self):
+        forest = RootedForest(5, [(0, 1), (3, 4)])
+        tour = EulerTour(forest)
+        # 2*2-1 + 2*1-1 + 2*2-1 = 3 + 1 + 3
+        assert len(tour.tour) == 7
+
+
+class TestLCA:
+    def test_simple_binary_tree(self):
+        #       0
+        #      / \
+        #     1   2
+        #    / \
+        #   3   4
+        index = LCAIndex.from_edges(5, [(0, 1), (0, 2), (1, 3), (1, 4)])
+        assert index.lca(3, 4) == 1
+        assert index.lca(3, 2) == 0
+        assert index.lca(1, 3) == 1
+        assert index.lca(0, 4) == 0
+        assert index.lca(3, 3) == 3
+
+    def test_cross_tree_is_none(self):
+        index = LCAIndex.from_edges(4, [(0, 1), (2, 3)])
+        assert index.lca(0, 3) is None
+        assert index.distance(0, 3) is None
+
+    def test_distance(self):
+        index = LCAIndex.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert index.distance(0, 4) == 4
+        assert index.distance(2, 2) == 0
+
+
+def _naive_lca(forest, u, v):
+    ancestors = set()
+    x = u
+    while x != -1:
+        ancestors.add(x)
+        x = forest.parent[x]
+    x = v
+    while x != -1:
+        if x in ancestors:
+            return x
+        x = forest.parent[x]
+    return None
+
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_lca_matches_naive(n, num_trees, seed):
+    num_trees = min(num_trees, n)
+    edges, _ = _random_forest_edges(n, num_trees, seed)
+    forest = RootedForest(n, edges)
+    index = LCAIndex(forest)
+    rng = random.Random(seed + 1)
+    for _ in range(20):
+        u, v = rng.randrange(n), rng.randrange(n)
+        assert index.lca(u, v) == _naive_lca(forest, u, v)

@@ -1,0 +1,110 @@
+"""Tests for heavy-light decomposition path-maximum queries."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import HeavyLightDecomposition, LCAIndex, RootedForest
+
+
+def _weighted_random_tree(n, seed):
+    """Random tree plus a weight for each (child -> parent) edge."""
+    rng = random.Random(seed)
+    edges = []
+    weight_to_parent = {}
+    for v in range(1, n):
+        parent = rng.randrange(v)
+        edges.append((parent, v))
+    forest = RootedForest(n, edges, roots=[0])
+    for v in range(1, n):
+        weight_to_parent[v] = rng.random()
+    return forest, weight_to_parent
+
+
+def _naive_path_max(forest, weights, u, v):
+    # Collect u's ancestors, find LCA, take max along both sides.
+    ancestors = {}
+    x, depth = u, 0
+    while x != -1:
+        ancestors[x] = depth
+        x = forest.parent[x]
+        depth += 1
+    x = v
+    while x not in ancestors:
+        x = forest.parent[x]
+    lca = x
+    best = -math.inf
+    for start in (u, v):
+        x = start
+        while x != lca:
+            best = max(best, weights[x])
+            x = forest.parent[x]
+    return best
+
+
+class TestHeavyLight:
+    def test_path_graph_single_heavy_path(self):
+        forest = RootedForest(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        weights = {1: 1.0, 2: 5.0, 3: 2.0, 4: 3.0}
+        hld = HeavyLightDecomposition(forest, weights.__getitem__)
+        assert len(hld.heavy_paths()) == 1
+        assert hld.max_edge_to_ancestor(4, 0) == 5.0
+        assert hld.max_edge_to_ancestor(4, 2) == 3.0
+        assert hld.max_edge_to_ancestor(2, 2) == -math.inf
+
+    def test_star_all_light_but_one(self):
+        forest = RootedForest(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        weights = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+        hld = HeavyLightDecomposition(forest, weights.__getitem__)
+        # One heavy child, three light edges -> 4 heavy paths total.
+        assert len(hld.heavy_paths()) == 4
+        for leaf, w in weights.items():
+            assert hld.max_edge_to_ancestor(leaf, 0) == w
+
+    def test_max_edge_on_path_across_lca(self):
+        #     0
+        #    / \
+        #   1   2
+        #   |   |
+        #   3   4
+        forest = RootedForest(5, [(0, 1), (0, 2), (1, 3), (2, 4)])
+        weights = {1: 1.0, 2: 9.0, 3: 2.0, 4: 3.0}
+        hld = HeavyLightDecomposition(forest, weights.__getitem__)
+        lca = LCAIndex(forest)
+        assert hld.max_edge_on_path(3, 4, lca) == 9.0
+        assert hld.max_edge_on_path(3, 1, lca) == 2.0
+
+    def test_cross_tree_is_infinite(self):
+        forest = RootedForest(4, [(0, 1), (2, 3)])
+        weights = {1: 1.0, 3: 2.0}
+        hld = HeavyLightDecomposition(forest, weights.__getitem__)
+        lca = LCAIndex(forest)
+        assert hld.max_edge_on_path(0, 2, lca) == math.inf
+
+    def test_light_edge_count_is_logarithmic(self):
+        # Lemma B.1: O(log n) light edges above any vertex.
+        forest, weights = _weighted_random_tree(500, seed=3)
+        hld = HeavyLightDecomposition(forest, weights.__getitem__)
+        bound = 2 * math.log2(500) + 2
+        for v in range(500):
+            assert hld.num_light_edges_above(v) <= bound
+
+
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_path_max_matches_naive(n, seed):
+    forest, weights = _weighted_random_tree(n, seed)
+    hld = HeavyLightDecomposition(forest, weights.__getitem__)
+    lca = LCAIndex(forest)
+    rng = random.Random(seed + 1)
+    for _ in range(15):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        expected = _naive_path_max(forest, weights, u, v)
+        assert hld.max_edge_on_path(u, v, lca) == expected

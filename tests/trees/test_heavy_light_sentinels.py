@@ -1,0 +1,71 @@
+"""Heavy-light decomposition with tuple-valued weights.
+
+Algorithm 5 compares (weight, endpoint, endpoint) order keys, not floats;
+the decomposition takes custom infinity sentinels for that.  These tests
+cover the tuple-key path end to end.
+"""
+
+import math
+
+from repro.trees import HeavyLightDecomposition, LCAIndex, RootedForest
+
+NEG = (float("-inf"), -1, -1)
+POS = (float("inf"), -1, -1)
+
+
+def _tuple_weights(forest, base):
+    """weight(v -> parent) = (base[v], min, max) order keys."""
+    def weight(v):
+        parent = forest.parent[v]
+        return (base[v], min(v, parent), max(v, parent))
+    return weight
+
+
+def test_tuple_weights_path():
+    forest = RootedForest(4, [(0, 1), (1, 2), (2, 3)])
+    base = {1: 5.0, 2: 1.0, 3: 9.0}
+    hld = HeavyLightDecomposition(forest, _tuple_weights(forest, base),
+                                  neg_infinity=NEG, pos_infinity=POS)
+    assert hld.max_edge_to_ancestor(3, 0)[0] == 9.0
+    assert hld.max_edge_to_ancestor(2, 0)[0] == 5.0
+
+
+def test_tuple_weights_tie_break_by_endpoints():
+    # Equal base weights: the tuple order disambiguates deterministically.
+    forest = RootedForest(4, [(0, 1), (1, 2), (2, 3)])
+    base = {1: 2.0, 2: 2.0, 3: 2.0}
+    hld = HeavyLightDecomposition(forest, _tuple_weights(forest, base),
+                                  neg_infinity=NEG, pos_infinity=POS)
+    assert hld.max_edge_to_ancestor(3, 0) == (2.0, 2, 3)
+
+
+def test_tuple_weights_cross_tree_sentinel():
+    forest = RootedForest(4, [(0, 1), (2, 3)])
+    base = {1: 1.0, 3: 1.0}
+    hld = HeavyLightDecomposition(forest, _tuple_weights(forest, base),
+                                  neg_infinity=NEG, pos_infinity=POS)
+    lca = LCAIndex(forest)
+    assert hld.max_edge_on_path(0, 2, lca) == POS
+
+
+def test_tuple_weights_empty_path_sentinel():
+    forest = RootedForest(3, [(0, 1), (1, 2)])
+    base = {1: 1.0, 2: 2.0}
+    hld = HeavyLightDecomposition(forest, _tuple_weights(forest, base),
+                                  neg_infinity=NEG, pos_infinity=POS)
+    assert hld.max_edge_to_ancestor(1, 1) == NEG
+
+
+def test_tuple_weights_branching_tree():
+    #      0
+    #    / | \
+    #   1  2  3
+    #      |
+    #      4
+    forest = RootedForest(5, [(0, 1), (0, 2), (0, 3), (2, 4)])
+    base = {1: 3.0, 2: 1.0, 3: 2.0, 4: 7.0}
+    hld = HeavyLightDecomposition(forest, _tuple_weights(forest, base),
+                                  neg_infinity=NEG, pos_infinity=POS)
+    lca = LCAIndex(forest)
+    assert hld.max_edge_on_path(1, 4, lca)[0] == 7.0
+    assert hld.max_edge_on_path(1, 3, lca)[0] == 3.0

@@ -1,0 +1,41 @@
+"""Tests for sequential pointer jumping."""
+
+import pytest
+
+from repro.trees import find_roots, forest_depth
+from repro.trees.pointer_jumping import validate_parent_array
+
+
+def test_all_roots():
+    parent = [0, 1, 2]
+    assert find_roots(parent) == [0, 1, 2]
+    assert forest_depth(parent) == 0
+
+
+def test_chain():
+    parent = [0, 0, 1, 2]
+    assert find_roots(parent) == [0, 0, 0, 0]
+    assert forest_depth(parent) == 3
+
+
+def test_two_trees():
+    parent = [0, 0, 2, 2, 3]
+    assert find_roots(parent) == [0, 0, 2, 2, 2]
+    assert forest_depth(parent) == 2
+
+
+def test_validate_accepts_forest():
+    validate_parent_array([0, 0, 1, 1])
+
+
+def test_validate_rejects_cycle():
+    with pytest.raises(ValueError):
+        validate_parent_array([1, 2, 0])
+
+
+def test_large_chain_no_recursion_error():
+    n = 50_000
+    parent = [max(0, i - 1) for i in range(n)]
+    roots = find_roots(parent)
+    assert roots == [0] * n
+    assert forest_depth(parent) == n - 1

@@ -1,0 +1,53 @@
+"""Tests for sparse-table RMQ."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import RangeMax, RangeMin
+
+
+def test_single_element():
+    rmq = RangeMin([5.0])
+    assert rmq.query(0, 0) == 5.0
+
+
+def test_min_simple():
+    rmq = RangeMin([3, 1, 4, 1, 5, 9, 2, 6])
+    assert rmq.query(0, 7) == 1
+    assert rmq.query(4, 7) == 2
+    assert rmq.query(5, 5) == 9
+
+
+def test_min_ties_resolve_to_leftmost():
+    rmq = RangeMin([2, 1, 1, 3])
+    assert rmq.argquery(0, 3) == 1
+
+
+def test_max_simple():
+    rmq = RangeMax([3, 1, 4, 1, 5, 9, 2, 6])
+    assert rmq.query(0, 7) == 9
+    assert rmq.query(0, 2) == 4
+
+
+def test_reversed_range_normalized():
+    rmq = RangeMin([3, 1, 4])
+    assert rmq.query(2, 0) == 1
+
+
+def test_out_of_bounds_rejected():
+    rmq = RangeMin([1, 2, 3])
+    with pytest.raises(IndexError):
+        rmq.query(0, 3)
+
+
+@given(
+    st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=60),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_rmq_matches_builtin(values, data):
+    i = data.draw(st.integers(0, len(values) - 1))
+    j = data.draw(st.integers(i, len(values) - 1))
+    assert RangeMin(values).query(i, j) == min(values[i:j + 1])
+    assert RangeMax(values).query(i, j) == max(values[i:j + 1])

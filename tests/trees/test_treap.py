@@ -1,0 +1,129 @@
+"""Tests for ternary treap construction (Appendix A)."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import cycle_graph, path_graph
+from repro.sequential import random_vertex_ranks
+from repro.trees import build_ternary_treap
+
+
+def _naive_treap_parent(num_vertices, edges, ranks):
+    """Recursive definition: root = min-rank vertex; split and recurse."""
+    adjacency = [[] for _ in range(num_vertices)]
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    parent = [-1] * num_vertices
+    seen = [False] * num_vertices
+
+    def component(start, banned):
+        stack, members = [start], []
+        local_seen = {start}
+        while stack:
+            x = stack.pop()
+            members.append(x)
+            for y in adjacency[x]:
+                if y not in banned and y not in local_seen:
+                    local_seen.add(y)
+                    stack.append(y)
+        return members
+
+    def recurse(members, treap_parent, banned):
+        if not members:
+            return
+        root = min(members, key=lambda v: (ranks[v], v))
+        parent[root] = treap_parent
+        banned = banned | {root}
+        for u in adjacency[root]:
+            if u in banned or u not in members:
+                continue
+            sub = component(u, banned)
+            recurse(sub, root, banned)
+
+    for v in range(num_vertices):
+        if not seen[v]:
+            members = component(v, set())
+            for x in members:
+                seen[x] = True
+            recurse(members, -1, set())
+    return parent
+
+
+class TestTreapStructure:
+    def test_path_treap_matches_naive(self):
+        n = 12
+        edges = list(path_graph(n).edges())
+        ranks = random_vertex_ranks(n, seed=4)
+        treap = build_ternary_treap(n, edges, ranks)
+        assert treap.parent == _naive_treap_parent(n, edges, ranks)
+
+    def test_root_is_min_rank(self):
+        n = 20
+        edges = list(path_graph(n).edges())
+        ranks = random_vertex_ranks(n, seed=9)
+        treap = build_ternary_treap(n, edges, ranks)
+        assert treap.roots == [min(range(n), key=lambda v: (ranks[v], v))]
+
+    def test_heap_order_on_ranks(self):
+        n = 30
+        edges = list(path_graph(n).edges())
+        ranks = random_vertex_ranks(n, seed=2)
+        treap = build_ternary_treap(n, edges, ranks)
+        for v in range(n):
+            if treap.parent[v] != -1:
+                assert ranks[treap.parent[v]] <= ranks[v]
+
+    def test_forest_input_gives_one_root_per_tree(self):
+        edges = [(0, 1), (1, 2), (3, 4)]
+        ranks = [0.5, 0.1, 0.9, 0.3, 0.2]
+        treap = build_ternary_treap(5, edges, ranks)
+        assert sorted(treap.roots) == [1, 4]
+
+    def test_subtree_sizes_sum(self):
+        n = 25
+        edges = list(path_graph(n).edges())
+        ranks = random_vertex_ranks(n, seed=1)
+        treap = build_ternary_treap(n, edges, ranks)
+        sizes = treap.subtree_sizes()
+        assert sizes[treap.roots[0]] == n
+        assert all(1 <= s <= n for s in sizes)
+
+    def test_empty(self):
+        treap = build_ternary_treap(0, [], [])
+        assert treap.height() == 0
+
+
+class TestTreapHeightBound:
+    def test_height_logarithmic_on_paths(self):
+        """Lemma A.1: height O(log n) w.h.p.; check a generous constant."""
+        n = 2000
+        edges = list(path_graph(n).edges())
+        for seed in range(3):
+            ranks = random_vertex_ranks(n, seed=seed)
+            treap = build_ternary_treap(n, edges, ranks)
+            assert treap.height() <= 8 * math.log2(n)
+
+    def test_height_logarithmic_on_cycles_msf(self):
+        # Ternary trees from cycles (after removing one edge).
+        n = 1500
+        edges = list(path_graph(n).edges())
+        ranks = random_vertex_ranks(n, seed=42)
+        treap = build_ternary_treap(n, edges, ranks)
+        assert treap.height() <= 8 * math.log2(n)
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=30, deadline=None)
+def test_treap_matches_naive_random_trees(n, seed):
+    rng = random.Random(seed)
+    edges = [(rng.randrange(v), v) for v in range(1, n)]
+    ranks = random_vertex_ranks(n, seed=seed)
+    treap = build_ternary_treap(n, edges, ranks)
+    assert treap.parent == _naive_treap_parent(n, edges, ranks)
