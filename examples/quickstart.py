@@ -1,23 +1,20 @@
-"""Quickstart: the four core AMPC algorithms on one small graph.
+"""Quickstart: the core AMPC algorithms through the unified Session API.
 
 Run with::
 
     python examples/quickstart.py
 
-Builds a small social-network-like graph and runs the AMPC maximal
-independent set, maximal matching, minimum spanning forest and connected
-components — each in a constant number of adaptive rounds — printing the
-outputs and the execution metrics (shuffles, KV traffic, simulated time)
-that the paper's evaluation revolves around.
+Builds a small social-network-like graph, opens a :class:`repro.Session`
+(one simulated cluster serving many queries), and runs maximal independent
+set, maximal matching, minimum spanning forest and connected components —
+each in a constant number of adaptive rounds — printing the outputs and
+the execution metrics (shuffles, KV traffic, simulated time) the paper's
+evaluation revolves around.  The final section shows the point of the
+session: a repeated query on the same graph reuses the DHT-resident
+preprocessing and skips its shuffle entirely.
 """
 
-from repro.ampc import ClusterConfig
-from repro.core import (
-    ampc_connected_components,
-    ampc_maximal_matching,
-    ampc_mis,
-    ampc_msf,
-)
+from repro import ClusterConfig, Session
 from repro.graph import barabasi_albert_graph, degree_weighted
 from repro.sequential import (
     is_maximal_independent_set,
@@ -33,40 +30,52 @@ def main():
     print(f"input graph: {graph.num_vertices} vertices, "
           f"{graph.num_edges} edges, max degree {graph.max_degree()}")
 
-    # A simulated cluster: 10 machines x 72 hyper-threads, RDMA-backed DHT,
-    # with the paper's caching + multithreading optimizations enabled.
-    config = ClusterConfig(num_machines=10, threads_per_machine=72)
+    # One session = one simulated cluster (10 machines x 72 hyper-threads,
+    # RDMA-backed DHT, caching + multithreading on) serving every query.
+    session = Session(ClusterConfig(num_machines=10,
+                                    threads_per_machine=72))
+    print(f"registered algorithms: {', '.join(session.algorithms())}")
 
     print("\n--- Maximal Independent Set (Section 5.3) ---")
-    mis = ampc_mis(graph, config=config, seed=1)
-    assert is_maximal_independent_set(graph, mis.independent_set)
-    print(f"|MIS| = {len(mis.independent_set)}  "
-          f"rounds = {mis.rounds}  shuffles = {mis.metrics.shuffles}")
-    print(f"KV reads = {mis.metrics.kv_reads:,}  "
-          f"cache hit rate = {mis.metrics.cache_hit_rate():.1%}")
-    print(f"simulated time = {mis.metrics.simulated_time_s:.3f}s "
-          f"({dict((k, round(v, 3)) for k, v in mis.metrics.phases.items())})")
+    mis = session.run("mis", graph, seed=1)
+    assert is_maximal_independent_set(graph, mis.output.independent_set)
+    print(mis.description)
+    print(f"shuffles = {mis.metrics['shuffles']}  "
+          f"KV reads = {mis.metrics['kv_reads']:,}  "
+          f"simulated time = {mis.metrics['simulated_time_s']:.3f}s")
 
     print("\n--- Maximal Matching (Theorem 2) ---")
-    matching = ampc_maximal_matching(graph, config=config, seed=1)
-    assert is_maximal_matching(graph, matching.matching)
-    print(f"|M| = {len(matching.matching)}  rounds = {matching.rounds}  "
-          f"shuffles = {matching.metrics.shuffles}")
+    matching = session.run("matching", graph, seed=1)
+    assert is_maximal_matching(graph, matching.output.matching)
+    print(matching.description)
+    print(f"shuffles = {matching.metrics['shuffles']}")
 
     print("\n--- Minimum Spanning Forest (Theorem 1) ---")
     weighted = degree_weighted(graph)  # the paper's deg(u)+deg(v) weights
-    msf = ampc_msf(weighted, config=config, seed=1)
-    assert is_spanning_forest(graph, msf.forest)
-    total = sum(weighted.weight(u, v) for u, v in msf.forest)
-    print(f"|F| = {len(msf.forest)}  weight = {total:.0f}  "
-          f"shuffles = {msf.metrics.shuffles} (Table 3 says 5)")
-    print(f"Prim-discovered edges = {msf.prim_edges}, "
-          f"contracted graph had {msf.contracted_vertices} vertices")
+    msf = session.run("msf", weighted, seed=1)
+    assert is_spanning_forest(graph, msf.output.forest)
+    print(msf.description)
+    print(f"shuffles = {msf.metrics['shuffles']} (Table 3 says 5); "
+          f"Prim-discovered edges = {msf.output.prim_edges}, "
+          f"contracted graph had {msf.output.contracted_vertices} vertices")
 
     print("\n--- Connected Components (Theorem 1) ---")
-    components = ampc_connected_components(graph, config=config, seed=1)
-    print(f"#components = {len(set(components.labels))}  "
-          f"forest-connectivity iterations = {components.iterations}")
+    components = session.run("components", graph, seed=1)
+    print(components.description)
+
+    print("\n--- Cross-run reuse: the session's preprocessing cache ---")
+    again = session.run("mis", graph, seed=1)
+    assert again.preprocessing_reused
+    assert again.output.independent_set == mis.output.independent_set
+    assert again.metrics["shuffles"] < mis.metrics["shuffles"]
+    print(f"second MIS run: shuffles = {again.metrics['shuffles']} "
+          f"(saved {again.shuffles_saved}), same output — the directed "
+          f"graph already lives in the DHT")
+    stats = session.stats
+    print(f"session totals: {stats.runs} runs, "
+          f"{stats.preprocessing_hits} cache hit(s), "
+          f"{stats.shuffles_saved} shuffle(s) and "
+          f"{stats.kv_writes_saved:,} KV write(s) saved")
 
 
 if __name__ == "__main__":

@@ -9,11 +9,15 @@ benchmark harness for its tables and figures.
 
 Top-level convenience re-exports cover the common path::
 
-    from repro import ClusterConfig, ampc_mis, barabasi_albert_graph
+    from repro import ClusterConfig, Session, barabasi_albert_graph
 
     graph = barabasi_albert_graph(500, attach=3, seed=7)
-    result = ampc_mis(graph, config=ClusterConfig(num_machines=10), seed=1)
-    print(len(result.independent_set), result.metrics.shuffles)
+    session = Session(ClusterConfig(num_machines=10))
+    result = session.run("mis", graph, seed=1)
+    print(result.description, result.metrics["shuffles"])
+
+The legacy one-shot entry points (``ampc_mis`` and friends) remain
+available and are what the Session dispatches to.
 
 Deeper layers live in the subpackages: :mod:`repro.graph`,
 :mod:`repro.trees`, :mod:`repro.sequential`, :mod:`repro.dataflow`,
@@ -37,6 +41,11 @@ _EXPORTS = {
     "CostModel": "repro.ampc.cost_model",
     "FaultPlan": "repro.ampc.faults",
     "AMPCRuntime": "repro.ampc.runtime",
+    # the unified Session/registry API
+    "Session": "repro.api.session",
+    "RunResult": "repro.api.result",
+    "algorithm_names": "repro.api",
+    "algorithm_specs": "repro.api",
     # the paper's algorithms
     "ampc_mis": "repro.core.mis",
     "ampc_maximal_matching": "repro.core.matching",

@@ -19,6 +19,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.ampc.cost_model import CostModel
 from repro.ampc.faults import FaultPlan
+from repro.ampc.hashing import stable_hash
 from repro.ampc.metrics import Metrics
 
 
@@ -77,8 +78,13 @@ class Cluster:
     # -- partitioning ----------------------------------------------------
 
     def machine_for(self, key: Any) -> int:
-        """Deterministic hash placement of a key onto a machine."""
-        return hash(key) % self.config.num_machines
+        """Deterministic hash placement of a key onto a machine.
+
+        Uses the salt-free :func:`repro.ampc.hashing.stable_hash` so that
+        string-keyed placements — and every placement-derived metric —
+        are identical across interpreter runs.
+        """
+        return stable_hash(key) % self.config.num_machines
 
     def partition(self, items: Sequence[Any],
                   key_fn: Optional[Callable[[Any], Any]] = None

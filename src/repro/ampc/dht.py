@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.ampc.cost_model import estimate_bytes
+from repro.ampc.hashing import stable_hash
 
 
 class StoreSealedError(RuntimeError):
@@ -40,7 +41,9 @@ class DHTStore:
         self.total_value_bytes = 0
 
     def shard_of(self, key: Any) -> int:
-        return hash(key) % self.num_shards
+        # Stable across interpreter runs: placement (and therefore shard
+        # contention metrics) must not depend on PYTHONHASHSEED.
+        return stable_hash(key) % self.num_shards
 
     # -- writes --------------------------------------------------------
 
@@ -80,6 +83,11 @@ class DHTStore:
         return self._shards[shard_index].get(key)
 
     def contains(self, key: Any) -> bool:
+        """Membership probe; charged and round-checked like :meth:`lookup`."""
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
         shard_index = self.shard_of(key)
         self.shard_reads[shard_index] += 1
         return key in self._shards[shard_index]

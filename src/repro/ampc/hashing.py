@@ -1,0 +1,93 @@
+"""Stable key hashing for placement decisions.
+
+Shard and machine placement must be *reproducible*: the paper's metrics
+(shard contention, per-machine critical paths, cache hit rates) are only
+comparable across runs if the same key always lands on the same shard.
+Python's builtin ``hash`` is salted per interpreter process for strings
+(PYTHONHASHSEED), so it cannot be used for placement.
+
+This module provides :func:`stable_hash`, a salt-free 64-bit hash built on
+a splitmix64 finalizer — high quality, dependency-free, and identical
+across interpreter runs.  It is the canonical home of the finalizer;
+:mod:`repro.core.ranks` builds its hash-based priorities on the same one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_MASK = (1 << 64) - 1
+_SEED = 0x517CC1B727220A95
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def _fold_int(state: int, value: int) -> int:
+    if value < 0:
+        state = _splitmix64(state ^ 0xA5A5A5A5A5A5A5A5)
+        value = -value
+    state = _splitmix64(state ^ (value & _MASK))
+    value >>= 64
+    while value:  # arbitrary-precision ints: fold 64 bits at a time
+        state = _splitmix64(state ^ (value & _MASK))
+        value >>= 64
+    return state
+
+
+def _fold_bytes(state: int, value: bytes) -> int:
+    for index in range(0, len(value), 8):
+        chunk = int.from_bytes(value[index:index + 8], "little")
+        state = _splitmix64(state ^ chunk)
+    return _splitmix64(state ^ len(value))
+
+
+def _fold(state: int, value: Any) -> int:
+    if value is None:
+        return _splitmix64(state ^ 0x0F)
+    # Numeric cross-type equality must be preserved (dicts treat
+    # True == 1 == 1.0 as one key, so placement must too): bools and
+    # integral floats fold exactly like the equal int.
+    if isinstance(value, bool):
+        return _fold_int(state, int(value))
+    if isinstance(value, int):
+        return _fold_int(state, value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return _fold_int(state, int(value))
+        return _fold_bytes(_splitmix64(state ^ 0x0D),
+                           value.hex().encode("ascii"))
+    if isinstance(value, str):
+        return _fold_bytes(_splitmix64(state ^ 0x0E), value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return _fold_bytes(_splitmix64(state ^ 0x10), bytes(value))
+    if isinstance(value, tuple):
+        state = _splitmix64(state ^ 0x11 ^ len(value))
+        for item in value:
+            state = _fold(state, item)
+        return state
+    if isinstance(value, frozenset):
+        # Order-insensitive combine, mirroring builtin set hashing.
+        combined = 0
+        for item in value:
+            combined ^= _fold(_SEED, item)
+        return _splitmix64(state ^ 0x12 ^ combined)
+    # Unknown key types fall back to the builtin hash; placement of such
+    # keys is then only stable within one interpreter run.
+    return _splitmix64(state ^ (hash(value) & _MASK))
+
+
+def stable_hash(key: Any) -> int:
+    """A 64-bit hash of ``key`` that is identical across interpreter runs.
+
+    Supports the key types algorithms place by — ints, strings, bytes,
+    floats, bools, None, and tuples/frozensets thereof.  Like the builtin
+    hash, equal numeric keys of different types (``True == 1 == 1.0``)
+    hash equally, so a dict-backed shard and the placement hash always
+    agree on key identity.
+    """
+    return _fold(_SEED, key)

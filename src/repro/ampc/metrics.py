@@ -102,6 +102,7 @@ class Metrics:
             "kv_bytes": self.kv_bytes,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate(),
             "rounds": self.rounds,
             "preemptions": self.preemptions,
             "max_machine_queries_per_stage": self.max_machine_queries_per_stage,

@@ -1,0 +1,46 @@
+"""The unified entry point for every AMPC algorithm.
+
+Three pieces:
+
+* :mod:`repro.api.registry` — the algorithm registry each core module
+  registers its :class:`~repro.api.registry.AlgorithmSpec` into.
+* :class:`~repro.api.session.Session` — one cluster configuration, many
+  runs, with a per-graph preprocessing cache (the DHT-resident graph the
+  paper's Section 5 algorithms all start by building).
+* :class:`~repro.api.result.RunResult` — the uniform envelope every run
+  returns: output, metrics summary, phase breakdown, provenance,
+  ``to_json()``.
+
+Typical use::
+
+    from repro.api import Session
+
+    session = Session(ClusterConfig(num_machines=10))
+    result = session.run("mis", graph, seed=1)
+    print(result.description, result.metrics["shuffles"])
+"""
+
+from repro.api import registry
+from repro.api.registry import (
+    AlgorithmSpec,
+    ParamSpec,
+    get as get_algorithm,
+    names as algorithm_names,
+    register_algorithm,
+    specs as algorithm_specs,
+)
+from repro.api.result import RunResult
+from repro.api.session import Session, SessionStats
+
+__all__ = [
+    "AlgorithmSpec",
+    "ParamSpec",
+    "RunResult",
+    "Session",
+    "SessionStats",
+    "algorithm_names",
+    "algorithm_specs",
+    "get_algorithm",
+    "register_algorithm",
+    "registry",
+]

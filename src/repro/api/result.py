@@ -1,0 +1,62 @@
+"""The uniform run envelope every Session/CLI/experiment run returns."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class RunResult:
+    """One algorithm execution: output, metrics, and provenance.
+
+    ``output`` is the algorithm's native result object (``MISResult``,
+    ``MSFResult``, ...) for callers that need the full structure; every
+    other field is plain data, so the envelope serializes cleanly.
+    """
+
+    #: canonical registry name of the algorithm that ran
+    algorithm: str
+    seed: int
+    #: full parameter set of the run (defaults filled in)
+    params: Dict[str, Any]
+    #: the algorithm's native result object
+    output: Any
+    #: flat output summary (always contains ``output_size``)
+    summary: Dict[str, Any]
+    #: ``Metrics.summary()`` of the run
+    metrics: Dict[str, Any]
+    #: per-phase simulated-seconds breakdown, in execution order
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: the algorithm's AMPC round count (cache-served preparation rounds
+    #: included; ``metrics["rounds"]`` counts only rounds executed here)
+    rounds: int = 0
+    #: True when the Session served the preprocessing stage from cache
+    preprocessing_reused: bool = False
+    #: shuffles the cached preprocessing saved this run
+    shuffles_saved: int = 0
+    #: the human-readable headline the CLI prints
+    description: str = ""
+
+    @property
+    def output_size(self) -> Any:
+        return self.summary.get("output_size")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Everything except the native ``output`` object, as plain data."""
+        return {
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "summary": dict(self.summary),
+            "metrics": dict(self.metrics),
+            "phases": dict(self.phases),
+            "rounds": self.rounds,
+            "preprocessing_reused": self.preprocessing_reused,
+            "shuffles_saved": self.shuffles_saved,
+            "description": self.description,
+        }
+
+    def to_json(self, indent: int = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

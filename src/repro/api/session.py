@@ -1,0 +1,189 @@
+"""Sessions: one simulated cluster serving many algorithm runs.
+
+The point of the AMPC model (and of the paper's production setting) is that
+the DHT-resident graph outlives a single query: every algorithm in Section
+5 starts with the same "write the directed graph to the key-value store"
+stage, and a serving system amortizes that stage across queries.
+
+:class:`Session` is that amortization boundary.  It owns one
+:class:`~repro.ampc.cluster.ClusterConfig` and a per-graph preprocessing
+cache: the first ``session.run("mis", graph)`` pays the preprocessing
+shuffle and KV writes, a second run on the same graph (and, where the
+artifact is seed-independent, a run of a sibling algorithm sharing the
+same preparation, e.g. ``pagerank`` and ``random-walks``) skips them and
+reports the saving in its :class:`~repro.api.result.RunResult`.
+
+Each run gets a **fresh** :class:`~repro.ampc.runtime.AMPCRuntime`, so
+metrics are per-run; only sealed DHT stores and driver-side artifacts are
+shared, which is exactly what the model allows (sealed stores are
+read-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.faults import FaultPlan
+from repro.ampc.runtime import AMPCRuntime
+from repro.api import registry
+from repro.api.result import RunResult
+
+
+@dataclass
+class SessionStats:
+    """Cross-run accounting of one Session."""
+
+    runs: int = 0
+    preprocessing_hits: int = 0
+    preprocessing_misses: int = 0
+    #: shuffles skipped thanks to the preprocessing cache
+    shuffles_saved: int = 0
+    #: KV writes skipped thanks to the preprocessing cache
+    kv_writes_saved: int = 0
+
+
+@dataclass
+class _CacheEntry:
+    prepared: Any
+    #: what the preparation cost when it ran (i.e. what a hit saves)
+    prep_shuffles: int
+    prep_kv_writes: int
+    #: strong reference: keeps ``id(graph)`` valid for the cache key
+    graph: Any = field(repr=False, default=None)
+
+
+class Session:
+    """One entry point for every registered AMPC algorithm.
+
+    ::
+
+        session = Session(ClusterConfig(num_machines=10))
+        mis = session.run("mis", graph, seed=1)
+        matching = session.run("matching", graph, seed=1)
+        again = session.run("mis", graph, seed=1)   # preprocessing cached
+        assert again.preprocessing_reused
+        assert again.metrics["shuffles"] < mis.metrics["shuffles"]
+
+    The cache key is ``(preprocessing stage, graph identity, seed)`` —
+    seed only where the artifact is rank-dependent.  Graph identity is
+    ``id(graph)`` plus its vertex/edge counts, so mutating a cached graph
+    in place invalidates the entry whenever the mutation changes either
+    count; callers mutating graphs between runs should call
+    :meth:`clear_preprocessing` to be safe.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None, *,
+                 fault_plan: Optional[FaultPlan] = None,
+                 strict_rounds: bool = False):
+        self.config = config or ClusterConfig()
+        self.fault_plan = fault_plan
+        self.strict_rounds = strict_rounds
+        self.stats = SessionStats()
+        self._cache: Dict[Tuple, _CacheEntry] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    def algorithms(self):
+        """Names this session can run (the registry's, in order)."""
+        return registry.names()
+
+    @property
+    def cached_preprocessings(self) -> int:
+        return len(self._cache)
+
+    def clear_preprocessing(self) -> None:
+        """Drop every cached preprocessing artifact."""
+        self._cache.clear()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, algorithm: str, graph: Any, *, seed: int = 0,
+            reuse_preprocessing: bool = True, **params: Any) -> RunResult:
+        """Run ``algorithm`` on ``graph`` and return its RunResult envelope.
+
+        ``params`` must be parameters the algorithm's spec declares;
+        unknown names raise ``TypeError`` (mirroring a keyword-argument
+        mismatch).  ``reuse_preprocessing=False`` forces a cold run and
+        leaves the cache untouched.
+        """
+        spec = registry.get(algorithm)
+        merged = self._merge_params(spec, params)
+        runtime = AMPCRuntime(config=self.config,
+                              fault_plan=self.fault_plan,
+                              strict_rounds=self.strict_rounds)
+        entry, reused = self._prepare(spec, graph, seed, runtime,
+                                      reuse_preprocessing)
+        result = spec.run(graph, runtime=runtime, seed=seed,
+                          prepared=entry.prepared,
+                          **spec.algorithm_params(merged))
+        metrics = runtime.metrics
+        self.stats.runs += 1
+        if reused:
+            self.stats.preprocessing_hits += 1
+            self.stats.shuffles_saved += entry.prep_shuffles
+            self.stats.kv_writes_saved += entry.prep_kv_writes
+        else:
+            self.stats.preprocessing_misses += 1
+        return RunResult(
+            algorithm=spec.name,
+            seed=seed,
+            params=merged,
+            output=result,
+            summary=spec.summarize(result, graph),
+            metrics=metrics.summary(),
+            phases=dict(metrics.phases.items()),
+            # The algorithm's logical round count (a cache-served
+            # preparation round still counts); the rounds this runtime
+            # actually executed are metrics["rounds"].
+            rounds=getattr(result, "rounds", metrics.rounds),
+            preprocessing_reused=reused,
+            shuffles_saved=entry.prep_shuffles if reused else 0,
+            description=spec.describe(result, graph, merged),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _merge_params(spec, params: Dict[str, Any]) -> Dict[str, Any]:
+        known = {p.name: p for p in spec.params}
+        unknown = set(params) - set(known)
+        if unknown:
+            raise TypeError(
+                f"{spec.name!r} got unexpected parameter(s): "
+                f"{', '.join(sorted(unknown))}; "
+                f"declared: {', '.join(known) or '(none)'}"
+            )
+        return {name: params.get(name, p.default)
+                for name, p in known.items()}
+
+    def _cache_key(self, spec, graph: Any, seed: int) -> Tuple:
+        return (
+            spec.prepare,
+            id(graph),
+            getattr(graph, "num_vertices", None),
+            getattr(graph, "num_edges", None),
+            seed if spec.prep_seed_sensitive else None,
+        )
+
+    def _prepare(self, spec, graph: Any, seed: int,
+                 runtime: AMPCRuntime, reuse: bool):
+        key = self._cache_key(spec, graph, seed)
+        if reuse:
+            entry = self._cache.get(key)
+            if entry is not None:
+                return entry, True
+        metrics = runtime.metrics
+        shuffles_before = metrics.shuffles
+        kv_writes_before = metrics.kv_writes
+        prepared = spec.prepare(graph, runtime=runtime, seed=seed)
+        entry = _CacheEntry(
+            prepared=prepared,
+            prep_shuffles=metrics.shuffles - shuffles_before,
+            prep_kv_writes=metrics.kv_writes - kv_writes_before,
+            graph=graph,
+        )
+        if reuse:
+            self._cache[key] = entry
+        return entry, False

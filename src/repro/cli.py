@@ -1,4 +1,4 @@
-"""Command-line interface: run the AMPC algorithms on edge-list files.
+"""Command-line interface, generated from the algorithm registry.
 
 Usage::
 
@@ -8,10 +8,17 @@ Usage::
     python -m repro components graph.txt
     python -m repro two-cycle cycles.txt
     python -m repro pagerank graph.txt --walks 32 --top 10
+    python -m repro mis graph.txt --query-budget 5000 --json
+
+Every subcommand comes from :mod:`repro.api.registry`: registering an
+:class:`~repro.api.registry.AlgorithmSpec` in a core module is all it takes
+to appear here, with the spec's parameters projected onto CLI flags.  Runs
+go through :class:`~repro.api.session.Session`, print the spec's result
+headline plus the execution metrics the paper reports, and ``--json``
+dumps the full :class:`~repro.api.result.RunResult` envelope instead.
 
 Input files are plain edge lists (``u v`` or ``u v w`` per line, ``#``
-comments allowed — the format of :mod:`repro.graph.io`).  Each command
-prints the result summary and the execution metrics the paper reports.
+comments allowed — the format of :mod:`repro.graph.io`).
 """
 
 from __future__ import annotations
@@ -22,8 +29,29 @@ from typing import List, Optional
 
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.cost_model import CostModel
+from repro.api import Session, registry
+from repro.dataflow.pcollection import BudgetExceededError
 from repro.graph.generators import degree_weighted
 from repro.graph.io import read_edge_list, read_weighted_edge_list
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="edge-list file (u v [w] per line)")
+    parser.add_argument("--machines", type=int, default=10)
+    parser.add_argument("--threads", type=int, default=72)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--transport", choices=("rdma", "tcp"),
+                        default="rdma")
+    parser.add_argument("--no-caching", action="store_true",
+                        help="disable the per-machine query cache")
+    parser.add_argument("--no-multithreading", action="store_true",
+                        help="disable lookup latency hiding")
+    parser.add_argument("--query-budget", type=int, default=None,
+                        metavar="N",
+                        help="per-machine per-stage KV query budget — the "
+                             "O(S) communication bound of the AMPC model")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full RunResult envelope as JSON")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -33,35 +61,18 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(Behnezhad et al., VLDB 2020 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    def add_common(p):
-        p.add_argument("graph", help="edge-list file (u v [w] per line)")
-        p.add_argument("--machines", type=int, default=10)
-        p.add_argument("--threads", type=int, default=72)
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--transport", choices=("rdma", "tcp"),
-                       default="rdma")
-        p.add_argument("--no-caching", action="store_true",
-                       help="disable the per-machine query cache")
-        p.add_argument("--no-multithreading", action="store_true",
-                       help="disable lookup latency hiding")
-
-    add_common(sub.add_parser("mis", help="maximal independent set"))
-    add_common(sub.add_parser("matching", help="maximal matching"))
-    msf = sub.add_parser("msf", help="minimum spanning forest")
-    add_common(msf)
-    msf.add_argument("--weighted", action="store_true",
-                     help="read weights from the file (default: "
-                          "deg(u)+deg(v) weights, as in the paper)")
-    add_common(sub.add_parser("components", help="connected components"))
-    add_common(sub.add_parser("two-cycle", help="count cycles "
-                                                "(1-vs-2-Cycle input)"))
-    pagerank = sub.add_parser("pagerank", help="Monte-Carlo PageRank")
-    add_common(pagerank)
-    pagerank.add_argument("--walks", type=int, default=16,
-                          help="walks per vertex")
-    pagerank.add_argument("--top", type=int, default=10,
-                          help="how many top-ranked vertices to print")
+    for spec in registry.specs():
+        command = sub.add_parser(spec.name, help=spec.summary)
+        _add_common_arguments(command)
+        if spec.input_kind == "weighted":
+            command.add_argument(
+                "--weighted", action="store_true",
+                help="read weights from the file (default: deg(u)+deg(v) "
+                     "weights, as in the paper)")
+        for param in spec.params:
+            command.add_argument(param.flag, dest=param.name,
+                                 type=param.type, default=param.default,
+                                 help=param.help)
     return parser
 
 
@@ -74,81 +85,47 @@ def _config(args) -> ClusterConfig:
         caching=not args.no_caching,
         multithreading=not args.no_multithreading,
         cost_model=cost_model,
+        query_budget_per_machine=args.query_budget,
     )
 
 
-def _print_metrics(metrics) -> None:
-    print(f"shuffles: {metrics.shuffles}  "
-          f"shuffle bytes: {metrics.shuffle_bytes:,}")
-    print(f"KV reads: {metrics.kv_reads:,}  KV bytes: {metrics.kv_bytes:,}  "
-          f"cache hit rate: {metrics.cache_hit_rate():.1%}")
-    print(f"simulated time: {metrics.simulated_time_s:.3f}s")
-    for phase, seconds in metrics.phases.items():
-        print(f"  {phase}: {seconds:.3f}s")
+def _load_graph(spec, args):
+    if spec.input_kind == "weighted":
+        if args.weighted:
+            return read_weighted_edge_list(args.graph)
+        return degree_weighted(read_edge_list(args.graph))
+    return read_edge_list(args.graph)
+
+
+def _print_metrics(metrics: dict) -> None:
+    print(f"shuffles: {metrics['shuffles']}  "
+          f"shuffle bytes: {metrics['shuffle_bytes']:,}")
+    print(f"KV reads: {metrics['kv_reads']:,}  "
+          f"KV bytes: {metrics['kv_bytes']:,}  "
+          f"cache hit rate: {metrics['cache_hit_rate']:.1%}")
+    print(f"simulated time: {metrics['simulated_time_s']:.3f}s")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    config = _config(args)
-
-    if args.command == "msf":
-        if args.weighted:
-            weighted = read_weighted_edge_list(args.graph)
-        else:
-            weighted = degree_weighted(read_edge_list(args.graph))
-        from repro.core.msf import ampc_msf
-
-        result = ampc_msf(weighted, config=config, seed=args.seed)
-        total = sum(weighted.weight(u, v) for u, v in result.forest)
-        print(f"minimum spanning forest: {len(result.forest)} edges, "
-              f"weight {total:g}")
-        _print_metrics(result.metrics)
+    spec = registry.get(args.command)
+    session = Session(_config(args))
+    graph = _load_graph(spec, args)
+    params = {p.name: getattr(args, p.name) for p in spec.params}
+    try:
+        result = session.run(spec.name, graph, seed=args.seed, **params)
+    except (BudgetExceededError, ValueError) as error:
+        # Budget overruns and input-shape rejections (e.g. a non-cycle
+        # graph handed to two-cycle) are user errors, not crashes.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(result.to_json(indent=2))
         return 0
-
-    graph = read_edge_list(args.graph)
-    if args.command == "mis":
-        from repro.core.mis import ampc_mis
-
-        result = ampc_mis(graph, config=config, seed=args.seed)
-        print(f"maximal independent set: {len(result.independent_set)} "
-              f"of {graph.num_vertices} vertices "
-              f"({result.rounds} rounds)")
-        _print_metrics(result.metrics)
-    elif args.command == "matching":
-        from repro.core.matching import ampc_maximal_matching
-
-        result = ampc_maximal_matching(graph, config=config, seed=args.seed)
-        print(f"maximal matching: {len(result.matching)} edges "
-              f"({result.rounds} rounds)")
-        _print_metrics(result.metrics)
-    elif args.command == "components":
-        from repro.core.connectivity import ampc_connected_components
-
-        result = ampc_connected_components(graph, config=config,
-                                           seed=args.seed)
-        print(f"connected components: {len(set(result.labels))} "
-              f"({result.iterations} forest-connectivity iterations)")
-        _print_metrics(result.metrics)
-    elif args.command == "two-cycle":
-        from repro.core.two_cycle import ampc_one_vs_two_cycle
-
-        result = ampc_one_vs_two_cycle(graph, config=config, seed=args.seed)
-        print(f"number of cycles: {result.num_cycles} "
-              f"(sampled {result.num_sampled} vertices, "
-              f"{result.attempts} attempt(s))")
-        _print_metrics(result.metrics)
-    elif args.command == "pagerank":
-        from repro.core.random_walks import ampc_pagerank
-
-        result = ampc_pagerank(graph, config=config, seed=args.seed,
-                               walks_per_vertex=args.walks)
-        ranked = sorted(range(graph.num_vertices),
-                        key=lambda v: -result.scores[v])
-        print(f"PageRank over {result.total_steps:,} walk steps; "
-              f"top {args.top}:")
-        for v in ranked[: args.top]:
-            print(f"  vertex {v}: {result.scores[v]:.5f}")
-        _print_metrics(result.metrics)
+    print(result.description)
+    _print_metrics(result.metrics)
+    for phase, seconds in result.phases.items():
+        print(f"  {phase}: {seconds:.3f}s")
     return 0
 
 

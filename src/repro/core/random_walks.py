@@ -24,8 +24,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ampc.cluster import ClusterConfig
+from repro.ampc.dht import DHTStore
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.dataflow.dofn import DoFn
 from repro.graph.graph import Graph
@@ -40,6 +42,9 @@ class RandomWalkResult:
     #: visits[v] = number of times any walk visited v (including starts)
     visits: List[int]
     metrics: Metrics
+    #: AMPC rounds (2: the preparation round — possibly cache-served —
+    #: plus the walk round)
+    rounds: int = 0
 
 
 @dataclass
@@ -49,6 +54,8 @@ class PageRankResult:
     scores: List[float]
     metrics: Metrics
     total_steps: int = 0
+    #: AMPC rounds (see :class:`RandomWalkResult`)
+    rounds: int = 0
 
 
 class _WalkDoFn(DoFn):
@@ -89,9 +96,28 @@ class _WalkDoFn(DoFn):
             yield ("end", (start, walk), current)
 
 
-def _walk_round(graph: Graph, *, runtime: AMPCRuntime, seed: int,
-                num_walks: int, walk_length: int,
-                damping: Optional[float]):
+@dataclass
+class PreparedWalks:
+    """The DHT-resident walk adjacency (seed-independent)."""
+
+    #: ``(vertex, neighbors)`` records, for free re-placement
+    records: List[Tuple[int, Tuple[int, ...]]]
+    store: DHTStore
+
+
+def prepare_random_walks(graph: Graph, *,
+                         runtime: Optional[AMPCRuntime] = None,
+                         config: Optional[ClusterConfig] = None,
+                         seed: int = 0) -> PreparedWalks:
+    """The walk preprocessing: place the adjacency and write it to the DHT.
+
+    Shared by :func:`ampc_random_walks` and :func:`ampc_pagerank` — one
+    prepared graph serves both, under any seed (walk randomness is hashed
+    per walk, not baked into the adjacency).
+    """
+    del seed
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
     metrics = runtime.metrics
     with metrics.phase("PlaceGraph"):
         nodes = runtime.pipeline.from_items(
@@ -103,13 +129,28 @@ def _walk_round(graph: Graph, *, runtime: AMPCRuntime, seed: int,
                             key_fn=lambda record: record[0],
                             value_fn=lambda record: record[1])
     runtime.next_round()
+    return PreparedWalks(records=nodes.collect(), store=store)
+
+
+def _walk_round(graph: Graph, *, runtime: AMPCRuntime, seed: int,
+                num_walks: int, walk_length: int,
+                damping: Optional[float],
+                prepared: Optional[PreparedWalks] = None):
+    metrics = runtime.metrics
+    if prepared is None:
+        prepared = prepare_random_walks(graph, runtime=runtime)
+    rounds_before = metrics.rounds
+    nodes = runtime.pipeline.from_items(
+        prepared.records, key_fn=lambda record: record[0]
+    )
     with metrics.phase("Walks"):
         outputs = nodes.par_do(
-            _WalkDoFn(store, seed, num_walks, walk_length, damping),
+            _WalkDoFn(prepared.store, seed, num_walks, walk_length, damping),
             name="random-walks",
         ).collect()
     runtime.next_round()
-    return outputs
+    # +1: the preparation round, whether executed here or cache-served.
+    return outputs, metrics.rounds - rounds_before + 1
 
 
 def ampc_random_walks(graph: Graph, *,
@@ -117,15 +158,18 @@ def ampc_random_walks(graph: Graph, *,
                       config: Optional[ClusterConfig] = None,
                       seed: int = 0,
                       walks_per_vertex: int = 1,
-                      walk_length: int = 10) -> RandomWalkResult:
+                      walk_length: int = 10,
+                      prepared: Optional[PreparedWalks] = None
+                      ) -> RandomWalkResult:
     """Fixed-length random walks from every vertex in 2 AMPC rounds."""
     if walk_length < 0 or walks_per_vertex < 1:
         raise ValueError("need walk_length >= 0 and walks_per_vertex >= 1")
     if runtime is None:
         runtime = AMPCRuntime(config=config)
-    outputs = _walk_round(graph, runtime=runtime, seed=seed,
-                          num_walks=walks_per_vertex,
-                          walk_length=walk_length, damping=None)
+    outputs, rounds = _walk_round(graph, runtime=runtime, seed=seed,
+                                  num_walks=walks_per_vertex,
+                                  walk_length=walk_length, damping=None,
+                                  prepared=prepared)
     visits = [0] * graph.num_vertices
     endpoints: Dict[Tuple[int, int], int] = {}
     for tag, key, value in outputs:
@@ -134,7 +178,7 @@ def ampc_random_walks(graph: Graph, *,
         else:
             endpoints[key] = value
     return RandomWalkResult(endpoints=endpoints, visits=visits,
-                            metrics=runtime.metrics)
+                            metrics=runtime.metrics, rounds=rounds)
 
 
 def ampc_pagerank(graph: Graph, *,
@@ -143,7 +187,8 @@ def ampc_pagerank(graph: Graph, *,
                   seed: int = 0,
                   damping: float = 0.85,
                   walks_per_vertex: int = 16,
-                  max_walk_length: int = 64) -> PageRankResult:
+                  max_walk_length: int = 64,
+                  prepared: Optional[PreparedWalks] = None) -> PageRankResult:
     """Complete-path Monte-Carlo PageRank in 2 AMPC rounds.
 
     Each of the ``n * walks_per_vertex`` walks terminates with probability
@@ -155,9 +200,10 @@ def ampc_pagerank(graph: Graph, *,
         raise ValueError("damping must be in (0, 1)")
     if runtime is None:
         runtime = AMPCRuntime(config=config)
-    outputs = _walk_round(graph, runtime=runtime, seed=seed,
-                          num_walks=walks_per_vertex,
-                          walk_length=max_walk_length, damping=damping)
+    outputs, rounds = _walk_round(graph, runtime=runtime, seed=seed,
+                                  num_walks=walks_per_vertex,
+                                  walk_length=max_walk_length,
+                                  damping=damping, prepared=prepared)
     visits = [0] * graph.num_vertices
     total_steps = 0
     for tag, key, value in outputs:
@@ -168,7 +214,7 @@ def ampc_pagerank(graph: Graph, *,
     scale = (1.0 - damping) / (n * walks_per_vertex)
     scores = [count * scale for count in visits]
     return PageRankResult(scores=scores, metrics=runtime.metrics,
-                          total_steps=total_steps)
+                          total_steps=total_steps, rounds=rounds)
 
 
 def pagerank_power_iteration(graph: Graph, *, damping: float = 0.85,
@@ -202,3 +248,80 @@ def pagerank_power_iteration(graph: Graph, *, damping: float = 0.85,
         if delta < tolerance:
             break
     return scores
+
+
+# ---------------------------------------------------------------------------
+# Registry specs (the Session/CLI entry points)
+# ---------------------------------------------------------------------------
+
+
+def _summarize_pagerank(result: PageRankResult, graph: Graph):
+    return {
+        "output_size": len(result.scores),
+        "total_steps": result.total_steps,
+        "rounds": result.rounds,
+    }
+
+
+def _describe_pagerank(result: PageRankResult, graph: Graph, params) -> str:
+    top = params.get("top")
+    top = 10 if top is None else top
+    ranked = sorted(range(graph.num_vertices),
+                    key=lambda v: -result.scores[v])
+    lines = [f"PageRank over {result.total_steps:,} walk steps; "
+             f"top {top}:"]
+    for v in ranked[:top]:
+        lines.append(f"  vertex {v}: {result.scores[v]:.5f}")
+    return "\n".join(lines)
+
+
+register_algorithm(AlgorithmSpec(
+    name="pagerank",
+    summary="Monte-Carlo PageRank",
+    input_kind="graph",
+    run=ampc_pagerank,
+    prepare=prepare_random_walks,
+    summarize=_summarize_pagerank,
+    describe=_describe_pagerank,
+    params=(
+        ParamSpec("walks_per_vertex", int, 16, "walks per vertex",
+                  cli="--walks"),
+        ParamSpec("damping", float, 0.85, "continuation probability"),
+        ParamSpec("max_walk_length", int, 64,
+                  "hard per-walk step cap (keeps the O(S) budget honest)"),
+        ParamSpec("top", int, 10,
+                  "how many top-ranked vertices to print",
+                  algorithm_arg=False),
+    ),
+    prep_seed_sensitive=False,  # the adjacency ignores the seed
+))
+
+
+def _summarize_walks(result: RandomWalkResult, graph: Graph):
+    return {
+        "output_size": len(result.endpoints),
+        "total_visits": sum(result.visits),
+        "rounds": result.rounds,
+    }
+
+
+def _describe_walks(result: RandomWalkResult, graph: Graph, params) -> str:
+    return (f"random walks: {len(result.endpoints)} walks, "
+            f"{sum(result.visits):,} total visits")
+
+
+register_algorithm(AlgorithmSpec(
+    name="random-walks",
+    summary="fixed-length random walks from every vertex",
+    input_kind="graph",
+    run=ampc_random_walks,
+    prepare=prepare_random_walks,
+    summarize=_summarize_walks,
+    describe=_describe_walks,
+    params=(
+        ParamSpec("walks_per_vertex", int, 1, "walks per vertex",
+                  cli="--walks"),
+        ParamSpec("walk_length", int, 10, "steps per walk"),
+    ),
+    prep_seed_sensitive=False,
+))

@@ -16,17 +16,10 @@ from __future__ import annotations
 
 from typing import Callable, List, Tuple
 
+from repro.ampc.hashing import _MASK, _splitmix64
 from repro.graph.graph import edge_key
 
-_MASK = (1 << 64) - 1
 _INV_2_64 = 1.0 / float(1 << 64)
-
-
-def _splitmix64(x: int) -> int:
-    x = (x + 0x9E3779B97F4A7C15) & _MASK
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
-    return x ^ (x >> 31)
 
 
 def hash_rank(seed: int, *items: int) -> float:

@@ -24,8 +24,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ampc.cluster import ClusterConfig
+from repro.ampc.dht import DHTStore
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.dataflow.dofn import DoFn
 from repro.graph.graph import Graph
@@ -42,6 +44,9 @@ class TwoCycleResult:
     num_sampled: int = 0
     #: sampling attempts (1 unless a cycle had no sample)
     attempts: int = 0
+    #: AMPC rounds: the preparation round (possibly cache-served) plus
+    #: one walk round per attempt
+    rounds: int = 0
 
 
 class _CycleWalk(DoFn):
@@ -90,22 +95,27 @@ def _verify_cycle_graph(graph: Graph) -> None:
             )
 
 
-def ampc_one_vs_two_cycle(graph: Graph, *,
-                          runtime: Optional[AMPCRuntime] = None,
-                          config: Optional[ClusterConfig] = None,
-                          seed: int = 0,
-                          sample_probability: Optional[float] = None,
-                          walk_budget: Optional[int] = None,
-                          max_attempts: int = 16) -> TwoCycleResult:
-    """Count the cycles of a disjoint-union-of-cycles graph in O(1) rounds."""
+@dataclass
+class PreparedTwoCycle:
+    """The DHT-resident cycle adjacency (seed-independent)."""
+
+    store: DHTStore
+
+
+def prepare_two_cycle(graph: Graph, *,
+                      runtime: Optional[AMPCRuntime] = None,
+                      config: Optional[ClusterConfig] = None,
+                      seed: int = 0) -> PreparedTwoCycle:
+    """The single shuffle: place + write the cycle adjacency into the DHT.
+
+    ``seed`` is accepted for interface uniformity but unused — only the
+    sampling (not the adjacency) is seeded.
+    """
+    del seed
     _verify_cycle_graph(graph)
     if runtime is None:
         runtime = AMPCRuntime(config=config)
     metrics = runtime.metrics
-    n = graph.num_vertices
-    probability = sample_probability or max(4.0 / n, n ** -0.5)
-
-    # The single shuffle: place + write the adjacency into the DHT.
     with metrics.phase("KV-Write"):
         nodes = runtime.pipeline.from_items(
             [(v, graph.neighbors(v)) for v in graph.vertices()]
@@ -115,6 +125,31 @@ def ampc_one_vs_two_cycle(graph: Graph, *,
                             key_fn=lambda record: record[0],
                             value_fn=lambda record: record[1])
     runtime.next_round()
+    return PreparedTwoCycle(store=store)
+
+
+def ampc_one_vs_two_cycle(graph: Graph, *,
+                          runtime: Optional[AMPCRuntime] = None,
+                          config: Optional[ClusterConfig] = None,
+                          seed: int = 0,
+                          sample_probability: Optional[float] = None,
+                          walk_budget: Optional[int] = None,
+                          max_attempts: int = 16,
+                          prepared: Optional[PreparedTwoCycle] = None
+                          ) -> TwoCycleResult:
+    """Count the cycles of a disjoint-union-of-cycles graph in O(1) rounds."""
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    if prepared is None:
+        # prepare_two_cycle validates the graph shape itself.
+        prepared = prepare_two_cycle(graph, runtime=runtime)
+    else:
+        _verify_cycle_graph(graph)
+    store = prepared.store
+    rounds_before = metrics.rounds
+    n = graph.num_vertices
+    probability = sample_probability or max(4.0 / n, n ** -0.5)
 
     attempts = 0
     while True:
@@ -153,7 +188,8 @@ def ampc_one_vs_two_cycle(graph: Graph, *,
             runtime.pipeline.run_on_driver(len(links))
             num_cycles = _count_components(links)
         return TwoCycleResult(num_cycles=num_cycles, metrics=metrics,
-                              num_sampled=len(sampled), attempts=attempts)
+                              num_sampled=len(sampled), attempts=attempts,
+                              rounds=metrics.rounds - rounds_before + 1)
 
 
 def _count_components(links: List[Tuple[int, int]]) -> int:
@@ -175,3 +211,42 @@ def _count_components(links: List[Tuple[int, int]]) -> int:
         if ra != rb:
             parent[rb] = ra
     return len({find(v) for v in vertices})
+
+
+# ---------------------------------------------------------------------------
+# Registry spec (the Session/CLI entry point)
+# ---------------------------------------------------------------------------
+
+
+def _summarize(result: TwoCycleResult, graph: Graph) -> Dict[str, int]:
+    return {
+        "output_size": result.num_cycles,
+        "attempts": result.attempts,
+        "num_sampled": result.num_sampled,
+        "rounds": result.rounds,
+    }
+
+
+def _describe(result: TwoCycleResult, graph: Graph, params) -> str:
+    return (f"number of cycles: {result.num_cycles} "
+            f"(sampled {result.num_sampled} vertices, "
+            f"{result.attempts} attempt(s))")
+
+
+register_algorithm(AlgorithmSpec(
+    name="two-cycle",
+    summary="count cycles (1-vs-2-Cycle input)",
+    input_kind="cycle",
+    run=ampc_one_vs_two_cycle,
+    prepare=prepare_two_cycle,
+    summarize=_summarize,
+    describe=_describe,
+    params=(
+        ParamSpec("sample_probability", float, None,
+                  "initial per-vertex sampling probability "
+                  "(default ~n^-0.5)"),
+        ParamSpec("walk_budget", int, None,
+                  "per-walk step budget before the attempt is retried"),
+    ),
+    prep_seed_sensitive=False,  # only the sampling is seeded
+))

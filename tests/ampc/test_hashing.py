@@ -1,0 +1,70 @@
+"""Tests for the stable placement hash.
+
+The regression these pin down: ``DHTStore.shard_of`` and
+``Cluster.machine_for`` used Python's builtin ``hash``, which is salted
+per interpreter process for strings — so string-keyed placements (and the
+shard-contention metrics derived from them) differed across runs.
+"""
+
+import subprocess
+import sys
+
+from repro.ampc.cluster import Cluster, ClusterConfig
+from repro.ampc.dht import DHTStore
+from repro.ampc.hashing import stable_hash
+
+KEYS = ["alpha", "beta", ("edge", 3, 4), 17, -5, 2 ** 80, 3.25, None,
+        b"raw", frozenset({1, 2})]
+
+
+class TestStableHash:
+    def test_deterministic_within_a_run(self):
+        assert [stable_hash(k) for k in KEYS] == [stable_hash(k) for k in KEYS]
+
+    def test_distinct_keys_scatter(self):
+        values = {stable_hash(k) for k in KEYS}
+        assert len(values) == len(KEYS)
+
+    def test_equal_numeric_keys_hash_equally(self):
+        # Dict-backed shards treat True == 1 == 1.0 as one key, so the
+        # placement hash must agree (the builtin hash contract).
+        assert stable_hash(True) == stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(0.0) == stable_hash(-0.0) == stable_hash(0)
+        assert stable_hash(2.0 ** 70) == stable_hash(2 ** 70)
+        assert stable_hash(3.25) != stable_hash(3)
+
+    def test_64_bit_range(self):
+        for key in KEYS:
+            assert 0 <= stable_hash(key) < 2 ** 64
+
+    def test_stable_across_interpreter_processes(self):
+        """The actual regression: values must not depend on PYTHONHASHSEED."""
+        script = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "from repro.ampc.hashing import stable_hash; "
+            "print([stable_hash(k) for k in "
+            "['alpha', 'beta', ('edge', 3, 4), 17, None]])"
+        )
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, timeout=120,
+                cwd=__file__.rsplit("/tests/", 1)[0],
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1, "placement hash depends on the salt"
+
+
+class TestPlacementUsesStableHash:
+    def test_shard_of(self):
+        store = DHTStore("t", num_shards=7)
+        for key in KEYS:
+            assert store.shard_of(key) == stable_hash(key) % 7
+
+    def test_machine_for(self):
+        cluster = Cluster(ClusterConfig(num_machines=5))
+        for key in KEYS:
+            assert cluster.machine_for(key) == stable_hash(key) % 5

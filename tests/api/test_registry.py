@@ -1,0 +1,89 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.api import registry
+from repro.api.registry import AlgorithmSpec, ParamSpec
+
+#: the six core algorithms of the paper (random-walks rides along)
+CORE_SIX = ["mis", "matching", "msf", "components", "two-cycle", "pagerank"]
+
+
+class TestRegistryContents:
+    def test_all_core_algorithms_registered(self):
+        names = registry.names()
+        for name in CORE_SIX:
+            assert name in names
+
+    def test_specs_in_registration_order(self):
+        assert [spec.name for spec in registry.specs()] == registry.names()
+
+    def test_every_spec_is_complete(self):
+        for spec in registry.specs():
+            assert spec.summary
+            assert spec.input_kind in ("graph", "weighted", "cycle")
+            assert callable(spec.run)
+            assert callable(spec.prepare)
+            assert callable(spec.summarize)
+            assert callable(spec.describe)
+
+    def test_msf_takes_weighted_input(self):
+        assert registry.get("msf").input_kind == "weighted"
+
+    def test_two_cycle_takes_cycle_input(self):
+        assert registry.get("two-cycle").input_kind == "cycle"
+
+    def test_pagerank_and_walks_share_preprocessing(self):
+        assert (registry.get("pagerank").prepare
+                is registry.get("random-walks").prepare)
+
+
+class TestLookup:
+    def test_underscores_and_hyphens_both_resolve(self):
+        assert registry.get("two_cycle") is registry.get("two-cycle")
+        assert registry.get("RANDOM_WALKS") is registry.get("random-walks")
+
+    def test_unknown_name_lists_known_ones(self):
+        with pytest.raises(KeyError, match="mis"):
+            registry.get("frobnicate")
+
+
+class TestParamSpecs:
+    def test_flag_derived_from_name(self):
+        param = ParamSpec("search_budget", int)
+        assert param.flag == "--search-budget"
+
+    def test_explicit_cli_flag_wins(self):
+        spec = registry.get("pagerank")
+        walks = next(p for p in spec.params if p.name == "walks_per_vertex")
+        assert walks.flag == "--walks"
+
+    def test_display_only_params_not_passed_to_algorithm(self):
+        spec = registry.get("pagerank")
+        passed = spec.algorithm_params({"walks_per_vertex": 4, "top": 3})
+        assert passed == {"walks_per_vertex": 4}
+
+
+class TestRegistration:
+    def test_invalid_input_kind_rejected(self):
+        with pytest.raises(ValueError, match="input_kind"):
+            AlgorithmSpec(
+                name="bogus", summary="x", input_kind="hypergraph",
+                run=lambda *a, **k: None, prepare=lambda *a, **k: None,
+                summarize=lambda r, g: {}, describe=lambda r, g, p: "",
+            )
+
+    def test_conflicting_reregistration_rejected(self):
+        spec = registry.get("mis")
+        clone = AlgorithmSpec(
+            name="mis", summary="imposter", input_kind="graph",
+            run=lambda *a, **k: None, prepare=spec.prepare,
+            summarize=spec.summarize, describe=spec.describe,
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_algorithm(clone)
+
+    def test_idempotent_reregistration_allowed(self):
+        spec = registry.get("mis")
+        assert registry.register_algorithm(spec) is spec
+        assert registry.names().count("mis") == 1

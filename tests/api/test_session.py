@@ -1,0 +1,208 @@
+"""Tests for the Session API: parity with the legacy entry points and
+cross-run preprocessing reuse."""
+
+import json
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import Session
+from repro.core.connectivity import ampc_connected_components
+from repro.core.matching import ampc_maximal_matching
+from repro.core.mis import ampc_mis
+from repro.core.msf import ampc_msf
+from repro.core.random_walks import ampc_pagerank
+from repro.core.two_cycle import ampc_one_vs_two_cycle
+from repro.graph.generators import (
+    degree_weighted,
+    erdos_renyi_gnm,
+    two_cycles,
+)
+
+CONFIG = ClusterConfig(num_machines=4)
+SEED = 3
+
+GRAPH = erdos_renyi_gnm(50, 130, seed=2)
+WEIGHTED = degree_weighted(GRAPH)
+CYCLES = two_cycles(40, shuffle_ids=True, seed=2)
+
+
+@pytest.fixture()
+def session():
+    return Session(CONFIG)
+
+
+class TestLegacyParity:
+    """``Session.run`` must reproduce the legacy ``ampc_*`` outputs and
+    metrics on a fixed seed — the API is a new skin, not a new algorithm."""
+
+    def test_mis(self, session):
+        run = session.run("mis", GRAPH, seed=SEED)
+        legacy = ampc_mis(GRAPH, config=CONFIG, seed=SEED)
+        assert run.output.independent_set == legacy.independent_set
+        assert run.output.rounds == legacy.rounds
+        assert run.metrics == legacy.metrics.summary()
+
+    def test_matching(self, session):
+        run = session.run("matching", GRAPH, seed=SEED)
+        legacy = ampc_maximal_matching(GRAPH, config=CONFIG, seed=SEED)
+        assert run.output.matching == legacy.matching
+        assert run.metrics == legacy.metrics.summary()
+
+    def test_msf(self, session):
+        run = session.run("msf", WEIGHTED, seed=SEED)
+        legacy = ampc_msf(WEIGHTED, config=CONFIG, seed=SEED)
+        assert run.output.forest == legacy.forest
+        assert run.metrics == legacy.metrics.summary()
+
+    def test_components(self, session):
+        run = session.run("components", GRAPH, seed=SEED)
+        legacy = ampc_connected_components(GRAPH, config=CONFIG, seed=SEED)
+        assert run.output.labels == legacy.labels
+        assert run.metrics == legacy.metrics.summary()
+
+    def test_two_cycle(self, session):
+        run = session.run("two-cycle", CYCLES, seed=SEED)
+        legacy = ampc_one_vs_two_cycle(CYCLES, config=CONFIG, seed=SEED)
+        assert run.output.num_cycles == legacy.num_cycles == 2
+        assert run.metrics == legacy.metrics.summary()
+
+    def test_pagerank(self, session):
+        run = session.run("pagerank", GRAPH, seed=SEED, walks_per_vertex=4)
+        legacy = ampc_pagerank(GRAPH, config=CONFIG, seed=SEED,
+                               walks_per_vertex=4)
+        assert run.output.scores == legacy.scores
+        assert run.metrics == legacy.metrics.summary()
+
+
+class TestPreprocessingReuse:
+    @pytest.mark.parametrize("name,graph", [
+        ("mis", GRAPH),
+        ("matching", GRAPH),
+        ("msf", WEIGHTED),
+        ("components", GRAPH),
+        ("two-cycle", CYCLES),
+        ("pagerank", GRAPH),
+    ])
+    def test_second_run_shuffles_strictly_fewer(self, session, name, graph):
+        first = session.run(name, graph, seed=SEED)
+        second = session.run(name, graph, seed=SEED)
+        assert not first.preprocessing_reused
+        assert second.preprocessing_reused
+        assert second.metrics["shuffles"] < first.metrics["shuffles"]
+        assert second.shuffles_saved > 0
+
+    def test_reuse_preserves_the_output(self, session):
+        first = session.run("mis", GRAPH, seed=SEED)
+        second = session.run("mis", GRAPH, seed=SEED)
+        assert second.output.independent_set == first.output.independent_set
+
+    def test_seed_sensitive_preprocessing_not_shared_across_seeds(
+            self, session):
+        session.run("mis", GRAPH, seed=1)
+        other = session.run("mis", GRAPH, seed=2)
+        assert not other.preprocessing_reused
+        legacy = ampc_mis(GRAPH, config=CONFIG, seed=2)
+        assert other.output.independent_set == legacy.independent_set
+
+    def test_seed_insensitive_preprocessing_shared_across_seeds(
+            self, session):
+        session.run("msf", WEIGHTED, seed=1)
+        other = session.run("msf", WEIGHTED, seed=2)
+        assert other.preprocessing_reused
+        legacy = ampc_msf(WEIGHTED, config=CONFIG, seed=2)
+        assert other.output.forest == legacy.forest
+
+    def test_pagerank_and_walks_share_the_adjacency(self, session):
+        session.run("pagerank", GRAPH, seed=SEED, walks_per_vertex=2)
+        walks = session.run("random-walks", GRAPH, seed=SEED)
+        assert walks.preprocessing_reused
+        assert walks.metrics["shuffles"] == 0
+
+    def test_logical_rounds_stable_across_cache_state(self, session):
+        """The envelope's rounds field is the algorithm's round count —
+        a cache-served preparation round still counts, for every
+        algorithm (mis has a .rounds result field, pagerank/two-cycle
+        gained one for exactly this)."""
+        for name, graph in (("mis", GRAPH), ("pagerank", GRAPH),
+                            ("two-cycle", CYCLES)):
+            cold = session.run(name, graph, seed=SEED)
+            warm = session.run(name, graph, seed=SEED)
+            assert warm.preprocessing_reused
+            assert warm.rounds == cold.rounds
+            # executed rounds still visible, one lower on the hit
+            assert warm.metrics["rounds"] == cold.metrics["rounds"] - 1
+
+    def test_different_graphs_do_not_collide(self, session):
+        session.run("mis", GRAPH, seed=SEED)
+        other_graph = erdos_renyi_gnm(50, 130, seed=9)
+        other = session.run("mis", other_graph, seed=SEED)
+        assert not other.preprocessing_reused
+        legacy = ampc_mis(other_graph, config=CONFIG, seed=SEED)
+        assert other.output.independent_set == legacy.independent_set
+
+    def test_reuse_can_be_disabled(self, session):
+        session.run("mis", GRAPH, seed=SEED)
+        cold = session.run("mis", GRAPH, seed=SEED,
+                           reuse_preprocessing=False)
+        assert not cold.preprocessing_reused
+        assert cold.metrics["shuffles"] == 1
+
+    def test_clear_preprocessing(self, session):
+        session.run("mis", GRAPH, seed=SEED)
+        assert session.cached_preprocessings == 1
+        session.clear_preprocessing()
+        assert session.cached_preprocessings == 0
+        again = session.run("mis", GRAPH, seed=SEED)
+        assert not again.preprocessing_reused
+
+    def test_stats_accumulate(self, session):
+        session.run("mis", GRAPH, seed=SEED)
+        session.run("mis", GRAPH, seed=SEED)
+        session.run("matching", GRAPH, seed=SEED)
+        stats = session.stats
+        assert stats.runs == 3
+        assert stats.preprocessing_hits == 1
+        assert stats.preprocessing_misses == 2
+        assert stats.shuffles_saved == 1
+        assert stats.kv_writes_saved == GRAPH.num_vertices
+
+
+class TestRunResultEnvelope:
+    def test_summary_and_description(self, session):
+        run = session.run("mis", GRAPH, seed=SEED)
+        assert run.algorithm == "mis"
+        assert run.seed == SEED
+        assert run.output_size == len(run.output.independent_set)
+        assert "maximal independent set" in run.description
+        assert run.phases  # per-phase breakdown present
+
+    def test_params_echo_includes_defaults(self, session):
+        run = session.run("pagerank", GRAPH, seed=SEED, walks_per_vertex=2)
+        assert run.params["walks_per_vertex"] == 2
+        assert run.params["damping"] == 0.85
+
+    def test_to_json_round_trips(self, session):
+        run = session.run("mis", GRAPH, seed=SEED)
+        decoded = json.loads(run.to_json())
+        assert decoded["algorithm"] == "mis"
+        assert decoded["metrics"]["shuffles"] == run.metrics["shuffles"]
+        assert decoded["summary"]["output_size"] == run.output_size
+        assert "output" not in decoded  # native objects stay out of JSON
+
+    def test_unknown_parameter_rejected(self, session):
+        with pytest.raises(TypeError, match="unexpected parameter"):
+            session.run("mis", GRAPH, seed=SEED, walk_length=5)
+
+    def test_unknown_algorithm_rejected(self, session):
+        with pytest.raises(KeyError):
+            session.run("steiner-tree", GRAPH)
+
+
+class TestStrictRounds:
+    def test_reused_stores_are_sealed_and_readable(self):
+        session = Session(CONFIG, strict_rounds=True)
+        first = session.run("mis", GRAPH, seed=SEED)
+        second = session.run("mis", GRAPH, seed=SEED)
+        assert second.preprocessing_reused
+        assert second.output.independent_set == first.output.independent_set

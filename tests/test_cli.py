@@ -76,6 +76,39 @@ def test_ablation_flags(graph_file, capsys):
     assert "cache hit rate: 0.0%" in out
 
 
+def test_query_budget_flag_allows_compliant_runs(graph_file, capsys):
+    out = run_cli(capsys, "mis", graph_file, "--machines", "4",
+                  "--query-budget", "100000")
+    assert "maximal independent set" in out
+
+
+def test_query_budget_flag_rejects_overspending(graph_file, capsys):
+    assert main(["mis", graph_file, "--machines", "4",
+                 "--query-budget", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "budget" in captured.err
+
+
+def test_json_output(graph_file, capsys):
+    import json
+
+    assert main(["mis", graph_file, "--machines", "4", "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["algorithm"] == "mis"
+    assert record["metrics"]["shuffles"] == 1
+    assert record["summary"]["output_size"] > 0
+
+
+def test_subcommands_generated_from_registry(capsys):
+    from repro.api import registry
+
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    help_text = capsys.readouterr().out
+    for spec in registry.specs():
+        assert spec.name in help_text
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate", "x.txt"])

@@ -59,3 +59,17 @@ def test_violation_is_detected():
     store.write("k", 1)
     with pytest.raises(StoreSealedError):
         store.lookup("k")
+
+
+def test_contains_enforces_round_discipline_like_lookup():
+    """Regression: ``contains`` used to skip the unsealed-read check that
+    ``lookup`` enforces, so a membership probe could leak same-round
+    writes in strict mode."""
+    runtime = AMPCRuntime(config=CONFIG, strict_rounds=True)
+    store = runtime.new_store("early-contains")
+    store.write("k", 1)
+    with pytest.raises(StoreSealedError):
+        store.contains("k")
+    runtime.next_round()
+    assert store.contains("k")
+    assert not store.contains("missing")
