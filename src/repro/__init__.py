@@ -43,9 +43,13 @@ _EXPORTS = {
     "AMPCRuntime": "repro.ampc.runtime",
     # the unified Session/registry API
     "Session": "repro.api.session",
+    "GraphHandle": "repro.api.session",
     "RunResult": "repro.api.result",
     "algorithm_names": "repro.api",
     "algorithm_specs": "repro.api",
+    "graph_fingerprint": "repro.api.fingerprint",
+    # the serving layer
+    "GraphService": "repro.serve.service",
     # the paper's algorithms
     "ampc_mis": "repro.core.mis",
     "ampc_maximal_matching": "repro.core.matching",

@@ -21,6 +21,7 @@ Typical use::
 """
 
 from repro.api import registry
+from repro.api.fingerprint import graph_fingerprint
 from repro.api.registry import (
     AlgorithmSpec,
     ParamSpec,
@@ -30,10 +31,11 @@ from repro.api.registry import (
     specs as algorithm_specs,
 )
 from repro.api.result import RunResult
-from repro.api.session import Session, SessionStats
+from repro.api.session import GraphHandle, Session, SessionStats
 
 __all__ = [
     "AlgorithmSpec",
+    "GraphHandle",
     "ParamSpec",
     "RunResult",
     "Session",
@@ -41,6 +43,7 @@ __all__ = [
     "algorithm_names",
     "algorithm_specs",
     "get_algorithm",
+    "graph_fingerprint",
     "register_algorithm",
     "registry",
 ]

@@ -1,0 +1,44 @@
+"""Content-stable graph fingerprints.
+
+The preprocessing cache must key on *what the graph is*, not on where it
+happens to live in memory: ``id(graph)`` keys break as soon as a caller
+mutates a graph in place (a count-preserving edge swap leaves ``id`` and
+the vertex/edge counts unchanged while invalidating every DHT-resident
+artifact), and they silently miss when two equal graphs are materialized
+twice — exactly the case a serving system wants to share.
+
+:func:`graph_fingerprint` hashes the graph's type, vertex-id space and its
+deterministic edge iteration (weights included for weighted graphs) into a
+short hex digest.  It is stable across interpreter runs (no dependence on
+``PYTHONHASHSEED``) and across object identities, so equal graphs share
+preprocessing and mutated graphs never reuse stale artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def graph_fingerprint(graph) -> str:
+    """Hex digest identifying a graph by content.
+
+    Works for any object exposing ``num_vertices`` and a deterministic
+    ``edges()`` iterator (both :class:`~repro.graph.graph.Graph` and
+    :class:`~repro.graph.graph.WeightedGraph` do; weighted edge tuples
+    hash their weights too, via exact ``repr``).
+    """
+    edges = getattr(graph, "edges", None)
+    num_vertices = getattr(graph, "num_vertices", None)
+    if edges is None or num_vertices is None:
+        raise TypeError(
+            f"cannot fingerprint {type(graph).__name__}: expected a graph "
+            "exposing num_vertices and edges()"
+        )
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(type(graph).__name__.encode("utf-8"))
+    digest.update(b"|")
+    digest.update(str(num_vertices).encode("utf-8"))
+    for edge in edges():
+        digest.update(b"|")
+        digest.update(repr(edge).encode("utf-8"))
+    return digest.hexdigest()

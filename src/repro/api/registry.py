@@ -30,10 +30,19 @@ _BUILTIN_MODULES = (
     "repro.core.connectivity",
     "repro.core.two_cycle",
     "repro.core.random_walks",
+    "repro.core.kkt",
+    "repro.baselines.rootset_mis",
+    "repro.baselines.rootset_matching",
+    "repro.baselines.boruvka_msf",
+    "repro.baselines.local_contraction_cc",
 )
 
 #: the graph representations an algorithm can declare as its input
 INPUT_KINDS = ("graph", "weighted", "cycle")
+
+#: the execution models a spec can declare; "mpc" specs get an
+#: :class:`~repro.mpc.runtime.MPCRuntime` (no DHT) from the Session
+MODELS = ("ampc", "mpc")
 
 
 @dataclass(frozen=True)
@@ -79,12 +88,19 @@ class AlgorithmSpec:
     #: whether the prepared artifact depends on the seed (rank-directed
     #: graphs do; weight-sorted or plain adjacency does not)
     prep_seed_sensitive: bool = True
+    #: execution model: "ampc" (default) or "mpc" (the shuffle-only
+    #: baselines, which run on an MPCRuntime without a DHT)
+    model: str = "ampc"
 
     def __post_init__(self):
         if self.input_kind not in INPUT_KINDS:
             raise ValueError(
                 f"input_kind must be one of {INPUT_KINDS}, "
                 f"got {self.input_kind!r}"
+            )
+        if self.model not in MODELS:
+            raise ValueError(
+                f"model must be one of {MODELS}, got {self.model!r}"
             )
 
     def algorithm_params(self, params: Dict[str, Any]) -> Dict[str, Any]:

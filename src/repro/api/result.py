@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -38,6 +38,8 @@ class RunResult:
     shuffles_saved: int = 0
     #: the human-readable headline the CLI prints
     description: str = ""
+    #: Session registration name of the graph, when run via a handle/name
+    graph_name: Optional[str] = None
 
     @property
     def output_size(self) -> Any:
@@ -56,6 +58,7 @@ class RunResult:
             "preprocessing_reused": self.preprocessing_reused,
             "shuffles_saved": self.shuffles_saved,
             "description": self.description,
+            "graph_name": self.graph_name,
         }
 
     def to_json(self, indent: int = None) -> str:

@@ -6,42 +6,119 @@ the DHT-resident graph outlives a single query: every algorithm in Section
 stage, and a serving system amortizes that stage across queries.
 
 :class:`Session` is that amortization boundary.  It owns one
-:class:`~repro.ampc.cluster.ClusterConfig` and a per-graph preprocessing
-cache: the first ``session.run("mis", graph)`` pays the preprocessing
-shuffle and KV writes, a second run on the same graph (and, where the
-artifact is seed-independent, a run of a sibling algorithm sharing the
-same preparation, e.g. ``pagerank`` and ``random-walks``) skips them and
+:class:`~repro.ampc.cluster.ClusterConfig` and a preprocessing cache keyed
+by **graph content** (see :mod:`repro.api.fingerprint`): the first
+``session.run("mis", graph)`` pays the preprocessing shuffle and KV
+writes, a second run on an equal graph (and, where the artifact is
+seed-independent, a run of a sibling algorithm sharing the same
+preparation, e.g. ``pagerank`` and ``random-walks``) skips them and
 reports the saving in its :class:`~repro.api.result.RunResult`.
 
-Each run gets a **fresh** :class:`~repro.ampc.runtime.AMPCRuntime`, so
-metrics are per-run; only sealed DHT stores and driver-side artifacts are
-shared, which is exactly what the model allows (sealed stores are
-read-only).
+Graphs can also be registered explicitly — ``session.load("web", graph)``
+returns a :class:`GraphHandle` with the fingerprint computed once, and
+later runs may refer to the graph by handle or by name.  Handles hold only
+a weak reference, and cache entries store no graph at all, so dropping the
+last caller reference actually releases the graph's memory.
+
+The cache is optionally bounded: ``max_cache_bytes`` enforces an LRU
+policy sized by the estimated bytes of each prepared artifact, with hits,
+misses and evictions counted in :class:`SessionStats`.
+
+Sessions are **thread-safe** and are what :class:`repro.serve.GraphService`
+serves concurrent queries through.  Each run gets a **fresh** runtime
+(:class:`~repro.ampc.runtime.AMPCRuntime`, or
+:class:`~repro.mpc.runtime.MPCRuntime` for specs declaring
+``model="mpc"``), so metrics are per-run; only sealed DHT stores and
+driver-side artifacts are shared, which is exactly what the model allows
+(sealed stores are read-only).  Concurrent cache misses on the same key
+are deduplicated: one thread prepares, the others wait and take the hit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ampc.cluster import ClusterConfig
+from repro.ampc.cost_model import estimate_bytes
+from repro.ampc.dht import DHTStore
 from repro.ampc.faults import FaultPlan
 from repro.ampc.runtime import AMPCRuntime
 from repro.api import registry
+from repro.api.fingerprint import graph_fingerprint
 from repro.api.result import RunResult
+from repro.graph.graph import Graph, WeightedGraph
+from repro.mpc.runtime import MPCRuntime
 
 
 @dataclass
 class SessionStats:
-    """Cross-run accounting of one Session."""
+    """Cross-run accounting of one Session.
+
+    The ``*_executed`` fields accumulate each run's own metrics, so under
+    concurrency they must equal the sum of the per-run numbers — the
+    invariant the serving stress tests assert.
+    """
 
     runs: int = 0
     preprocessing_hits: int = 0
     preprocessing_misses: int = 0
+    #: cache entries dropped by the LRU byte budget
+    preprocessing_evictions: int = 0
     #: shuffles skipped thanks to the preprocessing cache
     shuffles_saved: int = 0
     #: KV writes skipped thanks to the preprocessing cache
     kv_writes_saved: int = 0
+    #: executed totals summed over every run's own metrics
+    shuffles_executed: int = 0
+    kv_reads_executed: int = 0
+    kv_writes_executed: int = 0
+    simulated_time_s: float = 0.0
+
+
+class GraphHandle:
+    """An explicitly registered graph: a name plus a content fingerprint.
+
+    The fingerprint is computed at registration; it is the cache key, so
+    a handle is a *snapshot*.  After mutating the underlying graph in
+    place, re-register (``session.load(name, graph)`` again) or call
+    :meth:`refresh` — stale DHT artifacts are then isolated automatically
+    because the fingerprint changes.  Only a weak reference to the graph
+    is held: a handle never keeps a dropped graph alive.
+    """
+
+    __slots__ = ("name", "fingerprint", "num_vertices", "num_edges",
+                 "_ref", "__weakref__")
+
+    def __init__(self, name: str, graph: Any):
+        self.name = name
+        self._ref = weakref.ref(graph)
+        self.refresh()
+
+    @property
+    def graph(self) -> Optional[Any]:
+        """The registered graph, or None once it has been collected."""
+        return self._ref()
+
+    def refresh(self) -> "GraphHandle":
+        """Recompute the fingerprint from the graph's current content."""
+        graph = self._ref()
+        if graph is None:
+            raise ReferenceError(
+                f"graph {self.name!r} has been garbage-collected; "
+                "load it again"
+            )
+        self.fingerprint = graph_fingerprint(graph)
+        self.num_vertices = getattr(graph, "num_vertices", None)
+        self.num_edges = getattr(graph, "num_edges", None)
+        return self
+
+    def __repr__(self) -> str:
+        return (f"GraphHandle({self.name!r}, n={self.num_vertices}, "
+                f"m={self.num_edges}, fingerprint={self.fingerprint[:8]}...)")
 
 
 @dataclass
@@ -50,12 +127,41 @@ class _CacheEntry:
     #: what the preparation cost when it ran (i.e. what a hit saves)
     prep_shuffles: int
     prep_kv_writes: int
-    #: strong reference: keeps ``id(graph)`` valid for the cache key
-    graph: Any = field(repr=False, default=None)
+    #: estimated resident size, the unit of the LRU byte budget
+    nbytes: int
+
+
+def _prepared_bytes(obj: Any) -> int:
+    """Estimated resident bytes of a prepared artifact.
+
+    DHT stores report their written payload; graphs are sized from their
+    counts; dataclass artifacts sum their fields; plain containers fall
+    through to the cost model's serialized-size estimate.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, DHTStore):
+        return obj.total_value_bytes + 8 * obj.total_entries
+    if isinstance(obj, WeightedGraph):
+        return 24 * obj.num_edges + 8 * obj.num_vertices
+    if isinstance(obj, Graph):
+        return 16 * obj.num_edges + 8 * obj.num_vertices
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return sum(_prepared_bytes(getattr(obj, f.name))
+                   for f in fields(obj))
+    if isinstance(obj, dict):
+        return sum(_prepared_bytes(k) + _prepared_bytes(v)
+                   for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(_prepared_bytes(item) for item in obj)
+    try:
+        return estimate_bytes(obj)
+    except TypeError:
+        return 64
 
 
 class Session:
-    """One entry point for every registered AMPC algorithm.
+    """One entry point for every registered AMPC/MPC algorithm.
 
     ::
 
@@ -66,22 +172,67 @@ class Session:
         assert again.preprocessing_reused
         assert again.metrics["shuffles"] < mis.metrics["shuffles"]
 
-    The cache key is ``(preprocessing stage, graph identity, seed)`` —
-    seed only where the artifact is rank-dependent.  Graph identity is
-    ``id(graph)`` plus its vertex/edge counts, so mutating a cached graph
-    in place invalidates the entry whenever the mutation changes either
-    count; callers mutating graphs between runs should call
-    :meth:`clear_preprocessing` to be safe.
+        web = session.load("web", graph)            # explicit registration
+        session.run("pagerank", "web", walks_per_vertex=8)
+
+    The cache key is ``(preprocessing stage, graph fingerprint, seed)`` —
+    seed only where the artifact is rank-dependent.  The fingerprint is
+    content-stable, so equal graphs share preprocessing regardless of
+    object identity, and in-place mutations never serve stale artifacts
+    (raw-graph runs re-fingerprint; handles re-fingerprint on re-load).
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None, *,
                  fault_plan: Optional[FaultPlan] = None,
-                 strict_rounds: bool = False):
+                 strict_rounds: bool = False,
+                 max_cache_bytes: Optional[int] = None):
         self.config = config or ClusterConfig()
         self.fault_plan = fault_plan
         self.strict_rounds = strict_rounds
+        #: LRU byte budget for prepared artifacts; None means unbounded
+        self.max_cache_bytes = max_cache_bytes
         self.stats = SessionStats()
-        self._cache: Dict[Tuple, _CacheEntry] = {}
+        self._cache: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        self._cache_bytes = 0
+        self._graphs: Dict[str, GraphHandle] = {}
+        self._lock = threading.RLock()
+        #: cache keys currently being prepared (miss deduplication)
+        self._inflight: Dict[Tuple, threading.Event] = {}
+
+    # -- graph registration ------------------------------------------------
+
+    def load(self, name: str, graph: Any) -> GraphHandle:
+        """Register ``graph`` under ``name`` and return its handle.
+
+        Re-loading a name re-fingerprints, so this is also how callers
+        declare "I mutated this graph" — stale cache entries are isolated
+        by the changed fingerprint.
+        """
+        handle = GraphHandle(name, graph)
+        with self._lock:
+            self._graphs[name] = handle
+        return handle
+
+    def unload(self, name: str) -> None:
+        """Forget a registered graph name (cache entries stay until LRU)."""
+        with self._lock:
+            self._graphs.pop(name, None)
+
+    def handle(self, name: str) -> GraphHandle:
+        """The handle registered under ``name``; KeyError when unknown."""
+        with self._lock:
+            try:
+                return self._graphs[name]
+            except KeyError:
+                known = ", ".join(sorted(self._graphs)) or "(none)"
+                raise KeyError(
+                    f"no graph loaded as {name!r}; loaded: {known}"
+                ) from None
+
+    def graphs(self) -> List[str]:
+        """Names of the registered graphs, sorted."""
+        with self._lock:
+            return sorted(self._graphs)
 
     # -- introspection -----------------------------------------------------
 
@@ -91,11 +242,20 @@ class Session:
 
     @property
     def cached_preprocessings(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Estimated resident bytes of every cached prepared artifact."""
+        with self._lock:
+            return self._cache_bytes
 
     def clear_preprocessing(self) -> None:
         """Drop every cached preprocessing artifact."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
+            self._cache_bytes = 0
 
     # -- execution ---------------------------------------------------------
 
@@ -103,29 +263,36 @@ class Session:
             reuse_preprocessing: bool = True, **params: Any) -> RunResult:
         """Run ``algorithm`` on ``graph`` and return its RunResult envelope.
 
-        ``params`` must be parameters the algorithm's spec declares;
-        unknown names raise ``TypeError`` (mirroring a keyword-argument
-        mismatch).  ``reuse_preprocessing=False`` forces a cold run and
-        leaves the cache untouched.
+        ``graph`` may be a graph object, a :class:`GraphHandle`, or the
+        name of a graph registered with :meth:`load`.  ``params`` must be
+        parameters the algorithm's spec declares; unknown names raise
+        ``TypeError`` (mirroring a keyword-argument mismatch).
+        ``reuse_preprocessing=False`` forces a cold run and leaves the
+        cache untouched.
         """
         spec = registry.get(algorithm)
         merged = self._merge_params(spec, params)
-        runtime = AMPCRuntime(config=self.config,
-                              fault_plan=self.fault_plan,
-                              strict_rounds=self.strict_rounds)
-        entry, reused = self._prepare(spec, graph, seed, runtime,
-                                      reuse_preprocessing)
+        graph, fingerprint, graph_name = self._resolve_graph(graph)
+        runtime = self._make_runtime(spec)
+        entry, reused = self._prepare(spec, graph, fingerprint, seed,
+                                      runtime, reuse_preprocessing)
         result = spec.run(graph, runtime=runtime, seed=seed,
                           prepared=entry.prepared,
                           **spec.algorithm_params(merged))
         metrics = runtime.metrics
-        self.stats.runs += 1
-        if reused:
-            self.stats.preprocessing_hits += 1
-            self.stats.shuffles_saved += entry.prep_shuffles
-            self.stats.kv_writes_saved += entry.prep_kv_writes
-        else:
-            self.stats.preprocessing_misses += 1
+        with self._lock:
+            stats = self.stats
+            stats.runs += 1
+            stats.shuffles_executed += metrics.shuffles
+            stats.kv_reads_executed += metrics.kv_reads
+            stats.kv_writes_executed += metrics.kv_writes
+            stats.simulated_time_s += metrics.simulated_time_s
+            if reused:
+                stats.preprocessing_hits += 1
+                stats.shuffles_saved += entry.prep_shuffles
+                stats.kv_writes_saved += entry.prep_kv_writes
+            else:
+                stats.preprocessing_misses += 1
         return RunResult(
             algorithm=spec.name,
             seed=seed,
@@ -141,9 +308,38 @@ class Session:
             preprocessing_reused=reused,
             shuffles_saved=entry.prep_shuffles if reused else 0,
             description=spec.describe(result, graph, merged),
+            graph_name=graph_name,
         )
 
     # -- internals ---------------------------------------------------------
+
+    def _resolve_graph(self, graph: Any) -> Tuple[Any, str, Optional[str]]:
+        """-> (graph object, content fingerprint, registered name or None)."""
+        if isinstance(graph, str):
+            graph = self.handle(graph)
+        if isinstance(graph, GraphHandle):
+            obj = graph.graph
+            if obj is None:
+                raise ReferenceError(
+                    f"graph {graph.name!r} has been garbage-collected; "
+                    "load it again"
+                )
+            # Cheap staleness guard: a mutation that changed either count
+            # is detected here and re-fingerprints; count-preserving
+            # mutations need an explicit re-load/refresh (a handle is a
+            # snapshot — see GraphHandle).
+            if (getattr(obj, "num_vertices", None) != graph.num_vertices
+                    or getattr(obj, "num_edges", None) != graph.num_edges):
+                graph.refresh()
+            return obj, graph.fingerprint, graph.name
+        return graph, graph_fingerprint(graph), None
+
+    def _make_runtime(self, spec):
+        if spec.model == "mpc":
+            return MPCRuntime(config=self.config, fault_plan=self.fault_plan)
+        return AMPCRuntime(config=self.config,
+                           fault_plan=self.fault_plan,
+                           strict_rounds=self.strict_rounds)
 
     @staticmethod
     def _merge_params(spec, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -158,32 +354,69 @@ class Session:
         return {name: params.get(name, p.default)
                 for name, p in known.items()}
 
-    def _cache_key(self, spec, graph: Any, seed: int) -> Tuple:
+    def _cache_key(self, spec, fingerprint: str, seed: int) -> Tuple:
         return (
             spec.prepare,
-            id(graph),
-            getattr(graph, "num_vertices", None),
-            getattr(graph, "num_edges", None),
+            fingerprint,
             seed if spec.prep_seed_sensitive else None,
         )
 
-    def _prepare(self, spec, graph: Any, seed: int,
-                 runtime: AMPCRuntime, reuse: bool):
-        key = self._cache_key(spec, graph, seed)
-        if reuse:
-            entry = self._cache.get(key)
-            if entry is not None:
-                return entry, True
+    def _prepare(self, spec, graph: Any, fingerprint: str, seed: int,
+                 runtime, reuse: bool):
+        if not reuse:
+            return self._build_entry(spec, graph, seed, runtime), False
+        key = self._cache_key(spec, fingerprint, seed)
+        while True:
+            with self._lock:
+                entry = self._cache.get(key)
+                if entry is not None:
+                    self._cache.move_to_end(key)
+                    return entry, True
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            # Another thread is preparing this key: wait for it, then
+            # re-check the cache (taking the hit, or becoming the builder
+            # if the other thread failed).
+            event.wait()
+        try:
+            entry = self._build_entry(spec, graph, seed, runtime)
+            with self._lock:
+                self._insert(key, entry)
+            return entry, False
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
+
+    def _build_entry(self, spec, graph: Any, seed: int,
+                     runtime) -> _CacheEntry:
         metrics = runtime.metrics
         shuffles_before = metrics.shuffles
         kv_writes_before = metrics.kv_writes
         prepared = spec.prepare(graph, runtime=runtime, seed=seed)
-        entry = _CacheEntry(
+        return _CacheEntry(
             prepared=prepared,
             prep_shuffles=metrics.shuffles - shuffles_before,
             prep_kv_writes=metrics.kv_writes - kv_writes_before,
-            graph=graph,
+            nbytes=_prepared_bytes(prepared),
         )
-        if reuse:
-            self._cache[key] = entry
-        return entry, False
+
+    def _insert(self, key: Tuple, entry: _CacheEntry) -> None:
+        """Insert under the LRU byte budget.  Caller holds the lock."""
+        old = self._cache.pop(key, None)
+        if old is not None:
+            self._cache_bytes -= old.nbytes
+        self._cache[key] = entry
+        self._cache_bytes += entry.nbytes
+        if self.max_cache_bytes is None:
+            return
+        # Evict least-recently-used entries; a single over-budget entry is
+        # kept (evicting it would just thrash every run cold).
+        while (self._cache_bytes > self.max_cache_bytes
+               and len(self._cache) > 1):
+            _, evicted = self._cache.popitem(last=False)
+            self._cache_bytes -= evicted.nbytes
+            self.stats.preprocessing_evictions += 1

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.graph.graph import WeightedGraph, edge_key
 from repro.mpc.runtime import MPCRuntime
@@ -76,23 +77,54 @@ def _kruskal_tail(records: List[EdgeRecord]) -> List[EdgeId]:
     return forest
 
 
+@dataclass
+class PreparedBoruvka:
+    """Edge records staged onto their home machines (seed-independent)."""
+
+    records: List[EdgeRecord]
+
+
+def prepare_boruvka_msf(graph: WeightedGraph, *,
+                        runtime: Optional[MPCRuntime] = None,
+                        config: Optional[ClusterConfig] = None,
+                        seed: int = 0) -> PreparedBoruvka:
+    """Stage the weighted edge records (one placement shuffle)."""
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    placed = runtime.pipeline.from_items(
+        [(w, u, v, u, v) for u, v, w in graph.edges()]
+    ).repartition(lambda record: edge_key(record[1], record[2]),
+                  name="place-edge-records")
+    runtime.next_round()
+    return PreparedBoruvka(records=placed.collect())
+
+
 def mpc_boruvka_msf(graph: WeightedGraph, *,
                     runtime: Optional[MPCRuntime] = None,
                     config: Optional[ClusterConfig] = None,
                     fault_plan: Optional[FaultPlan] = None,
                     seed: int = 0,
                     in_memory_threshold: int = 512,
-                    max_phases: int = 10_000) -> BoruvkaResult:
+                    max_phases: int = 10_000,
+                    prepared: Optional[PreparedBoruvka] = None
+                    ) -> BoruvkaResult:
     """Minimum spanning forest via red/blue Boruvka contraction phases."""
     if runtime is None:
         runtime = MPCRuntime(config=config, fault_plan=fault_plan)
     metrics = runtime.metrics
 
     forest: Set[EdgeId] = set()
-    records: List[EdgeRecord] = [
-        (w, u, v, u, v) for u, v, w in graph.edges()
-    ]
-    current = runtime.pipeline.from_items(records)
+    if prepared is not None:
+        current = runtime.pipeline.from_items(
+            prepared.records,
+            key_fn=lambda record: edge_key(record[1], record[2]),
+        )
+    else:
+        records: List[EdgeRecord] = [
+            (w, u, v, u, v) for u, v, w in graph.edges()
+        ]
+        current = runtime.pipeline.from_items(records)
     phases = 0
     while True:
         edge_count = current.count()
@@ -196,3 +228,40 @@ def mpc_boruvka_msf(graph: WeightedGraph, *,
 
     return BoruvkaResult(forest=sorted(forest), metrics=metrics,
                          phases=phases)
+
+
+# ---------------------------------------------------------------------------
+# Registry spec (the Session/CLI entry point)
+# ---------------------------------------------------------------------------
+
+
+def _summarize(result: BoruvkaResult, graph: WeightedGraph):
+    return {
+        "output_size": len(result.forest),
+        "weight": sum(graph.weight(u, v) for u, v in result.forest),
+        "phases": result.phases,
+    }
+
+
+def _describe(result: BoruvkaResult, graph: WeightedGraph, params) -> str:
+    weight = sum(graph.weight(u, v) for u, v in result.forest)
+    return (f"MPC Boruvka MSF: {len(result.forest)} edges, "
+            f"weight {weight:g} ({result.phases} phase(s))")
+
+
+register_algorithm(AlgorithmSpec(
+    name="boruvka-msf",
+    summary="MPC Boruvka minimum spanning forest baseline",
+    input_kind="weighted",
+    run=mpc_boruvka_msf,
+    prepare=prepare_boruvka_msf,
+    summarize=_summarize,
+    describe=_describe,
+    params=(
+        ParamSpec("in_memory_threshold", int, 512,
+                  "edge count below which the residual multigraph is "
+                  "finished on one machine"),
+    ),
+    prep_seed_sensitive=False,  # placement ignores the seed
+    model="mpc",
+))

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.graph.graph import Graph, edge_key
 from repro.mpc.runtime import MPCRuntime
@@ -49,13 +50,37 @@ class LocalContractionResult:
         return len(set(self.labels))
 
 
+@dataclass
+class PreparedLocalContraction:
+    """Edge list staged onto its home machines (seed-independent)."""
+
+    records: List[EdgeId]
+
+
+def prepare_local_contraction_cc(graph: Graph, *,
+                                 runtime: Optional[MPCRuntime] = None,
+                                 config: Optional[ClusterConfig] = None,
+                                 seed: int = 0) -> PreparedLocalContraction:
+    """Stage the canonical edge list (one placement shuffle)."""
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    placed = runtime.pipeline.from_items(
+        [edge_key(u, v) for u, v in graph.edges()]
+    ).repartition(lambda edge: edge, name="place-edge-list")
+    runtime.next_round()
+    return PreparedLocalContraction(records=placed.collect())
+
+
 def mpc_local_contraction_cc(graph: Graph, *,
                              runtime: Optional[MPCRuntime] = None,
                              config: Optional[ClusterConfig] = None,
                              fault_plan: Optional[FaultPlan] = None,
                              seed: int = 0,
                              in_memory_threshold: int = 512,
-                             max_phases: int = 10_000) -> LocalContractionResult:
+                             max_phases: int = 10_000,
+                             prepared: Optional[PreparedLocalContraction] = None
+                             ) -> LocalContractionResult:
     """Connected-component labels via iterated local contraction."""
     if runtime is None:
         runtime = MPCRuntime(config=config, fault_plan=fault_plan)
@@ -63,9 +88,14 @@ def mpc_local_contraction_cc(graph: Graph, *,
 
     n = graph.num_vertices
     label = list(range(n))
-    current = runtime.pipeline.from_items(
-        [edge_key(u, v) for u, v in graph.edges()]
-    )
+    if prepared is not None:
+        current = runtime.pipeline.from_items(
+            prepared.records, key_fn=lambda edge: edge
+        )
+    else:
+        current = runtime.pipeline.from_items(
+            [edge_key(u, v) for u, v in graph.edges()]
+        )
     phases = 0
     vertices_per_phase: List[int] = []
     while True:
@@ -159,6 +189,38 @@ def mpc_local_contraction_cc(graph: Graph, *,
     return LocalContractionResult(labels=resolved, metrics=metrics,
                                   phases=phases,
                                   vertices_per_phase=vertices_per_phase)
+
+
+# ---------------------------------------------------------------------------
+# Registry spec (the Session/CLI entry point)
+# ---------------------------------------------------------------------------
+
+
+def _summarize(result: LocalContractionResult, graph: Graph):
+    return {"output_size": result.num_components, "phases": result.phases}
+
+
+def _describe(result: LocalContractionResult, graph: Graph, params) -> str:
+    return (f"MPC local-contraction components: {result.num_components} "
+            f"({result.phases} phase(s))")
+
+
+register_algorithm(AlgorithmSpec(
+    name="local-contraction-cc",
+    summary="MPC local-contraction connectivity baseline",
+    input_kind="graph",
+    run=mpc_local_contraction_cc,
+    prepare=prepare_local_contraction_cc,
+    summarize=_summarize,
+    describe=_describe,
+    params=(
+        ParamSpec("in_memory_threshold", int, 512,
+                  "edge count below which the residual graph is finished "
+                  "on one machine"),
+    ),
+    prep_seed_sensitive=False,  # placement ignores the seed
+    model="mpc",
+))
 
 
 def _merge_labels(label: List[int], remaining_edges: List[EdgeId]) -> None:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.graph.graph import Graph, edge_key
 from repro.mpc.runtime import MPCRuntime
@@ -41,13 +42,42 @@ def _edge_order(seed: int, u: int, v: int) -> Tuple[float, int, int]:
     return (hash_rank(seed, a, b), a, b)
 
 
+@dataclass
+class PreparedRootsetMatching:
+    """Vertex adjacency records staged onto their home machines.
+
+    The placement shuffle is the only cross-query artifact MPC offers
+    (there is no DHT to stage into).  Seed-independent.
+    """
+
+    records: List[Tuple[int, Tuple[int, ...]]]
+
+
+def prepare_rootset_matching(graph: Graph, *,
+                             runtime: Optional[MPCRuntime] = None,
+                             config: Optional[ClusterConfig] = None,
+                             seed: int = 0) -> PreparedRootsetMatching:
+    """Stage ``(vertex, neighbors)`` records (one placement shuffle)."""
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    placed = runtime.pipeline.from_items(
+        [(v, graph.neighbors(v)) for v in graph.vertices()
+         if graph.degree(v) > 0]
+    ).repartition(lambda record: record[0], name="place-vertex-records")
+    runtime.next_round()
+    return PreparedRootsetMatching(records=placed.collect())
+
+
 def mpc_rootset_matching(graph: Graph, *,
                          runtime: Optional[MPCRuntime] = None,
                          config: Optional[ClusterConfig] = None,
                          fault_plan: Optional[FaultPlan] = None,
                          seed: int = 0,
                          in_memory_threshold: int = 512,
-                         max_phases: int = 10_000) -> RootsetMatchingResult:
+                         max_phases: int = 10_000,
+                         prepared: Optional[PreparedRootsetMatching] = None
+                         ) -> RootsetMatchingResult:
     """Lexicographically-first maximal matching via rootset peeling."""
     if runtime is None:
         runtime = MPCRuntime(config=config, fault_plan=fault_plan)
@@ -56,11 +86,16 @@ def mpc_rootset_matching(graph: Graph, *,
     matching: Set[EdgeId] = set()
     # Vertex records carry the incident edge set; an edge is a line-graph
     # local minimum iff it wins at both endpoints.
-    current = runtime.pipeline.from_items(
-        [(v, graph.neighbors(v)) for v in graph.vertices()
-         if graph.degree(v) > 0],
-        key_fn=lambda record: record[0],
-    )
+    if prepared is not None:
+        current = runtime.pipeline.from_items(
+            prepared.records, key_fn=lambda record: record[0]
+        )
+    else:
+        current = runtime.pipeline.from_items(
+            [(v, graph.neighbors(v)) for v in graph.vertices()
+             if graph.degree(v) > 0],
+            key_fn=lambda record: record[0],
+        )
     phases = 0
     while not current.is_empty():
         edge_count = sum(len(nbrs) for _, nbrs in current.collect()) // 2
@@ -161,3 +196,35 @@ def _solve_in_memory(records, seed: int) -> Set[EdgeId]:
     }
     chosen = greedy_matching(local, ranks)
     return {edge_key(vertices[a], vertices[b]) for a, b in chosen}
+
+
+# ---------------------------------------------------------------------------
+# Registry spec (the Session/CLI entry point)
+# ---------------------------------------------------------------------------
+
+
+def _summarize(result: RootsetMatchingResult, graph: Graph):
+    return {"output_size": len(result.matching), "phases": result.phases}
+
+
+def _describe(result: RootsetMatchingResult, graph: Graph, params) -> str:
+    return (f"MPC rootset matching: {len(result.matching)} edges "
+            f"({result.phases} phase(s))")
+
+
+register_algorithm(AlgorithmSpec(
+    name="rootset-matching",
+    summary="MPC rootset maximal matching baseline",
+    input_kind="graph",
+    run=mpc_rootset_matching,
+    prepare=prepare_rootset_matching,
+    summarize=_summarize,
+    describe=_describe,
+    params=(
+        ParamSpec("in_memory_threshold", int, 512,
+                  "edge count below which the residual graph is finished "
+                  "on one machine"),
+    ),
+    prep_seed_sensitive=False,  # placement ignores the seed
+    model="mpc",
+))

@@ -23,6 +23,7 @@ from typing import List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import vertex_ranks
 from repro.graph.graph import Graph
 from repro.mpc.runtime import MPCRuntime
@@ -39,13 +40,42 @@ class RootsetMISResult:
     ranks: List[float] = field(default_factory=list)
 
 
+@dataclass
+class PreparedRootsetMIS:
+    """Vertex adjacency records staged onto their home machines.
+
+    MPC has no DHT, so the only cross-query artifact is the distributed
+    placement of the input records — the shuffle a serving system pays
+    once per graph.  Seed-independent.
+    """
+
+    records: List[Tuple[int, Tuple[int, ...]]]
+
+
+def prepare_rootset_mis(graph: Graph, *,
+                        runtime: Optional[MPCRuntime] = None,
+                        config: Optional[ClusterConfig] = None,
+                        seed: int = 0) -> PreparedRootsetMIS:
+    """Stage ``(vertex, neighbors)`` records (one placement shuffle)."""
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    placed = runtime.pipeline.from_items(
+        [(v, graph.neighbors(v)) for v in graph.vertices()]
+    ).repartition(lambda record: record[0], name="place-vertex-records")
+    runtime.next_round()
+    return PreparedRootsetMIS(records=placed.collect())
+
+
 def mpc_rootset_mis(graph: Graph, *,
                     runtime: Optional[MPCRuntime] = None,
                     config: Optional[ClusterConfig] = None,
                     fault_plan: Optional[FaultPlan] = None,
                     seed: int = 0,
                     in_memory_threshold: int = 512,
-                    max_phases: int = 10_000) -> RootsetMISResult:
+                    max_phases: int = 10_000,
+                    prepared: Optional[PreparedRootsetMIS] = None
+                    ) -> RootsetMISResult:
     """Compute the lexicographically-first MIS with the rootset algorithm."""
     if runtime is None:
         runtime = MPCRuntime(config=config, fault_plan=fault_plan)
@@ -56,10 +86,15 @@ def mpc_rootset_mis(graph: Graph, *,
         return (ranks[vertex], vertex)
 
     independent: Set[int] = set()
-    current = runtime.pipeline.from_items(
-        [(v, graph.neighbors(v)) for v in graph.vertices()],
-        key_fn=lambda record: record[0],
-    )
+    if prepared is not None:
+        current = runtime.pipeline.from_items(
+            prepared.records, key_fn=lambda record: record[0]
+        )
+    else:
+        current = runtime.pipeline.from_items(
+            [(v, graph.neighbors(v)) for v in graph.vertices()],
+            key_fn=lambda record: record[0],
+        )
     phases = 0
     while not current.is_empty():
         edge_count = sum(
@@ -158,3 +193,36 @@ def _solve_in_memory(records, ranks) -> Set[int]:
     local_ranks = [ranks[vertex] for vertex in vertices]
     chosen = greedy_mis(local, local_ranks)
     return {vertices[i] for i in chosen}
+
+
+# ---------------------------------------------------------------------------
+# Registry spec (the Session/CLI entry point)
+# ---------------------------------------------------------------------------
+
+
+def _summarize(result: RootsetMISResult, graph: Graph):
+    return {"output_size": len(result.independent_set),
+            "phases": result.phases}
+
+
+def _describe(result: RootsetMISResult, graph: Graph, params) -> str:
+    return (f"MPC rootset MIS: {len(result.independent_set)} of "
+            f"{graph.num_vertices} vertices ({result.phases} phase(s))")
+
+
+register_algorithm(AlgorithmSpec(
+    name="rootset-mis",
+    summary="MPC rootset MIS baseline (Figure 2)",
+    input_kind="graph",
+    run=mpc_rootset_mis,
+    prepare=prepare_rootset_mis,
+    summarize=_summarize,
+    describe=_describe,
+    params=(
+        ParamSpec("in_memory_threshold", int, 512,
+                  "edge count below which the residual graph is finished "
+                  "on one machine"),
+    ),
+    prep_seed_sensitive=False,  # placement ignores the seed
+    model="mpc",
+))

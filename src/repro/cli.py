@@ -9,6 +9,8 @@ Usage::
     python -m repro two-cycle cycles.txt
     python -m repro pagerank graph.txt --walks 32 --top 10
     python -m repro mis graph.txt --query-budget 5000 --json
+    python -m repro serve --machines 10 --workers 4          # JSON over stdio
+    python -m repro serve --port 7077                        # JSON over TCP
 
 Every subcommand comes from :mod:`repro.api.registry`: registering an
 :class:`~repro.api.registry.AlgorithmSpec` in a core module is all it takes
@@ -35,11 +37,9 @@ from repro.graph.generators import degree_weighted
 from repro.graph.io import read_edge_list, read_weighted_edge_list
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("graph", help="edge-list file (u v [w] per line)")
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--machines", type=int, default=10)
     parser.add_argument("--threads", type=int, default=72)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--transport", choices=("rdma", "tcp"),
                         default="rdma")
     parser.add_argument("--no-caching", action="store_true",
@@ -50,6 +50,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="per-machine per-stage KV query budget — the "
                              "O(S) communication bound of the AMPC model")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="edge-list file (u v [w] per line)")
+    _add_cluster_arguments(parser)
+    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true",
                         help="print the full RunResult envelope as JSON")
 
@@ -73,6 +79,19 @@ def _build_parser() -> argparse.ArgumentParser:
             command.add_argument(param.flag, dest=param.name,
                                  type=param.type, default=param.default,
                                  help=param.help)
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries over JSON lines (stdio, or TCP with --port)")
+    _add_cluster_arguments(serve)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent query workers")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port to listen on (default: stdio; "
+                            "0 picks an ephemeral port)")
+    serve.add_argument("--max-cache-bytes", type=int, default=None,
+                       metavar="N",
+                       help="LRU byte budget for the preprocessing cache")
     return parser
 
 
@@ -106,8 +125,31 @@ def _print_metrics(metrics: dict) -> None:
     print(f"simulated time: {metrics['simulated_time_s']:.3f}s")
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import GraphService, serve_socket, serve_stream
+
+    service = GraphService(_config(args), workers=args.workers,
+                           max_cache_bytes=args.max_cache_bytes)
+    try:
+        if args.port is None:
+            serve_stream(service, sys.stdin, sys.stdout)
+        else:
+            server = serve_socket(service, args.host, args.port)
+            host, port = server.server_address[:2]
+            print(f"serving on {host}:{port}", file=sys.stderr, flush=True)
+            try:
+                server.serve_forever()
+            finally:
+                server.server_close()
+    finally:
+        service.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
     spec = registry.get(args.command)
     session = Session(_config(args))
     graph = _load_graph(spec, args)

@@ -398,30 +398,42 @@ def ampc_msf(graph: WeightedGraph, *,
 def truncated_prim_round(graph: WeightedGraph, *,
                          runtime: AMPCRuntime,
                          seed: int,
-                         budget: int) -> Tuple[Set[EdgeId], List[EdgeRecord], int]:
+                         budget: int,
+                         prepared_records=None,
+                         prepared_store: Optional[DHTStore] = None
+                         ) -> Tuple[Set[EdgeId], List[EdgeRecord], int]:
     """One application of Algorithm 1 on a (ternarized) graph.
 
     Returns ``(discovered MSF edges, contracted edge records, contracted
     vertex count)``.  The contraction follows the theory algorithm: F is
     the set of terminal ``(v, u)`` edges (rank strictly decreases along
-    them), contracted to roots by pointer jumping.
+    them), contracted to roots by pointer jumping.  When a prepared
+    sorted adjacency (``prepared_records`` + ``prepared_store``) is
+    passed, the SortGraph shuffle and KV-write round are skipped.
     """
     metrics = runtime.metrics
     n = graph.num_vertices
     ranks = vertex_ranks(n, seed)
 
-    with metrics.phase("SortGraph"):
-        nodes = runtime.pipeline.from_items(
-            [(v, _sorted_incident(graph, v)) for v in graph.vertices()]
+    if prepared_store is not None:
+        # Re-placing cached records is free: the data already lives in D0.
+        placed = runtime.pipeline.from_items(
+            prepared_records, key_fn=lambda record: record[0]
         )
-        placed = nodes.repartition(lambda record: record[0],
-                                   name="place-sorted-graph")
-    with metrics.phase("KV-Write"):
-        store = runtime.new_store("tprim-adjacency")
-        runtime.write_store(placed, store,
-                            key_fn=lambda record: record[0],
-                            value_fn=lambda record: record[1])
-    runtime.next_round()
+        store = prepared_store
+    else:
+        with metrics.phase("SortGraph"):
+            nodes = runtime.pipeline.from_items(
+                [(v, _sorted_incident(graph, v)) for v in graph.vertices()]
+            )
+            placed = nodes.repartition(lambda record: record[0],
+                                       name="place-sorted-graph")
+        with metrics.phase("KV-Write"):
+            store = runtime.new_store("tprim-adjacency")
+            runtime.write_store(placed, store,
+                                key_fn=lambda record: record[0],
+                                value_fn=lambda record: record[1])
+        runtime.next_round()
 
     with metrics.phase("PrimSearch"):
         search_output = placed.par_do(
@@ -555,35 +567,112 @@ def _order_normalized(graph: WeightedGraph) -> WeightedGraph:
     return normalized
 
 
+@dataclass
+class PreparedMSFTheory:
+    """Algorithm 2 preprocessing: normalization, ternarization, staging.
+
+    ``normalized`` is the rank-index-weighted copy both branches start
+    from.  For inputs that are sparse at preparation time
+    (``m < n^(1 + eps/2)``) the ternarized graph and its DHT-resident
+    sorted adjacency are staged too — the Ternarize and SortGraph
+    shuffles plus the KV-write round every query would otherwise repeat.
+    Everything here is seed-independent, so one artifact serves all seeds.
+    """
+
+    normalized: WeightedGraph
+    tern: Optional[object] = None
+    #: placed ``(vertex, weight-sorted incident edges)`` records
+    records: Optional[List] = None
+    store: Optional[DHTStore] = None
+
+
+def prepare_msf_theory(graph: WeightedGraph, *,
+                       runtime: Optional[AMPCRuntime] = None,
+                       config: Optional[ClusterConfig] = None,
+                       seed: int = 0,
+                       epsilon: float = 0.5) -> PreparedMSFTheory:
+    """Normalize, ternarize (sparse inputs) and stage the sorted adjacency.
+
+    ``seed`` is accepted for interface uniformity but unused — ranks only
+    drive the searches, not the staged graph.  The sparse/dense branch is
+    decided here with ``epsilon`` (the registry calls it with the
+    default); a run whose epsilon flips the branch re-prepares inline.
+    """
+    del seed
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    normalized = _order_normalized(graph)
+    n, m = graph.num_vertices, graph.num_edges
+    if m == 0 or m >= n ** (1.0 + epsilon / 2.0):
+        return PreparedMSFTheory(normalized=normalized)
+
+    with metrics.phase("Ternarize"):
+        # Normalize to distinct rank-index weights first: ternarization
+        # renames vertices, which would otherwise perturb tie-breaking.
+        tern = ternarize(normalized)
+        # Ternarization itself is a sorting step: one shuffle.
+        runtime.cluster.charge_shuffle(8 * tern.graph.num_vertices)
+    with metrics.phase("SortGraph"):
+        nodes = runtime.pipeline.from_items(
+            [(v, _sorted_incident(tern.graph, v))
+             for v in tern.graph.vertices()]
+        )
+        placed = nodes.repartition(lambda record: record[0],
+                                   name="place-sorted-graph")
+    with metrics.phase("KV-Write"):
+        store = runtime.new_store("tprim-adjacency")
+        runtime.write_store(placed, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+    return PreparedMSFTheory(normalized=normalized, tern=tern,
+                             records=placed.collect(), store=store)
+
+
 def ampc_msf_theory(graph: WeightedGraph, *,
+                    runtime: Optional[AMPCRuntime] = None,
                     config: Optional[ClusterConfig] = None,
                     seed: int = 0,
                     epsilon: float = 0.5,
-                    in_memory_threshold: int = 256) -> MSFResult:
+                    in_memory_threshold: int = 256,
+                    prepared: Optional[PreparedMSFTheory] = None) -> MSFResult:
     """Algorithm 2: the O(1)-round theory MSF.
 
     Sparse graphs (m < n^(1 + eps/2)) are ternarized and fed to Algorithm 1;
     the contracted remainder goes to the dense routine.  Dense graphs go to
-    the dense routine directly.
+    the dense routine directly.  A ``prepared`` artifact (from
+    :func:`prepare_msf_theory`) skips the Ternarize/SortGraph shuffles and
+    the KV-write round; an artifact staged for the other branch (epsilon
+    mismatch) is discarded and preparation reruns inline.
     """
-    runtime = AMPCRuntime(config=config)
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
     metrics = runtime.metrics
     n, m = graph.num_vertices, graph.num_edges
     if m == 0:
         return MSFResult(forest=[], metrics=metrics, rounds=0)
-
     sparse = m < n ** (1.0 + epsilon / 2.0)
-    if sparse:
-        with metrics.phase("Ternarize"):
-            # Normalize to distinct rank-index weights first: ternarization
-            # renames vertices, which would otherwise perturb tie-breaking.
-            tern = ternarize(_order_normalized(graph))
-            # Ternarization itself is a sorting step: one shuffle.
-            runtime.cluster.charge_shuffle(8 * tern.graph.num_vertices)
+    if prepared is None or (prepared.tern is not None) != sparse:
+        # No artifact, or one staged for the other branch (a cached
+        # default-epsilon preparation handed to a run whose epsilon flips
+        # the sparse/dense decision): prepare inline so that the branch —
+        # and therefore the metrics — always match a direct call.
+        prepared = prepare_msf_theory(graph, runtime=runtime,
+                                      epsilon=epsilon)
+    rounds_before = metrics.rounds
+    # Logical rounds count the staging round (executed or cache-served);
+    # the dense branch stages nothing, so it contributes none.
+    prep_rounds = 1 if prepared.tern is not None else 0
+
+    if prepared.tern is not None:
+        tern = prepared.tern
         t_graph = tern.graph
         budget = _default_budget(t_graph.num_vertices, epsilon)
         prim_edges, contracted, contracted_n = truncated_prim_round(
-            t_graph, runtime=runtime, seed=seed, budget=budget
+            t_graph, runtime=runtime, seed=seed, budget=budget,
+            prepared_records=prepared.records,
+            prepared_store=prepared.store,
         )
         dense_edges = _dense_msf(
             contracted, runtime=runtime, seed=seed + 1, epsilon=epsilon,
@@ -592,18 +681,19 @@ def ampc_msf_theory(graph: WeightedGraph, *,
         ternarized_forest = set(prim_edges) | set(dense_edges)
         forest = sorted(set(tern.project_edges(ternarized_forest)))
         return MSFResult(forest=forest, metrics=metrics,
-                         rounds=metrics.rounds,
+                         rounds=metrics.rounds - rounds_before + prep_rounds,
                          contracted_vertices=contracted_n,
                          prim_edges=len(prim_edges))
 
     records = [
-        (w, u, v, u, v) for u, v, w in _order_normalized(graph).edges()
+        (w, u, v, u, v) for u, v, w in prepared.normalized.edges()
     ]
     forest = sorted(set(_dense_msf(
         records, runtime=runtime, seed=seed, epsilon=epsilon,
         in_memory_threshold=in_memory_threshold,
     )))
-    return MSFResult(forest=forest, metrics=metrics, rounds=metrics.rounds)
+    return MSFResult(forest=forest, metrics=metrics,
+                     rounds=metrics.rounds - rounds_before + prep_rounds)
 
 
 # ---------------------------------------------------------------------------
@@ -647,4 +737,29 @@ register_algorithm(AlgorithmSpec(
                   "epsilon)"),
     ),
     prep_seed_sensitive=False,  # weight-sorted adjacency ignores the seed
+))
+
+
+def _describe_theory(result: MSFResult, graph: WeightedGraph, params) -> str:
+    return (f"minimum spanning forest (Algorithm 2): "
+            f"{len(result.forest)} edges, "
+            f"weight {_forest_weight(result, graph):g}")
+
+
+register_algorithm(AlgorithmSpec(
+    name="msf-theory",
+    summary="minimum spanning forest, Algorithm 2 theory pipeline",
+    input_kind="weighted",
+    run=ampc_msf_theory,
+    prepare=prepare_msf_theory,
+    summarize=_summarize,
+    describe=_describe_theory,
+    params=(
+        ParamSpec("epsilon", float, 0.5,
+                  "exploration-budget exponent (budget = n^(epsilon/2))"),
+        ParamSpec("in_memory_threshold", int, 256,
+                  "edge count below which the dense routine finishes on "
+                  "one machine"),
+    ),
+    prep_seed_sensitive=False,  # normalization/ternarization ignore the seed
 ))

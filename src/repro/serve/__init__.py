@@ -1,0 +1,33 @@
+"""The serving layer: concurrent queries over one long-lived Session.
+
+Three pieces:
+
+* :class:`~repro.serve.service.GraphService` — owns one thread-safe
+  :class:`~repro.api.session.Session` and a bounded worker pool; queries
+  run concurrently with per-run metrics isolation while sharing the
+  DHT-resident preprocessing.
+* :mod:`repro.serve.protocol` — a JSON-lines protocol (stdio or TCP) the
+  ``python -m repro serve`` subcommand speaks.
+* :mod:`repro.serve.pool` — the bounded worker pool and its
+  :class:`~repro.serve.pool.PendingResult` future.
+"""
+
+from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
+from repro.serve.protocol import (
+    ServiceServer,
+    handle_request,
+    serve_socket,
+    serve_stream,
+)
+from repro.serve.service import GraphService
+
+__all__ = [
+    "GraphService",
+    "PendingResult",
+    "ServiceClosedError",
+    "ServiceServer",
+    "WorkerPool",
+    "handle_request",
+    "serve_socket",
+    "serve_stream",
+]

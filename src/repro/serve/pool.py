@@ -1,0 +1,117 @@
+"""A bounded worker pool for the serving layer.
+
+Deliberately small and dependency-free: a fixed number of daemon worker
+threads drain a (optionally bounded) queue of submitted callables, each
+resolving a :class:`PendingResult`.  Bounding the queue gives the service
+backpressure — a burst beyond ``max_pending`` blocks the submitter instead
+of growing memory without limit.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, List, Optional
+
+
+class ServiceClosedError(RuntimeError):
+    """Submission to a pool/service that has been closed."""
+
+
+class PendingResult:
+    """Future-like handle for one submitted unit of work."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    # -- worker side -------------------------------------------------------
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # -- caller side -------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the work finishes; re-raises its exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"no result within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        """Block until done; the exception the work raised, or None."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"no result within {timeout}s")
+        return self._error
+
+
+class WorkerPool:
+    """``workers`` daemon threads draining one submission queue."""
+
+    def __init__(self, workers: int = 4, *, max_pending: int = 0,
+                 name: str = "repro-serve"):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_pending)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._threads: List[threading.Thread] = [
+            threading.Thread(target=self._drain, name=f"{name}-{index}",
+                             daemon=True)
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def workers(self) -> int:
+        return len(self._threads)
+
+    def submit(self, fn: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> PendingResult:
+        """Enqueue ``fn(*args, **kwargs)``; blocks when the queue is full."""
+        pending = PendingResult()
+        # The closed check and the put must be atomic: an item enqueued
+        # behind close()'s shutdown sentinels would never drain and its
+        # PendingResult would hang forever.  Workers drain without the
+        # lock, so a put blocked on a full queue still makes progress.
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("worker pool is closed")
+            self._queue.put((pending, fn, args, kwargs))
+        return pending
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:  # shutdown sentinel
+                return
+            pending, fn, args, kwargs = item
+            try:
+                pending._resolve(fn(*args, **kwargs))
+            except BaseException as error:  # noqa: BLE001 - must not die
+                pending._fail(error)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; queued work still drains before exit."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._threads:
+                self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()

@@ -1,0 +1,198 @@
+"""JSON-lines protocol for driving a GraphService over stdio or TCP.
+
+One request per line, one response per line.  Requests are objects with an
+``op`` field; an optional ``id`` is echoed back so pipelined clients can
+correlate responses.
+
+Operations::
+
+    {"op": "load", "name": "g", "edges": [[0, 1], [1, 2]]}
+    {"op": "load", "name": "w", "path": "graph.txt", "weighted": true}
+    {"op": "run", "algorithm": "mis", "graph": "g", "seed": 1,
+     "params": {"search_budget": 100}}
+    {"op": "algorithms"}
+    {"op": "graphs"}
+    {"op": "stats"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Every response carries ``"ok": true`` or ``"ok": false`` with an
+``error`` message; ``run`` responses embed the full
+:meth:`~repro.api.result.RunResult.to_dict` envelope under ``result``.
+Failed queries are reported, never fatal — a serving daemon does not die
+on a malformed request.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Dict, IO, Optional
+
+from repro.graph.graph import Graph, WeightedGraph
+from repro.graph.io import read_edge_list, read_weighted_edge_list
+from repro.serve.service import GraphService
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid request."""
+
+
+def _require(request: Dict[str, Any], field: str) -> Any:
+    try:
+        return request[field]
+    except KeyError:
+        raise ProtocolError(f"request is missing the {field!r} field") from None
+
+
+def _graph_from_edges(edges, num_vertices: Optional[int]):
+    """Build a graph from inline edge rows: pairs, or triples for weights."""
+    rows = [tuple(row) for row in edges]
+    if num_vertices is None:
+        num_vertices = 1 + max(
+            (max(row[0], row[1]) for row in rows), default=-1
+        )
+    if rows and len(rows[0]) == 3:
+        return WeightedGraph.from_edges(
+            num_vertices, [(int(u), int(v), float(w)) for u, v, w in rows]
+        )
+    return Graph.from_edges(
+        num_vertices, [(int(u), int(v)) for u, v in rows]
+    )
+
+
+def _op_load(service: GraphService, request: Dict[str, Any]) -> Dict[str, Any]:
+    name = str(_require(request, "name"))
+    if "edges" in request:
+        graph = _graph_from_edges(request["edges"],
+                                  request.get("vertices"))
+    elif "path" in request:
+        if request.get("weighted"):
+            graph = read_weighted_edge_list(request["path"])
+        else:
+            graph = read_edge_list(request["path"])
+    else:
+        raise ProtocolError("load needs either 'edges' or 'path'")
+    handle = service.load(name, graph)
+    return {"ok": True, "graph": name,
+            "vertices": handle.num_vertices, "edges": handle.num_edges,
+            "fingerprint": handle.fingerprint}
+
+
+def _op_run(service: GraphService, request: Dict[str, Any]) -> Dict[str, Any]:
+    algorithm = str(_require(request, "algorithm"))
+    graph = str(_require(request, "graph"))
+    params = request.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object")
+    pending = service.submit(algorithm, graph,
+                             seed=int(request.get("seed", 0)),
+                             **params)
+    result = pending.result(request.get("timeout"))
+    return {"ok": True, "result": result.to_dict()}
+
+
+def handle_request(service: GraphService,
+                   request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one decoded request; always returns a response object."""
+    request_id = request.get("id") if isinstance(request, dict) else None
+    try:
+        if not isinstance(request, dict):
+            raise ProtocolError("request must be a JSON object")
+        op = str(_require(request, "op"))
+        if op == "load":
+            response = _op_load(service, request)
+        elif op == "run":
+            response = _op_run(service, request)
+        elif op == "algorithms":
+            response = {"ok": True, "algorithms": service.algorithms()}
+        elif op == "graphs":
+            response = {"ok": True, "graphs": service.graphs()}
+        elif op == "stats":
+            response = {"ok": True, "stats": service.stats()}
+        elif op == "ping":
+            response = {"ok": True, "pong": True}
+        elif op == "shutdown":
+            response = {"ok": True, "bye": True}
+        else:
+            raise ProtocolError(f"unknown op {op!r}")
+    except Exception as error:  # noqa: BLE001 - a daemon reports, not dies
+        response = {"ok": False,
+                    "error": f"{type(error).__name__}: {error}"}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def _decode_line(line: str) -> Any:
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from None
+
+
+def serve_stream(service: GraphService, input_stream: IO[str],
+                 output_stream: IO[str]) -> int:
+    """Serve JSON lines until EOF or a shutdown op; returns requests served."""
+    served = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = _decode_line(line)
+        except ProtocolError as error:
+            response = {"ok": False, "error": str(error)}
+        else:
+            response = handle_request(service, request)
+        served += 1
+        output_stream.write(json.dumps(response) + "\n")
+        output_stream.flush()
+        if response.get("bye"):
+            break
+    return served
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            try:
+                request = _decode_line(line)
+            except ProtocolError as error:
+                response = {"ok": False, "error": str(error)}
+            else:
+                response = handle_request(self.server.service, request)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("bye"):
+                # shutdown() must not run on the serve_forever thread;
+                # handlers run on their own threads, but a helper thread
+                # is safe in every server configuration.
+                threading.Thread(target=self.server.shutdown,
+                                 daemon=True).start()
+                return
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """A threading TCP server bound to one GraphService."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: GraphService, address):
+        super().__init__(address, _LineHandler)
+        self.service = service
+
+
+def serve_socket(service: GraphService, host: str = "127.0.0.1",
+                 port: int = 0) -> ServiceServer:
+    """Bind a :class:`ServiceServer`; caller runs ``serve_forever()``.
+
+    ``port=0`` binds an ephemeral port; read it from
+    ``server.server_address``.
+    """
+    return ServiceServer(service, (host, port))

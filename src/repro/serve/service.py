@@ -1,0 +1,212 @@
+"""GraphService: the serving layer over one Session.
+
+The paper's production setting is a serving system: the DHT-resident graph
+outlives any single query and many queries are answered against it
+concurrently.  :class:`GraphService` is that system in miniature — it owns
+one thread-safe :class:`~repro.api.session.Session` and a bounded
+:class:`~repro.serve.pool.WorkerPool`, so:
+
+* graphs are registered once (``service.load("web", graph)``) and queried
+  by name from then on;
+* every query runs on its **own** runtime — per-run metrics never bleed
+  across concurrent queries; only sealed DHT stores are shared;
+* the shared preprocessing is prepared exactly once per (stage, graph,
+  seed-class) even under concurrent misses, and every later query takes
+  the cache hit;
+* queries on a name whose algorithm needs weights get the paper's default
+  ``deg(u) + deg(v)`` weighting automatically (as the CLI does).
+
+::
+
+    with GraphService(ClusterConfig(num_machines=10), workers=4) as service:
+        service.load("web", graph)
+        pending = [service.submit("mis", "web", seed=s) for s in range(8)]
+        results = [p.result() for p in pending]
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.faults import FaultPlan
+from repro.api import registry
+from repro.api.result import RunResult
+from repro.api.session import GraphHandle, Session
+from repro.graph.generators import degree_weighted
+from repro.graph.graph import WeightedGraph
+from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
+
+
+class GraphService:
+    """A long-lived, concurrent front end over one Session."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, *,
+                 workers: int = 4,
+                 max_pending: int = 0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 strict_rounds: bool = False,
+                 max_cache_bytes: Optional[int] = None,
+                 session: Optional[Session] = None):
+        self.session = session or Session(
+            config,
+            fault_plan=fault_plan,
+            strict_rounds=strict_rounds,
+            max_cache_bytes=max_cache_bytes,
+        )
+        self._pool = WorkerPool(workers, max_pending=max_pending)
+        self._lock = threading.Lock()
+        #: strong references to pinned graphs (Session handles are weak;
+        #: a serving daemon owns the graphs loaded into it)
+        self._pinned: Dict[str, Any] = {}
+        #: per-name degree-weighted derivations: name -> (base
+        #: fingerprint, derived handle); rebuilt when the base re-loads
+        self._derived: Dict[str, Any] = {}
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._closed = False
+
+    # -- graph registry ----------------------------------------------------
+
+    def load(self, name: str, graph: Any, *, pin: bool = True) -> GraphHandle:
+        """Register ``graph`` under ``name`` for queries by name.
+
+        With ``pin=True`` (the default) the service keeps the graph alive
+        until :meth:`unload`; ``pin=False`` leaves lifetime to the caller
+        (the session only holds a weak reference).
+        """
+        handle = self.session.load(name, graph)
+        with self._lock:
+            if pin:
+                self._pinned[name] = graph
+            else:
+                self._pinned.pop(name, None)
+        return handle
+
+    def unload(self, name: str) -> None:
+        self.session.unload(name)
+        with self._lock:
+            self._pinned.pop(name, None)
+            self._derived.pop(name, None)
+
+    def graphs(self) -> List[str]:
+        return self.session.graphs()
+
+    def algorithms(self) -> List[str]:
+        return self.session.algorithms()
+
+    # -- queries -----------------------------------------------------------
+
+    def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
+               reuse_preprocessing: bool = True,
+               **params: Any) -> PendingResult:
+        """Enqueue one query; returns a :class:`PendingResult`.
+
+        ``graph`` may be a registered name, a handle, or a graph object.
+        Unknown algorithms and undeclared parameters are rejected here, in
+        the submitting thread, so the error surfaces immediately.
+        """
+        spec = registry.get(algorithm)
+        Session._merge_params(spec, params)  # fail fast on unknown params
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            self._submitted += 1
+        return self._pool.submit(self._execute, spec, graph, seed,
+                                 reuse_preprocessing, params)
+
+    def query(self, algorithm: str, graph: Any, *, seed: int = 0,
+              timeout: Optional[float] = None,
+              **params: Any) -> RunResult:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(algorithm, graph, seed=seed,
+                           **params).result(timeout)
+
+    def _execute(self, spec, graph: Any, seed: int,
+                 reuse_preprocessing: bool, params: Dict[str, Any]):
+        try:
+            result = self.session.run(
+                spec.name, self._resolve_input(spec, graph), seed=seed,
+                reuse_preprocessing=reuse_preprocessing, **params)
+        except BaseException:
+            with self._lock:
+                self._failed += 1
+            raise
+        with self._lock:
+            self._completed += 1
+        return result
+
+    def _resolve_input(self, spec, graph: Any) -> Any:
+        """Adapt a named/handle graph to the spec's input kind.
+
+        Weighted algorithms queried on an unweighted graph get the paper's
+        default ``deg(u) + deg(v)`` weights (Section 5.2), exactly like
+        the CLI.  For named graphs the derivation is built once and
+        registered as ``<name>#degree-weighted`` (rebuilt if the base
+        graph is re-loaded), so repeat queries pay neither the O(n + m)
+        construction nor the re-fingerprint.
+        """
+        if spec.input_kind != "weighted":
+            return graph
+        name: Optional[str] = None
+        obj = graph
+        if isinstance(obj, str):
+            name = obj
+            obj = self.session.handle(obj).graph
+        elif isinstance(obj, GraphHandle):
+            name = obj.name
+            obj = obj.graph
+        if obj is None or isinstance(obj, WeightedGraph):
+            return graph
+        if name is None:
+            return degree_weighted(obj)
+        base = self.session.handle(name)
+        with self._lock:
+            cached = self._derived.get(name)
+            if cached is not None and cached[0] == base.fingerprint:
+                return cached[1]
+        derived = degree_weighted(obj)
+        handle = self.session.load(f"{name}#degree-weighted", derived)
+        with self._lock:
+            # keep the derived graph alive: the session reference is weak
+            self._derived[name] = (base.fingerprint, handle, derived)
+        return handle
+
+    # -- accounting / lifecycle --------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters plus the underlying SessionStats, flat."""
+        session_stats = self.session.stats
+        with self._lock:
+            stats = {
+                "workers": self._pool.workers,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "graphs_loaded": len(self.session.graphs()),
+                "cached_preprocessings": self.session.cached_preprocessings,
+                "cache_bytes": self.session.cache_bytes,
+            }
+        for name in ("runs", "preprocessing_hits", "preprocessing_misses",
+                     "preprocessing_evictions", "shuffles_saved",
+                     "kv_writes_saved", "shuffles_executed",
+                     "kv_reads_executed", "kv_writes_executed",
+                     "simulated_time_s"):
+            stats[name] = getattr(session_stats, name)
+        return stats
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries; in-flight queries drain when waiting."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.close(wait=wait)
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,191 @@
+"""Cache-policy tests: LRU eviction, content keys, and memory release.
+
+The preprocessing cache is the serving layer's hot asset; these tests pin
+down its policy: byte-budgeted LRU order, eviction accounting, cold runs
+leaving the cache untouched, content-stable keys that survive in-place
+mutation, and the guarantee that cached entries hold no strong reference
+to input graphs.
+"""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import Session, graph_fingerprint
+from repro.graph.generators import erdos_renyi_gnm
+
+CONFIG = ClusterConfig(num_machines=4)
+
+GRAPH_A = erdos_renyi_gnm(30, 60, seed=1)
+GRAPH_B = erdos_renyi_gnm(30, 60, seed=2)
+#: strictly smaller than A/B so its insertion evicts exactly one entry
+GRAPH_C = erdos_renyi_gnm(30, 35, seed=3)
+
+
+class TestLRUEviction:
+    def test_eviction_follows_recency_order(self):
+        session = Session(CONFIG)
+        session.run("mis", GRAPH_A, seed=0)
+        session.run("mis", GRAPH_B, seed=0)
+        assert session.cached_preprocessings == 2
+        # Cap the budget at exactly the current contents, touch A so B
+        # becomes least-recently-used, then insert C.
+        session.max_cache_bytes = session.cache_bytes
+        touched = session.run("mis", GRAPH_A, seed=0)
+        assert touched.preprocessing_reused
+        session.run("mis", GRAPH_C, seed=0)
+        assert session.stats.preprocessing_evictions == 1
+        # A (recently used) survived; B (LRU) was evicted.
+        assert session.run("mis", GRAPH_A, seed=0).preprocessing_reused
+        assert not session.run("mis", GRAPH_B, seed=0).preprocessing_reused
+
+    def test_budget_is_enforced_in_bytes(self):
+        session = Session(CONFIG, max_cache_bytes=1)
+        session.run("mis", GRAPH_A, seed=0)
+        # A single over-budget entry is kept (evicting it would thrash)...
+        assert session.cached_preprocessings == 1
+        session.run("mis", GRAPH_B, seed=0)
+        # ...but a second insertion evicts down to one entry again.
+        assert session.cached_preprocessings == 1
+        assert session.stats.preprocessing_evictions == 1
+        assert session.cache_bytes > 0
+
+    def test_unbounded_by_default(self):
+        session = Session(CONFIG)
+        for seed in range(3):
+            session.run("mis", GRAPH_A, seed=seed)
+        session.run("mis", GRAPH_B, seed=0)
+        assert session.cached_preprocessings == 4
+        assert session.stats.preprocessing_evictions == 0
+
+    def test_clear_resets_bytes(self):
+        session = Session(CONFIG)
+        session.run("mis", GRAPH_A, seed=0)
+        assert session.cache_bytes > 0
+        session.clear_preprocessing()
+        assert session.cache_bytes == 0
+        assert session.cached_preprocessings == 0
+
+
+class TestReuseDisabled:
+    def test_cold_run_leaves_cache_untouched(self):
+        session = Session(CONFIG)
+        session.run("mis", GRAPH_A, seed=0)
+        entries = session.cached_preprocessings
+        nbytes = session.cache_bytes
+        cold = session.run("mis", GRAPH_A, seed=0,
+                           reuse_preprocessing=False)
+        assert not cold.preprocessing_reused
+        assert session.cached_preprocessings == entries
+        assert session.cache_bytes == nbytes
+        assert session.stats.preprocessing_evictions == 0
+        # the cached entry is still served afterwards
+        assert session.run("mis", GRAPH_A, seed=0).preprocessing_reused
+
+    def test_cold_run_does_not_insert(self):
+        session = Session(CONFIG)
+        cold = session.run("mis", GRAPH_A, seed=0,
+                           reuse_preprocessing=False)
+        assert not cold.preprocessing_reused
+        assert session.cached_preprocessings == 0
+
+
+class TestContentKeys:
+    def test_equal_graphs_share_preprocessing(self):
+        """Content keys: two equal graph objects hit the same entry."""
+        session = Session(CONFIG)
+        twin = erdos_renyi_gnm(30, 60, seed=1)
+        session.run("mis", GRAPH_A, seed=0)
+        assert session.run("mis", twin, seed=0).preprocessing_reused
+
+    def test_count_preserving_mutation_invalidates_raw_runs(self):
+        """The id(graph)+counts regression: an edge swap keeps both counts
+        but must not serve the stale DHT-resident artifact."""
+        graph = erdos_renyi_gnm(30, 60, seed=4)
+        session = Session(CONFIG)
+        session.run("mis", graph, seed=0)
+        u, v = next(iter(graph.edges()))
+        a, b = _absent_edge(graph)
+        graph.remove_edge(u, v)
+        graph.add_edge(a, b)
+        assert graph.num_edges == 60  # count-preserving
+        second = session.run("mis", graph, seed=0)
+        assert not second.preprocessing_reused
+        fresh = Session(CONFIG).run("mis", graph, seed=0)
+        assert second.output.independent_set == fresh.output.independent_set
+
+    def test_mutation_with_reload_isolates_stale_entry(self):
+        graph = erdos_renyi_gnm(30, 60, seed=5)
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        session.run("mis", "g", seed=0)
+        u, v = next(iter(graph.edges()))
+        a, b = _absent_edge(graph)
+        graph.remove_edge(u, v)
+        graph.add_edge(a, b)
+        reloaded = session.load("g", graph)
+        assert reloaded.fingerprint != handle.fingerprint
+        second = session.run("mis", "g", seed=0)
+        assert not second.preprocessing_reused
+        assert second.graph_name == "g"
+        fresh = Session(CONFIG).run("mis", graph, seed=0)
+        assert second.output.independent_set == fresh.output.independent_set
+
+    def test_count_changing_mutation_auto_refreshes_handles(self):
+        """Mutations that change a count are caught without a re-load."""
+        graph = erdos_renyi_gnm(30, 60, seed=8)
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        session.run("mis", "g", seed=0)
+        a, b = _absent_edge(graph)
+        graph.add_edge(a, b)  # 61 edges now
+        second = session.run("mis", "g", seed=0)
+        assert not second.preprocessing_reused
+        assert handle.num_edges == 61  # the handle refreshed itself
+        fresh = Session(CONFIG).run("mis", graph, seed=0)
+        assert second.output.independent_set == fresh.output.independent_set
+
+    def test_fingerprint_is_content_stable(self):
+        twin = erdos_renyi_gnm(30, 60, seed=1)
+        assert graph_fingerprint(GRAPH_A) == graph_fingerprint(twin)
+        assert graph_fingerprint(GRAPH_A) != graph_fingerprint(GRAPH_B)
+
+
+class TestMemoryRelease:
+    def test_cache_holds_no_strong_graph_reference(self):
+        """The old _CacheEntry.graph field kept every graph alive forever;
+        content keys need no graph reference at all."""
+        session = Session(CONFIG)
+        graph = erdos_renyi_gnm(30, 60, seed=6)
+        ref = weakref.ref(graph)
+        session.run("mis", graph, seed=0)
+        session.run("components", graph, seed=0)
+        assert session.cached_preprocessings == 2
+        del graph
+        gc.collect()
+        assert ref() is None
+        # cached artifacts still serve an equal graph
+        twin = erdos_renyi_gnm(30, 60, seed=6)
+        assert session.run("mis", twin, seed=0).preprocessing_reused
+
+    def test_handles_hold_weak_references(self):
+        session = Session(CONFIG)
+        graph = erdos_renyi_gnm(30, 60, seed=7)
+        handle = session.load("g", graph)
+        session.run("mis", handle, seed=0)
+        del graph
+        gc.collect()
+        assert handle.graph is None
+        with pytest.raises(ReferenceError, match="garbage-collected"):
+            session.run("mis", "g", seed=0)
+
+
+def _absent_edge(graph):
+    """A non-edge (a, b) of ``graph`` with a != b."""
+    for a in graph.vertices():
+        for b in graph.vertices():
+            if a < b and not graph.has_edge(a, b):
+                return a, b
+    raise AssertionError("graph is complete")

@@ -1,0 +1,112 @@
+"""Registry-wide conformance suite.
+
+Every registered :class:`~repro.api.registry.AlgorithmSpec` — current and
+future — must honour the Session contract: prepare/run separation with a
+real cross-run saving, seed determinism, well-typed summarize/describe
+adapters, and parameter declarations that round-trip through
+``Session._merge_params``.  The suite parametrizes over ``registry.specs()``
+so a newly registered algorithm is covered the moment it registers.
+"""
+
+import json
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import Session, registry
+from repro.graph.generators import degree_weighted, erdos_renyi_gnm, two_cycles
+
+CONFIG = ClusterConfig(num_machines=4)
+SEED = 5
+
+#: conformance inputs per declared input kind.  The weighted graph is
+#: sparse (m < n^1.25), so the msf-theory spec exercises its staged
+#: ternarized branch.
+GRAPH = erdos_renyi_gnm(36, 60, seed=1)
+WEIGHTED = degree_weighted(GRAPH)
+CYCLES = two_cycles(24, shuffle_ids=True, seed=1)
+
+#: flags the CLI reserves for cluster/run plumbing; spec params must not
+#: shadow them
+RESERVED_FLAGS = {
+    "--machines", "--threads", "--seed", "--transport", "--no-caching",
+    "--no-multithreading", "--query-budget", "--json", "--weighted",
+    "--workers", "--host", "--port", "--max-cache-bytes",
+}
+
+
+def _input_for(spec):
+    return {"graph": GRAPH, "weighted": WEIGHTED, "cycle": CYCLES}[
+        spec.input_kind
+    ]
+
+
+@pytest.mark.parametrize("spec", registry.specs(), ids=lambda s: s.name)
+class TestSpecConformance:
+    def test_prepare_run_separation(self, spec):
+        """A second run reuses the preparation and shuffles strictly less."""
+        session = Session(CONFIG)
+        graph = _input_for(spec)
+        cold = session.run(spec.name, graph, seed=SEED)
+        warm = session.run(spec.name, graph, seed=SEED)
+        assert not cold.preprocessing_reused
+        assert warm.preprocessing_reused
+        assert warm.metrics["shuffles"] < cold.metrics["shuffles"]
+        assert warm.shuffles_saved > 0
+
+    def test_warm_run_output_matches_cold(self, spec):
+        session = Session(CONFIG)
+        graph = _input_for(spec)
+        cold = session.run(spec.name, graph, seed=SEED)
+        warm = session.run(spec.name, graph, seed=SEED)
+        assert warm.summary == cold.summary
+        assert warm.description == cold.description
+
+    def test_seed_determinism_across_sessions(self, spec):
+        graph = _input_for(spec)
+        first = Session(CONFIG).run(spec.name, graph, seed=SEED)
+        second = Session(CONFIG).run(spec.name, graph, seed=SEED)
+        assert first.summary == second.summary
+        assert first.description == second.description
+        assert first.metrics == second.metrics
+
+    def test_summarize_and_describe_contracts(self, spec):
+        run = Session(CONFIG).run(spec.name, _input_for(spec), seed=SEED)
+        assert isinstance(run.summary, dict)
+        assert "output_size" in run.summary
+        assert isinstance(run.description, str) and run.description
+        # The whole envelope must stay JSON-serializable (the CLI --json
+        # path and the serve protocol both depend on it).
+        decoded = json.loads(run.to_json())
+        assert decoded["algorithm"] == spec.name
+
+    def test_params_round_trip_through_merge(self, spec):
+        merged = Session._merge_params(spec, {})
+        assert set(merged) == {p.name for p in spec.params}
+        for param in spec.params:
+            assert merged[param.name] == param.default
+        # every declared param is accepted by name
+        echoed = Session._merge_params(
+            spec, {p.name: p.default for p in spec.params}
+        )
+        assert echoed == merged
+        with pytest.raises(TypeError, match="unexpected parameter"):
+            Session._merge_params(spec, {"definitely_not_a_param": 1})
+
+    def test_declared_flags_do_not_shadow_reserved_ones(self, spec):
+        for param in spec.params:
+            assert param.flag not in RESERVED_FLAGS, (
+                f"{spec.name}.{param.name} projects onto the reserved "
+                f"CLI flag {param.flag}"
+            )
+
+    def test_prep_seed_sensitivity_declaration_holds(self, spec):
+        """Seed-insensitive preparations must actually serve other seeds."""
+        session = Session(CONFIG)
+        graph = _input_for(spec)
+        session.run(spec.name, graph, seed=SEED)
+        other = session.run(spec.name, graph, seed=SEED + 1)
+        if spec.prep_seed_sensitive:
+            assert not other.preprocessing_reused
+        else:
+            assert other.preprocessing_reused

@@ -1,0 +1,136 @@
+"""JSON-lines protocol tests: stdio stream, TCP server, error reporting."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.graph.generators import erdos_renyi_gnm
+from repro.serve import GraphService, handle_request, serve_socket, serve_stream
+
+CONFIG = ClusterConfig(num_machines=3)
+GRAPH = erdos_renyi_gnm(24, 50, seed=1)
+EDGES = [[u, v] for u, v in GRAPH.edges()]
+
+
+@pytest.fixture()
+def service():
+    with GraphService(CONFIG, workers=2) as svc:
+        yield svc
+
+
+def _drive(service, requests):
+    output = io.StringIO()
+    serve_stream(
+        service,
+        io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n"),
+        output,
+    )
+    return [json.loads(line) for line in output.getvalue().splitlines()]
+
+
+class TestStream:
+    def test_load_run_stats_shutdown(self, service):
+        responses = _drive(service, [
+            {"op": "load", "name": "g", "edges": EDGES, "id": 1},
+            {"op": "run", "algorithm": "mis", "graph": "g", "seed": 2,
+             "id": 2},
+            {"op": "run", "algorithm": "mis", "graph": "g", "seed": 2,
+             "id": 3},
+            {"op": "stats", "id": 4},
+            {"op": "shutdown", "id": 5},
+        ])
+        assert [r["ok"] for r in responses] == [True] * 5
+        assert [r["id"] for r in responses] == [1, 2, 3, 4, 5]
+        assert responses[0]["vertices"] == GRAPH.num_vertices
+        assert responses[0]["edges"] == GRAPH.num_edges
+        cold, warm = responses[1]["result"], responses[2]["result"]
+        assert cold["summary"] == warm["summary"]
+        assert not cold["preprocessing_reused"]
+        assert warm["preprocessing_reused"]
+        assert warm["graph_name"] == "g"
+        assert responses[3]["stats"]["runs"] == 2
+        assert responses[4]["bye"]
+
+    def test_weighted_inline_edges(self, service):
+        responses = _drive(service, [
+            {"op": "load", "name": "w",
+             "edges": [[0, 1, 2.0], [1, 2, 1.0], [0, 2, 3.0]]},
+            {"op": "run", "algorithm": "msf", "graph": "w"},
+        ])
+        assert responses[1]["ok"]
+        assert responses[1]["result"]["summary"]["output_size"] == 2
+        assert responses[1]["result"]["summary"]["weight"] == 3.0
+
+    def test_load_from_file(self, service, tmp_path):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(GRAPH, path)
+        responses = _drive(service, [
+            {"op": "load", "name": "g", "path": str(path)},
+            {"op": "run", "algorithm": "components", "graph": "g"},
+        ])
+        assert all(r["ok"] for r in responses)
+
+    def test_errors_are_reported_not_fatal(self, service):
+        responses = _drive(service, [
+            {"op": "load", "name": "g", "edges": EDGES},
+            {"op": "run", "algorithm": "frobnicate", "graph": "g", "id": 1},
+            {"op": "run", "algorithm": "mis", "graph": "missing", "id": 2},
+            {"op": "run", "algorithm": "mis", "graph": "g",
+             "params": {"bogus": 1}, "id": 3},
+            {"op": "load", "name": "x", "id": 4},
+            {"op": "nonsense", "id": 5},
+            {"op": "run", "algorithm": "mis", "graph": "g", "id": 6},
+        ])
+        assert [r["ok"] for r in responses] == [
+            True, False, False, False, False, False, True,
+        ]
+        assert "unknown algorithm" in responses[1]["error"]
+        assert "no graph loaded" in responses[2]["error"]
+        assert "unexpected parameter" in responses[3]["error"]
+        assert "'edges' or 'path'" in responses[4]["error"]
+        assert "unknown op" in responses[5]["error"]
+
+    def test_invalid_json_line(self, service):
+        output = io.StringIO()
+        serve_stream(service, io.StringIO("this is not json\n"), output)
+        response = json.loads(output.getvalue())
+        assert not response["ok"]
+        assert "invalid JSON" in response["error"]
+
+    def test_handle_request_rejects_non_objects(self, service):
+        response = handle_request(service, ["not", "an", "object"])
+        assert not response["ok"]
+
+
+class TestSocket:
+    def test_tcp_round_trip(self, service):
+        server = serve_socket(service)  # ephemeral port
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with socket.create_connection(server.server_address[:2],
+                                          timeout=30) as conn:
+                stream = conn.makefile("rw", encoding="utf-8")
+                for request in (
+                    {"op": "load", "name": "g", "edges": EDGES},
+                    {"op": "run", "algorithm": "matching", "graph": "g"},
+                    {"op": "shutdown"},
+                ):
+                    stream.write(json.dumps(request) + "\n")
+                    stream.flush()
+                responses = [json.loads(stream.readline())
+                             for _ in range(3)]
+            assert all(r["ok"] for r in responses)
+            assert responses[1]["result"]["summary"]["output_size"] > 0
+            assert responses[2]["bye"]
+            thread.join(30)
+            assert not thread.is_alive()
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -1,0 +1,113 @@
+"""Concurrency stress test: many threads, mixed algorithms, shared graphs.
+
+The acceptance bar of the serving layer: a GraphService with >= 4 workers
+serving >= 20 mixed concurrent queries must return outputs identical to
+sequential Session runs, with per-run metrics isolated (no bleed between
+concurrent runtimes) and SessionStats totals equal to the sum of the
+per-run numbers.
+"""
+
+import random
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import Session
+from repro.graph.generators import erdos_renyi_gnm
+from repro.serve import GraphService
+
+CONFIG = ClusterConfig(num_machines=4)
+
+GRAPHS = {
+    "a": erdos_renyi_gnm(40, 100, seed=1),
+    "b": erdos_renyi_gnm(40, 90, seed=2),
+}
+
+#: every (algorithm, graph, seed) twice, shuffled: 2 * 2 * 3 * 2 = 24
+#: queries, so each shared graph sees guaranteed cache hits
+QUERIES = [
+    (algorithm, name, seed)
+    for algorithm in ("mis", "matching", "components")
+    for name in ("a", "b")
+    for seed in (0, 1)
+] * 2
+
+
+def _output_key(result):
+    output = result.output
+    for attribute in ("independent_set", "matching", "labels"):
+        value = getattr(output, attribute, None)
+        if value is not None:
+            return value
+    raise AssertionError(f"unrecognized output {type(output).__name__}")
+
+
+def test_concurrent_results_match_sequential_and_stats_add_up():
+    queries = list(QUERIES)
+    random.Random(7).shuffle(queries)
+    assert len(queries) >= 20
+
+    # Sequential ground truth: one cold Session per distinct query.
+    expected = {}
+    for algorithm, name, seed in set(queries):
+        run = Session(CONFIG).run(algorithm, GRAPHS[name], seed=seed)
+        expected[(algorithm, name, seed)] = run
+
+    with GraphService(CONFIG, workers=6) as service:
+        for name, graph in GRAPHS.items():
+            service.load(name, graph)
+        pending = [
+            (query, service.submit(query[0], query[1], seed=query[2]))
+            for query in queries
+        ]
+        results = [(query, p.result(300)) for query, p in pending]
+        stats = service.stats()
+
+    # 1. Outputs identical to sequential runs.
+    for query, result in results:
+        reference = expected[query]
+        assert _output_key(result) == _output_key(reference), query
+        assert result.summary == reference.summary, query
+        assert result.description == reference.description
+
+    # 2. Per-run metrics isolated: each run's executed shuffles are either
+    # the sequential cold count or exactly prep_shuffles fewer (warm) —
+    # a concurrent neighbour's work never leaks into the envelope.
+    for query, result in results:
+        reference = expected[query]
+        cold = reference.metrics["shuffles"]
+        observed = result.metrics["shuffles"]
+        if result.preprocessing_reused:
+            assert observed == cold - result.shuffles_saved, query
+        else:
+            assert observed == cold, query
+
+    # 3. SessionStats totals equal the sum of the per-run numbers.
+    assert stats["runs"] == len(queries)
+    assert (stats["preprocessing_hits"] + stats["preprocessing_misses"]
+            == len(queries))
+    assert stats["shuffles_executed"] == sum(
+        result.metrics["shuffles"] for _, result in results)
+    assert stats["kv_reads_executed"] == sum(
+        result.metrics["kv_reads"] for _, result in results)
+    assert stats["kv_writes_executed"] == sum(
+        result.metrics["kv_writes"] for _, result in results)
+    assert stats["shuffles_saved"] == sum(
+        result.shuffles_saved for _, result in results)
+
+    # 4. Preprocessing shared: >= 1 hit per shared graph (each exact query
+    # repeats, and concurrent misses are deduplicated).
+    assert stats["preprocessing_hits"] >= len(GRAPHS)
+    assert stats["failed"] == 0
+    assert stats["completed"] == len(queries)
+
+
+def test_concurrent_misses_prepare_once_per_key():
+    """Hammer one cold key from many threads: exactly one preparation."""
+    with GraphService(CONFIG, workers=8) as service:
+        service.load("g", GRAPHS["a"])
+        pending = [service.submit("mis", "g", seed=0) for _ in range(16)]
+        results = [p.result(300) for p in pending]
+        stats = service.stats()
+    assert stats["preprocessing_misses"] == 1
+    assert stats["preprocessing_hits"] == 15
+    outputs = {frozenset(r.output.independent_set) for r in results}
+    assert len(outputs) == 1

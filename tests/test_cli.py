@@ -125,3 +125,25 @@ def test_module_entry_point(graph_file):
     )
     assert result.returncode == 0
     assert "maximal independent set" in result.stdout
+
+
+def test_serve_subcommand_over_stdio():
+    import json
+    import subprocess
+    import sys
+
+    requests = "\n".join(json.dumps(r) for r in (
+        {"op": "load", "name": "g", "edges": [[0, 1], [1, 2], [2, 0]]},
+        {"op": "run", "algorithm": "mis", "graph": "g", "seed": 1},
+        {"op": "shutdown"},
+    ))
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--machines", "2",
+         "--workers", "2"],
+        input=requests, capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    responses = [json.loads(line) for line in result.stdout.splitlines()]
+    assert [r["ok"] for r in responses] == [True, True, True]
+    assert responses[1]["result"]["algorithm"] == "mis"
+    assert responses[2]["bye"]
