@@ -1,0 +1,252 @@
+"""Wall-clock benchmark trajectory: how fast the simulator itself runs.
+
+Every other benchmark in this directory reports *simulated* time — the
+cost model's first-principles estimate.  This one measures the opposite
+axis: real wall-clock seconds of the Python simulator executing
+representative ``Session.run`` and ``GraphService`` workloads.  It is the
+baseline every perf PR is measured against.
+
+Results live in ``BENCH_wallclock.json`` at the repository root:
+
+* ``before_s``  — the workload's wall-clock on the code *before* the
+  current optimization round (recorded with ``--record before``);
+* ``after_s``   — the optimized wall-clock (the default recording mode);
+* ``speedup``   — ``before_s / after_s``;
+* tracked workloads (the ``Session.run`` mis/matching/msf trajectories)
+  gate CI: ``--check`` fails when a fresh measurement exceeds
+  ``REGRESSION_FACTOR x`` the committed ``after_s``.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py                  # full suite, record after_s
+    python benchmarks/bench_wallclock.py --record before  # pre-optimization numbers
+    python benchmarks/bench_wallclock.py --quick          # small CI suite
+    python benchmarks/bench_wallclock.py --quick --check  # CI regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.ampc.cluster import ClusterConfig  # noqa: E402
+from repro.analysis.datasets import load_dataset, load_weighted_dataset  # noqa: E402
+from repro.api import Session  # noqa: E402
+from repro.serve import GraphService  # noqa: E402
+
+#: a fresh measurement may be at most this factor above the committed
+#: after_s before --check fails (cross-machine headroom included)
+REGRESSION_FACTOR = 2.0
+#: absolute grace floor: tiny workloads are dominated by scheduler noise
+REGRESSION_FLOOR_S = 0.75
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_wallclock.json",
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named wall-clock measurement."""
+
+    name: str
+    build: Callable[[], Callable[[], float]]
+    #: tracked workloads gate CI and carry the >= 2x speedup requirement
+    tracked: bool = True
+
+
+def _session_workload(algorithm: str, dataset: str, *, weighted: bool,
+                      scale: float, seed: int = 3,
+                      warm_runs: int = 3) -> Callable[[], Callable[[], float]]:
+    """One cold ``Session.run`` plus ``warm_runs`` cache-served repeats.
+
+    This is the serving-shaped profile the ROADMAP optimizes for: the
+    preprocessing shuffle paid once, queries amortized behind it.
+    Returns the run's simulated seconds so drift is visible next to the
+    wall-clock numbers.
+    """
+
+    def build() -> Callable[[], float]:
+        loader = load_weighted_dataset if weighted else load_dataset
+        graph = loader(dataset, scale)
+
+        def run() -> float:
+            session = Session(ClusterConfig())
+            result = session.run(algorithm, graph, seed=seed)
+            for _ in range(warm_runs):
+                session.run(algorithm, graph, seed=seed)
+            return result.metrics["simulated_time_s"]
+
+        return run
+
+    return build
+
+
+def _service_workload(dataset: str, *, scale: float,
+                      workers: int = 4) -> Callable[[], Callable[[], float]]:
+    """A concurrent GraphService burst: mixed algorithms, shared cache."""
+
+    def build() -> Callable[[], float]:
+        graph = load_dataset(dataset, scale)
+
+        def run() -> float:
+            service = GraphService(ClusterConfig(), workers=workers)
+            service.load("bench", graph)
+            pending = []
+            for seed in range(2):
+                pending.append(service.submit("mis", "bench", seed=seed))
+                pending.append(service.submit("matching", "bench", seed=seed))
+                pending.append(service.submit("components", "bench",
+                                              seed=seed))
+            total = sum(p.result().metrics["simulated_time_s"]
+                        for p in pending)
+            service.close()
+            return total
+
+        return run
+
+    return build
+
+
+def _suite(quick: bool) -> List[Workload]:
+    """The workload set: full (committed trajectory) or quick (CI smoke).
+
+    Both suites track mis/matching/msf ``Session.run`` on scaled-dataset
+    inputs; quick shrinks the datasets so the smoke step stays in CI
+    budget.
+    """
+    scale = 0.25 if quick else 1.0
+    dataset = "OK-S"
+    return [
+        Workload(f"session.run/mis/{dataset}",
+                 _session_workload("mis", dataset, weighted=False,
+                                   scale=scale)),
+        Workload(f"session.run/matching/{dataset}",
+                 _session_workload("matching", dataset, weighted=False,
+                                   scale=scale)),
+        Workload(f"session.run/msf/{dataset}",
+                 _session_workload("msf", dataset, weighted=True,
+                                   scale=scale)),
+        Workload(f"service.mixed/{dataset}",
+                 _service_workload(dataset, scale=scale), tracked=False),
+    ]
+
+
+def _measure(workload: Workload, repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` wall-clock (input building excluded)."""
+    run = workload.build()
+    best = float("inf")
+    simulated = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        simulated = run()
+        best = min(best, time.perf_counter() - start)
+    return {"wall_s": round(best, 4),
+            "simulated_time_s": round(simulated, 6)}
+
+
+def _load_report(path: str) -> Dict:
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return {"schema": 1, "unit": "seconds",
+            "regression_factor": REGRESSION_FACTOR, "suites": {}}
+
+
+def _save_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _record(report: Dict, suite_name: str, measured: Dict[str, Dict],
+            tracked: Dict[str, bool], field: str) -> None:
+    suite = report["suites"].setdefault(suite_name, {"workloads": {}})
+    for name, numbers in measured.items():
+        entry = suite["workloads"].setdefault(name, {})
+        entry[field] = numbers["wall_s"]
+        entry["simulated_time_s"] = numbers["simulated_time_s"]
+        entry["tracked"] = tracked[name]
+        if entry.get("before_s") and entry.get("after_s"):
+            entry["speedup"] = round(entry["before_s"] / entry["after_s"], 2)
+
+
+def _check(report: Dict, suite_name: str,
+           measured: Dict[str, Dict], tracked: Dict[str, bool]) -> int:
+    """Compare fresh numbers against the committed after_s; 0 = pass."""
+    suite = report["suites"].get(suite_name, {"workloads": {}})
+    failures = []
+    for name, numbers in measured.items():
+        committed = suite["workloads"].get(name, {}).get("after_s")
+        entry = suite["workloads"].setdefault(name, {})
+        entry["last_check_s"] = numbers["wall_s"]
+        if committed is None or not tracked[name]:
+            continue
+        limit = max(committed * REGRESSION_FACTOR, REGRESSION_FLOOR_S)
+        if numbers["wall_s"] > limit:
+            failures.append(
+                f"{name}: {numbers['wall_s']:.3f}s exceeds "
+                f"{limit:.3f}s ({REGRESSION_FACTOR}x committed "
+                f"{committed:.3f}s)"
+            )
+    for failure in failures:
+        print(f"REGRESSION  {failure}")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small datasets (the CI smoke suite)")
+    parser.add_argument("--record", choices=("before", "after"),
+                        default="after",
+                        help="which trajectory field to write (default "
+                             "after; use before on pre-optimization code)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed after_s and "
+                             "fail on >%.1fx regression" % REGRESSION_FACTOR)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="measurements per workload (best-of; default "
+                             "3 full / 2 quick)")
+    parser.add_argument("--output", default=BENCH_PATH,
+                        help="report path (default: BENCH_wallclock.json)")
+    args = parser.parse_args(argv)
+
+    suite_name = "quick" if args.quick else "full"
+    repeats = args.repeats or (2 if args.quick else 3)
+    workloads = _suite(args.quick)
+
+    measured: Dict[str, Dict] = {}
+    tracked = {w.name: w.tracked for w in workloads}
+    for workload in workloads:
+        measured[workload.name] = _measure(workload, repeats)
+        flag = "tracked" if workload.tracked else "info   "
+        print(f"{flag}  {workload.name:36s} "
+              f"{measured[workload.name]['wall_s']:8.3f}s wall  "
+              f"{measured[workload.name]['simulated_time_s']:10.3f}s simulated")
+
+    report = _load_report(args.output)
+    if args.check:
+        status = _check(report, suite_name, measured, tracked)
+        _save_report(report, args.output)
+        print("wall-clock check:", "FAIL" if status else "OK")
+        return status
+    _record(report, suite_name, measured, tracked, f"{args.record}_s")
+    _save_report(report, args.output)
+    print(f"recorded {args.record}_s for suite {suite_name!r} "
+          f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.ampc.cost_model import CostModel
 from repro.ampc.faults import FaultPlan
-from repro.ampc.hashing import stable_hash
+from repro.ampc.hashing import _MASK, _SEED, stable_hash
 from repro.ampc.metrics import Metrics
 
 
@@ -74,6 +74,8 @@ class Cluster:
         self.fault_plan = fault_plan
         self.metrics = Metrics()
         self._stage_counter = 0
+        #: hoisted for the per-element placement loops (config is frozen)
+        self._num_machines = self.config.num_machines
 
     # -- partitioning ----------------------------------------------------
 
@@ -82,9 +84,16 @@ class Cluster:
 
         Uses the salt-free :func:`repro.ampc.hashing.stable_hash` so that
         string-keyed placements — and every placement-derived metric —
-        are identical across interpreter runs.
+        are identical across interpreter runs.  The vertex-id case inlines
+        the same single-``splitmix64`` fast path ``stable_hash`` takes,
+        saving the call in this per-element hot loop.
         """
-        return stable_hash(key) % self.config.num_machines
+        if type(key) is int and 0 <= key <= _MASK:
+            x = ((_SEED ^ key) + 0x9E3779B97F4A7C15) & _MASK
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+            return (x ^ (x >> 31)) % self._num_machines
+        return stable_hash(key) % self._num_machines
 
     def partition(self, items: Sequence[Any],
                   key_fn: Optional[Callable[[Any], Any]] = None
@@ -98,11 +107,13 @@ class Cluster:
             [] for _ in range(self.config.num_machines)
         ]
         if key_fn is None:
+            num_machines = self.config.num_machines
             for index, item in enumerate(items):
-                partitions[index % self.config.num_machines].append(item)
+                partitions[index % num_machines].append(item)
         else:
+            machine_for = self.machine_for
             for item in items:
-                partitions[self.machine_for(key_fn(item))].append(item)
+                partitions[machine_for(key_fn(item))].append(item)
         return partitions
 
     # -- timing ----------------------------------------------------------

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.ampc.cost_model import estimate_bytes
-from repro.ampc.hashing import stable_hash
+from repro.ampc.hashing import _MASK, _SEED, stable_hash
 
 
 class StoreSealedError(RuntimeError):
@@ -35,6 +35,9 @@ class DHTStore:
         self.sealed = False
         self._strict_rounds = strict_rounds
         self._shards: List[Dict[Any, Any]] = [dict() for _ in range(num_shards)]
+        #: serialized size of each live entry, recorded at write time so
+        #: reads never re-walk values (and overwrites can refund exactly)
+        self._sizes: List[Dict[Any, int]] = [dict() for _ in range(num_shards)]
         #: reads served per shard (contention accounting)
         self.shard_reads: List[int] = [0] * num_shards
         self.total_entries = 0
@@ -42,7 +45,14 @@ class DHTStore:
 
     def shard_of(self, key: Any) -> int:
         # Stable across interpreter runs: placement (and therefore shard
-        # contention metrics) must not depend on PYTHONHASHSEED.
+        # contention metrics) must not depend on PYTHONHASHSEED.  The
+        # vertex-id case inlines stable_hash's single-splitmix64 fast
+        # path — this runs once per simulated KV operation.
+        if type(key) is int and 0 <= key <= _MASK:
+            x = ((_SEED ^ key) + 0x9E3779B97F4A7C15) & _MASK
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+            return (x ^ (x >> 31)) % self.num_shards
         return stable_hash(key) % self.num_shards
 
     # -- writes --------------------------------------------------------
@@ -51,20 +61,65 @@ class DHTStore:
         """Store a key-value pair; returns the serialized value size.
 
         Duplicate keys overwrite, matching the put semantics of the
-        key-value stores the paper builds on.
+        key-value stores the paper builds on; the replaced entry's
+        recorded size is refunded, so ``total_value_bytes`` always equals
+        the live entries' sizes.
         """
         if self.sealed:
             raise StoreSealedError(f"store {self.name!r} is sealed")
-        shard = self._shards[self.shard_of(key)]
-        if key not in shard:
-            self.total_entries += 1
+        shard_index = self.shard_of(key)
+        sizes = self._sizes[shard_index]
         value_bytes = estimate_bytes(value)
-        self.total_value_bytes += value_bytes
-        shard[key] = value
+        replaced = sizes.get(key)
+        if replaced is None:
+            self.total_entries += 1
+            self.total_value_bytes += value_bytes
+        else:
+            self.total_value_bytes += value_bytes - replaced
+        self._shards[shard_index][key] = value
+        sizes[key] = value_bytes
         return value_bytes
 
-    def write_all(self, items: Iterable[Tuple[Any, Any]]) -> int:
-        return sum(self.write(key, value) for key, value in items)
+    def write_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        """Bulk :meth:`write`: one pass, aggregate accounting.
+
+        Returns the total serialized size of the written values — exactly
+        ``sum(write(k, v) for k, v in items)``, computed without the
+        per-item method dispatch.
+        """
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_of = self.shard_of
+        shards = self._shards
+        size_shards = self._sizes
+        total = 0
+        entries_added = 0
+        bytes_delta = 0
+        try:
+            for key, value in items:
+                # Size first: an inestimable value raises before this
+                # item mutates anything, and the finally block commits
+                # the completed items' accounting — exactly the state a
+                # write() sequence failing on the same item leaves.
+                value_bytes = estimate_bytes(value)
+                shard_index = shard_of(key)
+                sizes = size_shards[shard_index]
+                replaced = sizes.get(key)
+                if replaced is None:
+                    entries_added += 1
+                    bytes_delta += value_bytes
+                else:
+                    bytes_delta += value_bytes - replaced
+                shards[shard_index][key] = value
+                sizes[key] = value_bytes
+                total += value_bytes
+        finally:
+            self.total_entries += entries_added
+            self.total_value_bytes += bytes_delta
+        return total
+
+    #: backwards-compatible alias for :meth:`write_many`
+    write_all = write_many
 
     def seal(self) -> None:
         """Freeze the store: subsequent writes raise."""
@@ -81,6 +136,55 @@ class DHTStore:
         shard_index = self.shard_of(key)
         self.shard_reads[shard_index] += 1
         return self._shards[shard_index].get(key)
+
+    def lookup_with_size(self, key: Any) -> Tuple[Any, int]:
+        """:meth:`lookup` plus the entry's recorded serialized size.
+
+        The size was computed by :func:`estimate_bytes` at write time, so
+        callers charging read bytes need not re-walk the value; missing
+        keys report ``(None, 0)`` (what ``estimate_bytes(None)`` charges).
+        """
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        size = self._sizes[shard_index].get(key)
+        if size is None:
+            return None, 0
+        return self._shards[shard_index][key], size
+
+    def lookup_many(self, keys: Iterable[Any]) -> Tuple[List[Any], int]:
+        """Bulk read: shard routing and read accounting in one pass.
+
+        Returns the values in key order (None for misses) plus the total
+        recorded size of the hit values — the aggregate a
+        :class:`~repro.dataflow.dofn.MachineContext` charges as read
+        bytes.  Per-shard read counts advance exactly as the equivalent
+        :meth:`lookup` sequence would.
+        """
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+        shard_of = self.shard_of
+        shards = self._shards
+        size_shards = self._sizes
+        shard_reads = self.shard_reads
+        values: List[Any] = []
+        append = values.append
+        total = 0
+        for key in keys:
+            shard_index = shard_of(key)
+            shard_reads[shard_index] += 1
+            size = size_shards[shard_index].get(key)
+            if size is None:
+                append(None)
+            else:
+                append(shards[shard_index][key])
+                total += size
+        return values, total
 
     def contains(self, key: Any) -> bool:
         """Membership probe; charged and round-checked like :meth:`lookup`."""

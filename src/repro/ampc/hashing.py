@@ -89,5 +89,24 @@ def stable_hash(key: Any) -> int:
     hash, equal numeric keys of different types (``True == 1 == 1.0``)
     hash equally, so a dict-backed shard and the placement hash always
     agree on key identity.
+
+    Small non-negative ints — the vertex-id keys of every DHT placement
+    (``DHTStore.shard_of``, ``Cluster.machine_for``) — take an inlined
+    single-``splitmix64`` path; it computes exactly ``_fold(_SEED, key)``
+    without the dispatch chain or call overhead.
+    """
+    if type(key) is int and 0 <= key <= _MASK:
+        x = ((_SEED ^ key) + 0x9E3779B97F4A7C15) & _MASK
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+        return x ^ (x >> 31)
+    return _fold(_SEED, key)
+
+
+def stable_hash_reference(key: Any) -> int:
+    """The general fold, kept as the fast path's executable specification.
+
+    ``tests/ampc/test_hashing_fastpath.py`` asserts ``stable_hash`` and
+    this function agree exactly on every supported key shape.
     """
     return _fold(_SEED, key)

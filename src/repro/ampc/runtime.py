@@ -27,7 +27,12 @@ __all__ = ["AMPCRuntime", "BudgetExceededError"]
 
 
 class _WriteStoreDoFn(DoFn):
-    """Writes ``key_fn(element) -> value_fn(element)`` into a DHT store."""
+    """Writes ``key_fn(element) -> value_fn(element)`` into a DHT store.
+
+    Every key is known up front, so the whole partition goes through the
+    batched KV API: one :meth:`MachineContext.write_many` per machine
+    instead of one accounting pass per element (charge-identical).
+    """
 
     def __init__(self, store: DHTStore, key_fn, value_fn):
         self._store = store
@@ -36,6 +41,15 @@ class _WriteStoreDoFn(DoFn):
 
     def process(self, element, ctx):
         ctx.write(self._store, self._key_fn(element), self._value_fn(element))
+        return ()
+
+    def process_batch(self, elements, ctx):
+        key_fn = self._key_fn
+        value_fn = self._value_fn
+        ctx.write_many(
+            self._store,
+            [(key_fn(element), value_fn(element)) for element in elements],
+        )
         return ()
 
 
@@ -66,10 +80,15 @@ class AMPCRuntime:
         runtime (e.g. one matching per peeling level of Algorithm 4) never
         collides.
         """
-        if name is not None and any(
-            store.name == name for store in self.dht.stores()
-        ):
-            name = f"{name}-{len(self.dht.stores())}"
+        if name is not None:
+            existing = {store.name for store in self.dht.stores()}
+            if name in existing:
+                suffix = len(existing)
+                candidate = f"{name}-{suffix}"
+                while candidate in existing:
+                    suffix += 1
+                    candidate = f"{name}-{suffix}"
+                name = candidate
         store = self.dht.create(name)
         self._round_stores.append(store)
         return store

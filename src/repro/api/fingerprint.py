@@ -38,7 +38,18 @@ def graph_fingerprint(graph) -> str:
     digest.update(type(graph).__name__.encode("utf-8"))
     digest.update(b"|")
     digest.update(str(num_vertices).encode("utf-8"))
+    # Join-and-update in bounded chunks: byte-identical to the per-edge
+    # "|" + repr(edge) stream, without a Python-level loop per edge and
+    # without materializing one giant buffer for huge graphs.
+    chunk: list = []
+    append = chunk.append
     for edge in edges():
+        append(repr(edge))
+        if len(chunk) == 65536:
+            digest.update(b"|")
+            digest.update("|".join(chunk).encode("utf-8"))
+            chunk.clear()
+    if chunk:
         digest.update(b"|")
-        digest.update(repr(edge).encode("utf-8"))
+        digest.update("|".join(chunk).encode("utf-8"))
     return digest.hexdigest()

@@ -82,16 +82,19 @@ class SessionStats:
 class GraphHandle:
     """An explicitly registered graph: a name plus a content fingerprint.
 
-    The fingerprint is computed at registration; it is the cache key, so
-    a handle is a *snapshot*.  After mutating the underlying graph in
-    place, re-register (``session.load(name, graph)`` again) or call
-    :meth:`refresh` — stale DHT artifacts are then isolated automatically
-    because the fingerprint changes.  Only a weak reference to the graph
-    is held: a handle never keeps a dropped graph alive.
+    The fingerprint is computed at registration; it is the cache key.
+    For the repository graph classes, in-place mutations are detected
+    automatically at the next run (every mutator bumps the graph's
+    ``content_version``) and the handle re-fingerprints itself; for
+    foreign graph-like objects only vertex/edge count changes are
+    detected, so re-register (``session.load(name, graph)`` again) or
+    call :meth:`refresh` after a count-preserving mutation.  Only a weak
+    reference to the graph is held: a handle never keeps a dropped graph
+    alive.
     """
 
     __slots__ = ("name", "fingerprint", "num_vertices", "num_edges",
-                 "_ref", "__weakref__")
+                 "content_version", "_ref", "__weakref__")
 
     def __init__(self, name: str, graph: Any):
         self.name = name
@@ -114,6 +117,7 @@ class GraphHandle:
         self.fingerprint = graph_fingerprint(graph)
         self.num_vertices = getattr(graph, "num_vertices", None)
         self.num_edges = getattr(graph, "num_edges", None)
+        self.content_version = getattr(graph, "content_version", None)
         return self
 
     def __repr__(self) -> str:
@@ -140,6 +144,9 @@ def _prepared_bytes(obj: Any) -> int:
     """
     if obj is None:
         return 0
+    kind = type(obj)
+    if kind is int or kind is float:
+        return 8  # what estimate_bytes charges, without the dispatch walk
     if isinstance(obj, DHTStore):
         return obj.total_value_bytes + 8 * obj.total_entries
     if isinstance(obj, WeightedGraph):
@@ -153,7 +160,13 @@ def _prepared_bytes(obj: Any) -> int:
         return sum(_prepared_bytes(k) + _prepared_bytes(v)
                    for k, v in obj.items())
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return sum(_prepared_bytes(item) for item in obj)
+        # Plain-data containers (record lists) size through the cost
+        # model's flat dispatch; containers holding richer objects (a
+        # TypeError from the dispatch) fall back to the per-item walk.
+        try:
+            return estimate_bytes(obj)
+        except TypeError:
+            return sum(_prepared_bytes(item) for item in obj)
     try:
         return estimate_bytes(obj)
     except TypeError:
@@ -198,6 +211,12 @@ class Session:
         self._lock = threading.RLock()
         #: cache keys currently being prepared (miss deduplication)
         self._inflight: Dict[Tuple, threading.Event] = {}
+        #: graph -> (content_version, fingerprint); weakly keyed, so the
+        #: memo never extends a graph's lifetime.  Any mutator bumps the
+        #: version (see Graph.content_version), which invalidates the
+        #: memo — including the count-preserving mutations the per-run
+        #: re-fingerprint used to guard against, now without the re-walk.
+        self._fingerprints = weakref.WeakKeyDictionary()
 
     # -- graph registration ------------------------------------------------
 
@@ -324,15 +343,36 @@ class Session:
                     f"graph {graph.name!r} has been garbage-collected; "
                     "load it again"
                 )
-            # Cheap staleness guard: a mutation that changed either count
-            # is detected here and re-fingerprints; count-preserving
-            # mutations need an explicit re-load/refresh (a handle is a
-            # snapshot — see GraphHandle).
-            if (getattr(obj, "num_vertices", None) != graph.num_vertices
+            # Cheap staleness guard: any mutator bumps content_version
+            # (repository graph classes), and count changes catch
+            # graph-like objects without one; either triggers a
+            # re-fingerprint, so even count-preserving mutations never
+            # serve a stale artifact through a handle.
+            if (getattr(obj, "content_version", None) != graph.content_version
+                    or getattr(obj, "num_vertices", None) != graph.num_vertices
                     or getattr(obj, "num_edges", None) != graph.num_edges):
                 graph.refresh()
             return obj, graph.fingerprint, graph.name
-        return graph, graph_fingerprint(graph), None
+        return graph, self._fingerprint(graph), None
+
+    def _fingerprint(self, graph: Any) -> str:
+        """Content fingerprint with a version-checked memo.
+
+        Objects without a ``content_version`` attribute (anything other
+        than the repository graph classes) are re-walked every run, as
+        before.
+        """
+        version = getattr(graph, "content_version", None)
+        if version is None:
+            return graph_fingerprint(graph)
+        with self._lock:
+            memo = self._fingerprints.get(graph)
+            if memo is not None and memo[0] == version:
+                return memo[1]
+        fingerprint = graph_fingerprint(graph)
+        with self._lock:
+            self._fingerprints[graph] = (version, fingerprint)
+        return fingerprint
 
     def _make_runtime(self, spec):
         if spec.model == "mpc":

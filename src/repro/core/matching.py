@@ -149,9 +149,18 @@ class _IsInMM(DoFn):
 
     # -- the edge query process (iterative recursion) -----------------------
 
-    def _fetch_incident(self, vertex: int, ctx: MachineContext, counter):
-        counter[0] += 1
-        return ctx.lookup(self._store, vertex) or ()
+    def _fetch_incident_pair(self, a: int, b: int, ctx: MachineContext,
+                             counter):
+        """Both endpoints' incident lists in one batched KV read.
+
+        The edge process always needs both lists before it can merge the
+        lower-rank edges, so the two keys are known up front — the
+        batching seam of Section 5.3.  Charges (reads, bytes, budget
+        counter) are identical to two single ``ctx.lookup`` calls.
+        """
+        counter[0] += 2
+        incident_a, incident_b = ctx.lookup_many(self._store, (a, b))
+        return incident_a or (), incident_b or ()
 
     def _lower_incident(self, rank: float, a: int, b: int,
                         incident_a, incident_b) -> List[Tuple[float, int, int]]:
@@ -186,8 +195,7 @@ class _IsInMM(DoFn):
         if known is not None:
             return known
         # Frame: [rank, a, b, lower_edges, index]
-        incident_a = self._fetch_incident(a, ctx, counter)
-        incident_b = self._fetch_incident(b, ctx, counter)
+        incident_a, incident_b = self._fetch_incident_pair(a, b, ctx, counter)
         frames = [[rank, a, b,
                    self._lower_incident(rank, a, b, incident_a, incident_b), 0]]
         returning: Optional[bool] = None
@@ -219,8 +227,8 @@ class _IsInMM(DoFn):
                     continue
                 if self._budget is not None and counter[0] > self._budget:
                     return _PARKED
-                child_a = self._fetch_incident(ca, ctx, counter)
-                child_b = self._fetch_incident(cb, ctx, counter)
+                child_a, child_b = self._fetch_incident_pair(ca, cb, ctx,
+                                                             counter)
                 frames.append([crank, ca, cb,
                                self._lower_incident(crank, ca, cb,
                                                     child_a, child_b), 0])

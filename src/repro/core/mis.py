@@ -106,9 +106,14 @@ class _IsInMIS(DoFn):
 
     def _resolve(self, root: int, root_neighbors: Sequence[int],
                  ctx: MachineContext):
-        known = self._known_state(root, ctx)
+        known_state = self._known_state
+        remember = self._remember
+        known = known_state(root, ctx)
         if known is not None:
             return known
+        store = self._store
+        lookup = ctx.lookup
+        budget = self._budget
         lookups = 0
         # Each frame is [vertex, directed neighbors, next neighbor index].
         frames: List[List] = [[root, root_neighbors, 0]]
@@ -120,7 +125,7 @@ class _IsInMIS(DoFn):
                 # A child finished: IN kicks the parent out of the MIS.
                 child_in, returning = returning, None
                 if child_in:
-                    self._remember(vertex, False)
+                    remember(vertex, False)
                     frames.pop()
                     returning = False
                     continue
@@ -129,9 +134,9 @@ class _IsInMIS(DoFn):
             descended = False
             while index < len(neighbors):
                 neighbor = neighbors[index]
-                known = self._known_state(neighbor, ctx)
+                known = known_state(neighbor, ctx)
                 if known is True:
-                    self._remember(vertex, False)
+                    remember(vertex, False)
                     frames.pop()
                     returning = False
                     descended = True
@@ -140,9 +145,9 @@ class _IsInMIS(DoFn):
                     index += 1
                     frame[2] = index
                     continue
-                if self._budget is not None and lookups >= self._budget:
+                if budget is not None and lookups >= budget:
                     return _PARKED
-                fetched = ctx.lookup(self._store, neighbor)
+                fetched = lookup(store, neighbor)
                 lookups += 1
                 frames.append([neighbor, fetched or (), 0])
                 descended = True
@@ -150,7 +155,7 @@ class _IsInMIS(DoFn):
             if descended:
                 continue
             # Every lower-rank neighbor is out: vertex joins the MIS.
-            self._remember(vertex, True)
+            remember(vertex, True)
             frames.pop()
             returning = True
         return returning

@@ -90,14 +90,19 @@ class _PrimSearch(DoFn):
     def process(self, element, ctx):
         vertex, incident = element
         ranks = self._ranks
+        store = self._store
+        budget = self._budget
+        lookup = ctx.lookup
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         my_rank = (ranks[vertex], vertex)
         visited = {vertex}
         heap = [((w,) + edge_key(vertex, u), vertex, u) for u, w in incident]
         heapq.heapify(heap)
         while heap:
-            if len(visited) >= self._budget:
+            if len(visited) >= budget:
                 break  # stopping condition (1): budget exhausted
-            order, x, y = heapq.heappop(heap)
+            order, x, y = heappop(heap)
             if y in visited:
                 continue
             visited.add(y)
@@ -107,10 +112,10 @@ class _PrimSearch(DoFn):
                 yield ("ptr", vertex, y)
                 break
             yield ("visit", y, vertex)
-            fetched = ctx.lookup(self._store, y) or ()
+            fetched = lookup(store, y) or ()
             for u, w in fetched:
                 if u not in visited:
-                    heapq.heappush(heap, ((w,) + edge_key(y, u), y, u))
+                    heappush(heap, ((w,) + edge_key(y, u), y, u))
         # Falling out of the loop with an empty heap is stopping
         # condition (2): the component is fully explored.
 
@@ -219,10 +224,13 @@ class _DictUnionFind:
 
     def find(self, x):
         parent = self._parent
+        get = parent.get
         root = x
-        while parent.get(root, root) != root:
-            root = parent[root]
-        while parent.get(x, x) != x:
+        step = get(root, root)
+        while step != root:
+            root = step
+            step = get(root, root)
+        while x != root:
             parent[x], x = root, parent[x]
         return root
 

@@ -6,11 +6,23 @@ is called once per element and yields zero or more outputs.  The
 and is the *only* way a DoFn may touch a DHT store — every lookup and write
 goes through it so that the cluster can charge latency, bandwidth and the
 per-machine AMPC communication budget.
+
+Two batching seams keep the simulator fast without changing any charged
+number:
+
+* :meth:`MachineContext.lookup_many` / :meth:`MachineContext.write_many`
+  aggregate shard routing and :class:`~repro.ampc.cluster.MachineWork`
+  accounting over a batch of keys — the per-query batching the paper (and
+  the MPC connectivity line of work) uses to amortize KV round trips.
+  They charge exactly what the equivalent sequence of single calls would.
+* A DoFn that knows its whole partition's work up front may override
+  :attr:`DoFn.process_batch`; ``par_do`` then makes one call per machine
+  instead of one per element.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ampc.cluster import Cluster, MachineWork
 from repro.ampc.cost_model import estimate_bytes
@@ -29,16 +41,53 @@ class MachineContext:
 
     def lookup(self, store: DHTStore, key: Any) -> Any:
         """Synchronous KV read; returns None for missing keys."""
-        value = store.lookup(key)
-        self.work.kv_reads += 1
-        self.work.kv_read_bytes += estimate_bytes(key) + estimate_bytes(value)
+        value, value_bytes = store.lookup_with_size(key)
+        work = self.work
+        work.kv_reads += 1
+        work.kv_read_bytes += (
+            8 if type(key) is int else estimate_bytes(key)
+        ) + value_bytes
         return value
+
+    def lookup_many(self, store: DHTStore, keys: Sequence[Any]) -> List[Any]:
+        """Batched KV reads: one routing/accounting pass for many keys.
+
+        Returns the values in key order (None for misses).  Charges are
+        identical to the equivalent :meth:`lookup` sequence — same reads,
+        same bytes, same per-shard contention counts.
+        """
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        values, value_bytes = store.lookup_many(keys)
+        key_bytes = 0
+        for key in keys:
+            key_bytes += 8 if type(key) is int else estimate_bytes(key)
+        work = self.work
+        work.kv_reads += len(values)
+        work.kv_read_bytes += key_bytes + value_bytes
+        return values
 
     def write(self, store: DHTStore, key: Any, value: Any) -> None:
         """KV write into the current round's output store."""
         value_bytes = store.write(key, value)
-        self.work.kv_writes += 1
-        self.work.kv_write_bytes += estimate_bytes(key) + value_bytes
+        work = self.work
+        work.kv_writes += 1
+        work.kv_write_bytes += (
+            8 if type(key) is int else estimate_bytes(key)
+        ) + value_bytes
+
+    def write_many(self, store: DHTStore,
+                   items: Sequence[Tuple[Any, Any]]) -> None:
+        """Batched KV writes; charge-identical to a :meth:`write` loop."""
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        value_bytes = store.write_many(items)
+        key_bytes = 0
+        for key, _ in items:
+            key_bytes += 8 if type(key) is int else estimate_bytes(key)
+        work = self.work
+        work.kv_writes += len(items)
+        work.kv_write_bytes += key_bytes + value_bytes
 
     def note_cache_hit(self) -> None:
         """Record that a per-machine cache answered instead of the DHT."""
@@ -61,6 +110,13 @@ class DoFn:
     optimization's table) is created.
     """
 
+    #: Optional bulk hook.  A subclass whose per-element work needs no
+    #: adaptivity (every KV key is known up front — e.g. a store-writing
+    #: ParDo) may set this to a method ``process_batch(elements, ctx)``
+    #: returning the stage's outputs; ``par_do`` then calls it once per
+    #: machine with the whole partition instead of once per element.
+    process_batch = None
+
     def start_machine(self, ctx: MachineContext) -> None:
         """Per-machine setup hook (default: nothing)."""
 
@@ -69,7 +125,13 @@ class DoFn:
 
 
 class _CallableDoFn(DoFn):
-    """Adapter for the map/filter/flat_map conveniences."""
+    """Adapter for the map/filter/flat_map conveniences.
+
+    ``par_do`` recognizes this type and runs the wrapped callable through
+    a list comprehension per machine, skipping the generator adapter; the
+    ``process`` implementation below is the semantic reference (and the
+    path taken when a _CallableDoFn is used directly).
+    """
 
     def __init__(self, fn, mode: str):
         self._fn = fn

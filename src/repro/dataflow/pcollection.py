@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.ampc.cluster import MachineWork
-from repro.ampc.cost_model import estimate_bytes
+from repro.ampc.cost_model import _sequence_bytes, estimate_bytes
 from repro.dataflow.dofn import DoFn, MachineContext, _CallableDoFn
 
 
@@ -37,14 +37,36 @@ class PCollection:
         budget = cluster.config.query_budget_per_machine
         output_partitions: List[List[Any]] = []
         works: List[MachineWork] = []
+        # map/filter/flat_map run as plain comprehensions — no generator
+        # adapter, no per-element mode dispatch.  Output-identical to the
+        # _CallableDoFn.process reference implementation.
+        fast_mode = dofn._mode if type(dofn) is _CallableDoFn else None
+        process_batch = dofn.process_batch
         for machine_id, partition in enumerate(self._partitions):
             ctx = MachineContext(machine_id, cluster)
             dofn.start_machine(ctx)
-            outputs: List[Any] = []
-            for element in partition:
-                produced = dofn.process(element, ctx)
-                if produced is not None:
-                    outputs.extend(produced)
+            if fast_mode is not None:
+                fn = dofn._fn
+                if fast_mode == "map":
+                    outputs = [fn(element) for element in partition]
+                elif fast_mode == "filter":
+                    outputs = [element for element in partition
+                               if fn(element)]
+                else:  # flat_map
+                    outputs = []
+                    extend = outputs.extend
+                    for element in partition:
+                        extend(fn(element))
+            elif process_batch is not None:
+                outputs = list(process_batch(partition, ctx))
+            else:
+                outputs = []
+                extend = outputs.extend
+                process = dofn.process
+                for element in partition:
+                    produced = process(element, ctx)
+                    if produced is not None:
+                        extend(produced)
             ctx.work.compute_ops += len(partition) + len(outputs)
             if budget is not None and ctx.work.kv_queries > budget:
                 raise BudgetExceededError(
@@ -90,9 +112,17 @@ class PCollection:
         cluster.charge_shuffle(total_bytes)
         num_machines = cluster.config.num_machines
         grouped: List[dict] = [dict() for _ in range(num_machines)]
+        machine_for = cluster.machine_for
+        # Grouping implies repeated keys: memoize each key's machine so
+        # the placement hash runs once per distinct key, not per element.
+        machine_of: dict = {}
         for partition in self._partitions:
             for key, value in partition:
-                grouped[cluster.machine_for(key)].setdefault(key, []).append(value)
+                machine = machine_of.get(key)
+                if machine is None:
+                    machine = machine_for(key)
+                    machine_of[key] = machine
+                grouped[machine].setdefault(key, []).append(value)
         output = [list(machine_dict.items()) for machine_dict in grouped]
         return PCollection(self.pipeline, output)
 
@@ -107,9 +137,10 @@ class PCollection:
         cluster.charge_shuffle(self._total_bytes())
         num_machines = cluster.config.num_machines
         output: List[List[Any]] = [[] for _ in range(num_machines)]
+        machine_for = cluster.machine_for
         for partition in self._partitions:
             for element in partition:
-                output[cluster.machine_for(key_fn(element))].append(element)
+                output[machine_for(key_fn(element))].append(element)
         return PCollection(self.pipeline, output)
 
     def to_single_machine(self, name: Optional[str] = None) -> "PCollection":
@@ -155,8 +186,15 @@ class PCollection:
         return [len(partition) for partition in self._partitions]
 
     def _total_bytes(self) -> int:
-        return sum(
-            estimate_bytes(element)
-            for partition in self._partitions
-            for element in partition
-        )
+        # Elements are overwhelmingly tuples; jump straight to the
+        # cost model's flat tuple walk and dispatch only otherwise.
+        size_of = estimate_bytes
+        tuple_bytes = _sequence_bytes
+        total = 0
+        for partition in self._partitions:
+            for element in partition:
+                if type(element) is tuple:
+                    total += tuple_bytes(element)
+                else:
+                    total += size_of(element)
+        return total

@@ -34,6 +34,10 @@ class Graph:
             raise ValueError("num_vertices must be non-negative")
         self._adj: List[set] = [set() for _ in range(num_vertices)]
         self._num_edges = 0
+        #: bumped by every mutator; a cheap staleness signal that lets
+        #: consumers (e.g. the Session fingerprint memo) skip re-walking
+        #: an unchanged graph
+        self.content_version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -47,6 +51,7 @@ class Graph:
 
     def add_vertex(self) -> int:
         """Append a fresh vertex and return its id."""
+        self.content_version += 1
         self._adj.append(set())
         return len(self._adj) - 1
 
@@ -58,6 +63,7 @@ class Graph:
             raise ValueError(f"self loop on vertex {u} is not allowed")
         if v in self._adj[u]:
             return False
+        self.content_version += 1
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
@@ -68,6 +74,7 @@ class Graph:
         self._adj[u].remove(v)
         self._adj[v].remove(u)
         self._num_edges -= 1
+        self.content_version += 1
 
     # -- queries -----------------------------------------------------------
 
@@ -145,6 +152,8 @@ class WeightedGraph:
             raise ValueError("num_vertices must be non-negative")
         self._adj: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
         self._num_edges = 0
+        #: see :attr:`Graph.content_version`
+        self.content_version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -167,6 +176,7 @@ class WeightedGraph:
         return weighted
 
     def add_vertex(self) -> int:
+        self.content_version += 1
         self._adj.append(dict())
         return len(self._adj) - 1
 
@@ -179,9 +189,11 @@ class WeightedGraph:
         existing = self._adj[u].get(v)
         if existing is not None:
             if weight < existing:
+                self.content_version += 1
                 self._adj[u][v] = weight
                 self._adj[v][u] = weight
             return False
+        self.content_version += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
         self._num_edges += 1

@@ -86,3 +86,96 @@ class TestDHTService:
         store.write("a", 1)
         with pytest.raises(StoreSealedError):
             store.lookup("a")
+
+
+class TestOverwriteAccounting:
+    def test_overwrite_refunds_replaced_size(self):
+        """Regression: duplicate-key writes used to inflate
+        total_value_bytes by the replaced entry's size forever."""
+        store = DHTStore("t", num_shards=4)
+        store.write("a", (1, 2, 3))       # 24 bytes
+        store.write("a", (1,))            # now 8 bytes live
+        assert store.total_value_bytes == 8
+        store.write("a", (1, 2, 3, 4))    # now 32 bytes live
+        assert store.total_value_bytes == 32
+        assert store.total_entries == 1
+
+    def test_overwrite_heavy_store_matches_live_sizes(self):
+        from repro.ampc.cost_model import estimate_bytes
+
+        store = DHTStore("t", num_shards=3)
+        for round_index in range(5):
+            for key in range(20):
+                store.write(key, tuple(range(key % 7 + round_index)))
+        live = sum(
+            estimate_bytes(store.lookup(key)) for key in store.keys()
+        )
+        assert store.total_value_bytes == live
+        assert store.total_entries == 20
+
+    def test_write_many_overwrites_like_write(self):
+        a = DHTStore("a", num_shards=2)
+        b = DHTStore("b", num_shards=2)
+        items = [(k % 4, tuple(range(k))) for k in range(12)]
+        for key, value in items:
+            a.write(key, value)
+        returned = b.write_many(items)
+        assert returned == sum(
+            DHTStore("x", 1).write(k, v) for k, v in items
+        )
+        assert b.total_value_bytes == a.total_value_bytes
+        assert b.total_entries == a.total_entries
+
+
+class TestBatchedStoreOps:
+    def test_lookup_many_matches_lookup_sequence(self):
+        a = DHTStore("a", num_shards=4)
+        b = DHTStore("b", num_shards=4)
+        for store in (a, b):
+            for key in range(10):
+                store.write(key, tuple(range(key)))
+        keys = [3, 7, 99, 3, 0]
+        expected = [a.lookup(key) for key in keys]
+        values, total = b.lookup_many(keys)
+        assert values == expected
+        assert total == sum(
+            DHTStore("x", 1).write(0, v) if v is not None else 0
+            for v in expected
+        )
+        assert a.shard_reads == b.shard_reads
+
+    def test_lookup_with_size_returns_recorded_size(self):
+        store = DHTStore("t", num_shards=2)
+        store.write(5, (1, 2, 3))
+        assert store.lookup_with_size(5) == ((1, 2, 3), 24)
+        assert store.lookup_with_size(6) == (None, 0)
+
+    def test_strict_rounds_apply_to_batched_reads(self):
+        store = DHTStore("t", num_shards=2, strict_rounds=True)
+        store.write(1, (1,))
+        with pytest.raises(StoreSealedError):
+            store.lookup_many([1])
+        with pytest.raises(StoreSealedError):
+            store.lookup_with_size(1)
+        store.seal()
+        assert store.lookup_many([1]) == ([(1,)], 8)
+
+    def test_sealed_store_rejects_write_many(self):
+        store = DHTStore("t", num_shards=2)
+        store.seal()
+        with pytest.raises(StoreSealedError):
+            store.write_many([(1, 2)])
+
+    def test_write_many_partial_failure_keeps_accounting_consistent(self):
+        store = DHTStore("t", num_shards=2)
+        with pytest.raises(TypeError):
+            store.write_many([(1, (1, 2)), (2, object()), (3, (3,))])
+        # The failing item wrote nothing; the completed prefix is fully
+        # accounted, exactly like the equivalent write() sequence.
+        assert store.lookup(1) == (1, 2)
+        assert store.lookup(2) is None
+        assert store.lookup(3) is None
+        assert store.total_entries == 1
+        assert store.total_value_bytes == 16
+        store.write(1, (5,))  # overwrite refund stays correct afterwards
+        assert store.total_value_bytes == 8

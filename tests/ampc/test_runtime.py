@@ -69,3 +69,32 @@ class TestMPCRuntime:
         runtime.run_in_memory(data, solver=len, operations_estimate=10**6)
         model = runtime.config.cost_model
         assert runtime.metrics.simulated_time_s >= 10**6 / model.compute_ops_per_s
+
+
+class TestNewStoreUniquification:
+    def test_reusing_a_name_suffixes_until_free(self):
+        runtime = AMPCRuntime(config=ClusterConfig(num_machines=2))
+        assert runtime.new_store("x").name == "x"
+        assert runtime.new_store("x-1").name == "x-1"
+        again = runtime.new_store("x")
+        assert again.name not in ("x", "x-1")
+        assert again.name.startswith("x-")
+
+    def test_suffix_collision_with_existing_name(self):
+        """Regression: f"{name}-{len(stores)}" could itself collide."""
+        runtime = AMPCRuntime(config=ClusterConfig(num_machines=2))
+        runtime.new_store("x-2")
+        runtime.new_store("x")
+        # len(stores) == 2 here, so the old scheme renamed this to the
+        # already-taken "x-2" and crashed.
+        third = runtime.new_store("x")
+        assert third.name not in ("x", "x-2")
+        names = [store.name for store in runtime.dht.stores()]
+        assert len(names) == len(set(names))
+
+    def test_repeated_reuse_stays_unique(self):
+        runtime = AMPCRuntime(config=ClusterConfig(num_machines=2))
+        for _ in range(6):
+            runtime.new_store("level")
+        names = [store.name for store in runtime.dht.stores()]
+        assert len(names) == len(set(names)) == 6

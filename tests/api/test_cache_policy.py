@@ -189,3 +189,24 @@ def _absent_edge(graph):
             if a < b and not graph.has_edge(a, b):
                 return a, b
     raise AssertionError("graph is complete")
+
+
+class TestHandleVersionGuard:
+    def test_count_preserving_mutation_auto_refreshes_handles(self):
+        """content_version catches handle-served mutations that keep both
+        counts unchanged — no explicit re-load needed."""
+        graph = erdos_renyi_gnm(30, 60, seed=9)
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        before = handle.fingerprint
+        session.run("mis", "g", seed=0)
+        u, v = next(iter(graph.edges()))
+        a, b = _absent_edge(graph)
+        graph.remove_edge(u, v)
+        graph.add_edge(a, b)
+        assert graph.num_edges == 60  # count-preserving
+        second = session.run("mis", "g", seed=0)
+        assert not second.preprocessing_reused
+        assert handle.fingerprint != before  # the handle refreshed itself
+        fresh = Session(CONFIG).run("mis", graph, seed=0)
+        assert second.output.independent_set == fresh.output.independent_set

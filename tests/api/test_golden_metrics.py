@@ -1,0 +1,97 @@
+"""Golden-metrics snapshot: simulated results must never silently drift.
+
+Wall-clock optimization PRs rebuild the simulator's hot paths (hashing,
+byte accounting, batched KV operations); the contract is that **every
+simulated number stays byte-identical** — shuffle counts and bytes, KV
+reads/writes and bytes, cache behaviour, rounds, simulated time, and the
+per-phase breakdowns.  This suite runs each registered spec on a fixed
+seed graph and compares the full counter set against a checked-in
+snapshot (``tests/api/golden_metrics.json``).
+
+To regenerate after an *intentional* simulated-metrics change::
+
+    UPDATE_GOLDEN_METRICS=1 PYTHONPATH=src python -m pytest tests/api/test_golden_metrics.py
+
+and commit the rewritten snapshot together with an explanation of why the
+simulated numbers moved.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import Session, registry
+from repro.graph.generators import degree_weighted, erdos_renyi_gnm, two_cycles
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "golden_metrics.json")
+
+CONFIG = ClusterConfig(num_machines=4)
+SEED = 5
+
+GRAPH = erdos_renyi_gnm(36, 60, seed=1)
+WEIGHTED = degree_weighted(GRAPH)
+CYCLES = two_cycles(24, shuffle_ids=True, seed=1)
+
+
+def _input_for(spec):
+    return {"graph": GRAPH, "weighted": WEIGHTED, "cycle": CYCLES}[
+        spec.input_kind
+    ]
+
+
+def _observe(spec):
+    """The full observable surface of one run: counters, phases, summary."""
+    result = Session(CONFIG).run(spec.name, _input_for(spec), seed=SEED)
+    return {
+        "metrics": result.metrics,
+        "phases": result.phases,
+        "summary": result.summary,
+        "rounds": result.rounds,
+    }
+
+
+def _load_snapshot():
+    with open(SNAPSHOT_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _canonical(observed):
+    """JSON round-trip so float/int representation matches the snapshot."""
+    return json.loads(json.dumps(observed))
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    if os.environ.get("UPDATE_GOLDEN_METRICS"):
+        fresh = {spec.name: _canonical(_observe(spec))
+                 for spec in registry.specs()}
+        with open(SNAPSHOT_PATH, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return _load_snapshot()
+
+
+@pytest.mark.parametrize("spec", registry.specs(), ids=lambda s: s.name)
+def test_simulated_metrics_match_snapshot(spec, snapshot):
+    assert spec.name in snapshot, (
+        f"no golden entry for {spec.name!r}; regenerate with "
+        "UPDATE_GOLDEN_METRICS=1"
+    )
+    observed = _canonical(_observe(spec))
+    golden = snapshot[spec.name]
+    # Compare section by section for a readable diff on failure.
+    for section in ("metrics", "phases", "summary", "rounds"):
+        assert observed[section] == golden[section], (
+            f"{spec.name}: simulated {section} drifted from the golden "
+            f"snapshot — wall-clock optimizations must not change "
+            f"simulated results (regenerate only for intentional "
+            f"cost-model/algorithm changes)"
+        )
+
+
+def test_every_snapshot_entry_is_still_registered(snapshot):
+    registered = set(registry.names())
+    stale = set(snapshot) - registered
+    assert not stale, f"golden entries for unregistered algorithms: {stale}"

@@ -13,8 +13,11 @@ import json
 import pytest
 
 from repro.ampc.cluster import ClusterConfig
+from repro.ampc.runtime import AMPCRuntime
 from repro.api import Session, registry
+from repro.dataflow.dofn import MachineContext
 from repro.graph.generators import degree_weighted, erdos_renyi_gnm, two_cycles
+from repro.mpc.runtime import MPCRuntime
 
 CONFIG = ClusterConfig(num_machines=4)
 SEED = 5
@@ -100,6 +103,29 @@ class TestSpecConformance:
                 f"CLI flag {param.flag}"
             )
 
+    def test_prepare_routes_kv_writes_through_batched_api(self, spec,
+                                                          monkeypatch):
+        """Every spec's prepare stage that writes to a DHT must do so via
+        the batched KV API (write_many), not per-element writes."""
+        batched = [0]
+        original = MachineContext.write_many
+
+        def counting_write_many(self, store, items):
+            items = list(items)
+            batched[0] += len(items)
+            return original(self, store, items)
+
+        monkeypatch.setattr(MachineContext, "write_many",
+                            counting_write_many)
+        runtime = (MPCRuntime(config=CONFIG) if spec.model == "mpc"
+                   else AMPCRuntime(config=CONFIG))
+        spec.prepare(_input_for(spec), runtime=runtime, seed=SEED)
+        assert batched[0] == runtime.metrics.kv_writes, (
+            f"{spec.name}: {runtime.metrics.kv_writes} KV writes during "
+            f"prepare, but only {batched[0]} went through the batched "
+            f"write_many API"
+        )
+
     def test_prep_seed_sensitivity_declaration_holds(self, spec):
         """Seed-insensitive preparations must actually serve other seeds."""
         session = Session(CONFIG)
@@ -110,3 +136,30 @@ class TestSpecConformance:
             assert not other.preprocessing_reused
         else:
             assert other.preprocessing_reused
+
+
+@pytest.mark.parametrize("name", ["mis", "matching", "msf"])
+def test_core_algorithms_exercise_batched_kv_ops(name, monkeypatch):
+    """The flagship algorithms must run on the batched KV API end to end
+    (lookup_many and/or write_many), not just compile against it."""
+    calls = {"lookup_many": 0, "write_many": 0}
+    original_lookup_many = MachineContext.lookup_many
+    original_write_many = MachineContext.write_many
+
+    def spy_lookup_many(self, store, keys):
+        calls["lookup_many"] += 1
+        return original_lookup_many(self, store, keys)
+
+    def spy_write_many(self, store, items):
+        calls["write_many"] += 1
+        return original_write_many(self, store, items)
+
+    monkeypatch.setattr(MachineContext, "lookup_many", spy_lookup_many)
+    monkeypatch.setattr(MachineContext, "write_many", spy_write_many)
+    spec = registry.get(name)
+    Session(CONFIG).run(name, _input_for(spec), seed=SEED)
+    assert calls["write_many"] > 0, f"{name} never used write_many"
+    if name == "matching":
+        # The edge process fetches both endpoints' incident lists in one
+        # batched read.
+        assert calls["lookup_many"] > 0
