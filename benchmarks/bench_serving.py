@@ -22,7 +22,7 @@ from repro.ampc.cluster import ClusterConfig
 from repro.analysis.reporting import Table
 from repro.api import Session
 from repro.graph.generators import barabasi_albert_graph, erdos_renyi_gnm
-from repro.serve import GraphService
+from repro.serve import GraphService, WorkerPool
 
 CONFIG = ClusterConfig(num_machines=10)
 
@@ -63,10 +63,17 @@ def _service() -> dict:
     with GraphService(CONFIG, workers=4) as service:
         for name, graph in GRAPHS.items():
             service.load(name, graph)
-        pending = [service.submit(algorithm, name, seed=seed)
-                   for algorithm, name, seed in QUERIES]
-        for future in pending:
-            future.result(600)
+        # a client-side pool driving synchronous queries, drained in
+        # completion order — the map_unordered the dispatcher also uses
+        clients = WorkerPool(4, name="bench-serving-client")
+        try:
+            for _ in clients.map_unordered(
+                    lambda query: service.query(
+                        query[0], query[1], seed=query[2], timeout=600),
+                    QUERIES):
+                pass
+        finally:
+            clients.close()
         stats = service.stats()
     return {"simulated_time_s": stats["simulated_time_s"],
             "shuffles": stats["shuffles_executed"],

@@ -12,9 +12,17 @@ Results live in ``BENCH_wallclock.json`` at the repository root:
   current optimization round (recorded with ``--record before``);
 * ``after_s``   — the optimized wall-clock (the default recording mode);
 * ``speedup``   — ``before_s / after_s``;
-* tracked workloads (the ``Session.run`` mis/matching/msf trajectories)
-  gate CI: ``--check`` fails when a fresh measurement exceeds
-  ``REGRESSION_FACTOR x`` the committed ``after_s``.
+* tracked workloads (the ``Session.run`` mis/matching/msf trajectories
+  plus the ``service.mixed`` concurrency bursts) gate CI: ``--check``
+  fails when a fresh measurement exceeds ``REGRESSION_FACTOR x`` the
+  committed ``after_s``.
+
+``service.mixed/procpool`` is a *paired* workload: every measurement
+runs the identical multi-graph burst on the thread pool too and records
+it as ``before_s``, so its ``speedup`` is the process-vs-thread
+concurrent-throughput ratio on this machine (``cpus`` says how many
+cores that ratio had to work with — expect >= 2x on multi-core hosts,
+parity on one core).
 
 Usage::
 
@@ -41,7 +49,7 @@ sys.path.insert(
 from repro.ampc.cluster import ClusterConfig  # noqa: E402
 from repro.analysis.datasets import load_dataset, load_weighted_dataset  # noqa: E402
 from repro.api import Session  # noqa: E402
-from repro.serve import GraphService  # noqa: E402
+from repro.serve import GraphService, ProcessGraphService  # noqa: E402
 
 #: a fresh measurement may be at most this factor above the committed
 #: after_s before --check fails (cross-machine headroom included)
@@ -63,6 +71,11 @@ class Workload:
     build: Callable[[], Callable[[], float]]
     #: tracked workloads gate CI and carry the >= 2x speedup requirement
     tracked: bool = True
+    #: paired baseline: the *same* workload on the deployment being
+    #: replaced (e.g. the thread pool for the process pool).  Measured
+    #: alongside ``build`` and recorded as ``before_s``, so the entry's
+    #: ``speedup`` is a same-machine, same-run throughput ratio.
+    baseline: Optional[Callable[[], Callable[[], float]]] = None
 
 
 def _session_workload(algorithm: str, dataset: str, *, weighted: bool,
@@ -100,18 +113,66 @@ def _service_workload(dataset: str, *, scale: float,
         graph = load_dataset(dataset, scale)
 
         def run() -> float:
-            service = GraphService(ClusterConfig(), workers=workers)
-            service.load("bench", graph)
-            pending = []
-            for seed in range(2):
-                pending.append(service.submit("mis", "bench", seed=seed))
-                pending.append(service.submit("matching", "bench", seed=seed))
-                pending.append(service.submit("components", "bench",
-                                              seed=seed))
-            total = sum(p.result().metrics["simulated_time_s"]
-                        for p in pending)
-            service.close()
-            return total
+            with GraphService(ClusterConfig(), workers=workers) as service:
+                service.load("bench", graph)
+                pending = []
+                for seed in range(2):
+                    pending.append(service.submit("mis", "bench",
+                                                  seed=seed))
+                    pending.append(service.submit("matching", "bench",
+                                                  seed=seed))
+                    pending.append(service.submit("components", "bench",
+                                                  seed=seed))
+                return sum(p.result().metrics["simulated_time_s"]
+                           for p in pending)
+
+        return run
+
+    return build
+
+
+#: the multi-tenant mixed burst behind ``service.mixed/procpool``: several
+#: graphs, mixed algorithms, repeated seeds — the shape fingerprint
+#: affinity is built for (each worker owns its graphs' warm caches)
+_SCALEOUT_GRAPH_FACTORS = (1.0, 0.85, 0.7, 0.55)
+_SCALEOUT_CONCURRENCY = 4
+
+
+def _scaleout_queries(names) -> List:
+    return [(algorithm, name, seed)
+            for name in names
+            for algorithm in ("mis", "matching", "components")
+            for seed in (0, 1)]
+
+
+def _scaleout_workload(dataset: str, *, scale: float,
+                       processes: bool) -> Callable[[], Callable[[], float]]:
+    """The scale-out serving burst, on the process pool or (as the paired
+    baseline) the thread pool.  Identical queries, identical graphs —
+    wall-clock is the only axis that moves, so ``before_s / after_s`` is
+    the concurrent-throughput ratio of the two deployments."""
+
+    def build() -> Callable[[], float]:
+        graphs = {
+            f"bench{index}": load_dataset(dataset, scale * factor)
+            for index, factor in enumerate(_SCALEOUT_GRAPH_FACTORS)
+        }
+        queries = _scaleout_queries(sorted(graphs))
+
+        def run() -> float:
+            if processes:
+                service = ProcessGraphService(
+                    ClusterConfig(), processes=_SCALEOUT_CONCURRENCY)
+            else:
+                service = GraphService(ClusterConfig(),
+                                       workers=_SCALEOUT_CONCURRENCY)
+            with service:  # a failed repeat must not leak 4 processes
+                for name, graph in graphs.items():
+                    service.load(name, graph)
+                pending = [service.submit(algorithm, name, seed=seed)
+                           for algorithm, name, seed in queries]
+                return sum(p.result(600).metrics["simulated_time_s"]
+                           for p in pending)
 
         return run
 
@@ -138,13 +199,18 @@ def _suite(quick: bool) -> List[Workload]:
                  _session_workload("msf", dataset, weighted=True,
                                    scale=scale)),
         Workload(f"service.mixed/{dataset}",
-                 _service_workload(dataset, scale=scale), tracked=False),
+                 _service_workload(dataset, scale=scale)),
+        # the scale-out trajectory: process pool vs the thread pool on
+        # one identical multi-graph burst; >= 2x expected on multi-core
+        # hosts (single-core hosts record ~1x — see the cpus field)
+        Workload(f"service.mixed/procpool/{dataset}",
+                 _scaleout_workload(dataset, scale=scale, processes=True),
+                 baseline=_scaleout_workload(dataset, scale=scale,
+                                             processes=False)),
     ]
 
 
-def _measure(workload: Workload, repeats: int) -> Dict[str, float]:
-    """Best-of-``repeats`` wall-clock (input building excluded)."""
-    run = workload.build()
+def _best_of(run: Callable[[], float], repeats: int) -> Dict[str, float]:
     best = float("inf")
     simulated = 0.0
     for _ in range(repeats):
@@ -153,6 +219,20 @@ def _measure(workload: Workload, repeats: int) -> Dict[str, float]:
         best = min(best, time.perf_counter() - start)
     return {"wall_s": round(best, 4),
             "simulated_time_s": round(simulated, 6)}
+
+
+def _measure(workload: Workload, repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` wall-clock (input building excluded).
+
+    A workload with a paired baseline measures both deployments in the
+    same process on the same inputs; the baseline lands in
+    ``baseline_wall_s`` (recorded as the entry's ``before_s``).
+    """
+    numbers = _best_of(workload.build(), repeats)
+    if workload.baseline is not None:
+        numbers["baseline_wall_s"] = _best_of(
+            workload.baseline(), repeats)["wall_s"]
+    return numbers
 
 
 def _load_report(path: str) -> Dict:
@@ -177,6 +257,11 @@ def _record(report: Dict, suite_name: str, measured: Dict[str, Dict],
         entry[field] = numbers["wall_s"]
         entry["simulated_time_s"] = numbers["simulated_time_s"]
         entry["tracked"] = tracked[name]
+        entry["cpus"] = os.cpu_count()
+        if "baseline_wall_s" in numbers:
+            # paired workloads: before_s is the same-machine baseline
+            # deployment, so speedup reads as a throughput ratio
+            entry["before_s"] = numbers["baseline_wall_s"]
         if entry.get("before_s") and entry.get("after_s"):
             entry["speedup"] = round(entry["before_s"] / entry["after_s"], 2)
 
@@ -190,6 +275,12 @@ def _check(report: Dict, suite_name: str,
         committed = suite["workloads"].get(name, {}).get("after_s")
         entry = suite["workloads"].setdefault(name, {})
         entry["last_check_s"] = numbers["wall_s"]
+        entry["last_check_cpus"] = os.cpu_count()
+        if "baseline_wall_s" in numbers:
+            entry["last_check_baseline_s"] = numbers["baseline_wall_s"]
+            if numbers["wall_s"]:
+                entry["last_check_speedup"] = round(
+                    numbers["baseline_wall_s"] / numbers["wall_s"], 2)
         if committed is None or not tracked[name]:
             continue
         limit = max(committed * REGRESSION_FACTOR, REGRESSION_FLOOR_S)
@@ -234,6 +325,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{flag}  {workload.name:36s} "
               f"{measured[workload.name]['wall_s']:8.3f}s wall  "
               f"{measured[workload.name]['simulated_time_s']:10.3f}s simulated")
+        baseline = measured[workload.name].get("baseline_wall_s")
+        if baseline:
+            ratio = baseline / measured[workload.name]["wall_s"]
+            print(f"         {'vs thread-pool baseline':36s} "
+                  f"{baseline:8.3f}s wall  "
+                  f"{ratio:9.2f}x throughput ({os.cpu_count()} cpus)")
 
     report = _load_report(args.output)
     if args.check:

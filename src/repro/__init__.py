@@ -50,6 +50,7 @@ _EXPORTS = {
     "graph_fingerprint": "repro.api.fingerprint",
     # the serving layer
     "GraphService": "repro.serve.service",
+    "ProcessGraphService": "repro.serve.procpool",
     # the paper's algorithms
     "ampc_mis": "repro.core.mis",
     "ampc_maximal_matching": "repro.core.matching",

@@ -17,6 +17,8 @@ preprocessing and mutated graphs never reuse stale artifacts.
 from __future__ import annotations
 
 import hashlib
+import threading
+import weakref
 
 
 def graph_fingerprint(graph) -> str:
@@ -53,3 +55,32 @@ def graph_fingerprint(graph) -> str:
         digest.update(b"|")
         digest.update("|".join(chunk).encode("utf-8"))
     return digest.hexdigest()
+
+
+class FingerprintMemo:
+    """A version-checked, weakly-keyed :func:`graph_fingerprint` memo.
+
+    Repository graph classes bump ``content_version`` on every mutation,
+    so their fingerprint only needs recomputing when the version moved;
+    objects without a ``content_version`` are re-walked every call, as a
+    plain :func:`graph_fingerprint` would.  Weak keying means the memo
+    never extends a graph's lifetime.  Thread-safe; shared by
+    :class:`~repro.api.session.Session` and the serving dispatchers.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._memo = weakref.WeakKeyDictionary()
+
+    def fingerprint(self, graph) -> str:
+        version = getattr(graph, "content_version", None)
+        if version is None:
+            return graph_fingerprint(graph)
+        with self._lock:
+            memo = self._memo.get(graph)
+            if memo is not None and memo[0] == version:
+                return memo[1]
+        fingerprint = graph_fingerprint(graph)
+        with self._lock:
+            self._memo[graph] = (version, fingerprint)
+        return fingerprint

@@ -39,8 +39,8 @@ from __future__ import annotations
 import threading
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, fields, is_dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.cost_model import estimate_bytes
@@ -48,7 +48,7 @@ from repro.ampc.dht import DHTStore
 from repro.ampc.faults import FaultPlan
 from repro.ampc.runtime import AMPCRuntime
 from repro.api import registry
-from repro.api.fingerprint import graph_fingerprint
+from repro.api.fingerprint import FingerprintMemo, graph_fingerprint
 from repro.api.result import RunResult
 from repro.graph.graph import Graph, WeightedGraph
 from repro.mpc.runtime import MPCRuntime
@@ -77,6 +77,32 @@ class SessionStats:
     kv_reads_executed: int = 0
     kv_writes_executed: int = 0
     simulated_time_s: float = 0.0
+
+    def merge(self, other: "SessionStats") -> "SessionStats":
+        """Accumulate ``other`` into this object, field-wise; returns self.
+
+        Every field is additive (counts and summed simulated seconds), so
+        stats from independent sessions — e.g. the per-process Sessions of
+        a :class:`~repro.serve.procpool.ProcessGraphService` — merge into
+        the same coherent view a single shared Session would have kept.
+        """
+        for field_ in fields(self):
+            setattr(self, field_.name,
+                    getattr(self, field_.name) + getattr(other, field_.name))
+        return self
+
+    @classmethod
+    def sum(cls, parts: Iterable["SessionStats"]) -> "SessionStats":
+        """A new SessionStats equal to the field-wise sum of ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view (JSON-safe), one key per stats field."""
+        return {field_.name: getattr(self, field_.name)
+                for field_ in fields(self)}
 
 
 class GraphHandle:
@@ -119,6 +145,27 @@ class GraphHandle:
         self.num_edges = getattr(graph, "num_edges", None)
         self.content_version = getattr(graph, "content_version", None)
         return self
+
+    def resolve(self) -> Tuple[Any, str]:
+        """-> (live graph object, current fingerprint), never stale.
+
+        The staleness guard every dispatcher shares: any mutator bumps
+        ``content_version`` (repository graph classes), and count changes
+        catch graph-like objects without one; either triggers a
+        re-fingerprint, so even count-preserving mutations never serve a
+        stale artifact through a handle.
+        """
+        graph = self._ref()
+        if graph is None:
+            raise ReferenceError(
+                f"graph {self.name!r} has been garbage-collected; "
+                "load it again"
+            )
+        if (getattr(graph, "content_version", None) != self.content_version
+                or getattr(graph, "num_vertices", None) != self.num_vertices
+                or getattr(graph, "num_edges", None) != self.num_edges):
+            self.refresh()
+        return graph, self.fingerprint
 
     def __repr__(self) -> str:
         return (f"GraphHandle({self.name!r}, n={self.num_vertices}, "
@@ -211,12 +258,10 @@ class Session:
         self._lock = threading.RLock()
         #: cache keys currently being prepared (miss deduplication)
         self._inflight: Dict[Tuple, threading.Event] = {}
-        #: graph -> (content_version, fingerprint); weakly keyed, so the
-        #: memo never extends a graph's lifetime.  Any mutator bumps the
-        #: version (see Graph.content_version), which invalidates the
-        #: memo — including the count-preserving mutations the per-run
-        #: re-fingerprint used to guard against, now without the re-walk.
-        self._fingerprints = weakref.WeakKeyDictionary()
+        #: version-checked fingerprint memo for raw (un-registered)
+        #: graphs — count-preserving mutations invalidate it without the
+        #: per-run edge re-walk
+        self._fingerprints = FingerprintMemo()
 
     # -- graph registration ------------------------------------------------
 
@@ -269,6 +314,16 @@ class Session:
         """Estimated resident bytes of every cached prepared artifact."""
         with self._lock:
             return self._cache_bytes
+
+    def stats_snapshot(self) -> SessionStats:
+        """A consistent copy of :attr:`stats`, taken under the lock.
+
+        Safe to ship across a process boundary (it shares no state with
+        the live session) — the worker side of the process-parallel
+        serving layer reports through this.
+        """
+        with self._lock:
+            return replace(self.stats)
 
     def clear_preprocessing(self) -> None:
         """Drop every cached preprocessing artifact."""
@@ -337,42 +392,9 @@ class Session:
         if isinstance(graph, str):
             graph = self.handle(graph)
         if isinstance(graph, GraphHandle):
-            obj = graph.graph
-            if obj is None:
-                raise ReferenceError(
-                    f"graph {graph.name!r} has been garbage-collected; "
-                    "load it again"
-                )
-            # Cheap staleness guard: any mutator bumps content_version
-            # (repository graph classes), and count changes catch
-            # graph-like objects without one; either triggers a
-            # re-fingerprint, so even count-preserving mutations never
-            # serve a stale artifact through a handle.
-            if (getattr(obj, "content_version", None) != graph.content_version
-                    or getattr(obj, "num_vertices", None) != graph.num_vertices
-                    or getattr(obj, "num_edges", None) != graph.num_edges):
-                graph.refresh()
-            return obj, graph.fingerprint, graph.name
-        return graph, self._fingerprint(graph), None
-
-    def _fingerprint(self, graph: Any) -> str:
-        """Content fingerprint with a version-checked memo.
-
-        Objects without a ``content_version`` attribute (anything other
-        than the repository graph classes) are re-walked every run, as
-        before.
-        """
-        version = getattr(graph, "content_version", None)
-        if version is None:
-            return graph_fingerprint(graph)
-        with self._lock:
-            memo = self._fingerprints.get(graph)
-            if memo is not None and memo[0] == version:
-                return memo[1]
-        fingerprint = graph_fingerprint(graph)
-        with self._lock:
-            self._fingerprints[graph] = (version, fingerprint)
-        return fingerprint
+            obj, fingerprint = graph.resolve()
+            return obj, fingerprint, graph.name
+        return graph, self._fingerprints.fingerprint(graph), None
 
     def _make_runtime(self, spec):
         if spec.model == "mpc":

@@ -11,6 +11,7 @@ Usage::
     python -m repro mis graph.txt --query-budget 5000 --json
     python -m repro serve --machines 10 --workers 4          # JSON over stdio
     python -m repro serve --port 7077                        # JSON over TCP
+    python -m repro serve --processes 4 --port 7077          # process pool
 
 Every subcommand comes from :mod:`repro.api.registry`: registering an
 :class:`~repro.api.registry.AlgorithmSpec` in a core module is all it takes
@@ -84,7 +85,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve queries over JSON lines (stdio, or TCP with --port)")
     _add_cluster_arguments(serve)
     serve.add_argument("--workers", type=int, default=4,
-                       help="concurrent query workers")
+                       help="concurrent query worker threads (one shared "
+                            "Session under the GIL)")
+    serve.add_argument("--processes", type=int, default=None, metavar="N",
+                       help="serve from N worker processes instead of "
+                            "threads (one private Session each, queries "
+                            "routed by graph fingerprint affinity) — "
+                            "lifts the GIL limit for CPU-bound traffic")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=None,
                        help="TCP port to listen on (default: stdio; "
@@ -126,10 +133,20 @@ def _print_metrics(metrics: dict) -> None:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import GraphService, serve_socket, serve_stream
+    from repro.serve import (
+        GraphService,
+        ProcessGraphService,
+        serve_socket,
+        serve_stream,
+    )
 
-    service = GraphService(_config(args), workers=args.workers,
-                           max_cache_bytes=args.max_cache_bytes)
+    if args.processes is not None:
+        service = ProcessGraphService(_config(args),
+                                      processes=args.processes,
+                                      max_cache_bytes=args.max_cache_bytes)
+    else:
+        service = GraphService(_config(args), workers=args.workers,
+                               max_cache_bytes=args.max_cache_bytes)
     try:
         if args.port is None:
             serve_stream(service, sys.stdin, sys.stdout)
@@ -140,7 +157,7 @@ def _cmd_serve(args) -> int:
             try:
                 server.serve_forever()
             finally:
-                server.server_close()
+                server.close()
     finally:
         service.close()
     return 0

@@ -1,31 +1,41 @@
-"""The serving layer: concurrent queries over one long-lived Session.
+"""The serving layer: concurrent queries over long-lived Sessions.
 
-Three pieces:
+Four pieces:
 
 * :class:`~repro.serve.service.GraphService` — owns one thread-safe
   :class:`~repro.api.session.Session` and a bounded worker pool; queries
   run concurrently with per-run metrics isolation while sharing the
-  DHT-resident preprocessing.
+  DHT-resident preprocessing.  Scales until the GIL does not.
+* :class:`~repro.serve.procpool.ProcessGraphService` — the same contract
+  across N worker **processes**, each owning a private Session, with
+  fingerprint-affinity routing (all queries for a graph go to the worker
+  whose cache is warm, graphs pickled across the boundary once) — the
+  scale-out deployment for CPU-bound traffic.
 * :mod:`repro.serve.protocol` — a JSON-lines protocol (stdio or TCP) the
-  ``python -m repro serve`` subcommand speaks.
-* :mod:`repro.serve.pool` — the bounded worker pool and its
-  :class:`~repro.serve.pool.PendingResult` future.
+  ``python -m repro serve`` subcommand speaks; drives either service.
+* :mod:`repro.serve.pool` — the bounded worker pool, its
+  :class:`~repro.serve.pool.PendingResult` future, and
+  :meth:`~repro.serve.pool.WorkerPool.map_unordered`.
 """
 
 from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
+from repro.serve.procpool import ProcessGraphService, WorkerDiedError
 from repro.serve.protocol import (
     ServiceServer,
     handle_request,
     serve_socket,
     serve_stream,
 )
-from repro.serve.service import GraphService
+from repro.serve.service import GraphService, ServiceBase
 
 __all__ = [
     "GraphService",
     "PendingResult",
+    "ProcessGraphService",
+    "ServiceBase",
     "ServiceClosedError",
     "ServiceServer",
+    "WorkerDiedError",
     "WorkerPool",
     "handle_request",
     "serve_socket",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 
 class ServiceClosedError(RuntimeError):
@@ -92,6 +92,40 @@ class WorkerPool:
                 raise ServiceClosedError("worker pool is closed")
             self._queue.put((pending, fn, args, kwargs))
         return pending
+
+    def map_unordered(self, fn: Callable[[Any], Any],
+                      items: Iterable[Any], *,
+                      timeout: Optional[float] = None) -> Iterator[Any]:
+        """Apply ``fn`` to every item on the pool; yield results as each
+        completes (completion order, not submission order).
+
+        The whole batch is submitted up front, so slow items never block
+        fast ones behind them.  The first item whose ``fn`` raises
+        re-raises here (after which remaining results are discarded, but
+        their work still runs to completion on the pool).  ``timeout``
+        bounds the wait for **each** yielded result.
+        """
+        done: "queue.Queue" = queue.Queue()
+
+        def run(item: Any) -> None:
+            try:
+                done.put((True, fn(item)))
+            except BaseException as error:  # noqa: BLE001 - ferried below
+                done.put((False, error))
+
+        submitted = 0
+        for item in list(items):
+            self.submit(run, item)
+            submitted += 1
+        for _ in range(submitted):
+            try:
+                ok, value = done.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no result within {timeout}s") from None
+            if not ok:
+                raise value
+            yield value
 
     def _drain(self) -> None:
         while True:

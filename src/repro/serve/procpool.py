@@ -1,0 +1,650 @@
+"""Process-parallel serving: a GraphService across N worker processes.
+
+:class:`~repro.serve.service.GraphService` runs every query under one
+Python GIL — fine for I/O-shaped work, but the simulator is pure Python,
+so concurrent throughput saturates at one core.  This module lifts that
+limit the way the paper's production deployment does (many workers over a
+shared DHT): :class:`ProcessGraphService` owns **N worker processes, each
+with a private** :class:`~repro.api.session.Session`, behind the exact
+:class:`~repro.serve.service.ServiceBase` contract the thread service and
+the JSON-lines protocol already speak.
+
+Design:
+
+* **Fingerprint-affinity routing.**  Queries are routed by the graph's
+  content fingerprint (:mod:`repro.api.fingerprint`): all queries for the
+  same graph go to the same worker, so that worker's preprocessing cache
+  serves every repeat — mirroring the per-shard ownership of the MPC
+  connectivity systems.  Affinity is assigned on first sight to the
+  least-loaded worker.
+* **Ship once, reference forever.**  A graph crosses the process boundary
+  at most once per worker: the first query pickles it into the ``run``
+  message, the worker registers it under its fingerprint, and every later
+  message carries only the fingerprint.
+* **Hot-queue rebalancing.**  When the affinity worker's run queue is
+  ``spill_threshold`` deeper than the least-loaded worker's, the query
+  spills over: it is routed to the least-loaded worker (shipping the
+  graph if unseen — the spill-over **re-prepare**) and the affinity moves
+  there, so subsequent queries follow the now-warm cache instead of
+  piling onto the hot worker.
+* **Coherent stats.**  Each worker ships its
+  :meth:`~repro.api.session.Session.stats_snapshot`;
+  :meth:`ProcessGraphService.stats` merges them through
+  :meth:`~repro.api.session.SessionStats.sum` into the same flat view
+  ``GraphService.stats()`` reports, plus routing counters
+  (``affinity_routed`` / ``rebalances`` / ``graphs_shipped``) and the
+  per-worker breakdown.
+
+Per-query outputs are byte-identical to sequential ``Session.run``: the
+worker runs the same spec on the same graph with the same seed; only
+wall-clock placement changes.
+
+::
+
+    with ProcessGraphService(ClusterConfig(num_machines=10),
+                             processes=4) as service:
+        service.load("web", graph)
+        pending = [service.submit("mis", "web", seed=s) for s in range(8)]
+        results = [p.result() for p in pending]
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import fields
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.faults import FaultPlan
+from repro.api import registry
+from repro.api.fingerprint import FingerprintMemo, graph_fingerprint
+from repro.api.result import RunResult
+from repro.api.session import GraphHandle, Session, SessionStats
+from repro.graph.generators import degree_weighted
+from repro.graph.graph import WeightedGraph
+from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
+from repro.serve.service import ServiceBase, derived_weighted_name
+
+#: SessionStats field names, for flattening per-worker snapshots
+_SESSION_STAT_FIELDS = tuple(field.name for field in fields(SessionStats))
+
+
+class WorkerDiedError(ServiceClosedError):
+    """A worker process exited while requests were outstanding."""
+
+
+# ---------------------------------------------------------------------------
+# Worker process side
+
+
+def _stats_payload(session: Session, pinned: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "stats": session.stats_snapshot(),
+        "cached_preprocessings": session.cached_preprocessings,
+        "cache_bytes": session.cache_bytes,
+        "graphs_loaded": len(pinned),
+        "pid": os.getpid(),
+    }
+
+
+def _send_error(conn, request_id: int, error: BaseException) -> None:
+    """Ship an exception; fall back to a summary when it won't pickle."""
+    try:
+        conn.send(("err", request_id, error))
+    except Exception:  # noqa: BLE001 - unpicklable exception payloads
+        conn.send(("err", request_id,
+                   RuntimeError(f"{type(error).__name__}: {error}")))
+
+
+def _worker_main(conn, index: int, config: Optional[ClusterConfig],
+                 fault_plan: Optional[FaultPlan], strict_rounds: bool,
+                 max_cache_bytes: Optional[int]) -> None:
+    """One worker: a private Session answering run/stats messages.
+
+    Graphs arrive pickled at most once each and are registered (and
+    pinned) under their fingerprint; later ``run`` messages reference the
+    fingerprint only.  The loop is strictly sequential — per-run metrics
+    isolation inside a worker is the Session's own guarantee.
+    """
+    session = Session(config, fault_plan=fault_plan,
+                      strict_rounds=strict_rounds,
+                      max_cache_bytes=max_cache_bytes)
+    pinned: Dict[str, Any] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "close":
+            break
+        if op == "unload":
+            _, fingerprint = message
+            pinned.pop(fingerprint, None)
+            session.unload(fingerprint)
+            continue
+        if op == "run":
+            (_, request_id, algorithm, fingerprint, graph, seed,
+             reuse, params) = message
+            try:
+                if graph is not None and fingerprint not in pinned:
+                    pinned[fingerprint] = graph
+                    session.load(fingerprint, graph)
+                result = session.run(algorithm, fingerprint, seed=seed,
+                                     reuse_preprocessing=reuse, **params)
+                conn.send(("ok", request_id, result))
+            except BaseException as error:  # noqa: BLE001 - report, not die
+                _send_error(conn, request_id, error)
+        elif op == "stats":
+            _, request_id = message
+            try:
+                conn.send(("ok", request_id,
+                           _stats_payload(session, pinned)))
+            except BaseException as error:  # noqa: BLE001
+                _send_error(conn, request_id, error)
+        # unknown ops are ignored: a newer dispatcher must not kill an
+        # older worker
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher side
+
+
+class _Outstanding:
+    """One in-flight request: its future plus response post-processing."""
+
+    __slots__ = ("pending", "graph_name", "on_done", "is_run")
+
+    def __init__(self, pending: PendingResult, graph_name: Optional[str],
+                 on_done: Optional[Callable[[bool], None]], is_run: bool):
+        self.pending = pending
+        self.graph_name = graph_name
+        self.on_done = on_done
+        self.is_run = is_run
+
+
+class _WorkerClient:
+    """Dispatcher-side handle for one worker process.
+
+    Sends are serialized under ``send_lock`` — which also guards the
+    ``shipped`` set, so the ship-the-graph-exactly-once decision is
+    atomic with the send that carries it (two racing submits can never
+    reorder a fingerprint-only run in front of the shipping run).  A
+    dedicated reader thread resolves :class:`PendingResult` futures as
+    responses arrive.
+    """
+
+    def __init__(self, index: int, ctx, config, fault_plan, strict_rounds,
+                 max_cache_bytes):
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, index, config, fault_plan, strict_rounds,
+                  max_cache_bytes),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.send_lock = threading.Lock()
+        self.lock = threading.Lock()
+        self.idle = threading.Condition(self.lock)
+        self.pending: Dict[int, _Outstanding] = {}
+        self.shipped: set = set()           # fingerprints resident remotely
+        self.inflight_runs = 0              # routing load signal
+        self.accepting = True
+        self.alive = True
+        self.last_stats: Optional[Dict[str, Any]] = None
+        self._next_id = 0
+        self.reader = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"repro-serve-reader-{index}")
+        self.reader.start()
+
+    # -- request side ------------------------------------------------------
+
+    def _register(self, graph_name: Optional[str],
+                  on_done: Optional[Callable[[bool], None]],
+                  is_run: bool) -> Tuple[int, PendingResult]:
+        pending = PendingResult()
+        with self.lock:
+            # runs are refused once the client stops accepting; stats
+            # requests stay allowed while the process is alive, so the
+            # close path can capture a final snapshot after the drain
+            if not self.alive or (is_run and not self.accepting):
+                raise ServiceClosedError(
+                    f"worker {self.index} is not accepting requests")
+            self._next_id += 1
+            request_id = self._next_id
+            self.pending[request_id] = _Outstanding(
+                pending, graph_name, on_done, is_run)
+            if is_run:
+                self.inflight_runs += 1
+        return request_id, pending
+
+    def _discard(self, request_id: int) -> None:
+        with self.lock:
+            outstanding = self.pending.pop(request_id, None)
+            if outstanding is not None and outstanding.is_run:
+                self.inflight_runs -= 1
+            if not self.pending:
+                self.idle.notify_all()
+
+    def submit_run(self, algorithm: str, fingerprint: str, graph: Any,
+                   seed: int, reuse: bool, params: Dict[str, Any],
+                   graph_name: Optional[str],
+                   on_done: Callable[[bool], None]) -> PendingResult:
+        """Route one query to this worker, shipping the graph if unseen."""
+        request_id, pending = self._register(graph_name, on_done,
+                                             is_run=True)
+        try:
+            with self.send_lock:
+                ship = fingerprint not in self.shipped
+                self.conn.send(("run", request_id, algorithm, fingerprint,
+                                graph if ship else None, seed, reuse,
+                                dict(params)))
+                if ship:
+                    self.shipped.add(fingerprint)
+        except (OSError, BrokenPipeError) as error:
+            self._discard(request_id)
+            raise WorkerDiedError(
+                f"worker {self.index} pipe is closed: {error}") from error
+        except BaseException:
+            # e.g. an unpicklable graph/param: surface the real error to
+            # the submitter, but never leak the registered pending entry
+            # (a leak would inflate inflight_runs and hang close's drain)
+            self._discard(request_id)
+            raise
+        return pending
+
+    def request_stats(self) -> PendingResult:
+        request_id, pending = self._register(None, None, is_run=False)
+        try:
+            with self.send_lock:
+                self.conn.send(("stats", request_id))
+        except (OSError, BrokenPipeError) as error:
+            self._discard(request_id)
+            raise WorkerDiedError(
+                f"worker {self.index} pipe is closed: {error}") from error
+        except BaseException:
+            self._discard(request_id)
+            raise
+        return pending
+
+    def send_unload(self, fingerprint: str) -> None:
+        try:
+            with self.send_lock:
+                self.shipped.discard(fingerprint)
+                self.conn.send(("unload", fingerprint))
+        except (OSError, ValueError, BrokenPipeError):
+            pass  # a dead worker has nothing to unload
+
+    # -- response side -----------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind, request_id, payload = message
+            with self.lock:
+                outstanding = self.pending.pop(request_id, None)
+                if outstanding is not None and outstanding.is_run:
+                    self.inflight_runs -= 1
+                if not self.pending:
+                    self.idle.notify_all()
+            if outstanding is None:
+                continue
+            ok = kind == "ok"
+            if outstanding.on_done is not None:
+                try:
+                    outstanding.on_done(ok)
+                except Exception:  # noqa: BLE001 - reader must not die
+                    pass
+            if ok:
+                if isinstance(payload, RunResult):
+                    # workers key graphs by fingerprint; restore the
+                    # caller-facing registration name
+                    payload.graph_name = outstanding.graph_name
+                outstanding.pending._resolve(payload)
+            else:
+                outstanding.pending._fail(payload)
+        # worker gone: fail whatever is still outstanding
+        with self.lock:
+            self.alive = False
+            self.accepting = False
+            leftovers = list(self.pending.values())
+            self.pending.clear()
+            self.inflight_runs = 0
+            self.idle.notify_all()
+        error = WorkerDiedError(
+            f"worker {self.index} (pid {self.process.pid}) exited with "
+            "requests outstanding")
+        for outstanding in leftovers:
+            if outstanding.on_done is not None:
+                try:
+                    outstanding.on_done(False)
+                except Exception:  # noqa: BLE001
+                    pass
+            outstanding.pending._fail(error)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop_accepting(self) -> None:
+        with self.lock:
+            self.accepting = False
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no requests are outstanding; False on timeout."""
+        with self.lock:
+            return self.idle.wait_for(lambda: not self.pending, timeout)
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Send the close sentinel and reap the process."""
+        try:
+            with self.send_lock:
+                self.conn.send(("close",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.reader.join(timeout)
+
+
+class ProcessGraphService(ServiceBase):
+    """A GraphService whose queries run on N worker processes.
+
+    Same contract as :class:`~repro.serve.service.GraphService`
+    (``load``/``submit``/``query``/``stats``/``close``, and the JSON-lines
+    protocol drives it unchanged); the difference is **where** queries
+    run: each worker process owns a private Session, so concurrent
+    CPU-bound queries actually run in parallel instead of time-slicing
+    one GIL.
+
+    ``spill_threshold`` tunes the affinity/latency trade-off: a query
+    leaves its graph's affinity worker only when that worker's run queue
+    is at least this much deeper than the least-loaded worker's (the
+    spill-over re-prepares the graph there, and affinity follows).
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None, *,
+                 processes: int = 2,
+                 fault_plan: Optional[FaultPlan] = None,
+                 strict_rounds: bool = False,
+                 max_cache_bytes: Optional[int] = None,
+                 spill_threshold: int = 4,
+                 mp_context: Optional[str] = None):
+        if processes < 1:
+            raise ValueError("need at least one worker process")
+        if spill_threshold < 1:
+            raise ValueError("spill_threshold must be >= 1")
+        ctx = multiprocessing.get_context(mp_context)
+        self._clients = [
+            _WorkerClient(index, ctx, config, fault_plan, strict_rounds,
+                          max_cache_bytes)
+            for index in range(processes)
+        ]
+        self._spill_threshold = spill_threshold
+        self._lock = threading.Lock()
+        self._handles: Dict[str, GraphHandle] = {}
+        self._pinned: Dict[str, Any] = {}
+        #: base name -> (base fingerprint, derived graph, derived
+        #: fingerprint); the dispatcher-side degree-weighted cache
+        self._derived: Dict[str, Tuple[str, Any, str]] = {}
+        self._affinity: Dict[str, int] = {}
+        self._fingerprints = FingerprintMemo()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._affinity_routed = 0
+        self._rebalances = 0
+        self._closed = False
+        #: control-plane thread pool: fans out per-worker stats gathering
+        #: and close-time draining without serializing on slow workers
+        self._control = WorkerPool(min(4, processes),
+                                   name="repro-procpool-ctl")
+
+    # -- graph registry ----------------------------------------------------
+
+    @property
+    def processes(self) -> int:
+        return len(self._clients)
+
+    def load(self, name: str, graph: Any, *, pin: bool = True) -> GraphHandle:
+        """Register ``graph`` under ``name`` for queries by name.
+
+        The graph is **not** shipped to any worker here — it crosses the
+        process boundary on the first query routed to each worker that
+        needs it (pickled once, then referenced by fingerprint).
+        """
+        handle = GraphHandle(name, graph)
+        with self._lock:
+            self._handles[name] = handle
+            if pin:
+                self._pinned[name] = graph
+            else:
+                self._pinned.pop(name, None)
+        return handle
+
+    def unload(self, name: str) -> None:
+        with self._lock:
+            handle = self._handles.pop(name, None)
+            self._pinned.pop(name, None)
+            derived = self._derived.pop(name, None)
+            fingerprints = []
+            if handle is not None:
+                fingerprints.append(handle.fingerprint)
+            if derived is not None:
+                fingerprints.append(derived[2])
+            for fingerprint in fingerprints:
+                self._affinity.pop(fingerprint, None)
+        for fingerprint in fingerprints:
+            for client in self._clients:
+                if fingerprint in client.shipped:
+                    client.send_unload(fingerprint)
+
+    def graphs(self) -> List[str]:
+        with self._lock:
+            return sorted(self._handles)
+
+    # -- queries -----------------------------------------------------------
+
+    def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
+               reuse_preprocessing: bool = True,
+               **params: Any) -> PendingResult:
+        """Enqueue one query; returns a :class:`PendingResult`.
+
+        Unknown algorithms, undeclared parameters and unknown graph names
+        are rejected here, in the submitting thread (and process), so the
+        error surfaces immediately.
+        """
+        spec = registry.get(algorithm)
+        merged = Session._merge_params(spec, params)
+        obj, fingerprint, name = self._resolve(graph)
+        obj, fingerprint, name = self._adapt_weighted(
+            spec, obj, fingerprint, name)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            self._submitted += 1
+            client = self._route(fingerprint)
+        del merged  # validation only; the worker Session re-merges defaults
+        return client.submit_run(
+            spec.name, fingerprint, obj, seed, reuse_preprocessing,
+            params, name, self._on_done)
+
+    def _on_done(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self._completed += 1
+            else:
+                self._failed += 1
+
+    def _route(self, fingerprint: str) -> _WorkerClient:
+        """Pick the worker for one query.  Caller holds the lock.
+
+        Affinity first: the fingerprint's assigned worker, so its
+        preprocessing cache hits.  A new fingerprint is assigned to the
+        least-loaded worker.  When the affinity worker's run queue is
+        ``spill_threshold`` deeper than the least-loaded worker's, the
+        query (and the affinity) moves there instead.
+        """
+        alive = [c for c in self._clients if c.alive and c.accepting]
+        if not alive:
+            raise ServiceClosedError("all worker processes have exited")
+        least = min(alive, key=lambda c: (c.inflight_runs, c.index))
+        index = self._affinity.get(fingerprint)
+        home = (self._clients[index]
+                if index is not None and self._clients[index] in alive
+                else None)
+        if home is None:
+            self._affinity[fingerprint] = least.index
+            return least
+        if (home is not least
+                and home.inflight_runs - least.inflight_runs
+                >= self._spill_threshold):
+            self._affinity[fingerprint] = least.index
+            self._rebalances += 1
+            return least
+        self._affinity_routed += 1
+        return home
+
+    # -- graph resolution --------------------------------------------------
+
+    def _resolve(self, graph: Any) -> Tuple[Any, str, Optional[str]]:
+        """-> (graph object, content fingerprint, registered name or None)."""
+        if isinstance(graph, str):
+            with self._lock:
+                handle = self._handles.get(graph)
+                known = ", ".join(sorted(self._handles)) or "(none)"
+            if handle is None:
+                raise KeyError(
+                    f"no graph loaded as {graph!r}; loaded: {known}")
+            graph = handle
+        if isinstance(graph, GraphHandle):
+            obj, fingerprint = graph.resolve()
+            return obj, fingerprint, graph.name
+        return graph, self._fingerprints.fingerprint(graph), None
+
+    def _adapt_weighted(self, spec, obj: Any, fingerprint: str,
+                        name: Optional[str]
+                        ) -> Tuple[Any, str, Optional[str]]:
+        """Weighted algorithms on unweighted graphs get the paper's
+        deg(u)+deg(v) weights, derived dispatcher-side once per base
+        fingerprint and shipped like any other graph."""
+        if spec.input_kind != "weighted" or obj is None:
+            return obj, fingerprint, name
+        if isinstance(obj, WeightedGraph):
+            return obj, fingerprint, name
+        if name is None:
+            derived = degree_weighted(obj)
+            return derived, graph_fingerprint(derived), None
+        with self._lock:
+            cached = self._derived.get(name)
+            if cached is not None and cached[0] == fingerprint:
+                return cached[1], cached[2], derived_weighted_name(name)
+        derived = degree_weighted(obj)
+        derived_fingerprint = graph_fingerprint(derived)
+        with self._lock:
+            self._derived[name] = (fingerprint, derived,
+                                   derived_fingerprint)
+        return derived, derived_fingerprint, derived_weighted_name(name)
+
+    # -- accounting / lifecycle --------------------------------------------
+
+    def worker_stats(self, timeout: Optional[float] = 60.0
+                     ) -> List[Dict[str, Any]]:
+        """Per-worker stats, index-ordered: SessionStats fields flat plus
+        cache gauges.  Dead workers report their last known snapshot."""
+
+        def fetch(client: _WorkerClient):
+            try:
+                payload = client.request_stats().result(timeout)
+            except (ServiceClosedError, TimeoutError):
+                payload = client.last_stats
+            else:
+                client.last_stats = payload
+            return client.index, payload
+
+        rows: Dict[int, Optional[Dict[str, Any]]] = {}
+        try:
+            for index, payload in self._control.map_unordered(
+                    fetch, self._clients):
+                rows[index] = payload
+        except ServiceClosedError:
+            # the control pool is closed (service already closed): fall
+            # back to the serial path, which serves last known snapshots
+            for client in self._clients:
+                index, payload = fetch(client)
+                rows[index] = payload
+        snapshots = []
+        for client in self._clients:
+            payload = rows.get(client.index) or {
+                "stats": SessionStats(), "cached_preprocessings": 0,
+                "cache_bytes": 0, "graphs_loaded": 0, "pid": None,
+            }
+            flat = dict(payload["stats"].to_dict())
+            flat["worker"] = client.index
+            flat["pid"] = payload.get("pid")
+            flat["cached_preprocessings"] = payload["cached_preprocessings"]
+            flat["cache_bytes"] = payload["cache_bytes"]
+            flat["graphs_shipped"] = len(client.shipped)
+            snapshots.append(flat)
+        return snapshots
+
+    def stats(self, timeout: Optional[float] = 60.0) -> Dict[str, Any]:
+        """The merged view: GraphService's flat keys, routing counters,
+        and the per-worker breakdown under ``per_worker``."""
+        per_worker = self.worker_stats(timeout)
+        merged = SessionStats.sum(
+            SessionStats(**{f: row[f] for f in _SESSION_STAT_FIELDS})
+            for row in per_worker)
+        with self._lock:
+            stats: Dict[str, Any] = {
+                "workers": len(self._clients),
+                "processes": len(self._clients),
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "graphs_loaded": len(self._handles),
+                "affinity_routed": self._affinity_routed,
+                "rebalances": self._rebalances,
+            }
+        stats["cached_preprocessings"] = sum(
+            row["cached_preprocessings"] for row in per_worker)
+        stats["cache_bytes"] = sum(row["cache_bytes"] for row in per_worker)
+        stats["graphs_shipped"] = sum(
+            row["graphs_shipped"] for row in per_worker)
+        stats.update(merged.to_dict())
+        stats["per_worker"] = per_worker
+        return stats
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries; in-flight queries drain when waiting."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for client in self._clients:
+            client.stop_accepting()
+        if wait:
+            for _ in self._control.map_unordered(
+                    lambda client: client.drain(300.0), self._clients):
+                pass
+            # capture final per-worker snapshots so stats() stays
+            # coherent after the processes are gone
+            self.worker_stats(timeout=10.0)
+        for client in self._clients:
+            client.shutdown()
+        self._control.close(wait=False)

@@ -26,13 +26,15 @@ on a malformed request.
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
+import time
 from typing import Any, Dict, IO, Optional
 
 from repro.graph.graph import Graph, WeightedGraph
 from repro.graph.io import read_edge_list, read_weighted_edge_list
-from repro.serve.service import GraphService
+from repro.serve.service import ServiceBase
 
 
 class ProtocolError(ValueError):
@@ -62,7 +64,7 @@ def _graph_from_edges(edges, num_vertices: Optional[int]):
     )
 
 
-def _op_load(service: GraphService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_load(service: ServiceBase, request: Dict[str, Any]) -> Dict[str, Any]:
     name = str(_require(request, "name"))
     if "edges" in request:
         graph = _graph_from_edges(request["edges"],
@@ -80,7 +82,7 @@ def _op_load(service: GraphService, request: Dict[str, Any]) -> Dict[str, Any]:
             "fingerprint": handle.fingerprint}
 
 
-def _op_run(service: GraphService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_run(service: ServiceBase, request: Dict[str, Any]) -> Dict[str, Any]:
     algorithm = str(_require(request, "algorithm"))
     graph = str(_require(request, "graph"))
     params = request.get("params") or {}
@@ -93,7 +95,7 @@ def _op_run(service: GraphService, request: Dict[str, Any]) -> Dict[str, Any]:
     return {"ok": True, "result": result.to_dict()}
 
 
-def handle_request(service: GraphService,
+def handle_request(service: ServiceBase,
                    request: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one decoded request; always returns a response object."""
     request_id = request.get("id") if isinstance(request, dict) else None
@@ -132,7 +134,7 @@ def _decode_line(line: str) -> Any:
         raise ProtocolError(f"invalid JSON: {error}") from None
 
 
-def serve_stream(service: GraphService, input_stream: IO[str],
+def serve_stream(service: ServiceBase, input_stream: IO[str],
                  output_stream: IO[str]) -> int:
     """Serve JSON lines until EOF or a shutdown op; returns requests served."""
     served = 0
@@ -155,40 +157,144 @@ def serve_stream(service: GraphService, input_stream: IO[str],
 
 
 class _LineHandler(socketserver.StreamRequestHandler):
+    def setup(self) -> None:
+        super().setup()
+        self.server._track_connection(self.connection, active=True)
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            self.server._track_connection(self.connection, active=False)
+
     def handle(self) -> None:
         for raw in self.rfile:
             line = raw.decode("utf-8").strip()
             if not line:
                 continue
+            # busy from decode to flushed response: close() drains busy
+            # connections (a response in flight is delivered) but never
+            # waits on idle ones (a quiet client cannot wedge shutdown)
+            self.server._mark_busy(self.connection, busy=True)
             try:
-                request = _decode_line(line)
-            except ProtocolError as error:
-                response = {"ok": False, "error": str(error)}
-            else:
-                response = handle_request(self.server.service, request)
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
+                try:
+                    request = _decode_line(line)
+                except ProtocolError as error:
+                    response = {"ok": False, "error": str(error)}
+                else:
+                    response = handle_request(self.server.service, request)
+                try:
+                    self.wfile.write(
+                        (json.dumps(response) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                except (OSError, ValueError):
+                    # the connection was force-closed under us (close()
+                    # gave up on the drain): nothing left to report to
+                    return
+            finally:
+                self.server._mark_busy(self.connection, busy=False)
             if response.get("bye"):
-                # shutdown() must not run on the serve_forever thread;
+                # close() must not run on the serve_forever thread;
                 # handlers run on their own threads, but a helper thread
                 # is safe in every server configuration.
-                threading.Thread(target=self.server.shutdown,
+                threading.Thread(target=self.server.close,
                                  daemon=True).start()
                 return
 
 
 class ServiceServer(socketserver.ThreadingTCPServer):
-    """A threading TCP server bound to one GraphService."""
+    """A threading TCP server bound to one GraphService.
+
+    :meth:`close` is the clean shutdown: it stops the accept loop, gives
+    in-flight requests a drain window, then force-closes whatever
+    connections linger (a client holding an idle connection open can no
+    longer wedge shutdown — the regression the ``drain`` machinery
+    exists for).
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, service: GraphService, address):
+    def __init__(self, service: ServiceBase, address):
         super().__init__(address, _LineHandler)
         self.service = service
+        self._conn_lock = threading.Lock()
+        self._active_connections: set = set()
+        self._busy_connections: set = set()
+        self._serving = False
+        self._close_lock = threading.Lock()
+        self._closed = False
+
+    # -- connection tracking ------------------------------------------------
+
+    def _track_connection(self, connection, *, active: bool) -> None:
+        with self._conn_lock:
+            if active:
+                self._active_connections.add(connection)
+            else:
+                self._active_connections.discard(connection)
+                self._busy_connections.discard(connection)
+
+    def _mark_busy(self, connection, *, busy: bool) -> None:
+        with self._conn_lock:
+            if busy:
+                self._busy_connections.add(connection)
+            else:
+                self._busy_connections.discard(connection)
+
+    @property
+    def active_connections(self) -> int:
+        with self._conn_lock:
+            return len(self._active_connections)
+
+    @property
+    def busy_connections(self) -> int:
+        """Connections with a request mid-execution or a response unsent."""
+        with self._conn_lock:
+            return len(self._busy_connections)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        super().serve_forever(poll_interval)
+
+    def close(self, drain: float = 300.0) -> None:
+        """Stop accepting, drain in-flight requests, unblock stragglers.
+
+        ``shutdown()`` alone only stops the accept loop: a handler thread
+        blocked reading from (or serving a request for) an open client
+        connection keeps running, and anything joining on it hangs.
+        ``close`` waits up to ``drain`` seconds for **busy** connections —
+        ones mid-request — to deliver their responses, then shuts every
+        remaining socket down: blocked ``rfile`` reads see EOF, the
+        handlers exit, and the caller gets the listening port back.  Idle
+        connections are never waited on, so the wait ends as soon as the
+        in-flight work does and a quiet client cannot wedge shutdown (the
+        generous default only bounds genuinely running queries).  Safe to
+        call from any thread (including a handler's helper thread) and
+        idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._serving:
+            self.shutdown()  # blocks until the accept loop has exited
+        deadline = time.monotonic() + max(drain, 0.0)
+        while self.busy_connections and time.monotonic() < deadline:
+            time.sleep(0.02)
+        with self._conn_lock:
+            lingering = list(self._active_connections)
+        for connection in lingering:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self.server_close()
 
 
-def serve_socket(service: GraphService, host: str = "127.0.0.1",
+def serve_socket(service: ServiceBase, host: str = "127.0.0.1",
                  port: int = 0) -> ServiceServer:
     """Bind a :class:`ServiceServer`; caller runs ``serve_forever()``.
 

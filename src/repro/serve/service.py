@@ -38,8 +38,55 @@ from repro.graph.generators import degree_weighted
 from repro.graph.graph import WeightedGraph
 from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
 
+#: registration suffix for the automatic deg(u)+deg(v) weighted derivation
+DERIVED_WEIGHTED_SUFFIX = "#degree-weighted"
 
-class GraphService:
+
+def derived_weighted_name(name: str) -> str:
+    """Registration name of a graph's automatic degree-weighted derivation."""
+    return f"{name}{DERIVED_WEIGHTED_SUFFIX}"
+
+
+class ServiceBase:
+    """The serving front-end contract shared by every dispatcher.
+
+    A service — whether it runs queries on a thread pool over one shared
+    :class:`~repro.api.session.Session` (:class:`GraphService`) or routes
+    them to per-process Sessions
+    (:class:`~repro.serve.procpool.ProcessGraphService`) — exposes the
+    same surface: ``load``/``unload``/``graphs``, ``submit`` returning a
+    :class:`~repro.serve.pool.PendingResult`, synchronous ``query``,
+    ``stats`` and ``close``.  The JSON-lines protocol drives either
+    implementation through this contract.
+    """
+
+    def algorithms(self) -> List[str]:
+        """Names this service can run (the registry's, in order)."""
+        return registry.names()
+
+    def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
+               reuse_preprocessing: bool = True,
+               **params: Any) -> PendingResult:
+        raise NotImplementedError
+
+    def query(self, algorithm: str, graph: Any, *, seed: int = 0,
+              timeout: Optional[float] = None,
+              **params: Any) -> RunResult:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(algorithm, graph, seed=seed,
+                           **params).result(timeout)
+
+    def close(self, wait: bool = True) -> None:
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class GraphService(ServiceBase):
     """A long-lived, concurrent front end over one Session."""
 
     def __init__(self, config: Optional[ClusterConfig] = None, *,
@@ -94,9 +141,6 @@ class GraphService:
     def graphs(self) -> List[str]:
         return self.session.graphs()
 
-    def algorithms(self) -> List[str]:
-        return self.session.algorithms()
-
     # -- queries -----------------------------------------------------------
 
     def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
@@ -116,13 +160,6 @@ class GraphService:
             self._submitted += 1
         return self._pool.submit(self._execute, spec, graph, seed,
                                  reuse_preprocessing, params)
-
-    def query(self, algorithm: str, graph: Any, *, seed: int = 0,
-              timeout: Optional[float] = None,
-              **params: Any) -> RunResult:
-        """Synchronous convenience: submit and wait for the result."""
-        return self.submit(algorithm, graph, seed=seed,
-                           **params).result(timeout)
 
     def _execute(self, spec, graph: Any, seed: int,
                  reuse_preprocessing: bool, params: Dict[str, Any]):
@@ -168,7 +205,7 @@ class GraphService:
             if cached is not None and cached[0] == base.fingerprint:
                 return cached[1]
         derived = degree_weighted(obj)
-        handle = self.session.load(f"{name}#degree-weighted", derived)
+        handle = self.session.load(derived_weighted_name(name), derived)
         with self._lock:
             # keep the derived graph alive: the session reference is weak
             self._derived[name] = (base.fingerprint, handle, derived)
@@ -204,9 +241,3 @@ class GraphService:
                 return
             self._closed = True
         self._pool.close(wait=wait)
-
-    def __enter__(self) -> "GraphService":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()

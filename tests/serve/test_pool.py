@@ -1,0 +1,84 @@
+"""WorkerPool unit tests: map_unordered semantics and lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServiceClosedError, WorkerPool
+
+
+@pytest.fixture()
+def pool():
+    pool = WorkerPool(4)
+    yield pool
+    pool.close(wait=False)
+
+
+class TestMapUnordered:
+    def test_applies_fn_to_every_item(self, pool):
+        results = list(pool.map_unordered(lambda x: x * x, range(10)))
+        assert sorted(results) == [x * x for x in range(10)]
+
+    def test_yields_in_completion_order_not_submission_order(self, pool):
+        gate = threading.Event()
+
+        def job(item):
+            if item == "slow":
+                gate.wait(30)
+            else:
+                gate.set()
+            return item
+
+        results = list(pool.map_unordered(job, ["slow", "fast"]))
+        assert results == ["fast", "slow"]
+
+    def test_results_stream_before_the_batch_finishes(self, pool):
+        gate = threading.Event()
+
+        def job(item):
+            if item == "blocked":
+                gate.wait(30)
+            return item
+
+        iterator = pool.map_unordered(job, ["blocked", "free"])
+        assert next(iterator) == "free"  # yields while "blocked" waits
+        gate.set()
+        assert next(iterator) == "blocked"
+
+    def test_exception_propagates(self, pool):
+        def job(item):
+            if item == 2:
+                raise ValueError("boom")
+            return item
+
+        with pytest.raises(ValueError, match="boom"):
+            list(pool.map_unordered(job, [1, 2, 3]))
+
+    def test_timeout_bounds_each_wait(self, pool):
+        gate = threading.Event()
+        try:
+            with pytest.raises(TimeoutError):
+                list(pool.map_unordered(lambda _: gate.wait(30), [1],
+                                        timeout=0.05))
+        finally:
+            gate.set()
+
+    def test_empty_iterable(self, pool):
+        assert list(pool.map_unordered(lambda x: x, [])) == []
+
+    def test_closed_pool_raises(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(ServiceClosedError):
+            list(pool.map_unordered(lambda x: x, [1]))
+
+    def test_concurrency_is_real(self):
+        """Four 100ms sleeps on four workers finish well under 400ms."""
+        pool = WorkerPool(4)
+        try:
+            start = time.perf_counter()
+            list(pool.map_unordered(lambda _: time.sleep(0.1), range(4)))
+            assert time.perf_counter() - start < 0.35
+        finally:
+            pool.close()

@@ -132,5 +132,62 @@ class TestSocket:
             thread.join(30)
             assert not thread.is_alive()
         finally:
-            server.shutdown()
-            server.server_close()
+            server.close()
+
+    def test_close_unblocks_idle_connection(self, service):
+        """Regression: close() with a client holding an idle connection
+        open must force the handler out of its blocked read and return,
+        instead of leaving the connection (and anything joining on the
+        server) wedged."""
+        server = serve_socket(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=30) as conn:
+            stream = conn.makefile("rw", encoding="utf-8")
+            stream.write(json.dumps({"op": "ping"}) + "\n")
+            stream.flush()
+            assert json.loads(stream.readline())["pong"]
+            # the handler is now blocked reading the next line; close
+            # from another thread must not hang on it
+            assert server.active_connections == 1
+            closer = threading.Thread(target=lambda: server.close(drain=0.2))
+            closer.start()
+            closer.join(10)
+            assert not closer.is_alive()
+            assert stream.readline() == ""  # server force-closed the socket
+        thread.join(10)
+        assert not thread.is_alive()
+        assert server.active_connections == 0
+
+    def test_close_drains_request_in_flight(self, service):
+        """close() while a request is mid-flight delivers the response
+        within the drain window, then shuts the connection down."""
+        server = serve_socket(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=30) as conn:
+            stream = conn.makefile("rw", encoding="utf-8")
+            stream.write(json.dumps({"op": "load", "name": "g",
+                                     "edges": EDGES}) + "\n")
+            stream.write(json.dumps({"op": "run", "algorithm": "mis",
+                                     "graph": "g"}) + "\n")
+            stream.flush()
+            closer = threading.Thread(target=lambda: server.close(drain=30))
+            closer.start()
+            responses = [json.loads(stream.readline()) for _ in range(2)]
+            assert all(r["ok"] for r in responses)
+            assert responses[1]["result"]["summary"]["output_size"] > 0
+            # once the in-flight work has drained, the server closes the
+            # now-idle connection itself — no client cooperation needed
+            assert stream.readline() == ""
+        closer.join(30)
+        assert not closer.is_alive()
+        thread.join(10)
+        assert not thread.is_alive()
+
+    def test_close_is_idempotent_and_safe_before_serving(self, service):
+        server = serve_socket(service)
+        server.close()  # never served: must not hang on shutdown()
+        server.close()  # and calling it again is a no-op
