@@ -56,6 +56,10 @@ from repro.serve import GraphService, ProcessGraphService  # noqa: E402
 REGRESSION_FACTOR = 2.0
 #: absolute grace floor: tiny workloads are dominated by scheduler noise
 REGRESSION_FLOOR_S = 0.75
+#: paired ``session.update/*`` workloads must keep the incremental path
+#: at least this much faster than the full re-prepare baseline (the
+#: acceptance bar is 5x; the gate leaves CI-noise headroom below it)
+UPDATE_MIN_SPEEDUP = 3.0
 
 BENCH_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -125,6 +129,59 @@ def _service_workload(dataset: str, *, scale: float,
                                                   seed=seed))
                 return sum(p.result().metrics["simulated_time_s"]
                            for p in pending)
+
+        return run
+
+    return build
+
+
+#: edges mutated per apply_batch in the ``session.update/*`` workloads —
+#: k << m (OK-S has ~23k edges at scale 1.0, ~5.7k at the quick 0.25)
+_UPDATE_BATCH = 16
+#: mutation+prepare cycles per timed run
+_UPDATE_CYCLES = 2
+
+
+def _update_workload(algorithm: str, dataset: str, *, weighted: bool,
+                     scale: float,
+                     incremental: bool) -> Callable[[], Callable[[], float]]:
+    """The batch-dynamic serving profile: mutate k << m edges, re-prepare.
+
+    Each timed run applies ``_UPDATE_CYCLES`` rounds of ``apply_batch``
+    (a fresh batch of existing edges deleted each cycle, so the content —
+    and therefore the cache key — is new every time) followed by
+    ``session.prepare`` — the artifact-maintenance path a serving system
+    pays per mutation.  With ``incremental=False`` the graph's journal is
+    disabled, so every cycle pays the full O(m) re-fingerprint +
+    re-prepare: the identical workload on the code path this PR replaces,
+    measured same-run as the paired ``before_s``.  The one cold
+    preparation happens in build(), untimed, on both sides.
+    """
+
+    def build() -> Callable[[], float]:
+        loader = load_weighted_dataset if weighted else load_dataset
+        # private copy: this workload mutates its graph, and load_dataset
+        # memoizes the instance other workloads share
+        graph = loader(dataset, scale).copy()
+        if not incremental:
+            # sever the delta journal: every mutation falls back to the
+            # full O(m) fingerprint walk + re-prepare
+            graph.journal_limit = 0
+        session = Session(ClusterConfig())
+        handle = session.load("bench", graph)
+        session.prepare(algorithm, handle, seed=3)
+        edge_pool = [(edge[0], edge[1]) for edge in graph.edges()]
+        position = [0]
+
+        def run() -> float:
+            graph  # noqa: B018 - keep the weakly-held graph alive
+            for _ in range(_UPDATE_CYCLES):
+                start = position[0]
+                position[0] = start + _UPDATE_BATCH
+                handle.apply_batch(
+                    deletions=edge_pool[start:position[0]])
+                session.prepare(algorithm, handle, seed=3)
+            return 0.0  # simulated drift is tracked by the run workloads
 
         return run
 
@@ -207,6 +264,25 @@ def _suite(quick: bool) -> List[Workload]:
                  _scaleout_workload(dataset, scale=scale, processes=True),
                  baseline=_scaleout_workload(dataset, scale=scale,
                                              processes=False)),
+        # the batch-dynamic trajectory: mutate k << m edges, patch the
+        # DHT-resident artifact vs. the paired full re-prepare baseline
+        # (>= 5x expected; --check gates at UPDATE_MIN_SPEEDUP)
+        Workload(f"session.update/mis/{dataset}",
+                 _update_workload("mis", dataset, weighted=False,
+                                  scale=scale, incremental=True),
+                 baseline=_update_workload("mis", dataset, weighted=False,
+                                           scale=scale, incremental=False)),
+        Workload(f"session.update/matching/{dataset}",
+                 _update_workload("matching", dataset, weighted=False,
+                                  scale=scale, incremental=True),
+                 baseline=_update_workload("matching", dataset,
+                                           weighted=False, scale=scale,
+                                           incremental=False)),
+        Workload(f"session.update/msf/{dataset}",
+                 _update_workload("msf", dataset, weighted=True,
+                                  scale=scale, incremental=True),
+                 baseline=_update_workload("msf", dataset, weighted=True,
+                                           scale=scale, incremental=False)),
     ]
 
 
@@ -281,6 +357,16 @@ def _check(report: Dict, suite_name: str,
             if numbers["wall_s"]:
                 entry["last_check_speedup"] = round(
                     numbers["baseline_wall_s"] / numbers["wall_s"], 2)
+        if (tracked[name] and name.startswith("session.update/")
+                and entry.get("last_check_speedup") is not None
+                and entry["last_check_speedup"] < UPDATE_MIN_SPEEDUP):
+            # the incremental-path gate: patching must stay decisively
+            # faster than the same-run full re-prepare baseline
+            failures.append(
+                f"{name}: incremental path only "
+                f"{entry['last_check_speedup']:.2f}x the full re-prepare "
+                f"baseline (gate: {UPDATE_MIN_SPEEDUP}x)"
+            )
         if committed is None or not tracked[name]:
             continue
         limit = max(committed * REGRESSION_FACTOR, REGRESSION_FLOOR_S)
@@ -331,6 +417,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"         {'vs thread-pool baseline':36s} "
                   f"{baseline:8.3f}s wall  "
                   f"{ratio:9.2f}x throughput ({os.cpu_count()} cpus)")
+
+    # coverage summary: nothing silently skipped or un-gated
+    untracked = sorted(name for name, is_tracked in tracked.items()
+                       if not is_tracked)
+    committed = set(_load_report(args.output)["suites"]
+                    .get(suite_name, {"workloads": {}})["workloads"])
+    skipped = sorted(committed - set(measured))
+    print(f"coverage: {len(measured)} workloads measured; "
+          f"untracked (not gated): {', '.join(untracked) or 'none'}; "
+          f"committed-but-skipped: {', '.join(skipped) or 'none'}")
 
     report = _load_report(args.output)
     if args.check:

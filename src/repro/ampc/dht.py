@@ -196,6 +196,39 @@ class DHTStore:
         self.shard_reads[shard_index] += 1
         return key in self._shards[shard_index]
 
+    # -- derivation ------------------------------------------------------
+
+    def _entry(self, key: Any, shard_index: int) -> Optional[Tuple[Any, int]]:
+        """The live ``(value, recorded size)`` under ``key``, or None.
+
+        Internal, uncharged: derived children resolve fall-through reads
+        with it, so reading through a child never perturbs this store's
+        ``shard_reads`` contention metrics.
+        """
+        size = self._sizes[shard_index].get(key)
+        if size is None:
+            return None
+        return self._shards[shard_index][key], size
+
+    def derive(self, name: Optional[str] = None) -> "DerivedDHTStore":
+        """Unseal this sealed store into a copy-on-write child.
+
+        The child reads fall through to this store; its writes and deletes
+        land in a private overlay, so patching a DHT-resident artifact can
+        never mutate an entry another cached artifact still serves.  Byte
+        and entry accounting on the child stays exact — overlay deltas are
+        applied to this store's write-time memoized sizes.  Only sealed
+        (immutable) stores can be derived, and deriving a child is itself
+        derivable, so repeated patch generations chain.
+        """
+        if not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} must be sealed before it can be "
+                "derived (an unsealed parent could drift under the child)"
+            )
+        return DerivedDHTStore(
+            name or f"{self.name.split('+delta', 1)[0]}+delta", self)
+
     # -- introspection (driver-side; free of charge) ---------------------
 
     def keys(self) -> List[Any]:
@@ -217,6 +250,174 @@ class DHTStore:
         )
 
 
+class DerivedDHTStore(DHTStore):
+    """A copy-on-write overlay over a sealed parent store.
+
+    Reads resolve overlay-first (tombstones, then overlay entries, then
+    the parent chain); writes and deletes touch only the overlay.  The
+    aggregate counters (``total_entries`` / ``total_value_bytes``) always
+    describe the *logical* store — parent plus overlay — using the
+    write-time memoized sizes, so they equal what a from-scratch store
+    with the same final content would report.  ``shard_reads`` counts this
+    store's own reads only; the parent's metrics never move.
+    """
+
+    def __init__(self, name: str, parent: DHTStore):
+        super().__init__(name, parent.num_shards,
+                         strict_rounds=parent._strict_rounds)
+        self.parent = parent
+        self.total_entries = parent.total_entries
+        self.total_value_bytes = parent.total_value_bytes
+        #: keys shadow-deleted from the parent view
+        self._deleted: List[set] = [set() for _ in range(self.num_shards)]
+
+    # -- resolution ------------------------------------------------------
+
+    def _entry(self, key: Any, shard_index: int) -> Optional[Tuple[Any, int]]:
+        if key in self._deleted[shard_index]:
+            return None
+        size = self._sizes[shard_index].get(key)
+        if size is not None:
+            return self._shards[shard_index][key], size
+        return self.parent._entry(key, shard_index)
+
+    # -- writes ----------------------------------------------------------
+
+    def write(self, key: Any, value: Any) -> int:
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_index = self.shard_of(key)
+        value_bytes = estimate_bytes(value)
+        sizes = self._sizes[shard_index]
+        replaced = sizes.get(key)
+        if replaced is not None:
+            self.total_value_bytes += value_bytes - replaced
+        else:
+            deleted = self._deleted[shard_index]
+            if key in deleted:
+                deleted.discard(key)
+                self.total_entries += 1
+                self.total_value_bytes += value_bytes
+            else:
+                shadowed = self.parent._entry(key, shard_index)
+                if shadowed is None:
+                    self.total_entries += 1
+                    self.total_value_bytes += value_bytes
+                else:
+                    self.total_value_bytes += value_bytes - shadowed[1]
+        self._shards[shard_index][key] = value
+        sizes[key] = value_bytes
+        return value_bytes
+
+    def write_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        # Overlay accounting needs the per-key parent probe, so the bulk
+        # path is a plain loop over write() (still one call per item from
+        # the caller's perspective, charge-identical).
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        write = self.write
+        return sum(write(key, value) for key, value in items)
+
+    write_all = write_many
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key`` from the logical view; True if it was present.
+
+        Overlay entries are dropped; parent entries are tombstoned (the
+        parent itself is immutable).
+        """
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_index = self.shard_of(key)
+        removed = self._sizes[shard_index].pop(key, None)
+        if removed is not None:
+            del self._shards[shard_index][key]
+            self.total_entries -= 1
+            self.total_value_bytes -= removed
+            if self.parent._entry(key, shard_index) is not None:
+                self._deleted[shard_index].add(key)
+            return True
+        if key in self._deleted[shard_index]:
+            return False
+        shadowed = self.parent._entry(key, shard_index)
+        if shadowed is None:
+            return False
+        self._deleted[shard_index].add(key)
+        self.total_entries -= 1
+        self.total_value_bytes -= shadowed[1]
+        return True
+
+    # -- reads -----------------------------------------------------------
+
+    def _check_readable(self) -> None:
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+
+    def lookup(self, key: Any) -> Any:
+        self._check_readable()
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        entry = self._entry(key, shard_index)
+        return None if entry is None else entry[0]
+
+    def lookup_with_size(self, key: Any) -> Tuple[Any, int]:
+        self._check_readable()
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        entry = self._entry(key, shard_index)
+        if entry is None:
+            return None, 0
+        return entry
+
+    def lookup_many(self, keys: Iterable[Any]) -> Tuple[List[Any], int]:
+        self._check_readable()
+        shard_of = self.shard_of
+        shard_reads = self.shard_reads
+        entry_of = self._entry
+        values: List[Any] = []
+        append = values.append
+        total = 0
+        for key in keys:
+            shard_index = shard_of(key)
+            shard_reads[shard_index] += 1
+            entry = entry_of(key, shard_index)
+            if entry is None:
+                append(None)
+            else:
+                append(entry[0])
+                total += entry[1]
+        return values, total
+
+    def contains(self, key: Any) -> bool:
+        self._check_readable()
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        return self._entry(key, shard_index) is not None
+
+    # -- introspection ---------------------------------------------------
+
+    def keys(self) -> List[Any]:
+        result = []
+        for shard in self._shards:
+            result.extend(shard.keys())
+        # parent.keys() is already the parent's *logical* view, so chained
+        # derivations compose
+        for key in self.parent.keys():
+            shard_index = self.shard_of(key)
+            if (key not in self._shards[shard_index]
+                    and key not in self._deleted[shard_index]):
+                result.append(key)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"DerivedDHTStore({self.name!r}, entries={self.total_entries}, "
+            f"parent={self.parent.name!r}, sealed={self.sealed})"
+        )
+
+
 class DHTService:
     """Factory and registry for the DHT sequence D0, D1, ..."""
 
@@ -234,6 +435,14 @@ class DHTService:
         self._counter += 1
         store = DHTStore(name, self.num_shards, strict_rounds=self.strict_rounds)
         self._stores[name] = store
+        return store
+
+    def register(self, store: DHTStore) -> DHTStore:
+        """Adopt an externally constructed store (e.g. a derived child)."""
+        if store.name in self._stores:
+            raise ValueError(f"store {store.name!r} already exists")
+        self._counter += 1
+        self._stores[store.name] = store
         return store
 
     def get(self, name: str) -> DHTStore:

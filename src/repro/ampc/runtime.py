@@ -73,6 +73,18 @@ class AMPCRuntime:
     def config(self) -> ClusterConfig:
         return self.cluster.config
 
+    def _unique_store_name(self, name: str) -> str:
+        """``name``, suffixed until it collides with no existing store."""
+        existing = {store.name for store in self.dht.stores()}
+        if name not in existing:
+            return name
+        suffix = len(existing)
+        candidate = f"{name}-{suffix}"
+        while candidate in existing:
+            suffix += 1
+            candidate = f"{name}-{suffix}"
+        return candidate
+
     def new_store(self, name: Optional[str] = None) -> DHTStore:
         """Create the next hash table D_i (writable this round).
 
@@ -81,17 +93,27 @@ class AMPCRuntime:
         collides.
         """
         if name is not None:
-            existing = {store.name for store in self.dht.stores()}
-            if name in existing:
-                suffix = len(existing)
-                candidate = f"{name}-{suffix}"
-                while candidate in existing:
-                    suffix += 1
-                    candidate = f"{name}-{suffix}"
-                name = candidate
+            name = self._unique_store_name(name)
         store = self.dht.create(name)
         self._round_stores.append(store)
         return store
+
+    def derive_store(self, parent: DHTStore,
+                     name: Optional[str] = None) -> DHTStore:
+        """Copy-on-write child of a sealed store, as this round's output.
+
+        The incremental-update primitive: a prepared artifact's sealed
+        store is derived, the patch is written into the child, and
+        :meth:`next_round` (or ``write_store``'s seal) freezes it — the
+        parent keeps serving whatever cache entry still references it.
+        Names are uniquified like :meth:`new_store`.
+        """
+        # chained derivations keep one "+delta" tag, not one per generation
+        base = name or f"{parent.name.split('+delta', 1)[0]}+delta"
+        child = parent.derive(self._unique_store_name(base))
+        self.dht.register(child)
+        self._round_stores.append(child)
+        return child
 
     def write_store(self, pcollection: PCollection, store: DHTStore,
                     key_fn: Callable[[Any], Any],

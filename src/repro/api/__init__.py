@@ -21,7 +21,7 @@ Typical use::
 """
 
 from repro.api import registry
-from repro.api.fingerprint import graph_fingerprint
+from repro.api.fingerprint import chain_fingerprint, graph_fingerprint
 from repro.api.registry import (
     AlgorithmSpec,
     ParamSpec,
@@ -42,6 +42,7 @@ __all__ = [
     "SessionStats",
     "algorithm_names",
     "algorithm_specs",
+    "chain_fingerprint",
     "get_algorithm",
     "graph_fingerprint",
     "register_algorithm",

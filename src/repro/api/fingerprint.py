@@ -57,14 +57,67 @@ def graph_fingerprint(graph) -> str:
     return digest.hexdigest()
 
 
+#: how many (version, fingerprint) ancestors a lineage retains — enough to
+#: bridge several mutation batches between runs of different algorithms
+MAX_LINEAGE = 8
+
+
+def chain_fingerprint(base: str, ops) -> str:
+    """Fingerprint of ``base``'s graph after the journaled edge ``ops``.
+
+    A pure function of (base fingerprint, op sequence): any two consumers
+    applying the same batch to graphs with the same fingerprint — e.g. the
+    process-pool dispatcher and its workers — derive the same name, in
+    O(batch) instead of the O(m) edge re-walk of :func:`graph_fingerprint`.
+
+    The result lives in a separate hash domain (the ``delta|`` tag), so it
+    can never alias the content fingerprint of some other graph; the cost
+    is that a mutated graph and a content-equal graph fingerprinted from
+    scratch get *different* cache keys — a missed sharing opportunity,
+    never a stale artifact.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(b"delta|")
+    digest.update(base.encode("utf-8"))
+    for op in ops:
+        digest.update(b"|")
+        digest.update(repr(op).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def advance_lineage(graph, version, fingerprint: str, ancestors):
+    """-> (current fingerprint, extended lineage) after graph mutations.
+
+    The one shared implementation of the chain-or-rewalk decision: when
+    the graph's journal still covers ``version``, the new name is chained
+    from ``fingerprint`` in O(batch); otherwise the edges are re-walked.
+    Either way the superseded ``(version, fingerprint)`` joins the
+    lineage, capped at :data:`MAX_LINEAGE`.  Used by both
+    :class:`FingerprintMemo` and ``GraphHandle`` so the two paths can
+    never drift.
+    """
+    delta_since = getattr(graph, "delta_since", None)
+    ops = (delta_since(version)
+           if delta_since is not None and version is not None else None)
+    lineage = (tuple(ancestors) + ((version, fingerprint),))[-MAX_LINEAGE:]
+    if ops:
+        return chain_fingerprint(fingerprint, ops), lineage
+    return graph_fingerprint(graph), lineage
+
+
 class FingerprintMemo:
     """A version-checked, weakly-keyed :func:`graph_fingerprint` memo.
 
     Repository graph classes bump ``content_version`` on every mutation,
-    so their fingerprint only needs recomputing when the version moved;
-    objects without a ``content_version`` are re-walked every call, as a
-    plain :func:`graph_fingerprint` would.  Weak keying means the memo
-    never extends a graph's lifetime.  Thread-safe; shared by
+    so their fingerprint only needs recomputing when the version moved —
+    and when the graph's edge-delta journal still covers the memoized
+    version, it is *chain-updated* (:func:`chain_fingerprint`) in O(batch)
+    instead of re-walked.  Each entry also remembers up to
+    :data:`MAX_LINEAGE` ancestor ``(version, fingerprint)`` pairs — the
+    cache lineage the Session's incremental preprocessing walks.  Objects
+    without a ``content_version`` are re-walked every call, as a plain
+    :func:`graph_fingerprint` would.  Weak keying means the memo never
+    extends a graph's lifetime.  Thread-safe; shared by
     :class:`~repro.api.session.Session` and the serving dispatchers.
     """
 
@@ -73,14 +126,28 @@ class FingerprintMemo:
         self._memo = weakref.WeakKeyDictionary()
 
     def fingerprint(self, graph) -> str:
+        return self.resolve(graph)[0]
+
+    def resolve(self, graph):
+        """-> (fingerprint, ancestors) — ancestors oldest-first.
+
+        Each ancestor is a ``(content_version, fingerprint)`` this graph
+        passed through since the memo first saw it; the current version is
+        never included.
+        """
         version = getattr(graph, "content_version", None)
         if version is None:
-            return graph_fingerprint(graph)
+            return graph_fingerprint(graph), ()
         with self._lock:
             memo = self._memo.get(graph)
-            if memo is not None and memo[0] == version:
-                return memo[1]
-        fingerprint = graph_fingerprint(graph)
+        if memo is not None:
+            seen_version, seen_fp, ancestors = memo
+            if seen_version == version:
+                return seen_fp, ancestors
+            fingerprint, lineage = advance_lineage(
+                graph, seen_version, seen_fp, ancestors)
+        else:
+            fingerprint, lineage = graph_fingerprint(graph), ()
         with self._lock:
-            self._memo[graph] = (version, fingerprint)
-        return fingerprint
+            self._memo[graph] = (version, fingerprint, lineage)
+        return fingerprint, lineage

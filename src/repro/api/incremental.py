@@ -1,0 +1,83 @@
+"""Shared helpers for incremental (batch-dynamic) preprocessing hooks.
+
+An :class:`~repro.api.registry.AlgorithmSpec` whose prepared artifact is a
+set of adjacency-style records can implement ``update(prepared, graph, *,
+runtime, seed, insertions, deletions)``: recompute only the records of the
+vertices (or edges) the batch touched, write them into a derived
+copy-on-write child of the artifact's sealed DHT store, and splice them
+into the driver-side record list.  These helpers cover the splice and the
+touched-set extraction; cost is proportional to the batch (plus one flat
+copy of the record list), never to the edge count.
+
+``insertions`` / ``deletions`` are the raw journal batch: they may overlap
+(an edge removed and re-added in one batch appears in both), so hooks must
+treat them as *touched* sets and recompute from the mutated graph — never
+replay them blindly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence, Tuple
+
+from repro.graph.graph import edge_key
+
+__all__ = ["touched_vertices", "touched_edges", "patch_records"]
+
+
+def touched_vertices(insertions: Iterable[Sequence],
+                     deletions: Iterable[Sequence]) -> List[int]:
+    """Sorted endpoints appearing in the batch (weights ignored)."""
+    touched = set()
+    for edge in insertions:
+        touched.add(edge[0])
+        touched.add(edge[1])
+    for edge in deletions:
+        touched.add(edge[0])
+        touched.add(edge[1])
+    return sorted(touched)
+
+
+def touched_edges(insertions: Iterable[Sequence],
+                  deletions: Iterable[Sequence]) -> List[Tuple[int, int]]:
+    """Sorted canonical ``(u, v)`` keys of every edge in the batch."""
+    touched = {edge_key(edge[0], edge[1]) for edge in insertions}
+    touched.update(edge_key(edge[0], edge[1]) for edge in deletions)
+    return sorted(touched)
+
+
+def patch_records(records: Sequence, patched: Iterable,
+                  removed: Iterable = (),
+                  key: Callable[[Any], Any] = lambda record: record[0]
+                  ) -> List:
+    """Splice ``patched`` records into ``records``, dropping ``removed``.
+
+    Surviving records keep their positions (replacements land in place);
+    records for keys the old list did not contain append at the end in
+    input order.  ``key`` extracts each record's identity — the vertex id
+    for ``(vertex, payload)`` records, the canonical endpoint pair for
+    edge records.  Returns a new list; the input is never mutated (the old
+    prepared artifact may still serve another cache entry).
+    """
+    replacements = {}
+    order: List = []
+    for record in patched:
+        record_key = key(record)
+        if record_key not in replacements:
+            order.append(record_key)
+        replacements[record_key] = record
+    dropped = set(removed)
+    for record_key in dropped:
+        replacements.pop(record_key, None)
+    out: List = []
+    for record in records:
+        record_key = key(record)
+        if record_key in dropped:
+            continue
+        replacement = replacements.pop(record_key, None)
+        if replacement is not None:
+            out.append(replacement)
+        else:
+            out.append(record)
+    out.extend(replacements[record_key] for record_key in order
+               if record_key in replacements)
+    return out

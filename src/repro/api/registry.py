@@ -85,6 +85,16 @@ class AlgorithmSpec:
     #: (result, graph, params) -> the human-readable headline
     describe: Callable[[Any, Any, Dict[str, Any]], str]
     params: Tuple[ParamSpec, ...] = ()
+    #: optional incremental hook: ``update(prepared, graph, *, runtime,
+    #: seed, insertions, deletions)`` patches a prepared artifact built
+    #: for an earlier version of ``graph`` into one matching its current
+    #: content, in O(batch) — the touched records are rewritten into a
+    #: derived (copy-on-write) child of the artifact's sealed store, so
+    #: the old artifact keeps serving its own cache entry.  ``graph`` is
+    #: the already-mutated graph; ``insertions``/``deletions`` are the
+    #: journaled batch (possibly overlapping — treat as touched sets).
+    #: Specs without a hook fall back to a full re-prepare on mutation.
+    update: Optional[Callable[..., Any]] = None
     #: whether the prepared artifact depends on the seed (rank-directed
     #: graphs do; weight-sorted or plain adjacency does not)
     prep_seed_sensitive: bool = True

@@ -48,7 +48,8 @@ from repro.ampc.dht import DHTStore
 from repro.ampc.faults import FaultPlan
 from repro.ampc.runtime import AMPCRuntime
 from repro.api import registry
-from repro.api.fingerprint import FingerprintMemo, graph_fingerprint
+from repro.api.fingerprint import (FingerprintMemo, advance_lineage,
+                                   graph_fingerprint)
 from repro.api.result import RunResult
 from repro.graph.graph import Graph, WeightedGraph
 from repro.mpc.runtime import MPCRuntime
@@ -68,6 +69,11 @@ class SessionStats:
     preprocessing_misses: int = 0
     #: cache entries dropped by the LRU byte budget
     preprocessing_evictions: int = 0
+    #: misses served by patching a cached ancestor artifact (the
+    #: batch-dynamic path) instead of re-preparing from scratch
+    incremental_updates: int = 0
+    #: misses that ran the full from-scratch preparation
+    full_prepares: int = 0
     #: shuffles skipped thanks to the preprocessing cache
     shuffles_saved: int = 0
     #: KV writes skipped thanks to the preprocessing cache
@@ -105,6 +111,40 @@ class SessionStats:
                 for field_ in fields(self)}
 
 
+def _validate_batch(graph: Any, insertions: List[Tuple],
+                    deletions: List[Tuple]) -> None:
+    """Reject a malformed edge batch before any mutation happens.
+
+    Checked per row: deletions must name distinct, present edges;
+    insertions must have the right arity for the graph class (weighted
+    graphs take ``(u, v, w)``) with in-range, distinct endpoints.
+    """
+    num_vertices = graph.num_vertices
+    weighted = isinstance(graph, WeightedGraph)
+    seen = set()
+    for edge in deletions:
+        if len(edge) < 2:
+            raise ValueError(f"deletion row {edge!r} needs two endpoints")
+        key = (min(edge[0], edge[1]), max(edge[0], edge[1]))
+        if key in seen:
+            raise ValueError(f"duplicate deletion of edge {key}")
+        seen.add(key)
+        if not graph.has_edge(edge[0], edge[1]):
+            raise KeyError(f"cannot delete absent edge {key}")
+    arity = 3 if weighted else 2
+    for edge in insertions:
+        if len(edge) != arity:
+            raise ValueError(
+                f"insertion row {edge!r} must have {arity} fields for a "
+                f"{type(graph).__name__}")
+        u, v = edge[0], edge[1]
+        if u == v:
+            raise ValueError(f"self loop on vertex {u} is not allowed")
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise IndexError(
+                f"edge ({u}, {v}) out of range [0, {num_vertices})")
+
+
 class GraphHandle:
     """An explicitly registered graph: a name plus a content fingerprint.
 
@@ -120,11 +160,15 @@ class GraphHandle:
     """
 
     __slots__ = ("name", "fingerprint", "num_vertices", "num_edges",
-                 "content_version", "_ref", "__weakref__")
+                 "content_version", "ancestors", "_ref", "__weakref__")
 
     def __init__(self, name: str, graph: Any):
         self.name = name
         self._ref = weakref.ref(graph)
+        #: cache lineage: up to MAX_LINEAGE past (content_version,
+        #: fingerprint) pairs this handle moved through — what the
+        #: Session's incremental preprocessing walks on a cache miss
+        self.ancestors: Tuple = ()
         self.refresh()
 
     @property
@@ -164,8 +208,55 @@ class GraphHandle:
         if (getattr(graph, "content_version", None) != self.content_version
                 or getattr(graph, "num_vertices", None) != self.num_vertices
                 or getattr(graph, "num_edges", None) != self.num_edges):
-            self.refresh()
+            self._advance(graph)
         return graph, self.fingerprint
+
+    def _advance(self, graph: Any) -> None:
+        """Bring the fingerprint up to the graph's current content.
+
+        When the graph's edge-delta journal still covers this handle's
+        version, the new fingerprint is chained from the old one in
+        O(batch) (:func:`~repro.api.fingerprint.chain_fingerprint`);
+        otherwise the edges are re-walked.  Either way the superseded
+        (version, fingerprint) joins :attr:`ancestors`.
+        """
+        self.fingerprint, self.ancestors = advance_lineage(
+            graph, self.content_version, self.fingerprint, self.ancestors)
+        self.num_vertices = graph.num_vertices
+        self.num_edges = graph.num_edges
+        self.content_version = graph.content_version
+
+    def apply_batch(self, insertions: Iterable = (),
+                    deletions: Iterable = ()) -> "GraphHandle":
+        """Apply an edge batch to the underlying graph, deletions first.
+
+        ``insertions`` are ``(u, v)`` pairs (``(u, v, w)`` triples for a
+        weighted graph); ``deletions`` are ``(u, v)`` pairs.  The handle's
+        fingerprint chain-updates in O(batch), and the next ``Session.run``
+        on this handle patches cached DHT-resident artifacts through the
+        registered ``update`` hooks instead of re-preparing from scratch.
+
+        The batch is validated before anything mutates, so a malformed
+        row (a missing or duplicate deletion, a bad insertion arity, an
+        out-of-range vertex) raises with the graph — and this handle —
+        untouched, never half-applied.  Returns the handle.
+        """
+        graph = self._ref()
+        if graph is None:
+            raise ReferenceError(
+                f"graph {self.name!r} has been garbage-collected; "
+                "load it again"
+            )
+        insertions = [tuple(edge) for edge in insertions]
+        deletions = [tuple(edge) for edge in deletions]
+        _validate_batch(graph, insertions, deletions)
+        for edge in deletions:
+            graph.remove_edge(edge[0], edge[1])
+        for edge in insertions:
+            graph.add_edge(*edge)
+        if graph.content_version != self.content_version:
+            self._advance(graph)
+        return self
 
     def __repr__(self) -> str:
         return (f"GraphHandle({self.name!r}, n={self.num_vertices}, "
@@ -220,6 +311,44 @@ def _prepared_bytes(obj: Any) -> int:
         return 64
 
 
+def _shallow_bytes(obj: Any) -> int:
+    """The store/graph-resident part of an artifact's size, O(fields).
+
+    Incremental updates replace a handful of records in otherwise
+    same-shaped artifacts, so a patched entry is sized as the ancestor's
+    measured bytes plus the delta of this cheap store-level component —
+    never re-walking the O(n + m) record lists per batch.  Full prepares
+    still measure exactly.
+    """
+    if isinstance(obj, DHTStore):
+        return obj.total_value_bytes + 8 * obj.total_entries
+    if isinstance(obj, WeightedGraph):
+        return 24 * obj.num_edges + 8 * obj.num_vertices
+    if isinstance(obj, Graph):
+        return 16 * obj.num_edges + 8 * obj.num_vertices
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return sum(_shallow_bytes(getattr(obj, field_.name))
+                   for field_ in fields(obj))
+    return 0
+
+
+def _split_batch(ops: Iterable[Tuple]) -> Tuple[List[Tuple], List[Tuple]]:
+    """Journal ops -> (insertions, deletions) for an ``update`` hook.
+
+    Weight changes count as insertions (the record is recomputed from the
+    mutated graph either way).  The lists may overlap on an edge that was
+    removed and re-added — hooks treat them as touched sets.
+    """
+    insertions: List[Tuple] = []
+    deletions: List[Tuple] = []
+    for op in ops:
+        if op[0] == "remove":
+            deletions.append(tuple(op[1:3]))
+        else:  # "add" / "weight"
+            insertions.append(tuple(op[1:]))
+    return insertions, deletions
+
+
 class Session:
     """One entry point for every registered AMPC/MPC algorithm.
 
@@ -270,10 +399,27 @@ class Session:
 
         Re-loading a name re-fingerprints, so this is also how callers
         declare "I mutated this graph" — stale cache entries are isolated
-        by the changed fingerprint.
+        by the changed fingerprint.  (For journaled batches prefer
+        ``handle.apply_batch``, which names the new content in O(batch)
+        and lets cached artifacts be patched instead of rebuilt.)
+
+        ``graph`` may also be an existing :class:`GraphHandle`: it is
+        re-registered under ``name`` as-is, keeping its chain-updated
+        fingerprint and cache lineage — no O(m) re-walk.
         """
-        handle = GraphHandle(name, graph)
+        if isinstance(graph, GraphHandle):
+            handle = graph
+            previous = handle.name
+            handle.name = name
+        else:
+            handle = GraphHandle(name, graph)
+            previous = None
         with self._lock:
+            # a re-registered handle moves: its old name must not linger
+            # pointing at a handle that now reports a different name
+            if previous is not None and previous != name \
+                    and self._graphs.get(previous) is handle:
+                del self._graphs[previous]
             self._graphs[name] = handle
         return handle
 
@@ -346,10 +492,11 @@ class Session:
         """
         spec = registry.get(algorithm)
         merged = self._merge_params(spec, params)
-        graph, fingerprint, graph_name = self._resolve_graph(graph)
+        graph, fingerprint, graph_name, ancestors = self._resolve_graph(graph)
         runtime = self._make_runtime(spec)
-        entry, reused = self._prepare(spec, graph, fingerprint, seed,
-                                      runtime, reuse_preprocessing)
+        entry, reused, incremental = self._prepare(
+            spec, graph, fingerprint, seed, runtime, reuse_preprocessing,
+            ancestors)
         result = spec.run(graph, runtime=runtime, seed=seed,
                           prepared=entry.prepared,
                           **spec.algorithm_params(merged))
@@ -367,6 +514,10 @@ class Session:
                 stats.kv_writes_saved += entry.prep_kv_writes
             else:
                 stats.preprocessing_misses += 1
+                if incremental:
+                    stats.incremental_updates += 1
+                else:
+                    stats.full_prepares += 1
         return RunResult(
             algorithm=spec.name,
             seed=seed,
@@ -385,16 +536,56 @@ class Session:
             graph_name=graph_name,
         )
 
+    def prepare(self, algorithm: str, graph: Any, *, seed: int = 0) -> bool:
+        """Warm the preprocessing cache for ``(algorithm, graph, seed)``.
+
+        Runs (or incrementally patches) the algorithm's shared
+        preprocessing without executing a query — the explicit pre-warm a
+        serving system issues after loading or mutating a graph.  Returns
+        True when the artifact was already cached.  Stats account exactly
+        like a run's preprocessing would (hits/misses, the incremental
+        vs. full split, executed totals), but ``runs`` does not move.
+        """
+        spec = registry.get(algorithm)
+        graph, fingerprint, _name, ancestors = self._resolve_graph(graph)
+        runtime = self._make_runtime(spec)
+        entry, reused, incremental = self._prepare(
+            spec, graph, fingerprint, seed, runtime, True, ancestors)
+        metrics = runtime.metrics
+        with self._lock:
+            stats = self.stats
+            stats.shuffles_executed += metrics.shuffles
+            stats.kv_reads_executed += metrics.kv_reads
+            stats.kv_writes_executed += metrics.kv_writes
+            stats.simulated_time_s += metrics.simulated_time_s
+            if reused:
+                stats.preprocessing_hits += 1
+                stats.shuffles_saved += entry.prep_shuffles
+                stats.kv_writes_saved += entry.prep_kv_writes
+            else:
+                stats.preprocessing_misses += 1
+                if incremental:
+                    stats.incremental_updates += 1
+                else:
+                    stats.full_prepares += 1
+        return reused
+
     # -- internals ---------------------------------------------------------
 
-    def _resolve_graph(self, graph: Any) -> Tuple[Any, str, Optional[str]]:
-        """-> (graph object, content fingerprint, registered name or None)."""
+    def _resolve_graph(self, graph: Any
+                       ) -> Tuple[Any, str, Optional[str], Tuple]:
+        """-> (graph object, fingerprint, registered name or None, lineage).
+
+        The lineage is the graph's past (content_version, fingerprint)
+        pairs, oldest first — the ancestors a cache miss may patch from.
+        """
         if isinstance(graph, str):
             graph = self.handle(graph)
         if isinstance(graph, GraphHandle):
             obj, fingerprint = graph.resolve()
-            return obj, fingerprint, graph.name
-        return graph, self._fingerprints.fingerprint(graph), None
+            return obj, fingerprint, graph.name, graph.ancestors
+        fingerprint, ancestors = self._fingerprints.resolve(graph)
+        return graph, fingerprint, None, ancestors
 
     def _make_runtime(self, spec):
         if spec.model == "mpc":
@@ -424,16 +615,17 @@ class Session:
         )
 
     def _prepare(self, spec, graph: Any, fingerprint: str, seed: int,
-                 runtime, reuse: bool):
+                 runtime, reuse: bool, ancestors: Tuple = ()):
+        """-> (entry, served-from-cache, built-incrementally)."""
         if not reuse:
-            return self._build_entry(spec, graph, seed, runtime), False
+            return self._build_entry(spec, graph, seed, runtime), False, False
         key = self._cache_key(spec, fingerprint, seed)
         while True:
             with self._lock:
                 entry = self._cache.get(key)
                 if entry is not None:
                     self._cache.move_to_end(key)
-                    return entry, True
+                    return entry, True, False
                 event = self._inflight.get(key)
                 if event is None:
                     event = threading.Event()
@@ -444,14 +636,65 @@ class Session:
             # if the other thread failed).
             event.wait()
         try:
-            entry = self._build_entry(spec, graph, seed, runtime)
+            entry = self._update_entry(spec, graph, seed, runtime, ancestors)
+            incremental = entry is not None
+            if entry is None:
+                entry = self._build_entry(spec, graph, seed, runtime)
             with self._lock:
                 self._insert(key, entry)
-            return entry, False
+            return entry, False, incremental
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
             event.set()
+
+    def _update_entry(self, spec, graph: Any, seed: int, runtime,
+                      ancestors: Tuple) -> Optional[_CacheEntry]:
+        """Patch a cached ancestor artifact to this content, or None.
+
+        Walks the graph's lineage newest-first for an ancestor fingerprint
+        still in the cache whose delta the graph's journal can replay,
+        then hands (old artifact, mutated graph, batch) to the spec's
+        ``update`` hook.  The hook writes into a derived copy-on-write
+        store, so the ancestor entry is never perturbed.
+        """
+        if spec.update is None or not ancestors:
+            return None
+        delta_since = getattr(graph, "delta_since", None)
+        if delta_since is None:
+            return None
+        for version, ancestor_fp in reversed(ancestors):
+            ops = delta_since(version)
+            if ops is None:
+                # The journal no longer reaches this version; older
+                # ancestors are further back still.
+                break
+            if not ops:
+                continue
+            old_key = self._cache_key(spec, ancestor_fp, seed)
+            with self._lock:
+                old_entry = self._cache.get(old_key)
+            if old_entry is None:
+                continue
+            insertions, deletions = _split_batch(ops)
+            metrics = runtime.metrics
+            shuffles_before = metrics.shuffles
+            kv_writes_before = metrics.kv_writes
+            prepared = spec.update(old_entry.prepared, graph,
+                                   runtime=runtime, seed=seed,
+                                   insertions=insertions,
+                                   deletions=deletions)
+            return _CacheEntry(
+                prepared=prepared,
+                prep_shuffles=metrics.shuffles - shuffles_before,
+                prep_kv_writes=metrics.kv_writes - kv_writes_before,
+                # ancestor's measured size, moved by the store-level
+                # delta: O(batch) accounting for an O(batch) patch
+                nbytes=max(0, old_entry.nbytes
+                           - _shallow_bytes(old_entry.prepared)
+                           + _shallow_bytes(prepared)),
+            )
+        return None
 
     def _build_entry(self, spec, graph: Any, seed: int,
                      runtime) -> _CacheEntry:

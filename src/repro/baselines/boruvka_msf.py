@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.incremental import patch_records, touched_edges
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.graph.graph import WeightedGraph, edge_key
@@ -98,6 +99,28 @@ def prepare_boruvka_msf(graph: WeightedGraph, *,
                   name="place-edge-records")
     runtime.next_round()
     return PreparedBoruvka(records=placed.collect())
+
+
+def update_boruvka_msf(prepared: PreparedBoruvka, graph: WeightedGraph, *,
+                       runtime: Optional[MPCRuntime] = None,
+                       config: Optional[ClusterConfig] = None,
+                       seed: int = 0,
+                       insertions=(), deletions=()) -> PreparedBoruvka:
+    """Patch the staged edge records after an edge batch (O(batch))."""
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    touched = touched_edges(insertions, deletions)
+    live = [(graph.weight(a, b), a, b, a, b) for a, b in touched
+            if graph.has_edge(a, b)]
+    removed = [(a, b) for a, b in touched if not graph.has_edge(a, b)]
+    patch = runtime.pipeline.from_items(live).repartition(
+        lambda record: edge_key(record[1], record[2]),
+        name="place-edge-patch")
+    runtime.next_round()
+    return PreparedBoruvka(records=patch_records(
+        prepared.records, patch.collect(), removed,
+        key=lambda record: edge_key(record[1], record[2])))
 
 
 def mpc_boruvka_msf(graph: WeightedGraph, *,
@@ -255,6 +278,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="weighted",
     run=mpc_boruvka_msf,
     prepare=prepare_boruvka_msf,
+    update=update_boruvka_msf,
     summarize=_summarize,
     describe=_describe,
     params=(

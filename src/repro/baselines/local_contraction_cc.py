@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.incremental import patch_records, touched_edges
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.graph.graph import Graph, edge_key
@@ -70,6 +71,28 @@ def prepare_local_contraction_cc(graph: Graph, *,
     ).repartition(lambda edge: edge, name="place-edge-list")
     runtime.next_round()
     return PreparedLocalContraction(records=placed.collect())
+
+
+def update_local_contraction_cc(prepared: PreparedLocalContraction,
+                                graph: Graph, *,
+                                runtime: Optional[MPCRuntime] = None,
+                                config: Optional[ClusterConfig] = None,
+                                seed: int = 0,
+                                insertions=(), deletions=()
+                                ) -> PreparedLocalContraction:
+    """Patch the staged edge list after an edge batch (O(batch))."""
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    touched = touched_edges(insertions, deletions)
+    live = [edge for edge in touched if graph.has_edge(*edge)]
+    removed = [edge for edge in touched if not graph.has_edge(*edge)]
+    patch = runtime.pipeline.from_items(live).repartition(
+        lambda edge: edge, name="place-edge-patch")
+    runtime.next_round()
+    return PreparedLocalContraction(records=patch_records(
+        prepared.records, patch.collect(), removed,
+        key=lambda edge: edge))
 
 
 def mpc_local_contraction_cc(graph: Graph, *,
@@ -211,6 +234,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=mpc_local_contraction_cc,
     prepare=prepare_local_contraction_cc,
+    update=update_local_contraction_cc,
     summarize=_summarize,
     describe=_describe,
     params=(

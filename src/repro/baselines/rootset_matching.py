@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.incremental import patch_records, touched_vertices
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.graph.graph import Graph, edge_key
@@ -67,6 +68,31 @@ def prepare_rootset_matching(graph: Graph, *,
     ).repartition(lambda record: record[0], name="place-vertex-records")
     runtime.next_round()
     return PreparedRootsetMatching(records=placed.collect())
+
+
+def update_rootset_matching(prepared: PreparedRootsetMatching, graph: Graph,
+                            *, runtime: Optional[MPCRuntime] = None,
+                            config: Optional[ClusterConfig] = None,
+                            seed: int = 0,
+                            insertions=(), deletions=()
+                            ) -> PreparedRootsetMatching:
+    """Patch the staged vertex records after an edge batch (O(batch)).
+
+    The staging excludes isolated vertices, so a touched vertex whose
+    degree dropped to zero leaves the record list entirely.
+    """
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    touched = touched_vertices(insertions, deletions)
+    live = [v for v in touched if graph.degree(v) > 0]
+    removed = [v for v in touched if graph.degree(v) == 0]
+    patch = runtime.pipeline.from_items(
+        [(v, graph.neighbors(v)) for v in live]
+    ).repartition(lambda record: record[0], name="place-vertex-patch")
+    runtime.next_round()
+    return PreparedRootsetMatching(
+        records=patch_records(prepared.records, patch.collect(), removed))
 
 
 def mpc_rootset_matching(graph: Graph, *,
@@ -218,6 +244,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=mpc_rootset_matching,
     prepare=prepare_rootset_matching,
+    update=update_rootset_matching,
     summarize=_summarize,
     describe=_describe,
     params=(

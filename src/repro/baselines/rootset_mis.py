@@ -23,6 +23,7 @@ from typing import List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.faults import FaultPlan
 from repro.ampc.metrics import Metrics
+from repro.api.incremental import patch_records, touched_vertices
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import vertex_ranks
 from repro.graph.graph import Graph
@@ -65,6 +66,28 @@ def prepare_rootset_mis(graph: Graph, *,
     ).repartition(lambda record: record[0], name="place-vertex-records")
     runtime.next_round()
     return PreparedRootsetMIS(records=placed.collect())
+
+
+def update_rootset_mis(prepared: PreparedRootsetMIS, graph: Graph, *,
+                       runtime: Optional[MPCRuntime] = None,
+                       config: Optional[ClusterConfig] = None,
+                       seed: int = 0,
+                       insertions=(), deletions=()) -> PreparedRootsetMIS:
+    """Patch the staged vertex records after an edge batch (O(batch)).
+
+    MPC has no DHT, so the patch is a placement shuffle of just the
+    touched vertices' records, spliced into the staged list.
+    """
+    del seed
+    if runtime is None:
+        runtime = MPCRuntime(config=config)
+    touched = touched_vertices(insertions, deletions)
+    patch = runtime.pipeline.from_items(
+        [(v, graph.neighbors(v)) for v in touched]
+    ).repartition(lambda record: record[0], name="place-vertex-patch")
+    runtime.next_round()
+    return PreparedRootsetMIS(
+        records=patch_records(prepared.records, patch.collect()))
 
 
 def mpc_rootset_mis(graph: Graph, *,
@@ -216,6 +239,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=mpc_rootset_mis,
     prepare=prepare_rootset_mis,
+    update=update_rootset_mis,
     summarize=_summarize,
     describe=_describe,
     params=(

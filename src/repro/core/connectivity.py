@@ -21,8 +21,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.incremental import touched_edges
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
-from repro.core.msf import PreparedMSF, ampc_msf, prepare_msf
+from repro.core.msf import PreparedMSF, ampc_msf, prepare_msf, update_msf
 from repro.core.ranks import hash_rank
 from repro.dataflow.dofn import DoFn, MachineContext
 from repro.graph.graph import Graph, WeightedGraph, edge_key
@@ -211,6 +212,46 @@ def prepare_components(graph: Graph, *,
     )
 
 
+def update_components(prepared: PreparedComponents, graph: Graph, *,
+                      runtime: Optional[AMPCRuntime] = None,
+                      config: Optional[ClusterConfig] = None,
+                      seed: int = 0,
+                      insertions=(), deletions=()) -> PreparedComponents:
+    """Patch the connectivity preprocessing after an edge batch.
+
+    The derived rank-weighted graph mirrors the input edge set with
+    hashed per-edge weights, so a batch touches exactly the same edges
+    there; the weighted twin is copied (a flat adjacency copy — no
+    hashing, sorting or shuffling) and the MSF artifact is patched
+    through :func:`~repro.core.msf.update_msf` in O(batch).
+    """
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    if prepared.seed != seed:
+        raise ValueError(
+            f"prepared input was built for seed {prepared.seed}, "
+            f"this update uses seed {seed}"
+        )
+    weighted = prepared.weighted.copy()
+    weighted_insertions = []
+    weighted_deletions = []
+    for a, b in touched_edges(insertions, deletions):
+        present = graph.has_edge(a, b)
+        if present and not weighted.has_edge(a, b):
+            weight = hash_rank(seed, a, b)
+            weighted.add_edge(a, b, weight)
+            weighted_insertions.append((a, b, weight))
+        elif not present and weighted.has_edge(a, b):
+            weighted.remove_edge(a, b)
+            weighted_deletions.append((a, b))
+    return PreparedComponents(
+        seed=seed, weighted=weighted,
+        msf=update_msf(prepared.msf, weighted, runtime=runtime, seed=seed,
+                       insertions=weighted_insertions,
+                       deletions=weighted_deletions),
+    )
+
+
 def ampc_connected_components(graph: Graph, *,
                               runtime: Optional[AMPCRuntime] = None,
                               config: Optional[ClusterConfig] = None,
@@ -277,6 +318,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=ampc_connected_components,
     prepare=prepare_components,
+    update=update_components,
     summarize=_summarize,
     describe=_describe,
     params=(

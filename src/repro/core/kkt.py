@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.incremental import patch_records, touched_edges
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.graph.graph import WeightedGraph, edge_key
@@ -129,6 +130,27 @@ def prepare_kkt(graph: WeightedGraph, *,
                                    name="place-edge-list")
     runtime.next_round()
     return PreparedKKT(records=placed.collect())
+
+
+def update_kkt(prepared: PreparedKKT, graph: WeightedGraph, *,
+               runtime: Optional[AMPCRuntime] = None,
+               config: Optional[ClusterConfig] = None,
+               seed: int = 0,
+               insertions=(), deletions=()) -> PreparedKKT:
+    """Patch the staged edge list after an edge batch (O(batch))."""
+    del seed
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    touched = touched_edges(insertions, deletions)
+    live = [edge for edge in touched if graph.has_edge(*edge)]
+    removed = [edge for edge in touched if not graph.has_edge(*edge)]
+    with runtime.metrics.phase("PatchEdges"):
+        patch = runtime.pipeline.from_items(live).repartition(
+            lambda e: edge_key(*e), name="place-edge-patch")
+    runtime.next_round()
+    return PreparedKKT(records=patch_records(
+        prepared.records, patch.collect(), removed,
+        key=lambda edge: edge_key(*edge)))
 
 
 def kkt_msf(graph: WeightedGraph, *,
@@ -237,6 +259,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="weighted",
     run=kkt_msf,
     prepare=prepare_kkt,
+    update=update_kkt,
     summarize=_summarize,
     describe=_describe,
     params=(

@@ -30,6 +30,7 @@ from repro.ampc.cluster import ClusterConfig
 from repro.ampc.dht import DHTStore
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.incremental import patch_records, touched_vertices
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.dataflow.dofn import DoFn, MachineContext
@@ -309,6 +310,43 @@ def prepare_matching(graph: Graph, *,
                             store=store)
 
 
+def update_matching(prepared: PreparedMatching, graph: Graph, *,
+                    runtime: Optional[AMPCRuntime] = None,
+                    config: Optional[ClusterConfig] = None,
+                    seed: int = 0,
+                    insertions=(), deletions=()) -> PreparedMatching:
+    """Patch the DHT-resident edge-permuted graph after an edge batch.
+
+    Edge ranks are a pure function of the endpoints and seed, so only the
+    batch endpoints' rank-sorted incident lists change; they are rewritten
+    into a derived copy-on-write child of the sealed store in O(batch).
+    """
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    if prepared.seed != seed:
+        raise ValueError(
+            f"prepared input was built for seed {prepared.seed}, "
+            f"this update uses seed {seed}"
+        )
+    metrics = runtime.metrics
+    touched = touched_vertices(insertions, deletions)
+    with metrics.phase("PatchPermutedGraph"):
+        patch = runtime.pipeline.from_items(
+            [(v, _permuted_incident(v, graph.neighbors(v), seed))
+             for v in touched]
+        ).repartition(lambda record: record[0], name="place-permuted-patch")
+    with metrics.phase("KV-Patch"):
+        store = runtime.derive_store(prepared.store)
+        runtime.write_store(patch, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+    return PreparedMatching(seed=seed,
+                            records=patch_records(prepared.records,
+                                                  patch.collect()),
+                            store=store)
+
+
 def ampc_maximal_matching(graph: Graph, *,
                           runtime: Optional[AMPCRuntime] = None,
                           config: Optional[ClusterConfig] = None,
@@ -581,6 +619,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=ampc_maximal_matching,
     prepare=prepare_matching,
+    update=update_matching,
     summarize=_summarize,
     describe=_describe,
     params=(

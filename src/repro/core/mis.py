@@ -29,6 +29,7 @@ from repro.ampc.cluster import ClusterConfig
 from repro.ampc.dht import DHTStore
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.incremental import patch_records, touched_vertices
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import vertex_ranks
 from repro.dataflow.dofn import DoFn, MachineContext
@@ -214,6 +215,46 @@ def prepare_mis(graph: Graph, *,
                        store=store)
 
 
+def update_mis(prepared: PreparedMIS, graph: Graph, *,
+               runtime: Optional[AMPCRuntime] = None,
+               config: Optional[ClusterConfig] = None,
+               seed: int = 0,
+               insertions=(), deletions=()) -> PreparedMIS:
+    """Patch the DHT-resident rank-directed graph after an edge batch.
+
+    Only the batch's endpoints change their lower-rank neighbor lists (the
+    ranks are a pure function of vertex id and seed), so their records are
+    recomputed from the mutated graph and written into a derived
+    copy-on-write child of the sealed store — O(batch) work, and the old
+    artifact keeps serving its own cache entry untouched.
+    """
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    if prepared.seed != seed:
+        raise ValueError(
+            f"prepared input was built for seed {prepared.seed}, "
+            f"this update uses seed {seed}"
+        )
+    metrics = runtime.metrics
+    ranks = prepared.ranks
+    touched = touched_vertices(insertions, deletions)
+    with metrics.phase("PatchDirectedGraph"):
+        patch = runtime.pipeline.from_items(
+            [(v, _direct_neighbors(v, graph.neighbors(v), ranks))
+             for v in touched]
+        ).repartition(lambda record: record[0], name="place-directed-patch")
+    with metrics.phase("KV-Patch"):
+        store = runtime.derive_store(prepared.store)
+        runtime.write_store(patch, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+    return PreparedMIS(seed=seed, ranks=ranks,
+                       records=patch_records(prepared.records,
+                                             patch.collect()),
+                       store=store)
+
+
 def ampc_mis(graph: Graph, *,
              runtime: Optional[AMPCRuntime] = None,
              config: Optional[ClusterConfig] = None,
@@ -385,6 +426,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=ampc_mis,
     prepare=prepare_mis,
+    update=update_mis,
     summarize=_summarize,
     describe=_describe,
     params=(

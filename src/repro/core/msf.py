@@ -42,6 +42,7 @@ from repro.ampc.cluster import ClusterConfig
 from repro.ampc.dht import DHTStore
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.incremental import patch_records, touched_vertices
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import vertex_ranks, hash_rank
 from repro.dataflow.dofn import DoFn, MachineContext
@@ -305,6 +306,38 @@ def prepare_msf(graph: WeightedGraph, *,
                             value_fn=lambda record: record[1])
     runtime.next_round()
     return PreparedMSF(records=placed.collect(), store=store)
+
+
+def update_msf(prepared: PreparedMSF, graph: WeightedGraph, *,
+               runtime: Optional[AMPCRuntime] = None,
+               config: Optional[ClusterConfig] = None,
+               seed: int = 0,
+               insertions=(), deletions=()) -> PreparedMSF:
+    """Patch the DHT-resident weight-sorted adjacency after an edge batch.
+
+    Only the batch endpoints' weight-sorted incident lists change; they
+    are recomputed from the mutated graph and written into a derived
+    copy-on-write child of the sealed store — O(batch), seed-independent
+    like :func:`prepare_msf` itself.
+    """
+    del seed
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    touched = touched_vertices(insertions, deletions)
+    with metrics.phase("PatchSortedGraph"):
+        patch = runtime.pipeline.from_items(
+            [(v, _sorted_incident(graph, v)) for v in touched]
+        ).repartition(lambda record: record[0], name="place-sorted-patch")
+    with metrics.phase("KV-Patch"):
+        store = runtime.derive_store(prepared.store)
+        runtime.write_store(patch, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+    return PreparedMSF(records=patch_records(prepared.records,
+                                             patch.collect()),
+                       store=store)
 
 
 def ampc_msf(graph: WeightedGraph, *,
@@ -735,6 +768,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="weighted",
     run=ampc_msf,
     prepare=prepare_msf,
+    update=update_msf,
     summarize=_summarize,
     describe=_describe,
     params=(

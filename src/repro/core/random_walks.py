@@ -27,6 +27,7 @@ from repro.ampc.cluster import ClusterConfig
 from repro.ampc.dht import DHTStore
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.api.incremental import patch_records, touched_vertices
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import hash_rank
 from repro.dataflow.dofn import DoFn
@@ -130,6 +131,37 @@ def prepare_random_walks(graph: Graph, *,
                             value_fn=lambda record: record[1])
     runtime.next_round()
     return PreparedWalks(records=nodes.collect(), store=store)
+
+
+def update_random_walks(prepared: PreparedWalks, graph: Graph, *,
+                        runtime: Optional[AMPCRuntime] = None,
+                        config: Optional[ClusterConfig] = None,
+                        seed: int = 0,
+                        insertions=(), deletions=()) -> PreparedWalks:
+    """Patch the DHT-resident walk adjacency after an edge batch.
+
+    Plain neighbor lists: only the batch endpoints' records change, and
+    they are rewritten into a derived copy-on-write child of the sealed
+    store in O(batch).  Seed-independent like the preparation itself.
+    """
+    del seed
+    if runtime is None:
+        runtime = AMPCRuntime(config=config)
+    metrics = runtime.metrics
+    touched = touched_vertices(insertions, deletions)
+    with metrics.phase("PatchWalkGraph"):
+        patch = runtime.pipeline.from_items(
+            [(v, graph.neighbors(v)) for v in touched]
+        ).repartition(lambda record: record[0], name="place-walk-patch")
+    with metrics.phase("KV-Patch"):
+        store = runtime.derive_store(prepared.store)
+        runtime.write_store(patch, store,
+                            key_fn=lambda record: record[0],
+                            value_fn=lambda record: record[1])
+    runtime.next_round()
+    return PreparedWalks(records=patch_records(prepared.records,
+                                               patch.collect()),
+                         store=store)
 
 
 def _walk_round(graph: Graph, *, runtime: AMPCRuntime, seed: int,
@@ -281,6 +313,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=ampc_pagerank,
     prepare=prepare_random_walks,
+    update=update_random_walks,
     summarize=_summarize_pagerank,
     describe=_describe_pagerank,
     params=(
@@ -316,6 +349,7 @@ register_algorithm(AlgorithmSpec(
     input_kind="graph",
     run=ampc_random_walks,
     prepare=prepare_random_walks,
+    update=update_random_walks,
     summarize=_summarize_walks,
     describe=_describe_walks,
     params=(

@@ -4,14 +4,28 @@ Vertices are dense integers ``0..n-1``.  Both classes store an adjacency map
 per vertex; :class:`WeightedGraph` maps each neighbor to the edge weight.
 Insertion order is deterministic, and all algorithms in the repository that
 depend on ordering sort explicitly, so results are reproducible across runs.
+
+Both classes keep an **edge-delta journal**: every edge mutation appends an
+``(op, u, v[, w])`` record keyed by the ``content_version`` it produced, so
+a consumer holding an older version (a Session cache entry, a serving
+worker) can recover the exact mutation batch between two versions with
+:meth:`Graph.delta_since` — in O(batch), without an O(m) edge-set diff.
+The journal is bounded (:attr:`Graph.journal_limit`); once trimmed past the
+requested version, ``delta_since`` returns None and consumers fall back to
+a full diff-by-fingerprint (i.e. a from-scratch re-prepare).  Mutations the
+journal does not model (``add_vertex``) invalidate it entirely.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 EdgeTuple = Tuple[int, int]
 WeightedEdgeTuple = Tuple[int, int, float]
+
+#: default cap on retained journal records (see :attr:`Graph.journal_limit`)
+DEFAULT_JOURNAL_LIMIT = 4096
 
 
 def edge_key(u: int, v: int) -> EdgeTuple:
@@ -21,7 +35,82 @@ def edge_key(u: int, v: int) -> EdgeTuple:
     return (v, u)
 
 
-class Graph:
+class _JournalMixin:
+    """The bounded edge-delta journal shared by both graph classes.
+
+    ``_journal`` holds ``(content_version, op_record)`` pairs in version
+    order; ``_journal_floor`` is the oldest version the journal can still
+    replay *from*.  The invariant: every content_version bump greater than
+    the floor has exactly one journal record.
+    """
+
+    def _init_journal(self) -> None:
+        self._journal: List[Tuple[int, Tuple]] = []
+        self._journal_floor = 0
+        self._journal_limit = DEFAULT_JOURNAL_LIMIT
+
+    @property
+    def journal_limit(self) -> int:
+        """Max retained journal records; 0 disables journaling entirely."""
+        return self._journal_limit
+
+    @journal_limit.setter
+    def journal_limit(self, limit: int) -> None:
+        self._journal_limit = max(0, int(limit))
+        if self._journal_limit == 0:
+            self._invalidate_journal()
+        elif len(self._journal) > self._journal_limit:
+            self._trim_journal(len(self._journal) - self._journal_limit)
+
+    @property
+    def journal_floor(self) -> int:
+        """The oldest ``content_version`` :meth:`delta_since` can serve."""
+        return self._journal_floor
+
+    def _record(self, op: Tuple) -> None:
+        """Journal one mutation; call *after* bumping content_version."""
+        limit = self._journal_limit
+        if limit <= 0:
+            self._journal_floor = self.content_version
+            return
+        self._journal.append((self.content_version, op))
+        # Trim in blocks so graph construction stays amortized O(1) per
+        # edge (a per-append del of one element would be O(limit) each).
+        if len(self._journal) >= 2 * limit:
+            self._trim_journal(len(self._journal) - limit)
+
+    def _trim_journal(self, drop: int) -> None:
+        self._journal_floor = self._journal[drop - 1][0]
+        del self._journal[:drop]
+
+    def _invalidate_journal(self) -> None:
+        """Forget all history (a mutation the journal does not model)."""
+        self._journal.clear()
+        self._journal_floor = self.content_version
+
+    def delta_since(self, version: Optional[int]) -> Optional[List[Tuple]]:
+        """Edge mutations after ``version``, oldest first; None if lost.
+
+        Records are ``("add", u, v)`` / ``("remove", u, v)`` (plus the
+        weight on weighted adds and ``("weight", u, v, w)`` for in-place
+        weight changes), endpoints in canonical ``u < v`` order.  Returns
+        ``[]`` when ``version`` is current, and None when the journal was
+        truncated past ``version`` (or ``version`` is unknown) — the
+        caller must fall back to a full rebuild.
+        """
+        if version is None or not isinstance(version, int):
+            return None
+        if version == self.content_version:
+            return []
+        if version < self._journal_floor or version > self.content_version:
+            return None
+        # the journal is version-sorted: O(log journal + batch)
+        start = bisect_right(self._journal, version,
+                             key=lambda entry: entry[0])
+        return [op for _v, op in self._journal[start:]]
+
+
+class Graph(_JournalMixin):
     """An undirected, unweighted graph over vertices ``0..n-1``.
 
     The representation is an adjacency set per vertex.  Self loops are
@@ -38,6 +127,7 @@ class Graph:
         #: consumers (e.g. the Session fingerprint memo) skip re-walking
         #: an unchanged graph
         self.content_version = 0
+        self._init_journal()
 
     # -- construction ------------------------------------------------------
 
@@ -53,6 +143,10 @@ class Graph:
         """Append a fresh vertex and return its id."""
         self.content_version += 1
         self._adj.append(set())
+        # Vertex-space growth is outside the edge-delta model: artifacts
+        # keyed per vertex (ranks, records) change shape, so consumers
+        # must rebuild from scratch.
+        self._invalidate_journal()
         return len(self._adj) - 1
 
     def add_edge(self, u: int, v: int) -> bool:
@@ -67,6 +161,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._record(("add",) + edge_key(u, v))
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -75,6 +170,7 @@ class Graph:
         self._adj[v].remove(u)
         self._num_edges -= 1
         self.content_version += 1
+        self._record(("remove",) + edge_key(u, v))
 
     # -- queries -----------------------------------------------------------
 
@@ -138,7 +234,7 @@ class Graph:
             raise IndexError(f"vertex {v} out of range [0, {len(self._adj)})")
 
 
-class WeightedGraph:
+class WeightedGraph(_JournalMixin):
     """An undirected graph with one float weight per edge.
 
     Edge weights need not be distinct: every ordering-sensitive consumer uses
@@ -154,6 +250,7 @@ class WeightedGraph:
         self._num_edges = 0
         #: see :attr:`Graph.content_version`
         self.content_version = 0
+        self._init_journal()
 
     # -- construction ------------------------------------------------------
 
@@ -178,6 +275,7 @@ class WeightedGraph:
     def add_vertex(self) -> int:
         self.content_version += 1
         self._adj.append(dict())
+        self._invalidate_journal()  # see Graph.add_vertex
         return len(self._adj) - 1
 
     def add_edge(self, u: int, v: int, weight: float) -> bool:
@@ -192,12 +290,23 @@ class WeightedGraph:
                 self.content_version += 1
                 self._adj[u][v] = weight
                 self._adj[v][u] = weight
+                self._record(("weight",) + edge_key(u, v) + (weight,))
             return False
         self.content_version += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
         self._num_edges += 1
+        self._record(("add",) + edge_key(u, v) + (weight,))
         return True
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Remove edge ``{u, v}``; returns its weight, KeyError if absent."""
+        weight = self._adj[u].pop(v)
+        del self._adj[v][u]
+        self._num_edges -= 1
+        self.content_version += 1
+        self._record(("remove",) + edge_key(u, v))
+        return weight
 
     # -- queries -----------------------------------------------------------
 

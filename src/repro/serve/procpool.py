@@ -125,6 +125,27 @@ def _worker_main(conn, index: int, config: Optional[ClusterConfig],
             pinned.pop(fingerprint, None)
             session.unload(fingerprint)
             continue
+        if op == "update":
+            (_, request_id, old_fingerprint, new_fingerprint,
+             insertions, deletions) = message
+            try:
+                # Apply the delta to the resident copy: the graph does NOT
+                # cross the process boundary again.  The handle's
+                # fingerprint chain-updates, and the next run on it
+                # patches this session's cached artifacts through the
+                # specs' update hooks.
+                handle = session.handle(old_fingerprint)
+                handle.apply_batch(insertions, deletions)
+                if new_fingerprint != old_fingerprint:
+                    session.load(new_fingerprint, handle)
+                    session.unload(old_fingerprint)
+                    graph = pinned.pop(old_fingerprint, None)
+                    if graph is not None:
+                        pinned[new_fingerprint] = graph
+                conn.send(("ok", request_id, handle.fingerprint))
+            except BaseException as error:  # noqa: BLE001
+                _send_error(conn, request_id, error)
+            continue
         if op == "run":
             (_, request_id, algorithm, fingerprint, graph, seed,
              reuse, params) = message
@@ -177,8 +198,12 @@ class _WorkerClient:
     """
 
     def __init__(self, index: int, ctx, config, fault_plan, strict_rounds,
-                 max_cache_bytes):
+                 max_cache_bytes, on_death=None):
         self.index = index
+        #: called (with this client) from the reader thread once the
+        #: worker process is gone and its leftovers are failed — the
+        #: dispatcher's respawn hook
+        self.on_death = on_death
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
         self.process = ctx.Process(
@@ -261,6 +286,32 @@ class _WorkerClient:
             raise
         return pending
 
+    def submit_update(self, old_fingerprint: str, new_fingerprint: str,
+                      insertions, deletions) -> PendingResult:
+        """Ship an edge delta by fingerprint pair (never the whole graph).
+
+        Under the send lock the resident-set bookkeeping moves
+        ``old -> new`` atomically with the send, so a racing submit for
+        the new fingerprint pipelines a fingerprint-only run *behind*
+        this update instead of re-pickling the graph.
+        """
+        request_id, pending = self._register(None, None, is_run=True)
+        try:
+            with self.send_lock:
+                self.conn.send(("update", request_id, old_fingerprint,
+                                new_fingerprint, list(insertions),
+                                list(deletions)))
+                self.shipped.discard(old_fingerprint)
+                self.shipped.add(new_fingerprint)
+        except (OSError, BrokenPipeError) as error:
+            self._discard(request_id)
+            raise WorkerDiedError(
+                f"worker {self.index} pipe is closed: {error}") from error
+        except BaseException:
+            self._discard(request_id)
+            raise
+        return pending
+
     def request_stats(self) -> PendingResult:
         request_id, pending = self._register(None, None, is_run=False)
         try:
@@ -332,6 +383,11 @@ class _WorkerClient:
                 except Exception:  # noqa: BLE001
                     pass
             outstanding.pending._fail(error)
+        if self.on_death is not None:
+            try:
+                self.on_death(self)
+            except Exception:  # noqa: BLE001 - the reader must not die
+                pass
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -390,13 +446,24 @@ class ProcessGraphService(ServiceBase):
         if spill_threshold < 1:
             raise ValueError("spill_threshold must be >= 1")
         ctx = multiprocessing.get_context(mp_context)
-        self._clients = [
-            _WorkerClient(index, ctx, config, fault_plan, strict_rounds,
-                          max_cache_bytes)
-            for index in range(processes)
-        ]
+        #: spawn parameters, kept for worker respawn after a crash
+        self._ctx = ctx
+        self._config = config
+        self._fault_plan = fault_plan
+        self._strict_rounds = strict_rounds
+        self._max_cache_bytes = max_cache_bytes
         self._spill_threshold = spill_threshold
         self._lock = threading.Lock()
+        #: serializes update() end to end (graph mutation, affinity move,
+        #: delta shipping) — see GraphService._update_lock
+        self._update_lock = threading.Lock()
+        self._closed = False
+        self._workers_respawned = 0
+        #: final stats payloads of workers that died and were replaced,
+        #: so merged counters stay coherent across respawns (best-effort:
+        #: only what the dead worker last reported)
+        self._retired_stats: List[Dict[str, Any]] = []
+        self._clients = [self._spawn(index) for index in range(processes)]
         self._handles: Dict[str, GraphHandle] = {}
         self._pinned: Dict[str, Any] = {}
         #: base name -> (base fingerprint, derived graph, derived
@@ -409,11 +476,41 @@ class ProcessGraphService(ServiceBase):
         self._failed = 0
         self._affinity_routed = 0
         self._rebalances = 0
-        self._closed = False
+        self._updates = 0
         #: control-plane thread pool: fans out per-worker stats gathering
         #: and close-time draining without serializing on slow workers
         self._control = WorkerPool(min(4, processes),
                                    name="repro-procpool-ctl")
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, index: int) -> _WorkerClient:
+        return _WorkerClient(index, self._ctx, self._config,
+                             self._fault_plan, self._strict_rounds,
+                             self._max_cache_bytes,
+                             on_death=self._on_worker_death)
+
+    def _on_worker_death(self, client: _WorkerClient) -> None:
+        """Respawn a crashed worker in place (reader-thread callback).
+
+        The replacement takes the dead worker's slot, so existing affinity
+        assignments keep routing to the same index; its resident set
+        starts empty, and the dispatcher re-ships each pinned graph lazily
+        on the next query routed there (every submit carries the live
+        graph object precisely for this).  The dead worker's last reported
+        stats are retired into the merged view.
+        """
+        with self._lock:
+            if self._closed or self._clients[client.index] is not client:
+                return
+            if client.last_stats is not None:
+                self._retired_stats.append(client.last_stats)
+            self._clients[client.index] = self._spawn(client.index)
+            self._workers_respawned += 1
+        try:
+            client.conn.close()
+        except OSError:
+            pass
 
     # -- graph registry ----------------------------------------------------
 
@@ -457,6 +554,69 @@ class ProcessGraphService(ServiceBase):
     def graphs(self) -> List[str]:
         with self._lock:
             return sorted(self._handles)
+
+    def update(self, name: str, insertions: Any = (),
+               deletions: Any = ()) -> GraphHandle:
+        """Apply an edge batch to a loaded graph (see ServiceBase.update).
+
+        The dispatcher-side copy mutates and chain-updates its
+        fingerprint; every worker already holding the graph receives the
+        **delta by fingerprint pair** — O(batch) on the pipe instead of
+        re-pickling the whole graph — applies it to its resident copy and
+        patches its cached artifacts on the next query.  Workers that
+        never saw the graph (or died and respawned) get the mutated graph
+        shipped lazily as usual.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            handle = self._handles.get(name)
+            known = ", ".join(sorted(self._handles)) or "(none)"
+        if handle is None:
+            raise KeyError(f"no graph loaded as {name!r}; loaded: {known}")
+        insertions = [tuple(edge) for edge in insertions]
+        deletions = [tuple(edge) for edge in deletions]
+        with self._update_lock:
+            old_fingerprint = handle.fingerprint
+            handle.apply_batch(insertions, deletions)
+            new_fingerprint = handle.fingerprint
+            if new_fingerprint == old_fingerprint:
+                return handle
+            with self._lock:
+                self._updates += 1
+                derived = self._derived.pop(name, None)
+                index = self._affinity.pop(old_fingerprint, None)
+                if index is not None:
+                    self._affinity[new_fingerprint] = index
+                if derived is not None:
+                    self._affinity.pop(derived[2], None)
+                clients = list(self._clients)
+            if derived is not None:
+                for client in clients:
+                    if derived[2] in client.shipped:
+                        client.send_unload(derived[2])
+            acknowledgements = []
+            for client in clients:
+                if client.alive and old_fingerprint in client.shipped:
+                    try:
+                        acknowledgements.append((client, client.submit_update(
+                            old_fingerprint, new_fingerprint,
+                            insertions, deletions)))
+                    except (WorkerDiedError, ServiceClosedError):
+                        pass  # the respawned worker re-ships lazily
+            for client, acknowledgement in acknowledgements:
+                try:
+                    acknowledgement.result(60.0)
+                except (WorkerDiedError, ServiceClosedError):
+                    pass  # failover/respawn re-ships lazily
+                except BaseException:
+                    # the worker could not apply the delta (or timed
+                    # out): its resident copy is unknown, so stop
+                    # claiming it holds the new content — the next query
+                    # routed there re-ships the full mutated graph
+                    with client.send_lock:
+                        client.shipped.discard(new_fingerprint)
+            return handle
 
     # -- queries -----------------------------------------------------------
 
@@ -611,6 +771,9 @@ class ProcessGraphService(ServiceBase):
             SessionStats(**{f: row[f] for f in _SESSION_STAT_FIELDS})
             for row in per_worker)
         with self._lock:
+            # replaced workers' last-reported counters stay in the total
+            for payload in self._retired_stats:
+                merged.merge(payload["stats"])
             stats: Dict[str, Any] = {
                 "workers": len(self._clients),
                 "processes": len(self._clients),
@@ -620,6 +783,8 @@ class ProcessGraphService(ServiceBase):
                 "graphs_loaded": len(self._handles),
                 "affinity_routed": self._affinity_routed,
                 "rebalances": self._rebalances,
+                "updates": self._updates,
+                "workers_respawned": self._workers_respawned,
             }
         stats["cached_preprocessings"] = sum(
             row["cached_preprocessings"] for row in per_worker)

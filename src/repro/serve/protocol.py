@@ -10,6 +10,8 @@ Operations::
     {"op": "load", "name": "w", "path": "graph.txt", "weighted": true}
     {"op": "run", "algorithm": "mis", "graph": "g", "seed": 1,
      "params": {"search_budget": 100}}
+    {"op": "update", "graph": "g", "insertions": [[0, 2]],
+     "deletions": [[0, 1]]}
     {"op": "algorithms"}
     {"op": "graphs"}
     {"op": "stats"}
@@ -95,6 +97,31 @@ def _op_run(service: ServiceBase, request: Dict[str, Any]) -> Dict[str, Any]:
     return {"ok": True, "result": result.to_dict()}
 
 
+def _op_update(service: ServiceBase,
+               request: Dict[str, Any]) -> Dict[str, Any]:
+    """Apply an edge batch to a loaded graph (the batch-dynamic path).
+
+    Deletions are ``[u, v]`` rows; insertions are ``[u, v]`` rows (or
+    ``[u, v, w]`` for weighted graphs).  Responds with the graph's new
+    fingerprint and counts — later ``run`` ops are answered by patched
+    DHT-resident artifacts, not a from-scratch re-preparation.
+    """
+    name = str(request.get("graph") or _require(request, "name"))
+    insertions = request.get("insertions") or []
+    deletions = request.get("deletions") or []
+    if not isinstance(insertions, list) or not isinstance(deletions, list):
+        raise ProtocolError("'insertions'/'deletions' must be arrays")
+    ins_rows = [(int(row[0]), int(row[1]), float(row[2]))
+                if len(row) == 3 else (int(row[0]), int(row[1]))
+                for row in insertions]
+    del_rows = [(int(row[0]), int(row[1])) for row in deletions]
+    handle = service.update(name, insertions=ins_rows, deletions=del_rows)
+    return {"ok": True, "graph": name,
+            "vertices": handle.num_vertices, "edges": handle.num_edges,
+            "fingerprint": handle.fingerprint,
+            "insertions": len(ins_rows), "deletions": len(del_rows)}
+
+
 def handle_request(service: ServiceBase,
                    request: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one decoded request; always returns a response object."""
@@ -107,6 +134,8 @@ def handle_request(service: ServiceBase,
             response = _op_load(service, request)
         elif op == "run":
             response = _op_run(service, request)
+        elif op == "update":
+            response = _op_update(service, request)
         elif op == "algorithms":
             response = {"ok": True, "algorithms": service.algorithms()}
         elif op == "graphs":

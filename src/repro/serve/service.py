@@ -69,6 +69,20 @@ class ServiceBase:
                **params: Any) -> PendingResult:
         raise NotImplementedError
 
+    def update(self, name: str, insertions: Any = (),
+               deletions: Any = ()) -> "GraphHandle":
+        """Apply an edge batch to the graph registered as ``name``.
+
+        Deletions apply first, then insertions (``(u, v)`` pairs; weighted
+        graphs take ``(u, v, w)`` insertion triples).  The graph's
+        fingerprint chain-updates in O(batch) and later queries patch
+        cached DHT-resident artifacts through the registered ``update``
+        hooks instead of re-preparing from scratch.  Not synchronized with
+        in-flight queries on the same graph — sequence an update after the
+        queries whose results you still expect against the old content.
+        """
+        raise NotImplementedError
+
     def query(self, algorithm: str, graph: Any, *, seed: int = 0,
               timeout: Optional[float] = None,
               **params: Any) -> RunResult:
@@ -104,6 +118,11 @@ class GraphService(ServiceBase):
         )
         self._pool = WorkerPool(workers, max_pending=max_pending)
         self._lock = threading.Lock()
+        #: serializes update() batches — concurrent updates to one graph
+        #: must not interleave mutations (version bumps and journal
+        #: records are not atomic); update-vs-query ordering remains the
+        #: caller's to sequence
+        self._update_lock = threading.Lock()
         #: strong references to pinned graphs (Session handles are weak;
         #: a serving daemon owns the graphs loaded into it)
         self._pinned: Dict[str, Any] = {}
@@ -140,6 +159,19 @@ class GraphService(ServiceBase):
 
     def graphs(self) -> List[str]:
         return self.session.graphs()
+
+    def update(self, name: str, insertions: Any = (),
+               deletions: Any = ()) -> GraphHandle:
+        """Apply an edge batch to a loaded graph (see ServiceBase.update).
+
+        The shared Session sees the handle's chain-updated fingerprint on
+        the next query and patches its cached artifacts incrementally; a
+        stale ``<name>#degree-weighted`` derivation is rebuilt lazily (its
+        recorded base fingerprint no longer matches).
+        """
+        handle = self.session.handle(name)
+        with self._update_lock:
+            return handle.apply_batch(insertions, deletions)
 
     # -- queries -----------------------------------------------------------
 
@@ -227,7 +259,8 @@ class GraphService(ServiceBase):
                 "cache_bytes": self.session.cache_bytes,
             }
         for name in ("runs", "preprocessing_hits", "preprocessing_misses",
-                     "preprocessing_evictions", "shuffles_saved",
+                     "preprocessing_evictions", "incremental_updates",
+                     "full_prepares", "shuffles_saved",
                      "kv_writes_saved", "shuffles_executed",
                      "kv_reads_executed", "kv_writes_executed",
                      "simulated_time_s"):

@@ -1,0 +1,152 @@
+"""Chained fingerprints: O(batch) naming for journaled mutations.
+
+``chain_fingerprint(base, ops)`` names a mutated graph without re-walking
+its m edges.  The contract, property-tested against
+:func:`graph_fingerprint` ground truth:
+
+* **determinism** — two graphs with equal content receiving the same
+  batch chain to the same name (what procpool's fingerprint-pair delta
+  shipping relies on);
+* **no false sharing** — whenever two mutation histories yield different
+  content (different ``graph_fingerprint``), the chained names differ
+  too, and a chained name never collides with any content fingerprint —
+  a chained key can therefore never serve a stale artifact;
+* the memo and handles fall back to ground-truth recomputation whenever
+  the journal cannot replay the gap.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import GraphHandle, Session, chain_fingerprint, graph_fingerprint
+from repro.api.fingerprint import FingerprintMemo
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.graph import Graph
+
+
+def _random_batch(rng, graph, size):
+    """Mutate ``graph`` with ``size`` random valid add/remove ops."""
+    n = graph.num_vertices
+    for _ in range(size):
+        u, v = rng.sample(range(n), 2)
+        if graph.has_edge(u, v) and rng.random() < 0.5:
+            graph.remove_edge(u, v)
+        else:
+            graph.add_edge(u, v)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), batch=st.integers(1, 12))
+def test_chained_names_are_deterministic_across_copies(seed, batch):
+    """Equal base + equal ops -> equal chained fingerprint; and content
+    divergence always shows as fingerprint divergence."""
+    a = erdos_renyi_gnm(16, 24, seed=7)
+    b = a.copy()
+    memo_a, memo_b = FingerprintMemo(), FingerprintMemo()
+    fp_a, _ = memo_a.resolve(a)
+    fp_b, _ = memo_b.resolve(b)
+    assert fp_a == fp_b == graph_fingerprint(a)
+    version = a.content_version
+    _random_batch(random.Random(seed), a, batch)
+    # replay the same journaled batch onto the copy
+    for op in a.delta_since(version):
+        if op[0] == "add":
+            b.add_edge(op[1], op[2])
+        else:
+            b.remove_edge(op[1], op[2])
+    chained_a, _ = memo_a.resolve(a)
+    chained_b, _ = memo_b.resolve(b)
+    assert chained_a == chained_b
+    # ground truth: content equality is what the names must reflect
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+    if a.delta_since(version):
+        # chained names live in a separate domain from content prints
+        assert chained_a != graph_fingerprint(a)
+    else:
+        # an all-no-op batch keeps the memoized content fingerprint
+        assert chained_a == fp_a
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_different_content_never_shares_a_chained_name(seed):
+    rng = random.Random(seed)
+    a = erdos_renyi_gnm(12, 18, seed=3)
+    b = a.copy()
+    memo = FingerprintMemo()
+    fp_a0, _ = memo.resolve(a)
+    _random_batch(rng, a, rng.randint(1, 8))
+    _random_batch(rng, b, rng.randint(1, 8))
+    fp_a, _ = memo.resolve(a)
+    fp_b, _ = memo.resolve(b)
+    if graph_fingerprint(a) != graph_fingerprint(b):
+        assert fp_a != fp_b
+    if graph_fingerprint(a) != graph_fingerprint(erdos_renyi_gnm(12, 18,
+                                                                 seed=3)):
+        assert fp_a != fp_a0
+
+
+def test_chain_is_pure_and_order_sensitive():
+    base = graph_fingerprint(erdos_renyi_gnm(8, 10, seed=1))
+    ops_1 = [("add", 0, 1), ("remove", 2, 3)]
+    ops_2 = [("remove", 2, 3), ("add", 0, 1)]
+    assert chain_fingerprint(base, ops_1) == chain_fingerprint(base, ops_1)
+    assert chain_fingerprint(base, ops_1) != chain_fingerprint(base, ops_2)
+    assert chain_fingerprint(base, ops_1) != base
+
+
+class TestMemoLineage:
+    def test_resolve_accumulates_ancestors(self):
+        graph = erdos_renyi_gnm(10, 15, seed=2)
+        memo = FingerprintMemo()
+        fp_0, ancestors = memo.resolve(graph)
+        assert ancestors == ()
+        version_0 = graph.content_version
+        graph.add_edge(*_absent_edge(graph))
+        fp_1, ancestors = memo.resolve(graph)
+        assert ancestors == ((version_0, fp_0),)
+        graph.remove_edge(*next(iter(graph.edges())))
+        _fp_2, ancestors = memo.resolve(graph)
+        assert ancestors[-1][1] == fp_1
+        assert ancestors[0] == (version_0, fp_0)
+
+    def test_truncated_journal_falls_back_to_ground_truth(self):
+        graph = erdos_renyi_gnm(10, 15, seed=2)
+        graph.journal_limit = 2
+        memo = FingerprintMemo()
+        memo.resolve(graph)
+        for _ in range(6):
+            graph.add_edge(*_absent_edge(graph))
+        fp, _ = memo.resolve(graph)
+        assert fp == graph_fingerprint(graph)  # re-walked, not chained
+
+    def test_handle_chains_and_falls_back(self):
+        graph = erdos_renyi_gnm(10, 15, seed=4)
+        handle = GraphHandle("g", graph)
+        fp_0 = handle.fingerprint
+        assert fp_0 == graph_fingerprint(graph)
+        handle.apply_batch(insertions=[_absent_edge(graph)])
+        assert handle.fingerprint != fp_0
+        assert handle.ancestors[-1][1] == fp_0
+        assert handle.num_edges == graph.num_edges
+        # refresh() is always ground truth
+        assert handle.refresh().fingerprint == graph_fingerprint(graph)
+
+    def test_session_raw_graph_lineage_survives_truncation_check(self):
+        session = Session()
+        graph = erdos_renyi_gnm(10, 15, seed=5)
+        fp, ancestors = session._fingerprints.resolve(graph)
+        graph.add_vertex()  # invalidates the journal
+        fp_2, ancestors_2 = session._fingerprints.resolve(graph)
+        assert fp_2 == graph_fingerprint(graph)
+        assert ancestors_2[-1][1] == fp
+
+
+def _absent_edge(graph: Graph):
+    for a in graph.vertices():
+        for b in graph.vertices():
+            if a < b and not graph.has_edge(a, b):
+                return a, b
+    raise AssertionError("graph is complete")

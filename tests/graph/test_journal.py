@@ -1,0 +1,158 @@
+"""Edge-delta journal semantics: the batch-dynamic recovery contract.
+
+``delta_since(version)`` must return exactly the mutation batch between
+``version`` and now — or None whenever it cannot (truncation, un-journaled
+mutations) so consumers fall back to a full rebuild instead of patching
+from an incomplete history.
+"""
+
+import pytest
+
+from repro.graph.graph import Graph, WeightedGraph
+
+
+def _replay(n, ops, weighted=False):
+    """Apply a journal batch to an empty graph (ground-truth semantics)."""
+    graph = WeightedGraph(n) if weighted else Graph(n)
+    for op in ops:
+        if op[0] == "add":
+            graph.add_edge(*op[1:])
+        elif op[0] == "weight":
+            graph.add_edge(*op[1:])
+        else:
+            graph.remove_edge(op[1], op[2])
+    return graph
+
+
+class TestGraphJournal:
+    def test_delta_since_current_version_is_empty(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2)])
+        assert graph.delta_since(graph.content_version) == []
+
+    def test_delta_records_mutations_in_order(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2)])
+        version = graph.content_version
+        graph.add_edge(2, 3)
+        graph.remove_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert graph.delta_since(version) == [
+            ("add", 2, 3), ("remove", 0, 1), ("add", 0, 2)]
+
+    def test_delta_endpoints_are_canonical(self):
+        graph = Graph(4)
+        version = graph.content_version
+        graph.add_edge(3, 1)
+        assert graph.delta_since(version) == [("add", 1, 3)]
+
+    def test_noop_add_is_not_journaled(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        version = graph.content_version
+        assert not graph.add_edge(0, 1)
+        assert graph.delta_since(version) == []
+
+    def test_interleaved_add_remove_of_same_edge(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2)])
+        version = graph.content_version
+        graph.remove_edge(0, 1)
+        graph.add_edge(0, 1)
+        graph.remove_edge(0, 1)
+        ops = graph.delta_since(version)
+        assert ops == [("remove", 0, 1), ("add", 0, 1), ("remove", 0, 1)]
+        replayed = _replay(4, [("add", 0, 1), ("add", 1, 2)] + ops)
+        assert sorted(replayed.edges()) == sorted(graph.edges())
+
+    def test_add_vertex_invalidates_history(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        version = graph.content_version
+        graph.add_vertex()
+        assert graph.delta_since(version) is None
+        # but history restarts from here
+        version = graph.content_version
+        graph.add_edge(2, 3)
+        assert graph.delta_since(version) == [("add", 2, 3)]
+
+    def test_unknown_versions_return_none(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        assert graph.delta_since(graph.content_version + 5) is None
+        assert graph.delta_since(None) is None
+        assert graph.delta_since("x") is None
+
+    def test_truncation_returns_none_below_floor(self):
+        graph = Graph(64)
+        graph.journal_limit = 8
+        version = graph.content_version
+        for i in range(40):
+            graph.add_edge(i, i + 1)
+        assert graph.delta_since(version) is None
+        assert graph.journal_floor > version
+        # recent history is still replayable
+        recent = graph.content_version
+        graph.add_edge(0, 63)
+        assert graph.delta_since(recent) == [("add", 0, 63)]
+
+    def test_journal_limit_zero_disables_journaling(self):
+        graph = Graph(4)
+        graph.journal_limit = 0
+        version = graph.content_version
+        graph.add_edge(0, 1)
+        assert graph.delta_since(version) is None
+        assert graph.delta_since(graph.content_version) == []
+
+    def test_copy_starts_a_fresh_consistent_history(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        clone = graph.copy()
+        # version 0 of the clone *is* its full current content
+        assert clone.delta_since(clone.content_version) == []
+        clone.add_edge(0, 2)
+        assert clone.delta_since(0) == [("add", 0, 2)]
+        assert not graph.has_edge(0, 2)
+
+    def test_construction_is_bounded_by_the_limit(self):
+        graph = Graph(3000)
+        for i in range(2999):
+            graph.add_edge(i, i + 1)
+        # block trimming keeps at most 2x the limit resident
+        assert len(graph._journal) <= 2 * graph.journal_limit
+
+
+class TestWeightedGraphJournal:
+    def test_add_records_weight(self):
+        graph = WeightedGraph(3)
+        version = graph.content_version
+        graph.add_edge(1, 0, 2.5)
+        assert graph.delta_since(version) == [("add", 0, 1, 2.5)]
+
+    def test_weight_lowering_is_journaled(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 5.0)])
+        version = graph.content_version
+        assert not graph.add_edge(0, 1, 3.0)  # duplicate, lower weight
+        assert graph.delta_since(version) == [("weight", 0, 1, 3.0)]
+        assert graph.weight(0, 1) == 3.0
+
+    def test_weight_raising_is_a_noop(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 5.0)])
+        version = graph.content_version
+        assert not graph.add_edge(0, 1, 9.0)
+        assert graph.delta_since(version) == []
+
+    def test_remove_edge_returns_weight_and_journals(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 5.0), (1, 2, 1.0)])
+        version = graph.content_version
+        assert graph.remove_edge(1, 0) == 5.0
+        assert graph.num_edges == 1
+        assert not graph.has_edge(0, 1)
+        assert graph.delta_since(version) == [("remove", 0, 1)]
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_weighted_replay_round_trips(self):
+        graph = WeightedGraph.from_edges(
+            4, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)])
+        base = [("add",) + edge for edge in graph.edges()]
+        version = graph.content_version
+        graph.remove_edge(1, 2)
+        graph.add_edge(0, 3, 1.5)
+        graph.add_edge(0, 1, 0.5)  # weight change
+        ops = graph.delta_since(version)
+        replayed = _replay(4, base + ops, weighted=True)
+        assert sorted(replayed.edges()) == sorted(graph.edges())
