@@ -1,0 +1,235 @@
+"""Cluster-backend benchmark: worker scaling over one shared artifact.
+
+The multi-host story of the distributed backend (``repro.distdht``): N
+serving workers answer a mixed query burst against **one** physically
+shared prepared graph.  On the ``sim`` backend every worker needs its own
+shipped copy; on ``shm`` the dispatcher publishes the graph once into
+shared memory and every worker (including respawned ones) resolves the
+same bytes — ship-once becomes write-once.  The ``socket`` workload runs
+the same burst against real DHT nodes over TCP with replication 2, which
+prices the wire protocol against same-host shared memory.
+
+Results live in ``BENCH_cluster.json`` at the repository root:
+
+* ``after_s`` — committed wall-clock per workload (best-of repeats);
+* ``graphs_shipped`` — publications needed to feed the workers (the
+  write-once invariant: 1 per graph on shm, whatever N is);
+* ``--check`` gates CI: the write-once/completion invariants must hold
+  and a fresh measurement may not exceed ``REGRESSION_FACTOR x`` the
+  committed ``after_s``.
+
+Usage::
+
+    python benchmarks/bench_cluster.py                # full sweep, record
+    python benchmarks/bench_cluster.py --quick        # small CI suite
+    python benchmarks/bench_cluster.py --quick --check  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.ampc.cluster import ClusterConfig  # noqa: E402
+from repro.distdht import DHTNodeServer  # noqa: E402
+from repro.graph.generators import erdos_renyi_gnm  # noqa: E402
+from repro.serve import GraphService, ProcessGraphService  # noqa: E402
+
+#: a fresh measurement may be at most this factor above the committed
+#: after_s before --check fails (cross-machine headroom included)
+REGRESSION_FACTOR = 2.5
+#: absolute grace floor: tiny workloads are dominated by process startup
+REGRESSION_FLOOR_S = 1.5
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_cluster.json",
+)
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+def _burst(quick: bool) -> List[Tuple[str, int]]:
+    algorithms = ("mis", "components") if quick else (
+        "mis", "matching", "components")
+    seeds = range(2 if quick else 4)
+    return [(algorithm, seed) for algorithm in algorithms for seed in seeds]
+
+
+def _graph(quick: bool):
+    if quick:
+        return erdos_renyi_gnm(120, 240, seed=3)
+    return erdos_renyi_gnm(300, 900, seed=3)
+
+
+def _drive(service, burst) -> Dict[str, int]:
+    service.load("g", _GRAPH)
+    pending = [service.submit(algorithm, "g", seed=seed)
+               for algorithm, seed in burst]
+    for item in pending:
+        item.result(timeout=600)
+    return service.stats()
+
+
+#: module-level so worker forks inherit it instead of re-building it
+_GRAPH = None
+
+
+def _procpool_workload(processes: int, burst) -> Callable[[], Dict]:
+    def run() -> Dict:
+        with ProcessGraphService(CONFIG, processes=processes,
+                                 backend="shm",
+                                 spill_threshold=1) as service:
+            stats = _drive(service, burst)
+        return {"graphs_shipped": stats["graphs_shipped"],
+                "completed": stats["completed"]}
+    return run
+
+
+def _threadpool_workload(burst) -> Callable[[], Dict]:
+    def run() -> Dict:
+        with GraphService(CONFIG, workers=2, backend="shm") as service:
+            stats = _drive(service, burst)
+        return {"graphs_shipped": 0, "completed": stats["completed"]}
+    return run
+
+
+def _socket_workload(burst, replication: int = 2) -> Callable[[], Dict]:
+    def run() -> Dict:
+        with DHTNodeServer() as node_a, DHTNodeServer() as node_b:
+            with GraphService(CONFIG, workers=2, backend="socket",
+                              dht_nodes=[node_a.address, node_b.address],
+                              replication=replication) as service:
+                stats = _drive(service, burst)
+        return {"graphs_shipped": 0, "completed": stats["completed"]}
+    return run
+
+
+def _suite(quick: bool) -> List[Tuple[str, Callable[[], Dict]]]:
+    burst = _burst(quick)
+    ranks = (1, 2) if quick else (1, 2, 4)
+    workloads: List[Tuple[str, Callable[[], Dict]]] = [
+        (f"shm.procpool/n{processes}", _procpool_workload(processes, burst))
+        for processes in ranks
+    ]
+    workloads.append(("shm.threads/n2", _threadpool_workload(burst)))
+    workloads.append(("socket.r2/n2", _socket_workload(burst)))
+    return workloads
+
+
+def _measure(run: Callable[[], Dict], repeats: int) -> Dict:
+    best = float("inf")
+    info: Dict = {}
+    for _ in range(repeats):
+        start = time.perf_counter()
+        info = run()
+        best = min(best, time.perf_counter() - start)
+    info["wall_s"] = round(best, 4)
+    return info
+
+
+def _load_report(path: str) -> Dict:
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return {"schema": 1, "unit": "seconds",
+            "regression_factor": REGRESSION_FACTOR, "suites": {}}
+
+
+def _save_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _invariant_failures(name: str, numbers: Dict, burst_size: int) -> List[str]:
+    failures = []
+    if numbers["completed"] != burst_size:
+        failures.append(
+            f"{name}: completed {numbers['completed']} of {burst_size} "
+            "queries")
+    if name.startswith("shm.procpool/") and numbers["graphs_shipped"] != 1:
+        failures.append(
+            f"{name}: graphs_shipped == {numbers['graphs_shipped']}, "
+            "want exactly 1 (write-once fronting)")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    global _GRAPH
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small burst and graph (the CI suite)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify invariants and compare against the "
+                             "committed after_s (fail on >%.1fx)"
+                             % REGRESSION_FACTOR)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="measurements per workload (best-of; "
+                             "default 2 full / 1 quick)")
+    parser.add_argument("--output", default=BENCH_PATH,
+                        help="report path (default: BENCH_cluster.json)")
+    args = parser.parse_args(argv)
+
+    suite_name = "quick" if args.quick else "full"
+    repeats = args.repeats or (1 if args.quick else 2)
+    _GRAPH = _graph(args.quick)
+    burst_size = len(_burst(args.quick))
+
+    measured: Dict[str, Dict] = {}
+    failures: List[str] = []
+    for name, run in _suite(args.quick):
+        numbers = _measure(run, repeats)
+        measured[name] = numbers
+        failures.extend(_invariant_failures(name, numbers, burst_size))
+        print(f"{name:24s} {numbers['wall_s']:8.3f}s wall  "
+              f"shipped={numbers['graphs_shipped']}  "
+              f"completed={numbers['completed']}/{burst_size}")
+
+    report = _load_report(args.output)
+    suite = report["suites"].setdefault(suite_name, {"workloads": {}})
+    if args.check:
+        for name, numbers in measured.items():
+            entry = suite["workloads"].setdefault(name, {})
+            entry["last_check_s"] = numbers["wall_s"]
+            entry["last_check_cpus"] = os.cpu_count()
+            committed = entry.get("after_s")
+            if committed is None:
+                continue
+            limit = max(committed * REGRESSION_FACTOR, REGRESSION_FLOOR_S)
+            if numbers["wall_s"] > limit:
+                failures.append(
+                    f"{name}: {numbers['wall_s']:.3f}s exceeds "
+                    f"{limit:.3f}s ({REGRESSION_FACTOR}x committed "
+                    f"{committed:.3f}s)")
+        _save_report(report, args.output)
+        for failure in failures:
+            print(f"REGRESSION  {failure}")
+        print("cluster check:", "FAIL" if failures else "OK")
+        return 1 if failures else 0
+
+    if failures:
+        for failure in failures:
+            print(f"INVARIANT  {failure}")
+        return 1
+    for name, numbers in measured.items():
+        entry = suite["workloads"].setdefault(name, {})
+        entry["after_s"] = numbers["wall_s"]
+        entry["graphs_shipped"] = numbers["graphs_shipped"]
+        entry["completed"] = numbers["completed"]
+        entry["cpus"] = os.cpu_count()
+    _save_report(report, args.output)
+    print(f"recorded after_s for suite {suite_name!r} in {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end socket-backend integration: two standalone DHT nodes, a
+# process-pool serve front end on --backend socket, a mixed query burst
+# over the JSON-lines protocol, and a clean shutdown of every piece.
+#
+# CI runs this; it is also a local smoke test:
+#
+#     bash scripts/ci_socket_integration.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+PORT_A=${PORT_A:-7171}
+PORT_B=${PORT_B:-7172}
+OUT=$(mktemp)
+trap 'kill -TERM ${NODE_A:-} ${NODE_B:-} 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+python -m repro dht-server --port "$PORT_A" &
+NODE_A=$!
+python -m repro dht-server --port "$PORT_B" &
+NODE_B=$!
+sleep 1
+
+# A mixed burst: register a graph, run three algorithms across seeds,
+# mutate the graph, re-run, then ask for stats and shut down cleanly.
+printf '%s\n' \
+  '{"op": "load", "name": "g", "edges": [[0,1],[1,2],[2,3],[3,4],[4,0],[0,2],[1,3]]}' \
+  '{"op": "run", "algorithm": "mis", "graph": "g", "seed": 1}' \
+  '{"op": "run", "algorithm": "mis", "graph": "g", "seed": 2}' \
+  '{"op": "run", "algorithm": "matching", "graph": "g", "seed": 1}' \
+  '{"op": "run", "algorithm": "components", "graph": "g", "seed": 1}' \
+  '{"op": "update", "graph": "g", "deletions": [[0, 2]]}' \
+  '{"op": "run", "algorithm": "mis", "graph": "g", "seed": 1}' \
+  '{"op": "stats"}' \
+  '{"op": "shutdown"}' \
+  | timeout 300 python -m repro serve --machines 4 --processes 2 \
+      --backend socket \
+      --dht-node "127.0.0.1:$PORT_A" --dht-node "127.0.0.1:$PORT_B" \
+      --replication 2 > "$OUT"
+
+python - "$OUT" <<'PY'
+import json
+import sys
+
+lines = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+bad = [line for line in lines if not line.get("ok")]
+assert not bad, f"failed responses: {bad}"
+runs = [line["result"] for line in lines if "result" in line]
+assert len(runs) == 5, f"expected 5 run results, got {len(runs)}"
+assert all(run["summary"]["output_size"] >= 1 for run in runs), runs
+stats = [line["stats"] for line in lines if "stats" in line][-1]
+assert stats["backend"] == "socket", stats
+assert stats["completed"] == 5, stats
+assert any(line.get("bye") for line in lines), "no clean shutdown ack"
+print(f"socket integration ok: {stats['completed']} queries over "
+      f"{stats.get('processes', '?')} worker processes, backend=socket")
+PY
+
+# Clean node shutdown must be orderly (SIGTERM, zero wedged processes).
+kill -TERM "$NODE_A" "$NODE_B"
+wait "$NODE_A" 2>/dev/null || true
+wait "$NODE_B" 2>/dev/null || true
+trap 'rm -f "$OUT"' EXIT
+echo "SOCKET-INTEGRATION-OK"

@@ -24,6 +24,25 @@ class StoreSealedError(RuntimeError):
     """Raised on writes to a sealed store (or strict reads of an open one)."""
 
 
+def next_delta_name(name: str) -> str:
+    """The canonical name for the next derivation generation of ``name``.
+
+    ``ranks`` -> ``ranks+delta`` -> ``ranks+delta2`` -> ``ranks+delta3``:
+    every generation in a derivation chain gets a *distinct* name.  The
+    old scheme collapsed every generation onto ``base+delta``, so a
+    grandchild collided with its own parent whenever the two met in the
+    same registry (or the same cache-key space) — ``_unique_store_name``
+    suffixing could not save the cases where the parent was registered
+    after the child name was chosen.
+    """
+    base, sep, tail = name.partition("+delta")
+    if sep and (not tail or tail.isdigit()):
+        generation = int(tail) if tail else 1
+        return f"{base}+delta{generation + 1}"
+    # no tag, or "+delta<non-digits>" (part of the base name, not a tag)
+    return f"{name}+delta"
+
+
 class DHTStore:
     """One distributed hash table D_i, sharded over the cluster machines."""
 
@@ -219,15 +238,50 @@ class DHTStore:
         and entry accounting on the child stays exact — overlay deltas are
         applied to this store's write-time memoized sizes.  Only sealed
         (immutable) stores can be derived, and deriving a child is itself
-        derivable, so repeated patch generations chain.
+        derivable, so repeated patch generations chain — each generation
+        under a distinct default name (see :func:`next_delta_name`).
         """
         if not self.sealed:
             raise StoreSealedError(
                 f"store {self.name!r} must be sealed before it can be "
                 "derived (an unsealed parent could drift under the child)"
             )
-        return DerivedDHTStore(
-            name or f"{self.name.split('+delta', 1)[0]}+delta", self)
+        return self._derived_class(name or next_delta_name(self.name), self)
+
+    def folded(self, name: Optional[str] = None) -> "DHTStore":
+        """Flatten the logical view into a fresh, flat, sealed store.
+
+        The result has no parent chain: identical logical content,
+        identical recorded entry sizes (the write-time memoized sizes are
+        copied, not re-estimated), fresh ``shard_reads``.  The Session
+        cache uses this to fold old derivation generations once a lineage
+        outgrows its max-generations knob, releasing the parent stores.
+        """
+        flat = self._spawn_sibling(name or self.name)
+        shard_of = self.shard_of
+        entry_of = self._entry
+        for key in self.keys():
+            value, size = entry_of(key, shard_of(key))
+            flat._install(key, value, size)
+        flat.seal()
+        return flat
+
+    def _spawn_sibling(self, name: str) -> "DHTStore":
+        """An empty unsealed store with this store's shape and storage."""
+        return DHTStore(name, self.num_shards,
+                        strict_rounds=self._strict_rounds)
+
+    def _install(self, key: Any, value: Any, size: int) -> None:
+        """Raw insert with a pre-recorded size (folding only; uncharged)."""
+        shard_index = self.shard_of(key)
+        self._shards[shard_index][key] = value
+        self._sizes[shard_index][key] = size
+        self.total_entries += 1
+        self.total_value_bytes += size
+
+    def cache_resident_bytes(self) -> int:
+        """What this store costs the local process (Session cache sizing)."""
+        return self.total_value_bytes + 8 * self.total_entries
 
     # -- introspection (driver-side; free of charge) ---------------------
 
@@ -418,12 +472,26 @@ class DerivedDHTStore(DHTStore):
         )
 
 
-class DHTService:
-    """Factory and registry for the DHT sequence D0, D1, ..."""
+#: class instantiated by :meth:`DHTStore.derive`; the backed adapter
+#: (repro.distdht.store) overrides it so derivation stays in-backing
+DHTStore._derived_class = DerivedDHTStore
+DerivedDHTStore._derived_class = DerivedDHTStore
 
-    def __init__(self, num_shards: int, *, strict_rounds: bool = False):
+
+class DHTService:
+    """Factory and registry for the DHT sequence D0, D1, ...
+
+    With ``backing`` set (a :class:`~repro.distdht.backing.BackingStore`),
+    created stores are :class:`~repro.distdht.store.BackedDHTStore`
+    adapters whose values physically live in that backing store; the
+    accounting surface is identical either way.
+    """
+
+    def __init__(self, num_shards: int, *, strict_rounds: bool = False,
+                 backing=None):
         self.num_shards = num_shards
         self.strict_rounds = strict_rounds
+        self.backing = backing
         self._stores: Dict[str, DHTStore] = {}
         self._counter = 0
 
@@ -433,7 +501,14 @@ class DHTService:
         if name in self._stores:
             raise ValueError(f"store {name!r} already exists")
         self._counter += 1
-        store = DHTStore(name, self.num_shards, strict_rounds=self.strict_rounds)
+        if self.backing is not None:
+            from repro.distdht.store import BackedDHTStore
+            store = BackedDHTStore(name, self.num_shards,
+                                   backing=self.backing,
+                                   strict_rounds=self.strict_rounds)
+        else:
+            store = DHTStore(name, self.num_shards,
+                             strict_rounds=self.strict_rounds)
         self._stores[name] = store
         return store
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.ampc.cluster import Cluster, ClusterConfig
-from repro.ampc.dht import DHTService, DHTStore
+from repro.ampc.dht import DHTService, DHTStore, next_delta_name
 from repro.ampc.faults import FaultPlan
 from repro.dataflow.dofn import DoFn
 from repro.dataflow.pcollection import BudgetExceededError, PCollection
@@ -59,13 +59,15 @@ class AMPCRuntime:
     def __init__(self, cluster: Optional[Cluster] = None,
                  config: Optional[ClusterConfig] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 strict_rounds: bool = False):
+                 strict_rounds: bool = False,
+                 backing=None):
         self.pipeline = Pipeline(cluster=cluster, config=config,
                                  fault_plan=fault_plan)
         self.cluster = self.pipeline.cluster
         self.metrics = self.cluster.metrics
         self.dht = DHTService(
-            self.cluster.config.num_machines, strict_rounds=strict_rounds
+            self.cluster.config.num_machines, strict_rounds=strict_rounds,
+            backing=backing,
         )
         self._round_stores = []
 
@@ -73,9 +75,16 @@ class AMPCRuntime:
     def config(self) -> ClusterConfig:
         return self.cluster.config
 
-    def _unique_store_name(self, name: str) -> str:
-        """``name``, suffixed until it collides with no existing store."""
+    def _unique_store_name(self, name: str, avoid=()) -> str:
+        """``name``, suffixed until it collides with no existing store.
+
+        ``avoid`` adds names that must also be dodged even though they are
+        not registered with this runtime — a derivation parent's ancestor
+        chain lives in the *previous* run's runtime, so registry scanning
+        alone cannot see it.
+        """
         existing = {store.name for store in self.dht.stores()}
+        existing.update(avoid)
         if name not in existing:
             return name
         suffix = len(existing)
@@ -108,9 +117,18 @@ class AMPCRuntime:
         parent keeps serving whatever cache entry still references it.
         Names are uniquified like :meth:`new_store`.
         """
-        # chained derivations keep one "+delta" tag, not one per generation
-        base = name or f"{parent.name.split('+delta', 1)[0]}+delta"
-        child = parent.derive(self._unique_store_name(base))
+        # Each generation gets a distinct "+deltaN" tag (next_delta_name),
+        # and the parent's whole ancestor chain is avoided explicitly:
+        # ancestors were registered with *earlier* runtimes, so registry
+        # uniquification alone used to let a grandchild collide with an
+        # ancestor's name.
+        base = name or next_delta_name(parent.name)
+        lineage = set()
+        ancestor = parent
+        while ancestor is not None:
+            lineage.add(ancestor.name)
+            ancestor = getattr(ancestor, "parent", None)
+        child = parent.derive(self._unique_store_name(base, avoid=lineage))
         self.dht.register(child)
         self._round_stores.append(child)
         return child

@@ -44,9 +44,10 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.ampc.cluster import ClusterConfig
 from repro.ampc.cost_model import estimate_bytes
-from repro.ampc.dht import DHTStore
+from repro.ampc.dht import DerivedDHTStore, DHTStore
 from repro.ampc.faults import FaultPlan
 from repro.ampc.runtime import AMPCRuntime
+from repro.distdht.backend import create_backend
 from repro.api import registry
 from repro.api.fingerprint import (FingerprintMemo, advance_lineage,
                                    graph_fingerprint)
@@ -143,6 +144,48 @@ def _validate_batch(graph: Any, insertions: List[Tuple],
         if not (0 <= u < num_vertices and 0 <= v < num_vertices):
             raise IndexError(
                 f"edge ({u}, {v}) out of range [0, {num_vertices})")
+
+
+def _compact_batch(graph: Any, insertions: List[Tuple],
+                   deletions: List[Tuple]) -> Tuple[List[Tuple], List[Tuple]]:
+    """Collapse matching delete+re-insert pairs out of a validated batch.
+
+    A churny stream often deletes an edge and re-inserts it (at the same
+    weight) in one batch — a logical no-op that would still grow the edge
+    journal, lengthen every chained fingerprint, and make each cached
+    artifact's ``update`` hook touch the edge twice.  Such pairs are
+    dropped *before* any mutation or journaling.  A re-insert at a
+    **different** weight is kept (it is a real weight change), as is any
+    edge deleted or inserted more than once (order could matter; only the
+    unambiguous 1:1 pairs compact).  Deterministic, so every replica of a
+    graph compacts a shipped batch identically and chained fingerprints
+    stay in agreement across processes.
+    """
+    if not insertions or not deletions:
+        return insertions, deletions
+    weighted = isinstance(graph, WeightedGraph)
+    inserted_at: Dict[Tuple, List[int]] = {}
+    for index, edge in enumerate(insertions):
+        key = (min(edge[0], edge[1]), max(edge[0], edge[1]))
+        inserted_at.setdefault(key, []).append(index)
+    drop_insertions: set = set()
+    kept_deletions: List[Tuple] = []
+    for edge in deletions:
+        key = (min(edge[0], edge[1]), max(edge[0], edge[1]))
+        matches = inserted_at.get(key)
+        if matches is not None and len(matches) == 1:
+            index = matches[0]
+            if not weighted or insertions[index][2] == graph.weight(
+                    edge[0], edge[1]):
+                drop_insertions.add(index)
+                del inserted_at[key]
+                continue
+        kept_deletions.append(edge)
+    if not drop_insertions:
+        return insertions, deletions
+    kept_insertions = [edge for index, edge in enumerate(insertions)
+                       if index not in drop_insertions]
+    return kept_insertions, kept_deletions
 
 
 class GraphHandle:
@@ -250,6 +293,7 @@ class GraphHandle:
         insertions = [tuple(edge) for edge in insertions]
         deletions = [tuple(edge) for edge in deletions]
         _validate_batch(graph, insertions, deletions)
+        insertions, deletions = _compact_batch(graph, insertions, deletions)
         for edge in deletions:
             graph.remove_edge(edge[0], edge[1])
         for edge in insertions:
@@ -271,6 +315,10 @@ class _CacheEntry:
     prep_kv_writes: int
     #: estimated resident size, the unit of the LRU byte budget
     nbytes: int
+    #: how many derivation generations deep this artifact's stores are
+    #: (0 for a full prepare; each incremental patch adds one until the
+    #: session's max_chain_generations folds the chain flat)
+    generations: int = 0
 
 
 def _prepared_bytes(obj: Any) -> int:
@@ -286,7 +334,9 @@ def _prepared_bytes(obj: Any) -> int:
     if kind is int or kind is float:
         return 8  # what estimate_bytes charges, without the dispatch walk
     if isinstance(obj, DHTStore):
-        return obj.total_value_bytes + 8 * obj.total_entries
+        # backed stores answer for themselves: a remote backing holds
+        # the payload elsewhere, so only the local index counts here
+        return obj.cache_resident_bytes()
     if isinstance(obj, WeightedGraph):
         return 24 * obj.num_edges + 8 * obj.num_vertices
     if isinstance(obj, Graph):
@@ -321,7 +371,7 @@ def _shallow_bytes(obj: Any) -> int:
     still measure exactly.
     """
     if isinstance(obj, DHTStore):
-        return obj.total_value_bytes + 8 * obj.total_entries
+        return obj.cache_resident_bytes()
     if isinstance(obj, WeightedGraph):
         return 24 * obj.num_edges + 8 * obj.num_vertices
     if isinstance(obj, Graph):
@@ -330,6 +380,51 @@ def _shallow_bytes(obj: Any) -> int:
         return sum(_shallow_bytes(getattr(obj, field_.name))
                    for field_ in fields(obj))
     return 0
+
+
+def _fold_stores(obj: Any, memo: Dict[int, Any]) -> Any:
+    """Replace every derived-store chain in an artifact with a flat store.
+
+    Walks the artifact shapes prepared artifacts actually take
+    (dataclasses, dicts, lists/tuples) with an identity memo, so a store
+    shared between two fields folds once and stays shared.  Non-container
+    leaves pass through untouched.
+    """
+    marker = id(obj)
+    if marker in memo:
+        return memo[marker]
+    if isinstance(obj, DerivedDHTStore):
+        folded = obj.folded()
+        memo[marker] = folded
+        return folded
+    if is_dataclass(obj) and not isinstance(obj, type):
+        changes = {}
+        for field_ in fields(obj):
+            value = getattr(obj, field_.name)
+            replacement = _fold_stores(value, memo)
+            if replacement is not value:
+                changes[field_.name] = replacement
+        result = replace(obj, **changes) if changes else obj
+        memo[marker] = result
+        return result
+    if isinstance(obj, dict):
+        result = {key: _fold_stores(value, memo)
+                  for key, value in obj.items()}
+        if all(result[key] is obj[key] for key in result):
+            result = obj
+        memo[marker] = result
+        return result
+    if isinstance(obj, (list, tuple)):
+        items = [_fold_stores(item, memo) for item in obj]
+        if all(new is old for new, old in zip(items, obj)):
+            result = obj
+        elif hasattr(obj, "_fields"):  # namedtuple
+            result = type(obj)(*items)
+        else:
+            result = type(obj)(items)
+        memo[marker] = result
+        return result
+    return obj
 
 
 def _split_batch(ops: Iterable[Tuple]) -> Tuple[List[Tuple], List[Tuple]]:
@@ -374,12 +469,26 @@ class Session:
     def __init__(self, config: Optional[ClusterConfig] = None, *,
                  fault_plan: Optional[FaultPlan] = None,
                  strict_rounds: bool = False,
-                 max_cache_bytes: Optional[int] = None):
+                 max_cache_bytes: Optional[int] = None,
+                 backend: Any = "sim",
+                 dht_nodes: Optional[List[Any]] = None,
+                 replication: int = 1,
+                 max_chain_generations: Optional[int] = None):
         self.config = config or ClusterConfig()
         self.fault_plan = fault_plan
         self.strict_rounds = strict_rounds
         #: LRU byte budget for prepared artifacts; None means unbounded
         self.max_cache_bytes = max_cache_bytes
+        #: where DHT-store values physically live: "sim" (in-process
+        #: dicts, the default), "mem"/"shm"/"socket" specs, or an
+        #: already constructed BackingStore (see repro.distdht)
+        self._backing = create_backend(backend, nodes=dht_nodes,
+                                       replication=replication)
+        self.backend = self._backing.kind if self._backing else "sim"
+        #: fold an incrementally patched artifact flat once its
+        #: derivation chain exceeds this many generations (None: only
+        #: fingerprint-lineage limits apply)
+        self.max_chain_generations = max_chain_generations
         self.stats = SessionStats()
         self._cache: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         self._cache_bytes = 0
@@ -476,6 +585,22 @@ class Session:
         with self._lock:
             self._cache.clear()
             self._cache_bytes = 0
+
+    def close(self) -> None:
+        """Release the backing store (and the cache addressing it).
+
+        Needed for the real backends — shm segments and DHT connections
+        are OS resources — and a harmless no-op on ``"sim"``.  Idempotent.
+        """
+        self.clear_preprocessing()
+        if self._backing is not None:
+            self._backing.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- execution ---------------------------------------------------------
 
@@ -592,7 +717,8 @@ class Session:
             return MPCRuntime(config=self.config, fault_plan=self.fault_plan)
         return AMPCRuntime(config=self.config,
                            fault_plan=self.fault_plan,
-                           strict_rounds=self.strict_rounds)
+                           strict_rounds=self.strict_rounds,
+                           backing=self._backing)
 
     @staticmethod
     def _merge_params(spec, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -684,6 +810,23 @@ class Session:
                                    runtime=runtime, seed=seed,
                                    insertions=insertions,
                                    deletions=deletions)
+            generations = old_entry.generations + 1
+            if (self.max_chain_generations is not None
+                    and generations > self.max_chain_generations):
+                # TTL on derivation chains: fold the whole lineage into
+                # flat sealed stores.  The chain's parent stores (and any
+                # evicted ancestors they kept alive) become collectable,
+                # and future lookups stop paying per-generation
+                # fall-through.  Logical content and recorded sizes are
+                # preserved exactly, so results are unchanged.
+                prepared = _fold_stores(prepared, {})
+                return _CacheEntry(
+                    prepared=prepared,
+                    prep_shuffles=metrics.shuffles - shuffles_before,
+                    prep_kv_writes=metrics.kv_writes - kv_writes_before,
+                    nbytes=_prepared_bytes(prepared),
+                    generations=0,
+                )
             return _CacheEntry(
                 prepared=prepared,
                 prep_shuffles=metrics.shuffles - shuffles_before,
@@ -693,6 +836,7 @@ class Session:
                 nbytes=max(0, old_entry.nbytes
                            - _shallow_bytes(old_entry.prepared)
                            + _shallow_bytes(prepared)),
+                generations=generations,
             )
         return None
 

@@ -12,6 +12,11 @@ Usage::
     python -m repro serve --machines 10 --workers 4          # JSON over stdio
     python -m repro serve --port 7077                        # JSON over TCP
     python -m repro serve --processes 4 --port 7077          # process pool
+    python -m repro dht-server --port 7171                   # one DHT node
+    python -m repro serve --backend shm --processes 4        # shared memory
+    python -m repro serve --backend socket \\
+        --dht-node 127.0.0.1:7171 --dht-node 127.0.0.1:7172 \\
+        --replication 2                                      # real cluster
 
 Every subcommand comes from :mod:`repro.api.registry`: registering an
 :class:`~repro.api.registry.AlgorithmSpec` in a core module is all it takes
@@ -99,6 +104,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-cache-bytes", type=int, default=None,
                        metavar="N",
                        help="LRU byte budget for the preprocessing cache")
+    serve.add_argument("--backend", choices=("sim", "mem", "shm", "socket"),
+                       default="sim",
+                       help="where DHT records physically live: 'sim' "
+                            "(in-runtime dicts, the default), 'shm' "
+                            "(shared-memory segments, one host), or "
+                            "'socket' (remote dht-server nodes)")
+    serve.add_argument("--dht-node", action="append", dest="dht_nodes",
+                       default=None, metavar="HOST:PORT",
+                       help="a dht-server node address (repeatable; "
+                            "required with --backend socket)")
+    serve.add_argument("--replication", type=int, default=1, metavar="R",
+                       help="replicas per key on the socket backend "
+                            "(reads fail over node by node)")
+    dht_server = sub.add_parser(
+        "dht-server",
+        help="run one standalone DHT node (binary KV protocol over TCP)")
+    dht_server.add_argument("--host", default="127.0.0.1")
+    dht_server.add_argument("--port", type=int, default=0,
+                            help="TCP port to listen on (0 picks an "
+                                 "ephemeral port, printed on stderr)")
     return parser
 
 
@@ -140,13 +165,21 @@ def _cmd_serve(args) -> int:
         serve_stream,
     )
 
+    if args.backend == "socket" and not args.dht_nodes:
+        print("error: --backend socket needs at least one --dht-node",
+              file=sys.stderr)
+        return 2
+    backend_options = dict(backend=args.backend, dht_nodes=args.dht_nodes,
+                           replication=args.replication)
     if args.processes is not None:
         service = ProcessGraphService(_config(args),
                                       processes=args.processes,
-                                      max_cache_bytes=args.max_cache_bytes)
+                                      max_cache_bytes=args.max_cache_bytes,
+                                      **backend_options)
     else:
         service = GraphService(_config(args), workers=args.workers,
-                               max_cache_bytes=args.max_cache_bytes)
+                               max_cache_bytes=args.max_cache_bytes,
+                               **backend_options)
     try:
         if args.port is None:
             serve_stream(service, sys.stdin, sys.stdout)
@@ -163,10 +196,28 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_dht_server(args) -> int:
+    from repro.distdht import DHTNodeServer
+
+    node = DHTNodeServer(args.host, args.port)
+    host, port = node.address
+    print(f"dht-server listening on {host}:{port}", file=sys.stderr,
+          flush=True)
+    try:
+        node.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        node.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "dht-server":
+        return _cmd_dht_server(args)
     spec = registry.get(args.command)
     session = Session(_config(args))
     graph = _load_graph(spec, args)

@@ -1,0 +1,61 @@
+"""Real distributed DHT backends behind the AlgorithmSpec seam.
+
+The simulator's :class:`~repro.ampc.dht.DHTStore` keeps every entry as a
+boxed Python object in an in-process dict — perfect for cost-model
+accounting, useless as an actual serving substrate.  This package supplies
+the physical half the AMPC model assumes (machines doing adaptive reads
+against a *distributed hash table*):
+
+* :class:`BackingStore` — the byte-level KV contract every backend
+  implements (put/get/delete plus batched and prefix operations, and a
+  cross-process ``share``/``fetch`` locator pair for one-writer
+  many-reader distribution);
+* :class:`InMemoryBackingStore` — the reference implementation (a dict);
+* :class:`SharedMemoryBackingStore` — single-host backend over
+  ``multiprocessing.shared_memory`` segments (manager-free: one writer
+  process, any number of attached readers; a prepared artifact physically
+  exists once in RAM no matter how many worker processes read it);
+* :class:`SocketBackingStore` + :class:`DHTNodeServer` — multi-host
+  backend: a length-prefixed binary KV protocol over TCP against
+  standalone ``python -m repro dht-server`` nodes, with consistent-hash
+  key placement, client-side connection pooling, retry with backoff,
+  replication factor R and read-failover to a replica when a node dies;
+* :class:`BackedDHTStore` — a :class:`~repro.ampc.dht.DHTStore`-compatible
+  adapter that keeps **all simulated-cost accounting at the adapter
+  boundary** (same shard placement, same ``estimate_bytes`` charging,
+  same per-shard read counts) while the values physically live in a
+  backing store.  ``AMPCRuntime``, ``Session.prepare``, the incremental
+  ``derive()`` path and both serving services run unchanged against it.
+
+Select a backend with ``Session(backend="shm")`` /
+``serve --backend {sim,shm,socket}``; ``create_backend`` parses the spec.
+"""
+
+from repro.distdht.backing import (
+    BackingStore,
+    InMemoryBackingStore,
+    decode_record,
+    encode_key,
+    encode_record,
+    fetch,
+)
+from repro.distdht.backend import create_backend, parse_node
+from repro.distdht.shm import SharedMemoryBackingStore
+from repro.distdht.sockets import DHTNodeServer, SocketBackingStore
+from repro.distdht.store import BackedDHTStore, BackedDerivedDHTStore
+
+__all__ = [
+    "BackingStore",
+    "InMemoryBackingStore",
+    "SharedMemoryBackingStore",
+    "SocketBackingStore",
+    "DHTNodeServer",
+    "BackedDHTStore",
+    "BackedDerivedDHTStore",
+    "create_backend",
+    "parse_node",
+    "encode_key",
+    "encode_record",
+    "decode_record",
+    "fetch",
+]

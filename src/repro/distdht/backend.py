@@ -1,0 +1,74 @@
+"""Backend selection: one string spec -> a configured BackingStore.
+
+This is the single point the Session / CLI layers go through, so the
+backend matrix lives in exactly one place:
+
+=========  ==========================================  =================
+spec       storage                                     scope
+=========  ==========================================  =================
+``sim``    simulated in-process dict (no BackingStore)  one process
+``mem``    :class:`InMemoryBackingStore` (dict of       one process
+           encoded records; the conformance oracle)
+``shm``    :class:`SharedMemoryBackingStore`            one host,
+           (``multiprocessing.shared_memory``)          many processes
+``socket`` :class:`SocketBackingStore` against          many hosts
+           ``python -m repro dht-server`` nodes
+=========  ==========================================  =================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.distdht.backing import BackingStore, InMemoryBackingStore
+from repro.distdht.shm import SharedMemoryBackingStore
+from repro.distdht.sockets import SocketBackingStore
+
+#: specs accepted by ``Session(backend=...)`` / ``serve --backend``
+BACKENDS = ("sim", "mem", "shm", "socket")
+
+
+def parse_node(spec: str) -> Tuple[str, int]:
+    """``"host:port"`` / ``":port"`` / ``"port"`` -> ``(host, port)``."""
+    text = spec.strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad dht node spec {spec!r}: expected host:port")
+    if not 0 < port < 65536:
+        raise ValueError(f"bad dht node spec {spec!r}: port out of range")
+    return (host or "127.0.0.1", port)
+
+
+def create_backend(spec: Optional[str], *,
+                   nodes: Optional[Sequence[Any]] = None,
+                   replication: int = 1,
+                   **options: Any) -> Optional[BackingStore]:
+    """Build the backing store for a backend spec.
+
+    Returns ``None`` for ``"sim"`` (and for ``None``): the simulated
+    dict-backed stores need no backing.  An already constructed
+    :class:`BackingStore` passes through unchanged, so callers can inject
+    a custom backend (tests do).
+    """
+    if spec is None or spec == "sim":
+        return None
+    if isinstance(spec, BackingStore):
+        return spec
+    if spec == "mem":
+        return InMemoryBackingStore()
+    if spec == "shm":
+        return SharedMemoryBackingStore(**options)
+    if spec == "socket":
+        if not nodes:
+            raise ValueError(
+                "backend 'socket' needs at least one dht node "
+                "(host:port); start nodes with: python -m repro dht-server")
+        parsed = [parse_node(node) if isinstance(node, str) else node
+                  for node in nodes]
+        return SocketBackingStore(parsed, replication=replication, **options)
+    raise ValueError(
+        f"unknown backend {spec!r}; expected one of {', '.join(BACKENDS)}")

@@ -1,0 +1,213 @@
+"""The byte-level KV contract every real DHT backend implements.
+
+A :class:`BackingStore` maps opaque byte keys to opaque byte records.  The
+:class:`~repro.distdht.store.BackedDHTStore` adapter sits above it: keys
+are pickled Python keys under a per-store namespace prefix, records carry
+the value pickle plus the write-time :func:`~repro.ampc.cost_model.
+estimate_bytes` size (so reads never re-walk values) or a tombstone
+marker (so copy-on-write overlays work across process boundaries).
+
+Cross-process distribution goes through the ``share``/``fetch`` pair: the
+writing process turns a key into a small picklable *locator*, ships the
+locator (never the record), and any process resolves it with
+:func:`fetch` — reading the bytes out of shared memory or off a DHT node,
+with replica failover where the backend supports it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: pickle protocol for keys and values: fixed, so two processes encoding
+#: the same key always produce the same bytes
+PICKLE_PROTOCOL = 4
+
+_SIZE = struct.Struct("<q")
+#: record size-field sentinel marking a tombstone (a shadow-delete in a
+#: derived store's overlay)
+TOMBSTONE_SIZE = -1
+#: a complete tombstone record (header only, no payload)
+TOMBSTONE = _SIZE.pack(TOMBSTONE_SIZE)
+
+
+def encode_key(key: Any) -> bytes:
+    """Deterministic byte encoding of a store key (fixed-protocol pickle)."""
+    return pickle.dumps(key, PICKLE_PROTOCOL)
+
+
+def decode_key(data: bytes) -> Any:
+    return pickle.loads(data)
+
+
+def encode_record(value: Any, size: int) -> bytes:
+    """Pack ``(value, recorded size)`` into one record.
+
+    The size is the write-time ``estimate_bytes`` of the value — the
+    number every read charges — so a reader in another process never has
+    to re-walk (or even unpickle) the value to account for it.
+    """
+    return _SIZE.pack(size) + pickle.dumps(value, PICKLE_PROTOCOL)
+
+
+def decode_record(data: bytes) -> Optional[Tuple[Any, int]]:
+    """-> (value, recorded size), or None for a tombstone record."""
+    size = _SIZE.unpack_from(data)[0]
+    if size == TOMBSTONE_SIZE:
+        return None
+    return pickle.loads(data[_SIZE.size:]), size
+
+
+def record_size(data: bytes) -> int:
+    """The recorded size field alone (no value unpickling)."""
+    return _SIZE.unpack_from(data)[0]
+
+
+def is_tombstone(data: bytes) -> bool:
+    return _SIZE.unpack_from(data)[0] == TOMBSTONE_SIZE
+
+
+class BackingStore:
+    """Abstract byte-level KV store.
+
+    Implementations must provide :meth:`put`, :meth:`get`, :meth:`delete`
+    and :meth:`scan`; the batched and prefix operations have loop
+    defaults that subclasses override when the transport can do better
+    (the socket backend turns them into single round trips).
+    """
+
+    #: backends whose records live outside this process's heap (the
+    #: socket backend) report True, and the Session cache then sizes
+    #: their artifacts by index overhead instead of payload bytes
+    remote = False
+
+    #: human-readable backend kind ("mem" / "shm" / "socket")
+    kind = "abstract"
+
+    # -- required primitives ---------------------------------------------
+
+    def put(self, key: bytes, record: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> bool:
+        raise NotImplementedError
+
+    def scan(self, prefix: bytes) -> List[bytes]:
+        """All stored keys starting with ``prefix`` (order unspecified)."""
+        raise NotImplementedError
+
+    # -- batched / prefix defaults ---------------------------------------
+
+    def put_many(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
+        for key, record in items:
+            self.put(key, record)
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        return [self.get(key) for key in keys]
+
+    def contains(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def delete_prefix(self, prefix: bytes) -> int:
+        """Drop every key under ``prefix``; returns how many were live."""
+        count = 0
+        for key in self.scan(prefix):
+            if self.delete(key):
+                count += 1
+        return count
+
+    # -- cross-process distribution --------------------------------------
+
+    def share(self, key: bytes) -> Any:
+        """A small picklable locator another process resolves via fetch().
+
+        The default locator re-reads through a reconnected store, which
+        only in-process backends can satisfy; shared backends override.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot share records across processes"
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release OS resources (segments, sockets).  Idempotent."""
+
+    def stats(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "remote": self.remote}
+
+    def __enter__(self) -> "BackingStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class InMemoryBackingStore(BackingStore):
+    """The reference implementation: a plain dict.
+
+    Functionally identical to the simulated store's storage (minus the
+    pickle round trip), so it doubles as the conformance oracle for the
+    real backends and as a cheap ``backend="mem"`` for tests.
+    """
+
+    kind = "mem"
+
+    def __init__(self) -> None:
+        self._data: Dict[bytes, bytes] = {}
+
+    def put(self, key: bytes, record: bytes) -> None:
+        self._data[key] = record
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def delete(self, key: bytes) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def contains(self, key: bytes) -> bool:
+        return key in self._data
+
+    def scan(self, prefix: bytes) -> List[bytes]:
+        return [key for key in self._data if key.startswith(prefix)]
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "remote": self.remote,
+            "entries": len(self._data),
+            "payload_bytes": sum(len(v) for v in self._data.values()),
+        }
+
+
+def fetch(locator: Any) -> bytes:
+    """Resolve a locator produced by some store's :meth:`share`.
+
+    Dispatches on the locator's leading tag; each backend registers its
+    own resolver.  Raises ``KeyError``/``ConnectionError`` when the
+    record is gone or every replica is unreachable.
+    """
+    tag = locator[0]
+    resolver = _FETCHERS.get(tag)
+    if resolver is None:
+        raise ValueError(f"unknown locator tag {tag!r}")
+    return resolver(locator)
+
+
+#: locator tag -> resolver; populated by the backend modules on import
+_FETCHERS: Dict[str, Any] = {}
+
+
+def register_fetcher(tag: str, resolver) -> None:
+    _FETCHERS[tag] = resolver
+
+
+def scan_decoded(store: BackingStore, prefix: bytes) -> Iterable[Any]:
+    """Decode the Python keys under a namespace prefix."""
+    start = len(prefix)
+    for key in store.scan(prefix):
+        yield decode_key(key[start:])

@@ -1,0 +1,593 @@
+"""Multi-host socket backend: binary KV protocol, ring placement, failover.
+
+One :class:`DHTNodeServer` is one storage node — a threaded TCP server
+over an in-memory byte map, speaking a length-prefixed binary protocol
+(one op byte, a little-endian u32 payload length, then the payload; the
+response mirrors it with a status byte).  ``python -m repro dht-server``
+runs one as a standalone process.
+
+:class:`SocketBackingStore` is the client: keys place onto nodes by
+**consistent hashing** (each node projected onto the ring at
+``VNODES`` points via :func:`~repro.ampc.hashing.stable_hash`, a key
+served by the first ``replication`` distinct nodes clockwise of its hash),
+connections are **pooled** per node and reused across requests, transient
+failures **retry with exponential backoff**, and reads **fail over** to
+the next replica when a node is unreachable — a killed node mid-query
+costs a reconnect, not the query, as long as one replica survives.
+
+Writes go to every replica that is reachable; a write that reaches no
+replica raises.  A node that rejoins empty serves misses for keys it
+missed writes for — replicas exist for availability, not consistency
+repair (matching the sealed/immutable store discipline: shared records
+are written once, before readers arrive).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import struct
+import threading
+import time
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.ampc.hashing import stable_hash
+from repro.distdht.backing import BackingStore, register_fetcher
+
+# -- wire format ------------------------------------------------------------
+
+_HEADER = struct.Struct("<BI")   # (op | status, payload length)
+_U32 = struct.Struct("<I")
+
+OP_PUT = 1
+OP_GET = 2
+OP_DELETE = 3
+OP_CONTAINS = 4
+OP_SCAN = 5
+OP_DELETE_PREFIX = 6
+OP_MPUT = 7
+OP_MGET = 8
+OP_PING = 9
+OP_STATS = 10
+
+STATUS_OK = 0
+STATUS_MISSING = 1
+STATUS_ERROR = 2
+
+#: virtual nodes per physical node on the consistent-hash ring
+VNODES = 64
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_frame(sock: socket.socket, tag: int, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(tag, len(payload)) + payload)
+
+
+def _recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    header = _recv_exact(sock, _HEADER.size)
+    tag, length = _HEADER.unpack(header)
+    return tag, _recv_exact(sock, length) if length else b""
+
+
+def _pack_chunks(chunks: Sequence[bytes]) -> bytes:
+    parts = [_U32.pack(len(chunks))]
+    for chunk in chunks:
+        parts.append(_U32.pack(len(chunk)))
+        parts.append(chunk)
+    return b"".join(parts)
+
+
+def _unpack_chunks(payload: bytes) -> List[bytes]:
+    count = _U32.unpack_from(payload, 0)[0]
+    chunks = []
+    offset = _U32.size
+    for _ in range(count):
+        length = _U32.unpack_from(payload, offset)[0]
+        offset += _U32.size
+        chunks.append(payload[offset:offset + length])
+        offset += length
+    return chunks
+
+
+# -- server -----------------------------------------------------------------
+
+
+class _NodeHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one connection, many requests
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        data = self.server.data
+        lock = self.server.data_lock
+        while True:
+            try:
+                op, payload = _recv_frame(self.request)
+            except (ConnectionError, OSError):
+                return
+            try:
+                status, reply = self._dispatch(op, payload, data, lock)
+            except Exception as error:  # noqa: BLE001 - report, stay up
+                status, reply = STATUS_ERROR, str(error).encode("utf-8")
+            try:
+                _send_frame(self.request, status, reply)
+            except OSError:
+                return
+
+    @staticmethod
+    def _dispatch(op: int, payload: bytes, data: Dict[bytes, bytes],
+                  lock: threading.Lock) -> Tuple[int, bytes]:
+        if op == OP_PUT:
+            klen = _U32.unpack_from(payload, 0)[0]
+            key = payload[_U32.size:_U32.size + klen]
+            value = payload[_U32.size + klen:]
+            with lock:
+                data[key] = value
+            return STATUS_OK, b""
+        if op == OP_GET:
+            with lock:
+                value = data.get(payload)
+            if value is None:
+                return STATUS_MISSING, b""
+            return STATUS_OK, value
+        if op == OP_DELETE:
+            with lock:
+                found = data.pop(payload, None) is not None
+            return STATUS_OK, b"\x01" if found else b"\x00"
+        if op == OP_CONTAINS:
+            with lock:
+                found = payload in data
+            return STATUS_OK, b"\x01" if found else b"\x00"
+        if op == OP_SCAN:
+            with lock:
+                keys = [key for key in data if key.startswith(payload)]
+            return STATUS_OK, _pack_chunks(keys)
+        if op == OP_DELETE_PREFIX:
+            with lock:
+                doomed = [key for key in data if key.startswith(payload)]
+                for key in doomed:
+                    del data[key]
+            return STATUS_OK, _U32.pack(len(doomed))
+        if op == OP_MPUT:
+            items = _unpack_chunks(payload)
+            with lock:
+                for index in range(0, len(items), 2):
+                    data[items[index]] = items[index + 1]
+            return STATUS_OK, b""
+        if op == OP_MGET:
+            keys = _unpack_chunks(payload)
+            with lock:
+                found = [data.get(key) for key in keys]
+            return STATUS_OK, _pack_chunks(
+                [b"" if value is None else b"\x01" + value
+                 for value in found])
+        if op == OP_PING:
+            return STATUS_OK, b"pong"
+        if op == OP_STATS:
+            with lock:
+                stats = {
+                    "entries": len(data),
+                    "payload_bytes": sum(len(v) for v in data.values()),
+                }
+            return STATUS_OK, json.dumps(stats).encode("utf-8")
+        return STATUS_ERROR, f"unknown op {op}".encode("utf-8")
+
+
+class _NodeServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._open_requests = set()
+        self._open_lock = threading.Lock()
+
+    def process_request(self, request, client_address):
+        with self._open_lock:
+            self._open_requests.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request):
+        with self._open_lock:
+            self._open_requests.discard(request)
+        super().shutdown_request(request)
+
+    def sever_connections(self) -> None:
+        """Hard-close every live connection (what a real kill does).
+
+        Without this an in-process close() would leave established
+        handler threads happily serving pooled client connections, and
+        'kill a node' tests would not actually kill anything.
+        """
+        with self._open_lock:
+            requests = list(self._open_requests)
+        for request in requests:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
+class DHTNodeServer:
+    """One standalone DHT storage node (``python -m repro dht-server``)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._server = _NodeServer((host, port), _NodeHandler)
+        self._server.data = {}
+        self._server.data_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def start(self) -> "DHTNodeServer":
+        """Serve on a background thread (tests / embedded use)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-dht-node-{self.address[1]}", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.sever_connections()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+
+    def __enter__(self) -> "DHTNodeServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# -- client -----------------------------------------------------------------
+
+
+class _NodeClient:
+    """Pooled connections to one node, with retry and backoff."""
+
+    def __init__(self, host: str, port: int, *, timeout: float,
+                 retries: int, backoff_s: float, pool_size: int):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.pool_size = pool_size
+        self._pool: List[socket.socket] = []
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _checkout(self) -> Optional[socket.socket]:
+        with self._lock:
+            if self._pool:
+                return self._pool.pop()
+        return None
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if len(self._pool) < self.pool_size:
+                self._pool.append(sock)
+                return
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def request(self, op: int, payload: bytes) -> Tuple[int, bytes]:
+        """One request/response round trip; retries transient failures.
+
+        A pooled connection that fails is dropped and replaced; after
+        ``retries`` fresh-connection failures the ConnectionError
+        propagates (the caller's replica failover takes it from there).
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            sock = self._checkout()
+            fresh = sock is None
+            try:
+                if sock is None:
+                    sock = self._connect()
+                _send_frame(sock, op, payload)
+                status, reply = _recv_frame(sock)
+            except (OSError, ConnectionError) as error:
+                last_error = error
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                # A dirty pooled socket (server restarted between
+                # requests) deserves an immediate fresh-connection try;
+                # fresh-connection failures back off before retrying.
+                if fresh and attempt < self.retries:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+                continue
+            self._checkin(sock)
+            if status == STATUS_ERROR:
+                raise RuntimeError(
+                    f"dht node {self.host}:{self.port}: "
+                    f"{reply.decode('utf-8', 'replace')}")
+            return status, reply
+        raise ConnectionError(
+            f"dht node {self.host}:{self.port} unreachable: {last_error}")
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def _fetch_dht(locator) -> bytes:
+    """Resolve a ``("dht", ((host, port), ...), key)`` locator.
+
+    Tries each replica in placement order over a transient connection;
+    the record must exist on some reachable replica.
+    """
+    _tag, nodes, key = locator
+    last_error: Optional[Exception] = None
+    for host, port in nodes:
+        client = _NodeClient(host, port, timeout=10.0, retries=1,
+                             backoff_s=0.05, pool_size=0)
+        try:
+            status, reply = client.request(OP_GET, key)
+        except ConnectionError as error:
+            last_error = error
+            continue
+        finally:
+            client.close()
+        if status == STATUS_OK:
+            return reply
+        last_error = KeyError(f"record {key!r} missing on {host}:{port}")
+    raise last_error if last_error is not None else KeyError(key)
+
+
+register_fetcher("dht", _fetch_dht)
+
+
+class SocketBackingStore(BackingStore):
+    """Client-side view of a DHT node cluster.
+
+    ``nodes`` is a non-empty list of ``(host, port)`` pairs (or
+    ``"host:port"`` strings).  ``replication`` copies each record onto
+    that many distinct ring-successive nodes; any reachable replica
+    serves reads, which is what lets a query survive a killed node.
+    """
+
+    kind = "socket"
+    remote = True
+
+    def __init__(self, nodes: Sequence[Any], *, replication: int = 1,
+                 timeout: float = 10.0, retries: int = 2,
+                 backoff_s: float = 0.05, pool_size: int = 2):
+        if not nodes:
+            raise ValueError("need at least one dht node")
+        parsed = []
+        for node in nodes:
+            if isinstance(node, str):
+                host, _, port = node.rpartition(":")
+                parsed.append((host or "127.0.0.1", int(port)))
+            else:
+                parsed.append((str(node[0]), int(node[1])))
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.nodes: List[Tuple[str, int]] = parsed
+        self.replication = min(replication, len(parsed))
+        self._clients = [
+            _NodeClient(host, port, timeout=timeout, retries=retries,
+                        backoff_s=backoff_s, pool_size=pool_size)
+            for host, port in parsed
+        ]
+        # Consistent-hash ring: VNODES points per node, stable across
+        # processes (stable_hash), so every client and every locator
+        # agrees on placement without coordination.
+        ring: List[Tuple[int, int]] = []
+        for index, (host, port) in enumerate(parsed):
+            for vnode in range(VNODES):
+                ring.append((stable_hash(f"{host}:{port}#{vnode}"), index))
+        ring.sort()
+        self._ring = ring
+        self._ring_hashes = [point[0] for point in ring]
+
+    # -- placement --------------------------------------------------------
+
+    def replicas_for(self, key: bytes) -> List[int]:
+        """Node indexes serving ``key``, primary first (ring walk)."""
+        position = bisect_right(self._ring_hashes, stable_hash(key))
+        replicas: List[int] = []
+        for step in range(len(self._ring)):
+            index = self._ring[(position + step) % len(self._ring)][1]
+            if index not in replicas:
+                replicas.append(index)
+                if len(replicas) == self.replication:
+                    break
+        return replicas
+
+    # -- BackingStore -----------------------------------------------------
+
+    def put(self, key: bytes, record: bytes) -> None:
+        payload = _U32.pack(len(key)) + key + record
+        reached = 0
+        last_error: Optional[Exception] = None
+        for index in self.replicas_for(key):
+            try:
+                self._clients[index].request(OP_PUT, payload)
+                reached += 1
+            except ConnectionError as error:
+                last_error = error  # a dead replica loses the copy
+        if not reached:
+            raise ConnectionError(
+                f"no replica reachable for write: {last_error}")
+
+    def put_many(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
+        """Group items by replica node: one MPUT round trip per node."""
+        per_node: Dict[int, List[bytes]] = {}
+        for key, record in items:
+            for index in self.replicas_for(key):
+                per_node.setdefault(index, []).extend((key, record))
+        reached = 0
+        last_error: Optional[Exception] = None
+        for index, chunks in per_node.items():
+            try:
+                self._clients[index].request(OP_MPUT, _pack_chunks(chunks))
+                reached += 1
+            except ConnectionError as error:
+                last_error = error
+        if per_node and not reached:
+            raise ConnectionError(
+                f"no replica reachable for batch write: {last_error}")
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        last_error: Optional[Exception] = None
+        for index in self.replicas_for(key):
+            try:
+                status, reply = self._clients[index].request(OP_GET, key)
+            except ConnectionError as error:
+                last_error = error
+                continue  # read failover: next replica
+            return reply if status == STATUS_OK else None
+        raise ConnectionError(
+            f"every replica unreachable for read: {last_error}")
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Group keys by primary node: one MGET per node, with failover.
+
+        Keys whose primary is down are retried individually through
+        :meth:`get` (which walks the replicas).
+        """
+        per_node: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            primary = self.replicas_for(key)[0]
+            per_node.setdefault(primary, []).append(position)
+        results: List[Optional[bytes]] = [None] * len(keys)
+        for index, positions in per_node.items():
+            try:
+                _status, reply = self._clients[index].request(
+                    OP_MGET, _pack_chunks([keys[p] for p in positions]))
+            except ConnectionError:
+                for position in positions:
+                    results[position] = self.get(keys[position])
+                continue
+            for position, chunk in zip(positions, _unpack_chunks(reply)):
+                results[position] = chunk[1:] if chunk else None
+        return results
+
+    def contains(self, key: bytes) -> bool:
+        last_error: Optional[Exception] = None
+        for index in self.replicas_for(key):
+            try:
+                _status, reply = self._clients[index].request(
+                    OP_CONTAINS, key)
+            except ConnectionError as error:
+                last_error = error
+                continue
+            return reply == b"\x01"
+        raise ConnectionError(
+            f"every replica unreachable for contains: {last_error}")
+
+    def delete(self, key: bytes) -> bool:
+        found = False
+        reached = 0
+        for index in self.replicas_for(key):
+            try:
+                _status, reply = self._clients[index].request(OP_DELETE, key)
+                reached += 1
+                found = found or reply == b"\x01"
+            except ConnectionError:
+                continue
+        if not reached:
+            raise ConnectionError("every replica unreachable for delete")
+        return found
+
+    def scan(self, prefix: bytes) -> List[bytes]:
+        seen = set()
+        reached = 0
+        for client in self._clients:
+            try:
+                _status, reply = client.request(OP_SCAN, prefix)
+                reached += 1
+            except ConnectionError:
+                continue
+            seen.update(_unpack_chunks(reply))
+        if not reached:
+            raise ConnectionError("every node unreachable for scan")
+        return list(seen)
+
+    def delete_prefix(self, prefix: bytes) -> int:
+        dropped = 0
+        for client in self._clients:
+            try:
+                _status, reply = client.request(OP_DELETE_PREFIX, prefix)
+                dropped = max(dropped, _U32.unpack(reply)[0])
+            except ConnectionError:
+                continue
+        return dropped
+
+    def share(self, key: bytes) -> Tuple[str, Tuple, bytes]:
+        """-> ``("dht", replica (host, port) pairs, key)``.
+
+        Self-contained: the fetching process connects straight to the
+        replicas, so a locator survives the sharing store being closed —
+        and a dead primary, thanks to the replica walk in the fetcher.
+        """
+        replicas = tuple(self.nodes[index]
+                         for index in self.replicas_for(key))
+        return ("dht", replicas, key)
+
+    def ping(self) -> List[bool]:
+        """Liveness of each node, index-aligned with ``nodes``."""
+        alive = []
+        for client in self._clients:
+            try:
+                client.request(OP_PING, b"")
+                alive.append(True)
+            except ConnectionError:
+                alive.append(False)
+        return alive
+
+    def close(self) -> None:
+        for client in self._clients:
+            client.close()
+
+    def stats(self) -> Dict[str, Any]:
+        per_node = []
+        for client in self._clients:
+            try:
+                _status, reply = client.request(OP_STATS, b"")
+                per_node.append(json.loads(reply.decode("utf-8")))
+            except ConnectionError:
+                per_node.append(None)
+        return {
+            "kind": self.kind,
+            "remote": self.remote,
+            "nodes": [f"{host}:{port}" for host, port in self.nodes],
+            "replication": self.replication,
+            "per_node": per_node,
+        }

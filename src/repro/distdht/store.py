@@ -1,0 +1,401 @@
+"""DHTStore-compatible adapters over a real :class:`BackingStore`.
+
+:class:`BackedDHTStore` subclasses the simulated
+:class:`~repro.ampc.dht.DHTStore` and keeps **all cost-model accounting
+at the adapter boundary**: the same ``shard_of`` placement, the same
+write-time :func:`~repro.ampc.cost_model.estimate_bytes` charge, the same
+per-shard ``shard_reads`` counters, the same strict-round checks, and the
+same partial-commit semantics when a bulk write fails mid-batch.  Only
+the physical storage differs — values are pickled into records (see
+:mod:`repro.distdht.backing`) and live in shared memory or on DHT nodes
+instead of an in-process dict.  A run on a backed store therefore reports
+**byte-identical simulated metrics** to the same run on a simulated
+store; the golden-metrics suite is parametrized over backends to prove
+it.
+
+Each store claims a unique byte-key *namespace* inside its backing store
+(pid + counter, so any number of worker processes can share one socket
+cluster without key collisions), and registers a finalizer that drops the
+namespace when the store object is garbage-collected — cache eviction in
+the Session automatically frees the backing-store records it addressed.
+
+The one observable difference from the simulated store: values round-trip
+through pickle, so a lookup returns a *copy* of the written object rather
+than the object itself.  Sealed-store discipline (write, seal, then read)
+makes that invisible to well-behaved specs — the conformance suite
+verifies every registered spec is one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import weakref
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.ampc.cost_model import estimate_bytes
+from repro.ampc.dht import DerivedDHTStore, DHTStore, StoreSealedError
+from repro.distdht.backing import (
+    TOMBSTONE,
+    BackingStore,
+    decode_record,
+    encode_key,
+    encode_record,
+)
+
+_NS_COUNTER = itertools.count()
+
+
+def _fresh_namespace(name: str) -> bytes:
+    """A byte-key prefix no other store (in any process) is using.
+
+    The pid + per-process counter pair is unique across every process
+    sharing one backing store (the multi-worker socket-cluster case); the
+    store name rides along for debuggability of raw scans.
+    """
+    return f"s{os.getpid():x}.{next(_NS_COUNTER):x}|{name}|".encode("ascii")
+
+
+def _release_namespace(backing: BackingStore, namespace: bytes) -> None:
+    try:
+        backing.delete_prefix(namespace)
+    except Exception:  # noqa: BLE001 - backing may already be closed/gone
+        pass
+
+
+class BackedDHTStore(DHTStore):
+    """A :class:`DHTStore` whose values physically live in a backing store.
+
+    The per-shard ``_sizes`` index (write-time estimated sizes) stays in
+    the owning process — it *is* the accounting state and is what the
+    simulated store keeps too — while the pickled values go to the
+    backing.  Each record also embeds its recorded size, so a record
+    fetched by locator in another process carries its own charge.
+    """
+
+    def __init__(self, name: str, num_shards: int, *,
+                 backing: BackingStore, strict_rounds: bool = False):
+        super().__init__(name, num_shards, strict_rounds=strict_rounds)
+        self._backing = backing
+        self._ns = _fresh_namespace(name)
+        # Free the namespace when the store object dies: Session cache
+        # eviction then reclaims the backing-store records automatically.
+        self._ns_finalizer = weakref.finalize(
+            self, _release_namespace, backing, self._ns)
+
+    @property
+    def backing(self) -> BackingStore:
+        return self._backing
+
+    def _key_bytes(self, key: Any) -> bytes:
+        return self._ns + encode_key(key)
+
+    # -- writes (accounting identical to DHTStore.write/write_many) ------
+
+    def write(self, key: Any, value: Any) -> int:
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_index = self.shard_of(key)
+        sizes = self._sizes[shard_index]
+        value_bytes = estimate_bytes(value)
+        replaced = sizes.get(key)
+        if replaced is None:
+            self.total_entries += 1
+            self.total_value_bytes += value_bytes
+        else:
+            self.total_value_bytes += value_bytes - replaced
+        self._backing.put(self._key_bytes(key),
+                          encode_record(value, value_bytes))
+        sizes[key] = value_bytes
+        return value_bytes
+
+    def write_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_of = self.shard_of
+        size_shards = self._sizes
+        key_bytes = self._key_bytes
+        batch: List[Tuple[bytes, bytes]] = []
+        total = 0
+        entries_added = 0
+        bytes_delta = 0
+        try:
+            for key, value in items:
+                # Size first, as in the simulated store: an inestimable
+                # value raises before this item mutates anything, and the
+                # finally block commits the completed items — accounting
+                # and physical records stay in lockstep.
+                value_bytes = estimate_bytes(value)
+                shard_index = shard_of(key)
+                sizes = size_shards[shard_index]
+                replaced = sizes.get(key)
+                if replaced is None:
+                    entries_added += 1
+                    bytes_delta += value_bytes
+                else:
+                    bytes_delta += value_bytes - replaced
+                sizes[key] = value_bytes
+                batch.append((key_bytes(key),
+                              encode_record(value, value_bytes)))
+                total += value_bytes
+        finally:
+            self.total_entries += entries_added
+            self.total_value_bytes += bytes_delta
+            if batch:
+                self._backing.put_many(batch)
+        return total
+
+    write_all = write_many
+
+    # -- reads (charging identical to DHTStore) ---------------------------
+
+    def _fetch_value(self, key: Any) -> Any:
+        record = self._backing.get(self._key_bytes(key))
+        if record is None:
+            raise KeyError(
+                f"store {self.name!r}: record for {key!r} vanished from "
+                f"the {self._backing.kind} backing store")
+        entry = decode_record(record)
+        assert entry is not None, "live index entry points at a tombstone"
+        return entry[0]
+
+    def lookup(self, key: Any) -> Any:
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        if key not in self._sizes[shard_index]:
+            return None
+        return self._fetch_value(key)
+
+    def lookup_with_size(self, key: Any) -> Tuple[Any, int]:
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        size = self._sizes[shard_index].get(key)
+        if size is None:
+            return None, 0
+        return self._fetch_value(key), size
+
+    def lookup_many(self, keys: Iterable[Any]) -> Tuple[List[Any], int]:
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+        shard_of = self.shard_of
+        size_shards = self._sizes
+        shard_reads = self.shard_reads
+        # First pass: routing + read/byte accounting, exactly the
+        # simulated store's loop; hits are fetched in one batched round
+        # trip afterwards (the accounting never sees the difference).
+        order: List[Any] = []
+        hits: List[int] = []
+        total = 0
+        for key in keys:
+            shard_index = shard_of(key)
+            shard_reads[shard_index] += 1
+            size = size_shards[shard_index].get(key)
+            if size is None:
+                order.append(None)
+            else:
+                hits.append(len(order))
+                order.append(key)
+                total += size
+        if hits:
+            records = self._backing.get_many(
+                [self._key_bytes(order[index]) for index in hits])
+            for index, record in zip(hits, records):
+                if record is None:
+                    raise KeyError(
+                        f"store {self.name!r}: record for {order[index]!r} "
+                        f"vanished from the {self._backing.kind} backing "
+                        "store")
+                order[index] = decode_record(record)[0]
+        return order, total
+
+    def contains(self, key: Any) -> bool:
+        if self._strict_rounds and not self.sealed:
+            raise StoreSealedError(
+                f"store {self.name!r} is still being written this round"
+            )
+        shard_index = self.shard_of(key)
+        self.shard_reads[shard_index] += 1
+        return key in self._sizes[shard_index]
+
+    # -- derivation / folding ---------------------------------------------
+
+    def _entry(self, key: Any, shard_index: int) -> Optional[Tuple[Any, int]]:
+        size = self._sizes[shard_index].get(key)
+        if size is None:
+            return None
+        return self._fetch_value(key), size
+
+    def _spawn_sibling(self, name: str) -> "BackedDHTStore":
+        return BackedDHTStore(name, self.num_shards, backing=self._backing,
+                              strict_rounds=self._strict_rounds)
+
+    def _install(self, key: Any, value: Any, size: int) -> None:
+        shard_index = self.shard_of(key)
+        self._backing.put(self._key_bytes(key), encode_record(value, size))
+        self._sizes[shard_index][key] = size
+        self.total_entries += 1
+        self.total_value_bytes += size
+
+    # -- introspection ----------------------------------------------------
+
+    def keys(self) -> List[Any]:
+        result: List[Any] = []
+        for sizes in self._sizes:
+            result.extend(sizes.keys())
+        return result
+
+    def cache_resident_bytes(self) -> int:
+        # Remote backings hold the payload elsewhere — only the local
+        # size index occupies this process; shm payload is host RAM and
+        # counts in full, like the simulated store.
+        if self._backing.remote:
+            return 16 * self.total_entries
+        return self.total_value_bytes + 8 * self.total_entries
+
+    def release(self) -> None:
+        """Drop this store's records from the backing store now."""
+        self._ns_finalizer()
+
+    def __repr__(self) -> str:
+        return (
+            f"BackedDHTStore({self.name!r}, backing={self._backing.kind}, "
+            f"entries={self.total_entries}, sealed={self.sealed})"
+        )
+
+
+class BackedDerivedDHTStore(DerivedDHTStore):
+    """Copy-on-write overlay over a sealed backed parent.
+
+    Accounting mirrors :class:`~repro.ampc.dht.DerivedDHTStore` exactly
+    (overlay deltas against the parent's memoized sizes); the overlay's
+    values — and explicit tombstone records for shadow-deletes, keeping
+    the backing's raw view self-describing — live under this store's own
+    namespace in the same backing store as the parent.
+    """
+
+    def __init__(self, name: str, parent: DHTStore):
+        backing = getattr(parent, "_backing", None)
+        if backing is None:
+            raise TypeError(
+                "BackedDerivedDHTStore needs a backed parent, got "
+                f"{type(parent).__name__}")
+        super().__init__(name, parent)
+        self._backing: BackingStore = backing
+        self._ns = _fresh_namespace(name)
+        self._ns_finalizer = weakref.finalize(
+            self, _release_namespace, backing, self._ns)
+
+    backing = BackedDHTStore.backing
+    _key_bytes = BackedDHTStore._key_bytes
+    _fetch_value = BackedDHTStore._fetch_value
+    _spawn_sibling = BackedDHTStore._spawn_sibling
+    _install = BackedDHTStore._install
+    cache_resident_bytes = BackedDHTStore.cache_resident_bytes
+    release = BackedDHTStore.release
+
+    # -- resolution (reads are inherited: they go through _entry) ---------
+
+    def _entry(self, key: Any, shard_index: int) -> Optional[Tuple[Any, int]]:
+        if key in self._deleted[shard_index]:
+            return None
+        size = self._sizes[shard_index].get(key)
+        if size is not None:
+            return self._fetch_value(key), size
+        return self.parent._entry(key, shard_index)
+
+    # -- writes (accounting identical to DerivedDHTStore) -----------------
+
+    def write(self, key: Any, value: Any) -> int:
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_index = self.shard_of(key)
+        value_bytes = estimate_bytes(value)
+        sizes = self._sizes[shard_index]
+        replaced = sizes.get(key)
+        if replaced is not None:
+            self.total_value_bytes += value_bytes - replaced
+        else:
+            deleted = self._deleted[shard_index]
+            if key in deleted:
+                deleted.discard(key)
+                self.total_entries += 1
+                self.total_value_bytes += value_bytes
+            else:
+                shadowed = self.parent._entry(key, shard_index)
+                if shadowed is None:
+                    self.total_entries += 1
+                    self.total_value_bytes += value_bytes
+                else:
+                    self.total_value_bytes += value_bytes - shadowed[1]
+        self._backing.put(self._key_bytes(key),
+                          encode_record(value, value_bytes))
+        sizes[key] = value_bytes
+        return value_bytes
+
+    def write_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        write = self.write
+        return sum(write(key, value) for key, value in items)
+
+    write_all = write_many
+
+    def delete(self, key: Any) -> bool:
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_index = self.shard_of(key)
+        removed = self._sizes[shard_index].pop(key, None)
+        if removed is not None:
+            self.total_entries -= 1
+            self.total_value_bytes -= removed
+            if self.parent._entry(key, shard_index) is not None:
+                self._deleted[shard_index].add(key)
+                self._backing.put(self._key_bytes(key), TOMBSTONE)
+            else:
+                self._backing.delete(self._key_bytes(key))
+            return True
+        if key in self._deleted[shard_index]:
+            return False
+        shadowed = self.parent._entry(key, shard_index)
+        if shadowed is None:
+            return False
+        self._deleted[shard_index].add(key)
+        self._backing.put(self._key_bytes(key), TOMBSTONE)
+        self.total_entries -= 1
+        self.total_value_bytes -= shadowed[1]
+        return True
+
+    # -- introspection ----------------------------------------------------
+
+    def keys(self) -> List[Any]:
+        result: List[Any] = []
+        for sizes in self._sizes:
+            result.extend(sizes.keys())
+        for key in self.parent.keys():
+            shard_index = self.shard_of(key)
+            if (key not in self._sizes[shard_index]
+                    and key not in self._deleted[shard_index]):
+                result.append(key)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"BackedDerivedDHTStore({self.name!r}, "
+            f"backing={self._backing.kind}, entries={self.total_entries}, "
+            f"parent={self.parent.name!r}, sealed={self.sealed})"
+        )
+
+
+# derive() on a backed store yields a backed child (same backing store)
+BackedDHTStore._derived_class = BackedDerivedDHTStore
+BackedDerivedDHTStore._derived_class = BackedDerivedDHTStore

@@ -50,8 +50,10 @@ wall-clock placement changes.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import pickle
 import threading
 from dataclasses import fields
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -62,6 +64,8 @@ from repro.api import registry
 from repro.api.fingerprint import FingerprintMemo, graph_fingerprint
 from repro.api.result import RunResult
 from repro.api.session import GraphHandle, Session, SessionStats
+from repro.distdht.backend import create_backend
+from repro.distdht.backing import fetch
 from repro.graph.generators import degree_weighted
 from repro.graph.graph import WeightedGraph
 from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
@@ -69,6 +73,31 @@ from repro.serve.service import ServiceBase, derived_weighted_name
 
 #: SessionStats field names, for flattening per-worker snapshots
 _SESSION_STAT_FIELDS = tuple(field.name for field in fields(SessionStats))
+
+_BLOB_NS_COUNTER = itertools.count()
+
+
+class _BlobRef:
+    """A shared-store locator standing in for a pickled graph.
+
+    On a real backend (``shm``/``socket``) the dispatcher writes each
+    graph's pickle into the shared backing store **once** and run
+    messages carry this tiny reference instead of the payload: ship-once
+    becomes write-once, and N workers (including respawned ones) resolve
+    the same physical bytes via :func:`repro.distdht.backing.fetch` —
+    with replica failover where the backend has replicas.
+    """
+
+    __slots__ = ("locator",)
+
+    def __init__(self, locator: Any):
+        self.locator = locator
+
+    def __getstate__(self):
+        return self.locator
+
+    def __setstate__(self, state):
+        self.locator = state
 
 
 class WorkerDiedError(ServiceClosedError):
@@ -100,17 +129,24 @@ def _send_error(conn, request_id: int, error: BaseException) -> None:
 
 def _worker_main(conn, index: int, config: Optional[ClusterConfig],
                  fault_plan: Optional[FaultPlan], strict_rounds: bool,
-                 max_cache_bytes: Optional[int]) -> None:
+                 max_cache_bytes: Optional[int],
+                 backend_spec: Tuple[str, Optional[List[Any]], int] = (
+                     "sim", None, 1)) -> None:
     """One worker: a private Session answering run/stats messages.
 
-    Graphs arrive pickled at most once each and are registered (and
-    pinned) under their fingerprint; later ``run`` messages reference the
+    Graphs arrive at most once each — pickled into the message on the
+    simulated backend, or as a :class:`_BlobRef` resolved out of the
+    shared backing store on a real one — and are registered (and pinned)
+    under their fingerprint; later ``run`` messages reference the
     fingerprint only.  The loop is strictly sequential — per-run metrics
     isolation inside a worker is the Session's own guarantee.
     """
+    backend, dht_nodes, replication = backend_spec
     session = Session(config, fault_plan=fault_plan,
                       strict_rounds=strict_rounds,
-                      max_cache_bytes=max_cache_bytes)
+                      max_cache_bytes=max_cache_bytes,
+                      backend=backend, dht_nodes=dht_nodes,
+                      replication=replication)
     pinned: Dict[str, Any] = {}
     while True:
         try:
@@ -151,6 +187,11 @@ def _worker_main(conn, index: int, config: Optional[ClusterConfig],
              reuse, params) = message
             try:
                 if graph is not None and fingerprint not in pinned:
+                    if isinstance(graph, _BlobRef):
+                        # write-once fronting: resolve the shared bytes
+                        # (replica failover inside fetch) — the pickle
+                        # crossed no pipe and exists once per cluster
+                        graph = pickle.loads(fetch(graph.locator))
                     pinned[fingerprint] = graph
                     session.load(fingerprint, graph)
                 result = session.run(algorithm, fingerprint, seed=seed,
@@ -167,6 +208,7 @@ def _worker_main(conn, index: int, config: Optional[ClusterConfig],
                 _send_error(conn, request_id, error)
         # unknown ops are ignored: a newer dispatcher must not kill an
         # older worker
+    session.close()  # release shm segments / DHT connections
 
 
 # ---------------------------------------------------------------------------
@@ -198,7 +240,8 @@ class _WorkerClient:
     """
 
     def __init__(self, index: int, ctx, config, fault_plan, strict_rounds,
-                 max_cache_bytes, on_death=None):
+                 max_cache_bytes, on_death=None,
+                 backend_spec=("sim", None, 1)):
         self.index = index
         #: called (with this client) from the reader thread once the
         #: worker process is gone and its leftovers are failed — the
@@ -209,7 +252,7 @@ class _WorkerClient:
         self.process = ctx.Process(
             target=_worker_main,
             args=(child_conn, index, config, fault_plan, strict_rounds,
-                  max_cache_bytes),
+                  max_cache_bytes, backend_spec),
             name=f"repro-serve-worker-{index}",
             daemon=True,
         )
@@ -440,11 +483,19 @@ class ProcessGraphService(ServiceBase):
                  strict_rounds: bool = False,
                  max_cache_bytes: Optional[int] = None,
                  spill_threshold: int = 4,
+                 backend: str = "sim",
+                 dht_nodes: Optional[List[Any]] = None,
+                 replication: int = 1,
                  mp_context: Optional[str] = None):
         if processes < 1:
             raise ValueError("need at least one worker process")
         if spill_threshold < 1:
             raise ValueError("spill_threshold must be >= 1")
+        if not isinstance(backend, str):
+            raise TypeError(
+                "ProcessGraphService needs a backend spec string "
+                "(workers construct their own stores); got "
+                f"{type(backend).__name__}")
         ctx = multiprocessing.get_context(mp_context)
         #: spawn parameters, kept for worker respawn after a crash
         self._ctx = ctx
@@ -453,6 +504,21 @@ class ProcessGraphService(ServiceBase):
         self._strict_rounds = strict_rounds
         self._max_cache_bytes = max_cache_bytes
         self._spill_threshold = spill_threshold
+        self.backend = backend
+        self._backend_spec = (backend, list(dht_nodes) if dht_nodes else None,
+                              replication)
+        #: the dispatcher's shared store for write-once graph blobs (None
+        #: on "sim", where graphs pickle into the pipe per worker).  On
+        #: "shm" the workers attach the dispatcher's segments; on
+        #: "socket" the blobs live on the DHT nodes with replication R.
+        self._blob_store = create_backend(backend, nodes=dht_nodes,
+                                          replication=replication)
+        self._blob_ns = (
+            f"blob{os.getpid():x}.{next(_BLOB_NS_COUNTER):x}|".encode("ascii"))
+        #: fingerprint -> blob locator, for graphs published to the
+        #: shared store; its length is the write-once "graphs_shipped"
+        self._published: Dict[str, Any] = {}
+        self._graphs_published = 0
         self._lock = threading.Lock()
         #: serializes update() end to end (graph mutation, affinity move,
         #: delta shipping) — see GraphService._update_lock
@@ -488,7 +554,39 @@ class ProcessGraphService(ServiceBase):
         return _WorkerClient(index, self._ctx, self._config,
                              self._fault_plan, self._strict_rounds,
                              self._max_cache_bytes,
-                             on_death=self._on_worker_death)
+                             on_death=self._on_worker_death,
+                             backend_spec=self._backend_spec)
+
+    # -- write-once blob publication ---------------------------------------
+
+    def _blob_key(self, fingerprint: str) -> bytes:
+        return self._blob_ns + fingerprint.encode("ascii")
+
+    def _publish(self, fingerprint: str, graph: Any) -> _BlobRef:
+        """The graph's shared-store locator, writing the pickle at most
+        once per fingerprint — every worker (and every respawn) reads the
+        same physical bytes."""
+        with self._lock:
+            locator = self._published.get(fingerprint)
+        if locator is None:
+            key = self._blob_key(fingerprint)
+            self._blob_store.put(
+                key, pickle.dumps(graph, pickle.HIGHEST_PROTOCOL))
+            locator = self._blob_store.share(key)
+            with self._lock:
+                if fingerprint not in self._published:
+                    self._published[fingerprint] = locator
+                    self._graphs_published += 1
+        return _BlobRef(locator)
+
+    def _unpublish(self, fingerprint: str) -> None:
+        with self._lock:
+            locator = self._published.pop(fingerprint, None)
+        if locator is not None:
+            try:
+                self._blob_store.delete(self._blob_key(fingerprint))
+            except Exception:  # noqa: BLE001 - nodes may be unreachable
+                pass
 
     def _on_worker_death(self, client: _WorkerClient) -> None:
         """Respawn a crashed worker in place (reader-thread callback).
@@ -547,6 +645,7 @@ class ProcessGraphService(ServiceBase):
             for fingerprint in fingerprints:
                 self._affinity.pop(fingerprint, None)
         for fingerprint in fingerprints:
+            self._unpublish(fingerprint)
             for client in self._clients:
                 if fingerprint in client.shipped:
                     client.send_unload(fingerprint)
@@ -591,7 +690,12 @@ class ProcessGraphService(ServiceBase):
                 if derived is not None:
                     self._affinity.pop(derived[2], None)
                 clients = list(self._clients)
+            # stale shared blobs: the old-content pickle (and any
+            # degree-weighted derivation of it) must not be resolvable
+            # after the mutation — lazy re-ships publish the new content
+            self._unpublish(old_fingerprint)
             if derived is not None:
+                self._unpublish(derived[2])
                 for client in clients:
                     if derived[2] in client.shipped:
                         client.send_unload(derived[2])
@@ -640,6 +744,11 @@ class ProcessGraphService(ServiceBase):
             self._submitted += 1
             client = self._route(fingerprint)
         del merged  # validation only; the worker Session re-merges defaults
+        if self._blob_store is not None:
+            # ship-once becomes write-once: the message carries a tiny
+            # locator; the pickle exists once in the shared store no
+            # matter how many workers (or respawns) resolve it
+            obj = self._publish(fingerprint, obj)
         return client.submit_run(
             spec.name, fingerprint, obj, seed, reuse_preprocessing,
             params, name, self._on_done)
@@ -775,6 +884,7 @@ class ProcessGraphService(ServiceBase):
             for payload in self._retired_stats:
                 merged.merge(payload["stats"])
             stats: Dict[str, Any] = {
+                "backend": self.backend,
                 "workers": len(self._clients),
                 "processes": len(self._clients),
                 "submitted": self._submitted,
@@ -789,8 +899,14 @@ class ProcessGraphService(ServiceBase):
         stats["cached_preprocessings"] = sum(
             row["cached_preprocessings"] for row in per_worker)
         stats["cache_bytes"] = sum(row["cache_bytes"] for row in per_worker)
-        stats["graphs_shipped"] = sum(
-            row["graphs_shipped"] for row in per_worker)
+        if self._blob_store is not None:
+            # write-once fronting: a graph "ships" when its blob is
+            # written to the shared store, however many workers read it
+            with self._lock:
+                stats["graphs_shipped"] = self._graphs_published
+        else:
+            stats["graphs_shipped"] = sum(
+                row["graphs_shipped"] for row in per_worker)
         stats.update(merged.to_dict())
         stats["per_worker"] = per_worker
         return stats
@@ -813,3 +929,9 @@ class ProcessGraphService(ServiceBase):
         for client in self._clients:
             client.shutdown()
         self._control.close(wait=False)
+        if self._blob_store is not None:
+            try:
+                self._blob_store.delete_prefix(self._blob_ns)
+            except Exception:  # noqa: BLE001 - nodes may already be gone
+                pass
+            self._blob_store.close()

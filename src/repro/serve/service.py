@@ -109,12 +109,23 @@ class GraphService(ServiceBase):
                  fault_plan: Optional[FaultPlan] = None,
                  strict_rounds: bool = False,
                  max_cache_bytes: Optional[int] = None,
+                 backend: Any = "sim",
+                 dht_nodes: Optional[List[Any]] = None,
+                 replication: int = 1,
+                 max_chain_generations: Optional[int] = None,
                  session: Optional[Session] = None):
+        #: whether close() owns the session's backing resources (it does
+        #: unless the caller injected an externally managed session)
+        self._owns_session = session is None
         self.session = session or Session(
             config,
             fault_plan=fault_plan,
             strict_rounds=strict_rounds,
             max_cache_bytes=max_cache_bytes,
+            backend=backend,
+            dht_nodes=dht_nodes,
+            replication=replication,
+            max_chain_generations=max_chain_generations,
         )
         self._pool = WorkerPool(workers, max_pending=max_pending)
         self._lock = threading.Lock()
@@ -250,6 +261,7 @@ class GraphService(ServiceBase):
         session_stats = self.session.stats
         with self._lock:
             stats = {
+                "backend": self.session.backend,
                 "workers": self._pool.workers,
                 "submitted": self._submitted,
                 "completed": self._completed,
@@ -274,3 +286,5 @@ class GraphService(ServiceBase):
                 return
             self._closed = True
         self._pool.close(wait=wait)
+        if self._owns_session:
+            self.session.close()

@@ -1,0 +1,143 @@
+"""Delta compaction in GraphHandle.apply_batch.
+
+A churny stream frequently deletes an edge and re-inserts it in one
+batch.  Matching 1:1 delete+re-insert pairs are logical no-ops and are
+collapsed *before* any mutation or journaling, so they cost nothing: no
+journal growth, no fingerprint advance, no ``update``-hook work on the
+next run.  Real changes (weight changes, unpaired rows) survive intact.
+"""
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import Session
+from repro.api.session import _compact_batch
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.graph import Graph, WeightedGraph
+
+CONFIG = ClusterConfig(num_machines=4)
+
+
+def _graph():
+    g = Graph(6)
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+        g.add_edge(u, v)
+    return g
+
+
+def _weighted():
+    g = WeightedGraph(6)
+    for u, v, w in [(0, 1, 1.5), (1, 2, 2.5), (2, 3, 3.5)]:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestCompactBatchUnit:
+    def test_matching_pair_compacts_to_nothing(self):
+        insertions, deletions = _compact_batch(
+            _graph(), [(0, 1)], [(0, 1)])
+        assert insertions == []
+        assert deletions == []
+
+    def test_orientation_does_not_matter(self):
+        insertions, deletions = _compact_batch(
+            _graph(), [(1, 0)], [(0, 1)])
+        assert insertions == []
+        assert deletions == []
+
+    def test_unpaired_rows_survive(self):
+        insertions, deletions = _compact_batch(
+            _graph(), [(0, 1), (4, 5)], [(0, 1), (2, 3)])
+        assert insertions == [(4, 5)]
+        assert deletions == [(2, 3)]
+
+    def test_weighted_pair_compacts_only_at_the_same_weight(self):
+        graph = _weighted()
+        insertions, deletions = _compact_batch(
+            graph, [(0, 1, 1.5)], [(0, 1)])
+        assert insertions == []
+        assert deletions == []
+        # a re-insert at a different weight is a real weight change
+        insertions, deletions = _compact_batch(
+            graph, [(0, 1, 9.0)], [(0, 1)])
+        assert insertions == [(0, 1, 9.0)]
+        assert deletions == [(0, 1)]
+
+    def test_ambiguous_multi_insert_is_left_alone(self):
+        # the same edge inserted twice: order could matter, so the pair
+        # matching refuses to guess (validation rejects such batches at
+        # apply time anyway; the compactor must stay conservative)
+        insertions, deletions = _compact_batch(
+            _graph(), [(0, 1), (0, 1)], [(0, 1)])
+        assert insertions == [(0, 1), (0, 1)]
+        assert deletions == [(0, 1)]
+
+    def test_empty_sides_short_circuit(self):
+        graph = _graph()
+        assert _compact_batch(graph, [(4, 5)], []) == ([(4, 5)], [])
+        assert _compact_batch(graph, [], [(0, 1)]) == ([], [(0, 1)])
+
+
+class TestApplyBatchIntegration:
+    def test_noop_batch_leaves_fingerprint_and_journal_alone(self):
+        graph = erdos_renyi_gnm(20, 40, seed=3)
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        fingerprint = handle.fingerprint
+        version = graph.content_version
+        edges = [tuple(e[:2]) for e in sorted(graph.edges())[:4]]
+        handle.apply_batch(insertions=edges, deletions=edges)
+        assert handle.fingerprint == fingerprint
+        assert graph.content_version == version
+
+    def test_mixed_batch_applies_only_the_real_changes(self):
+        graph = _graph()
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        fingerprint = handle.fingerprint
+        # (0,1) delete+re-insert compacts away; (2,3) delete and (4,5)
+        # insert are real
+        handle.apply_batch(insertions=[(0, 1), (4, 5)],
+                           deletions=[(0, 1), (2, 3)])
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(4, 5)
+        assert not graph.has_edge(2, 3)
+        assert handle.fingerprint != fingerprint
+
+    def test_compacted_noop_still_hits_the_preprocessing_cache(self):
+        graph = erdos_renyi_gnm(20, 40, seed=3)
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        session.run("mis", "g", seed=1)
+        edges = [tuple(e[:2]) for e in sorted(graph.edges())[:3]]
+        handle.apply_batch(insertions=edges, deletions=edges)
+        again = session.run("mis", "g", seed=1)
+        # unchanged content: full cache hit, not even an incremental patch
+        assert again.preprocessing_reused
+        assert session.stats.preprocessing_hits == 1
+        assert session.stats.incremental_updates == 0
+
+    def test_validation_still_runs_before_compaction(self):
+        graph = _graph()
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        with pytest.raises(KeyError, match="absent edge"):
+            handle.apply_batch(insertions=[(4, 5)], deletions=[(4, 5)])
+
+    def test_weighted_same_weight_pair_is_a_noop(self):
+        graph = _weighted()
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        fingerprint = handle.fingerprint
+        handle.apply_batch(insertions=[(0, 1, 1.5)], deletions=[(0, 1)])
+        assert handle.fingerprint == fingerprint
+        assert graph.weight(0, 1) == 1.5
+
+    def test_weighted_weight_change_is_applied(self):
+        graph = _weighted()
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        fingerprint = handle.fingerprint
+        handle.apply_batch(insertions=[(0, 1, 9.0)], deletions=[(0, 1)])
+        assert graph.weight(0, 1) == 9.0
+        assert handle.fingerprint != fingerprint

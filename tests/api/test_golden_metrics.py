@@ -41,9 +41,17 @@ def _input_for(spec):
     ]
 
 
-def _observe(spec):
+#: the snapshot is checked on the simulated store AND on a real backend:
+#: a run whose records physically live in shared memory must report the
+#: exact same simulated numbers (the adapter keeps all accounting at the
+#: store boundary)
+BACKENDS = ("sim", "shm")
+
+
+def _observe(spec, backend="sim"):
     """The full observable surface of one run: counters, phases, summary."""
-    result = Session(CONFIG).run(spec.name, _input_for(spec), seed=SEED)
+    with Session(CONFIG, backend=backend) as session:
+        result = session.run(spec.name, _input_for(spec), seed=SEED)
     return {
         "metrics": result.metrics,
         "phases": result.phases,
@@ -73,19 +81,21 @@ def snapshot():
     return _load_snapshot()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("spec", registry.specs(), ids=lambda s: s.name)
-def test_simulated_metrics_match_snapshot(spec, snapshot):
+def test_simulated_metrics_match_snapshot(spec, backend, snapshot):
     assert spec.name in snapshot, (
         f"no golden entry for {spec.name!r}; regenerate with "
         "UPDATE_GOLDEN_METRICS=1"
     )
-    observed = _canonical(_observe(spec))
+    observed = _canonical(_observe(spec, backend))
     golden = snapshot[spec.name]
     # Compare section by section for a readable diff on failure.
     for section in ("metrics", "phases", "summary", "rounds"):
         assert observed[section] == golden[section], (
-            f"{spec.name}: simulated {section} drifted from the golden "
-            f"snapshot — wall-clock optimizations must not change "
+            f"{spec.name} on backend={backend}: simulated {section} "
+            f"drifted from the golden snapshot — neither wall-clock "
+            f"optimizations nor real storage backends may change "
             f"simulated results (regenerate only for intentional "
             f"cost-model/algorithm changes)"
         )

@@ -34,8 +34,13 @@ CYCLES = two_cycles(24, shuffle_ids=True, seed=1)
 RESERVED_FLAGS = {
     "--machines", "--threads", "--seed", "--transport", "--no-caching",
     "--no-multithreading", "--query-budget", "--json", "--weighted",
-    "--workers", "--host", "--port", "--max-cache-bytes",
+    "--workers", "--host", "--port", "--max-cache-bytes", "--processes",
+    "--backend", "--dht-node", "--replication",
 }
+
+#: the Session contract must hold wherever the records physically live;
+#: "shm" runs every conformance check against a real backing store
+BACKENDS = ("sim", "shm")
 
 
 def _input_for(spec):
@@ -46,29 +51,34 @@ def _input_for(spec):
 
 @pytest.mark.parametrize("spec", registry.specs(), ids=lambda s: s.name)
 class TestSpecConformance:
-    def test_prepare_run_separation(self, spec):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prepare_run_separation(self, spec, backend):
         """A second run reuses the preparation and shuffles strictly less."""
-        session = Session(CONFIG)
-        graph = _input_for(spec)
-        cold = session.run(spec.name, graph, seed=SEED)
-        warm = session.run(spec.name, graph, seed=SEED)
+        with Session(CONFIG, backend=backend) as session:
+            graph = _input_for(spec)
+            cold = session.run(spec.name, graph, seed=SEED)
+            warm = session.run(spec.name, graph, seed=SEED)
         assert not cold.preprocessing_reused
         assert warm.preprocessing_reused
         assert warm.metrics["shuffles"] < cold.metrics["shuffles"]
         assert warm.shuffles_saved > 0
 
-    def test_warm_run_output_matches_cold(self, spec):
-        session = Session(CONFIG)
-        graph = _input_for(spec)
-        cold = session.run(spec.name, graph, seed=SEED)
-        warm = session.run(spec.name, graph, seed=SEED)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_warm_run_output_matches_cold(self, spec, backend):
+        with Session(CONFIG, backend=backend) as session:
+            graph = _input_for(spec)
+            cold = session.run(spec.name, graph, seed=SEED)
+            warm = session.run(spec.name, graph, seed=SEED)
         assert warm.summary == cold.summary
         assert warm.description == cold.description
 
-    def test_seed_determinism_across_sessions(self, spec):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seed_determinism_across_sessions(self, spec, backend):
         graph = _input_for(spec)
-        first = Session(CONFIG).run(spec.name, graph, seed=SEED)
-        second = Session(CONFIG).run(spec.name, graph, seed=SEED)
+        with Session(CONFIG, backend=backend) as session:
+            first = session.run(spec.name, graph, seed=SEED)
+        with Session(CONFIG, backend=backend) as session:
+            second = session.run(spec.name, graph, seed=SEED)
         assert first.summary == second.summary
         assert first.description == second.description
         assert first.metrics == second.metrics
@@ -126,9 +136,10 @@ class TestSpecConformance:
             f"write_many API"
         )
 
-    def test_prep_seed_sensitivity_declaration_holds(self, spec):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prep_seed_sensitivity_declaration_holds(self, spec, backend):
         """Seed-insensitive preparations must actually serve other seeds."""
-        session = Session(CONFIG)
+        session = Session(CONFIG, backend=backend)
         graph = _input_for(spec)
         session.run(spec.name, graph, seed=SEED)
         other = session.run(spec.name, graph, seed=SEED + 1)

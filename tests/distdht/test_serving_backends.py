@@ -1,0 +1,122 @@
+"""Serving over real backends: socket failover and shm write-once fronting."""
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.distdht.sockets import DHTNodeServer
+from repro.graph.generators import erdos_renyi_gnm
+from repro.serve import GraphService, ProcessGraphService
+
+CONFIG = ClusterConfig(num_machines=4)
+GRAPH = erdos_renyi_gnm(30, 60, seed=2)
+
+
+class TestGraphServiceBackends:
+    def test_shm_backend_results_match_sim(self):
+        with GraphService(CONFIG, workers=2) as sim_service:
+            sim_service.load("g", GRAPH)
+            baseline = sim_service.query("mis", "g", seed=4, timeout=300)
+        with GraphService(CONFIG, workers=2, backend="shm") as service:
+            service.load("g", GRAPH)
+            observed = service.query("mis", "g", seed=4, timeout=300)
+            assert service.stats()["backend"] == "shm"
+        assert observed.output.independent_set \
+            == baseline.output.independent_set
+        assert observed.metrics == baseline.metrics
+
+    def test_socket_backend_survives_a_killed_node_mid_query(self):
+        """The acceptance scenario, through the full serving stack: a
+        replication-2 cluster loses a node between queries (its live
+        connections severed, as a crash would); later queries read every
+        record through replica failover and return identical results."""
+        with DHTNodeServer() as node_a, DHTNodeServer() as node_b:
+            with GraphService(
+                    CONFIG, workers=2, backend="socket",
+                    dht_nodes=[node_a.address, node_b.address],
+                    replication=2) as service:
+                service.load("g", GRAPH)
+                warm = service.query("mis", "g", seed=4, timeout=300)
+                node_a.close()  # kills pooled, established connections
+                survived = service.query("mis", "g", seed=4, timeout=300)
+                assert survived.output.independent_set \
+                    == warm.output.independent_set
+                assert survived.preprocessing_reused
+                # a cold query (full prepare: writes + reads) also works
+                # against the surviving replica
+                cold = service.query("mis", "g", seed=9, timeout=300)
+                assert cold.summary["output_size"] >= 1
+
+    def test_socket_backend_without_replication_fails_hard(self):
+        """replication=1 is the contrast case: losing the only replica
+        makes reads error rather than silently degrade."""
+        with DHTNodeServer() as node_a, DHTNodeServer() as node_b:
+            with GraphService(
+                    CONFIG, workers=2, backend="socket",
+                    dht_nodes=[node_a.address, node_b.address],
+                    replication=1) as service:
+                service.load("g", GRAPH)
+                service.query("mis", "g", seed=4, timeout=300)
+                node_a.close()
+                node_b.close()
+                with pytest.raises(ConnectionError):
+                    service.query("mis", "g", seed=11, timeout=300)
+
+
+class TestProcessPoolSharedMemoryFronting:
+    def test_one_publication_feeds_all_workers(self):
+        """The acceptance scenario: on the shm backend, N workers serving
+        one graph share a single published copy — ship-once becomes
+        write-once (``graphs_shipped == 1``)."""
+        with ProcessGraphService(CONFIG, processes=2, backend="shm",
+                                 spill_threshold=1) as service:
+            service.load("g", GRAPH)
+            pending = [service.submit("mis", "g", seed=seed)
+                       for seed in range(6)]
+            results = [p.result(timeout=300) for p in pending]
+            stats = service.stats()
+            assert stats["backend"] == "shm"
+            assert stats["graphs_shipped"] == 1
+            assert stats["rebalances"] > 0  # both workers actually served
+            baseline = results[0].output.independent_set
+            assert all(r.output.independent_set == baseline
+                       for r in results if r.seed == results[0].seed)
+
+    def test_respawned_worker_reuses_the_publication(self):
+        with ProcessGraphService(CONFIG, processes=2, backend="shm",
+                                 spill_threshold=1) as service:
+            service.load("g", GRAPH)
+            for seed in range(4):
+                service.query("mis", "g", seed=seed, timeout=300)
+            assert service.stats()["graphs_shipped"] == 1
+            victim = service._clients[0]
+            victim.process.terminate()
+            victim.process.join(30)
+            victim.reader.join(30)
+            assert not victim.alive
+            result = service.query("mis", "g", seed=0, timeout=300)
+            assert result is not None
+            # the replacement worker resolved the same shared blob: no
+            # second publication
+            assert service.stats()["graphs_shipped"] == 1
+
+    def test_update_republishes_changed_content(self):
+        graph = erdos_renyi_gnm(30, 60, seed=2)
+        with ProcessGraphService(CONFIG, processes=2, backend="shm",
+                                 spill_threshold=1) as service:
+            service.load("g", graph)
+            service.query("mis", "g", seed=0, timeout=300)
+            assert service.stats()["graphs_shipped"] == 1
+            edge = sorted(graph.edges())[0]
+            service.update("g", deletions=[tuple(edge[:2])])
+            service.query("mis", "g", seed=0, timeout=300)
+            # mutated content is a new publication (the stale blob was
+            # invalidated), not a silent reuse of old bytes
+            assert service.stats()["graphs_shipped"] == 2
+
+    def test_sim_mode_still_ships_per_worker(self):
+        with ProcessGraphService(CONFIG, processes=2) as service:
+            service.load("g", GRAPH)
+            service.query("mis", "g", seed=0, timeout=300)
+            stats = service.stats()
+            assert stats["backend"] == "sim"
+            assert stats["graphs_shipped"] >= 1

@@ -1,0 +1,202 @@
+"""Session over real backends, chain folding, and derive-name tagging."""
+
+import random
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.dht import DHTStore, DerivedDHTStore, next_delta_name
+from repro.ampc.runtime import AMPCRuntime
+from repro.api import Session
+from repro.distdht.backing import InMemoryBackingStore
+from repro.graph.generators import erdos_renyi_gnm
+
+CONFIG = ClusterConfig(num_machines=4)
+GRAPH = erdos_renyi_gnm(30, 60, seed=7)
+
+
+def _signature(result):
+    signature = {"summary": result.summary, "metrics": result.metrics,
+                 "phases": result.phases}
+    for field in ("independent_set", "matching", "forest", "labels",
+                  "scores", "endpoints"):
+        value = getattr(result.output, field, None)
+        if value is not None:
+            signature[field] = value
+    return signature
+
+
+class TestSessionBackends:
+    @pytest.mark.parametrize("backend", ["mem", "shm"])
+    def test_run_result_identical_to_sim(self, backend):
+        baseline = Session(CONFIG).run("mis", GRAPH, seed=3)
+        with Session(CONFIG, backend=backend) as session:
+            assert session.backend == backend
+            observed = session.run("mis", GRAPH, seed=3)
+        assert _signature(observed) == _signature(baseline)
+
+    def test_preprocessing_cache_hits_on_backed_stores(self):
+        with Session(CONFIG, backend="mem") as session:
+            session.run("mis", GRAPH, seed=3)
+            again = session.run("mis", GRAPH, seed=3)
+            assert again.preprocessing_reused
+            assert session.stats.preprocessing_hits == 1
+
+    def test_cache_eviction_releases_backing_records(self):
+        import gc
+
+        other = erdos_renyi_gnm(30, 60, seed=8)
+        # how many records one artifact alone occupies
+        solo = InMemoryBackingStore()
+        with Session(CONFIG, backend=solo) as session:
+            session.run("mis", other, seed=3)
+            single_entry_records = solo.stats()["entries"]
+        backing = InMemoryBackingStore()
+        with Session(CONFIG, backend=backing, max_cache_bytes=1) as session:
+            session.run("mis", GRAPH, seed=3)
+            # the 1-byte budget keeps exactly one (over-budget) entry:
+            # caching the second artifact evicts the first, whose stores
+            # are collected and their backing namespaces reclaimed
+            session.run("mis", other, seed=3)
+            gc.collect()
+            assert session.stats.preprocessing_evictions == 1
+            assert backing.stats()["entries"] == single_entry_records
+
+    def test_close_is_idempotent_and_context_managed(self):
+        session = Session(CONFIG, backend="shm")
+        session.run("mis", GRAPH, seed=0)
+        session.close()
+        session.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            Session(CONFIG, backend="carrier-pigeon")
+
+    def test_socket_backend_requires_nodes(self):
+        with pytest.raises(ValueError, match="node"):
+            Session(CONFIG, backend="socket")
+
+    def test_incremental_updates_match_sim_byte_for_byte(self):
+        """The same load/run/patch/run sequence on a backed session and a
+        simulated one: the patched runs must agree on everything, metrics
+        included (the patch path derives backed copy-on-write stores)."""
+        def drive(backend):
+            graph = erdos_renyi_gnm(24, 50, seed=11)
+            with Session(CONFIG, backend=backend) as session:
+                handle = session.load("g", graph)
+                session.run("mis", "g", seed=1)
+                edges = sorted(graph.edges())
+                deletions = [tuple(e[:2]) for e in edges[:3]]
+                handle.apply_batch(deletions=deletions)
+                patched = session.run("mis", "g", seed=1)
+                assert session.stats.incremental_updates == 1
+                return _signature(patched)
+
+        assert drive("mem") == drive("sim")
+        assert drive("shm") == drive("sim")
+
+
+class TestNextDeltaName:
+    """Satellite: generation tags make deep derivation chains collision-free."""
+
+    def test_generation_numbering(self):
+        assert next_delta_name("ranks") == "ranks+delta"
+        assert next_delta_name("ranks+delta") == "ranks+delta2"
+        assert next_delta_name("ranks+delta2") == "ranks+delta3"
+        assert next_delta_name("ranks+delta9") == "ranks+delta10"
+
+    def test_suffix_resembling_tag_is_treated_as_base(self):
+        # "+delta" followed by non-digits is part of the base name
+        assert next_delta_name("ranks+deltaX") == "ranks+deltaX+delta"
+
+    def test_deep_chain_has_distinct_names(self):
+        store = DHTStore("ranks", 4)
+        names = {store.name}
+        for _ in range(12):
+            store.seal()
+            store = store.derive()
+            assert store.name not in names, (
+                f"derivation chain re-used the name {store.name!r}")
+            names.add(store.name)
+
+    def test_runtime_derive_avoids_ancestor_names_across_runtimes(self):
+        """The regression: each incremental patch derives on a *fresh*
+        runtime, whose registry cannot see the ancestor chain — a
+        grandchild used to collide with its grandparent's name."""
+        parent = DHTStore("levels", 4)
+        parent.seal()
+        names = {parent.name}
+        for _ in range(6):
+            runtime = AMPCRuntime(config=CONFIG)  # fresh, like each patch
+            child = runtime.derive_store(parent)
+            assert child.name not in names, (
+                f"derive_store re-used ancestor name {child.name!r}")
+            names.add(child.name)
+            child.seal()
+            parent = child
+
+
+class TestMaxChainGenerations:
+    """Satellite: the knob that folds old cache generations flat."""
+
+    def _chain_depth(self, store):
+        depth = 0
+        while isinstance(store, DerivedDHTStore):
+            depth += 1
+            store = store.parent
+        return depth
+
+    def _mutate(self, handle, graph, rng):
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        handle.apply_batch(deletions=[tuple(edges[0][:2])])
+
+    def test_generations_fold_at_the_knob(self):
+        graph = erdos_renyi_gnm(24, 50, seed=5)
+        session = Session(CONFIG, max_chain_generations=2)
+        handle = session.load("g", graph)
+        session.run("mis", "g", seed=1)
+        rng = random.Random(8)
+        for _ in range(5):
+            self._mutate(handle, graph, rng)
+            session.run("mis", "g", seed=1)
+            for entry in session._cache.values():
+                assert entry.generations <= 2
+                for store in entry.prepared.__dict__.values():
+                    if isinstance(store, DHTStore):
+                        assert self._chain_depth(store) <= 2
+        assert session.stats.incremental_updates == 5
+
+    def test_folded_artifact_serves_identical_results(self):
+        graph = erdos_renyi_gnm(24, 50, seed=5)
+        twin = erdos_renyi_gnm(24, 50, seed=5)
+        folding = Session(CONFIG, max_chain_generations=1)
+        handle = folding.load("g", graph)
+        folding.run("mis", "g", seed=1)
+        rng = random.Random(8)
+        for _ in range(4):
+            edges = list(graph.edges())
+            rng.shuffle(edges)
+            victim = tuple(edges[0][:2])
+            handle.apply_batch(deletions=[victim])
+            twin.remove_edge(*victim)
+            folded = folding.run("mis", "g", seed=1)
+            baseline = Session(CONFIG).run("mis", twin, seed=1)
+            # folding must not change what the algorithm computes (the
+            # patch path's metrics legitimately differ from scratch)
+            assert folded.summary == baseline.summary
+            assert folded.output.independent_set \
+                == baseline.output.independent_set
+        assert folding.stats.incremental_updates == 4
+
+    def test_unbounded_by_default(self):
+        graph = erdos_renyi_gnm(24, 50, seed=5)
+        session = Session(CONFIG)
+        handle = session.load("g", graph)
+        session.run("mis", "g", seed=1)
+        rng = random.Random(8)
+        for _ in range(3):
+            self._mutate(handle, graph, rng)
+            session.run("mis", "g", seed=1)
+        depths = [entry.generations for entry in session._cache.values()]
+        assert max(depths) == 3

@@ -1,0 +1,135 @@
+"""Socket backend: wire protocol, placement, replication, failover."""
+
+import pytest
+
+from repro.distdht.backing import fetch
+from repro.distdht.sockets import DHTNodeServer, SocketBackingStore
+
+
+@pytest.fixture
+def node():
+    with DHTNodeServer() as server:
+        yield server
+
+
+@pytest.fixture
+def cluster():
+    """Two live nodes plus a replication-2 client over them."""
+    with DHTNodeServer() as node_a, DHTNodeServer() as node_b:
+        store = SocketBackingStore([node_a.address, node_b.address],
+                                   replication=2, timeout=5.0,
+                                   retries=2, backoff_s=0.01)
+        try:
+            yield node_a, node_b, store
+        finally:
+            store.close()
+
+
+class TestSingleNode:
+    def test_put_get_delete_contains(self, node):
+        store = SocketBackingStore([node.address])
+        store.put(b"k", b"record-bytes")
+        assert store.get(b"k") == b"record-bytes"
+        assert store.contains(b"k")
+        assert store.delete(b"k")
+        assert store.get(b"k") is None
+        assert not store.contains(b"k")
+        store.close()
+
+    def test_batched_ops_round_trip(self, node):
+        store = SocketBackingStore([node.address])
+        items = [(f"k{i}".encode(), f"v{i}".encode() * 10)
+                 for i in range(50)]
+        store.put_many(items)
+        keys = [key for key, _ in items] + [b"missing"]
+        values = store.get_many(keys)
+        assert values[:-1] == [record for _, record in items]
+        assert values[-1] is None
+        store.close()
+
+    def test_scan_and_delete_prefix(self, node):
+        store = SocketBackingStore([node.address])
+        store.put_many([(b"ns|a", b"1"), (b"ns|b", b"2"), (b"other", b"3")])
+        assert sorted(store.scan(b"ns|")) == [b"ns|a", b"ns|b"]
+        assert store.delete_prefix(b"ns|") == 2
+        assert store.get(b"other") == b"3"
+        store.close()
+
+    def test_ping_and_stats(self, node):
+        store = SocketBackingStore([node.address])
+        assert store.ping() == [True]
+        store.put(b"k", b"v")
+        stats = store.stats()
+        assert stats["kind"] == "socket"
+        assert stats["remote"] is True
+        store.close()
+
+    def test_address_string_form_accepted(self, node):
+        host, port = node.address
+        store = SocketBackingStore([f"{host}:{port}"])
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        store.close()
+
+
+class TestPlacement:
+    def test_placement_is_stable_across_clients(self, cluster):
+        node_a, node_b, store = cluster
+        other = SocketBackingStore([node_a.address, node_b.address],
+                                   replication=2)
+        keys = [f"key-{i}".encode() for i in range(64)]
+        assert [store.replicas_for(k) for k in keys] == \
+            [other.replicas_for(k) for k in keys]
+        other.close()
+
+    def test_keys_spread_over_the_ring(self, node):
+        with DHTNodeServer() as node_b:
+            store = SocketBackingStore([node.address, node_b.address])
+            primaries = {store.replicas_for(f"key-{i}".encode())[0]
+                         for i in range(256)}
+            assert primaries == {0, 1}  # both nodes carry load
+            store.close()
+
+    def test_replication_capped_at_cluster_size(self, node):
+        store = SocketBackingStore([node.address], replication=3)
+        assert store.replication == 1
+        store.close()
+
+
+class TestFailover:
+    def test_reads_survive_a_killed_node(self, cluster):
+        """The acceptance scenario: one of two replicas dies with reads
+        outstanding on pooled connections; every record stays readable."""
+        node_a, node_b, store = cluster
+        items = [(f"key-{i}".encode(), f"record-{i}".encode() * 5)
+                 for i in range(40)]
+        store.put_many(items)
+        assert store.get(items[0][0]) == items[0][1]  # pools are warm
+        node_a.close()  # severs established connections too
+        for key, record in items:
+            assert store.get(key) == record  # replica failover, per key
+        values = store.get_many([key for key, _ in items])
+        assert values == [record for _, record in items]
+        assert store.ping() == [False, True]
+
+    def test_writes_land_on_surviving_replicas(self, cluster):
+        node_a, node_b, store = cluster
+        node_b.close()
+        store.put(b"after-death", b"still-written")
+        assert store.get(b"after-death") == b"still-written"
+
+    def test_every_replica_down_is_an_error(self, cluster):
+        node_a, node_b, store = cluster
+        store.put(b"k", b"v")
+        node_a.close()
+        node_b.close()
+        with pytest.raises(ConnectionError):
+            store.get(b"k")
+
+    def test_locator_fetch_fails_over(self, cluster):
+        node_a, node_b, store = cluster
+        store.put(b"k", b"locator-payload")
+        locator = store.share(b"k")
+        assert locator[0] == "dht"
+        node_a.close()
+        assert fetch(locator) == b"locator-payload"
