@@ -176,6 +176,24 @@ class Cluster:
         self.metrics.charge_time(worst)
         return worst
 
+    def finish_stage(self, works: Sequence[MachineWork]) -> float:
+        """:meth:`charge_stage` plus the per-work KV metrics mirror.
+
+        The one shared epilogue of every ParDo-style stage — boxed
+        ``par_do`` and the columnar stage twins both end here, so the
+        charged metrics cannot drift between the two paths.
+        """
+        time = self.charge_stage(works)
+        metrics = self.metrics
+        for work in works:
+            metrics.kv_reads += work.kv_reads
+            metrics.kv_writes += work.kv_writes
+            metrics.kv_read_bytes += work.kv_read_bytes
+            metrics.kv_write_bytes += work.kv_write_bytes
+            metrics.cache_hits += work.cache_hits
+            metrics.cache_misses += work.kv_reads
+        return time
+
     def charge_shuffle(self, total_bytes: int) -> float:
         """Charge one shuffle: durable write of ``total_bytes``."""
         model = self.config.cost_model

@@ -53,6 +53,10 @@ class DHTStore:
         self.num_shards = num_shards
         self.sealed = False
         self._strict_rounds = strict_rounds
+        #: key -> shard memo: shard placement is a pure hash, and query
+        #: processes revisit hot keys many times per stage — one dict get
+        #: beats re-running splitmix64 on every touch
+        self._shard_memo: Dict[Any, int] = {}
         self._shards: List[Dict[Any, Any]] = [dict() for _ in range(num_shards)]
         #: serialized size of each live entry, recorded at write time so
         #: reads never re-walk values (and overwrites can refund exactly)
@@ -67,12 +71,18 @@ class DHTStore:
         # contention metrics) must not depend on PYTHONHASHSEED.  The
         # vertex-id case inlines stable_hash's single-splitmix64 fast
         # path — this runs once per simulated KV operation.
+        shard = self._shard_memo.get(key)
+        if shard is not None:
+            return shard
         if type(key) is int and 0 <= key <= _MASK:
             x = ((_SEED ^ key) + 0x9E3779B97F4A7C15) & _MASK
             x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
             x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
-            return (x ^ (x >> 31)) % self.num_shards
-        return stable_hash(key) % self.num_shards
+            shard = (x ^ (x >> 31)) % self.num_shards
+        else:
+            shard = stable_hash(key) % self.num_shards
+        self._shard_memo[key] = shard
+        return shard
 
     # -- writes --------------------------------------------------------
 
@@ -135,6 +145,46 @@ class DHTStore:
         finally:
             self.total_entries += entries_added
             self.total_value_bytes += bytes_delta
+        return total
+
+    def write_columnar(self, records) -> int:
+        """Batch write of a :class:`~repro.ampc.columnar.ColumnarRecords`.
+
+        Accounting-identical to ``write_many(records.items())`` — same
+        shard placement, same write-time size memo, same totals, same
+        per-shard insertion order — but the sizes and shard ids arrive as
+        precomputed columns (one vectorized pass each), so only the dict
+        inserts remain per-record.  Subclasses (backed stores, derived
+        overlays) fall back to their own ``write_many``.
+        """
+        if type(self) is not DHTStore:
+            return self.write_many(records.items())
+        if self.sealed:
+            raise StoreSealedError(f"store {self.name!r} is sealed")
+        shard_list = records.shard_ids(self.num_shards).tolist()
+        size_list = records.value_size_list()
+        # seed the placement memo in bulk: readers of these keys skip the
+        # splitmix fallback entirely
+        self._shard_memo.update(zip(records.keys.tolist(), shard_list))
+        shards = self._shards
+        size_shards = self._sizes
+        total = 0
+        entries_added = 0
+        bytes_delta = 0
+        for (key, value), value_bytes, shard_index in zip(
+                records.items(), size_list, shard_list):
+            sizes = size_shards[shard_index]
+            replaced = sizes.get(key)
+            if replaced is None:
+                entries_added += 1
+                bytes_delta += value_bytes
+            else:
+                bytes_delta += value_bytes - replaced
+            shards[shard_index][key] = value
+            sizes[key] = value_bytes
+            total += value_bytes
+        self.total_entries += entries_added
+        self.total_value_bytes += bytes_delta
         return total
 
     #: backwards-compatible alias for :meth:`write_many`

@@ -22,21 +22,36 @@ round resumes against them.  This is the O(1/epsilon)-round schedule of
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.ampc.cluster import ClusterConfig
+from repro.ampc.columnar import ColumnarRecords
 from repro.ampc.dht import DHTStore
 from repro.ampc.metrics import Metrics
 from repro.ampc.runtime import AMPCRuntime
+from repro.ampc.vector import (HAVE_NUMPY, np, placement_ids,
+                               vertex_ranks_u64)
 from repro.api.incremental import patch_records, touched_vertices
 from repro.api.registry import AlgorithmSpec, ParamSpec, register_algorithm
 from repro.core.ranks import vertex_ranks
+from repro.dataflow.columnar import (charge_map_stage, partition_boxed,
+                                     roundrobin_counts, write_columnar_store)
 from repro.dataflow.dofn import DoFn, MachineContext
 from repro.graph.graph import Graph
 
 #: sentinel meaning "this search exceeded its budget this round"
 _PARKED = object()
+
+#: per-store memo of whole query-process outcomes.  Against a sealed
+#: plain sim store, machine ``m``'s element sequence — and with it the
+#: per-machine cache's evolution — is a deterministic function of (store
+#: content, budget, machine count), so element ``i``'s outcome and its
+#: exact charge profile (cache hits, KV reads/bytes, per-shard
+#: contention bumps) replay verbatim on any later run against the same
+#: store; see the identical construction in :mod:`repro.core.matching`.
+_RESOLVE_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 @dataclass
@@ -74,13 +89,58 @@ class _IsInMIS(DoFn):
         self._resolved_store = resolved_store
         self._budget = budget
         self._cache: Optional[Dict[int, bool]] = None
+        self._resolve_memo = None
+        if resolved_store is None and type(store) is DHTStore:
+            try:
+                per_store = _RESOLVE_MEMO.setdefault(store, {})
+            except TypeError:  # a store that cannot be weakly referenced
+                per_store = None
+            if per_store is not None:
+                self._resolve_memo = per_store.setdefault(budget, {})
+        self._elem_index = 0
 
     def start_machine(self, ctx: MachineContext) -> None:
         self._cache = {} if ctx.caching_enabled else None
+        self._elem_index = 0
 
     def process(self, element, ctx):
         vertex, directed_neighbors = element
-        state = self._resolve(vertex, directed_neighbors, ctx)
+        # whole-element replay only holds with the per-machine cache on
+        # (its evolution is part of the recorded charge profile)
+        memo = self._resolve_memo if self._cache is not None else None
+        if memo is None:
+            state = self._resolve(vertex, directed_neighbors, ctx)
+        else:
+            index = self._elem_index
+            self._elem_index = index + 1
+            key = (ctx.cluster.config.num_machines, ctx.machine_id, index,
+                   vertex)
+            entry = memo.get(key)
+            shard_reads = self._store.shard_reads
+            if entry is not None:
+                state, hits, reads, read_bytes, shard_deltas = entry
+                work = ctx.work
+                work.cache_hits += hits
+                work.kv_reads += reads
+                work.kv_read_bytes += read_bytes
+                for shard, delta in shard_deltas:
+                    shard_reads[shard] += delta
+            else:
+                work = ctx.work
+                hits0 = work.cache_hits
+                reads0 = work.kv_reads
+                bytes0 = work.kv_read_bytes
+                shards0 = list(shard_reads)
+                state = self._resolve(vertex, directed_neighbors, ctx)
+                memo[key] = (
+                    state,
+                    work.cache_hits - hits0,
+                    work.kv_reads - reads0,
+                    work.kv_read_bytes - bytes0,
+                    tuple((shard, after - before) for shard, (after, before)
+                          in enumerate(zip(shard_reads, shards0))
+                          if after != before),
+                )
         if state is _PARKED:
             yield ("parked", vertex, directed_neighbors)
         elif state:
@@ -176,6 +236,70 @@ class PreparedMIS:
     #: ``(vertex, lower-rank neighbors)`` records, for free re-placement
     records: List[Tuple[int, Tuple[int, ...]]]
     store: DHTStore
+    #: ``(num_machines, per-record machine ids)`` precomputed by the
+    #: columnar prepare (None on the boxed path) — lets runs on the same
+    #: cluster shape re-place records without re-hashing every key
+    machines: Optional[Tuple[int, object]] = None
+
+
+def _prepare_mis_columnar(graph, runtime: AMPCRuntime,
+                          seed: int) -> PreparedMIS:
+    """Columnar twin of :func:`prepare_mis`: same charges, flat arrays.
+
+    The rank-directed graph is built by one vectorized mask + lexsort
+    over the CSR edge columns instead of a per-vertex filter/sort, and
+    the stage charges are replayed from per-machine counts
+    (:mod:`repro.dataflow.columnar`).  Record order — and therefore the
+    store's per-shard insertion order and every downstream metric — is
+    the boxed pipeline's machine-major scan order, reproduced by sorting
+    vertices by ``(machine, source partition, position)``.
+    """
+    metrics = runtime.metrics
+    cluster = runtime.cluster
+    num_machines = cluster.config.num_machines
+    csr = graph.csr()
+    n = csr.num_vertices
+    rank_column = vertex_ranks_u64(n, seed)
+
+    with metrics.phase("DirectGraph"):
+        indptr = np.asarray(csr.indptr)
+        dst = np.asarray(csr.indices)
+        degrees = np.diff(indptr)
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        # keep u -> v iff (rank_v, v) < (rank_u, u), the lower-rank filter
+        rank_src = rank_column[src]
+        rank_dst = rank_column[dst]
+        keep = (rank_dst < rank_src) | ((rank_dst == rank_src) & (dst < src))
+        kept_src = src[keep]
+        kept_dst = dst[keep]
+        kept_rank = rank_dst[keep]
+        # Scan order of the boxed repartition: the round-robin source
+        # partition of vertex v is v % M, so machine m receives its
+        # records sorted by (v % M, v); payload rows sort by (rank, id).
+        keys = np.arange(n, dtype=np.int64)
+        machines = placement_ids(keys, num_machines)
+        record_order = np.lexsort((keys, keys % num_machines, machines))
+        vertex_pos = np.empty(n, dtype=np.int64)
+        vertex_pos[record_order] = np.arange(n, dtype=np.int64)
+        edge_order = np.lexsort((kept_dst, kept_rank, vertex_pos[kept_src]))
+        counts = np.bincount(kept_src, minlength=n)
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts[record_order], out=out_indptr[1:])
+        records = ColumnarRecords.ragged(
+            keys[record_order], out_indptr, kept_dst[edge_order])
+        record_machines = machines[record_order]
+        # from_items is free; the map stage charges inputs + outputs, the
+        # repartition charges one shuffle of the directed records' bytes.
+        charge_map_stage(cluster, roundrobin_counts(n, num_machines))
+        cluster.charge_shuffle(records.total_element_bytes())
+
+    with metrics.phase("KV-Write"):
+        store = runtime.new_store("mis-directed-graph")
+        write_columnar_store(cluster, store, records, record_machines)
+    runtime.next_round()
+    return PreparedMIS(seed=seed, ranks=rank_column.tolist(),
+                       records=records.items(), store=store,
+                       machines=(num_machines, record_machines))
 
 
 def prepare_mis(graph: Graph, *,
@@ -189,6 +313,8 @@ def prepare_mis(graph: Graph, *,
     """
     if runtime is None:
         runtime = AMPCRuntime(config=config)
+    if HAVE_NUMPY and hasattr(graph, "csr"):
+        return _prepare_mis_columnar(graph, runtime, seed)
     metrics = runtime.metrics
     ranks = vertex_ranks(graph.num_vertices, seed)
 
@@ -285,9 +411,14 @@ def ampc_mis(graph: Graph, *,
     store = prepared.store
     rounds_before = metrics.rounds
     # Re-placing cached records is free: the data already lives in D0.
-    directed = runtime.pipeline.from_items(
-        prepared.records, key_fn=lambda record: record[0]
-    )
+    if (prepared.machines is not None and prepared.machines[0]
+            == runtime.cluster.config.num_machines):
+        directed = partition_boxed(runtime.pipeline, prepared.records,
+                                   prepared.machines[1])
+    else:
+        directed = runtime.pipeline.from_items(
+            prepared.records, key_fn=lambda record: record[0]
+        )
 
     # Figure 1, step 3 (+ theory retries when a budget is set).
     in_mis: Set[int] = set()

@@ -1,0 +1,116 @@
+"""Columnar stage twins: whole-shard charging for batch record flows.
+
+The boxed dataflow operations (``par_do``, ``repartition``,
+``write_store``) walk one Python object per element to compute charges
+that are, for the bulk record flows of the prepare stages, pure functions
+of per-machine *counts and byte totals*.  The helpers here compute those
+aggregates from a :class:`~repro.ampc.columnar.ColumnarRecords` batch
+with vectorized column math and hand the cluster the **same**
+:class:`~repro.ampc.cluster.MachineWork` values the per-element loop
+would have produced — both paths end in ``Cluster.finish_stage``, so the
+simulated metrics cannot drift (the golden-metrics snapshot pins this).
+
+Stage-counter discipline matters for fault plans: each helper advances
+the cluster's stage counter exactly as its boxed twin does (one
+``charge_stage`` per ParDo, one ``charge_shuffle`` per movement), so a
+:class:`~repro.ampc.faults.FaultPlan` hits the same (stage, machine)
+cells either way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ampc.cluster import Cluster, MachineWork
+from repro.ampc.vector import np
+from repro.dataflow.pcollection import BudgetExceededError, PCollection
+
+__all__ = [
+    "roundrobin_counts",
+    "charge_map_stage",
+    "machine_byte_totals",
+    "write_columnar_store",
+    "partition_boxed",
+]
+
+
+def roundrobin_counts(num_items: int, num_machines: int) -> List[int]:
+    """Per-machine element counts of a keyless ``from_items`` placement."""
+    base, extra = divmod(num_items, num_machines)
+    return [base + 1 if machine < extra else base
+            for machine in range(num_machines)]
+
+
+def charge_map_stage(cluster: Cluster, in_counts: Sequence[int],
+                     out_counts: Optional[Sequence[int]] = None) -> None:
+    """Charge a pure map/flat_map ParDo from per-machine counts.
+
+    Twin of ``par_do`` with a KV-free DoFn: ``compute_ops`` is inputs
+    plus outputs per machine (``out_counts`` defaults to ``in_counts``,
+    the 1:1 map case).
+    """
+    if out_counts is None:
+        out_counts = in_counts
+    works = [MachineWork(compute_ops=int(inputs) + int(outputs))
+             for inputs, outputs in zip(in_counts, out_counts)]
+    cluster.finish_stage(works)
+
+
+def machine_byte_totals(machine_ids, per_record_bytes, num_machines: int):
+    """Per-machine sums of ``per_record_bytes``, as plain Python ints.
+
+    float64 bincount accumulation is exact here: record sizes are small
+    multiples of 8 and the totals stay far below 2**53.
+    """
+    sums = np.bincount(machine_ids, weights=per_record_bytes,
+                       minlength=num_machines)
+    return [int(total) for total in sums]
+
+
+def write_columnar_store(cluster: Cluster, store, records, machine_ids,
+                         *, name: Optional[str] = None,
+                         seal: bool = True) -> None:
+    """Twin of ``AMPCRuntime.write_store`` for a columnar record batch.
+
+    ``machine_ids`` assigns each record to the machine whose ParDo
+    partition would have written it; ``records`` must already be in the
+    machine-major scan order the boxed repartition would have produced,
+    so the store's per-shard insertion order comes out identical.  Per
+    machine the charge is one KV write per record (8 key bytes + the
+    record's value bytes), plus the ParDo's ``compute_ops`` of one input
+    per element and zero outputs.
+    """
+    num_machines = cluster.config.num_machines
+    counts = np.bincount(machine_ids, minlength=num_machines).tolist()
+    byte_totals = machine_byte_totals(
+        machine_ids, records.value_sizes(), num_machines)
+    budget = cluster.config.query_budget_per_machine
+    stage = name if name is not None else f"write:{store.name}"
+    works = []
+    for machine_id, (count, value_bytes) in enumerate(
+            zip(counts, byte_totals)):
+        work = MachineWork(compute_ops=count, kv_writes=count,
+                          kv_write_bytes=8 * count + value_bytes)
+        if budget is not None and work.kv_queries > budget:
+            raise BudgetExceededError(
+                f"machine {machine_id} made {work.kv_queries} KV "
+                f"queries in stage {stage!r}, budget is {budget}"
+            )
+        works.append(work)
+    store.write_columnar(records)
+    cluster.finish_stage(works)
+    if seal:
+        store.seal()
+
+
+def partition_boxed(pipeline, items: Sequence, machine_ids) -> PCollection:
+    """A PCollection from boxed items with precomputed placement (free).
+
+    Twin of ``Pipeline.from_items(items, key_fn)`` when the per-item
+    machine ids were already computed by one vectorized pass.
+    """
+    partitions: List[List] = [
+        [] for _ in range(pipeline.cluster.config.num_machines)]
+    for item, machine in zip(items, machine_ids.tolist()):
+        partitions[machine].append(item)
+    return PCollection(pipeline, partitions)

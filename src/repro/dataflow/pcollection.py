@@ -76,15 +76,7 @@ class PCollection:
                 )
             works.append(ctx.work)
             output_partitions.append(outputs)
-        cluster.charge_stage(works)
-        metrics = cluster.metrics
-        for work in works:
-            metrics.kv_reads += work.kv_reads
-            metrics.kv_writes += work.kv_writes
-            metrics.kv_read_bytes += work.kv_read_bytes
-            metrics.kv_write_bytes += work.kv_write_bytes
-            metrics.cache_hits += work.cache_hits
-            metrics.cache_misses += work.kv_reads
+        cluster.finish_stage(works)
         return PCollection(self.pipeline, output_partitions)
 
     def map_elements(self, fn: Callable[[Any], Any],

@@ -25,6 +25,7 @@ are written once, before readers arrive).
 from __future__ import annotations
 
 import json
+import random
 import socket
 import socketserver
 import struct
@@ -58,6 +59,9 @@ STATUS_ERROR = 2
 
 #: virtual nodes per physical node on the consistent-hash ring
 VNODES = 64
+
+#: ceiling on a single retry backoff sleep, whatever the attempt count
+DEFAULT_MAX_BACKOFF_S = 2.0
 
 
 def _recv_exact(sock: socket.socket, length: int) -> bytes:
@@ -262,18 +266,36 @@ class DHTNodeServer:
 
 
 class _NodeClient:
-    """Pooled connections to one node, with retry and backoff."""
+    """Pooled connections to one node, with retry and backoff.
+
+    Backoff is exponential with **full jitter** and a ceiling: attempt
+    ``i`` sleeps ``uniform(0, min(max_backoff_s, backoff_s * 2**i))``.
+    Without the jitter every pooled client of a restarted node retries in
+    lockstep and reconnects stampede the node; the cap keeps large retry
+    budgets from sleeping for minutes.  ``rng`` is any object with a
+    ``uniform(a, b)`` method — tests pass a seeded :class:`random.Random`
+    to make the schedule deterministic.
+    """
 
     def __init__(self, host: str, port: int, *, timeout: float,
-                 retries: int, backoff_s: float, pool_size: int):
+                 retries: int, backoff_s: float, pool_size: int,
+                 max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
+                 rng: Optional[random.Random] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
         self.pool_size = pool_size
+        self._rng = rng if rng is not None else random.Random()
         self._pool: List[socket.socket] = []
         self._lock = threading.Lock()
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """The jittered sleep before retry ``attempt + 1``."""
+        ceiling = min(self.max_backoff_s, self.backoff_s * (2 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
 
     def _connect(self) -> socket.socket:
         sock = socket.create_connection((self.host, self.port),
@@ -324,7 +346,7 @@ class _NodeClient:
                 # requests) deserves an immediate fresh-connection try;
                 # fresh-connection failures back off before retrying.
                 if fresh and attempt < self.retries:
-                    time.sleep(self.backoff_s * (2 ** attempt))
+                    time.sleep(self._backoff_delay(attempt))
                 continue
             self._checkin(sock)
             if status == STATUS_ERROR:
@@ -386,7 +408,9 @@ class SocketBackingStore(BackingStore):
 
     def __init__(self, nodes: Sequence[Any], *, replication: int = 1,
                  timeout: float = 10.0, retries: int = 2,
-                 backoff_s: float = 0.05, pool_size: int = 2):
+                 backoff_s: float = 0.05, pool_size: int = 2,
+                 max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
+                 backoff_rng: Optional[random.Random] = None):
         if not nodes:
             raise ValueError("need at least one dht node")
         parsed = []
@@ -402,7 +426,8 @@ class SocketBackingStore(BackingStore):
         self.replication = min(replication, len(parsed))
         self._clients = [
             _NodeClient(host, port, timeout=timeout, retries=retries,
-                        backoff_s=backoff_s, pool_size=pool_size)
+                        backoff_s=backoff_s, pool_size=pool_size,
+                        max_backoff_s=max_backoff_s, rng=backoff_rng)
             for host, port in parsed
         ]
         # Consistent-hash ring: VNODES points per node, stable across

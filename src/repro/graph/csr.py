@@ -1,0 +1,296 @@
+"""CSR (compressed sparse row) adjacency: the flat columnar graph core.
+
+A :class:`CSRAdjacency` is an immutable snapshot of a graph's adjacency as
+three flat columns — ``indptr`` (n+1 row offsets), ``indices`` (neighbor
+ids, sorted ascending within each row, both directions of every undirected
+edge), and optionally ``weights`` aligned with ``indices``.  Flat columns
+are what the vectorized prepare stages and the batch DHT record layout
+consume: one lexsort over a column replaces tens of thousands of
+per-vertex Python sorts.
+
+Backends: numpy ``int64``/``float64`` arrays when numpy is importable (and
+``REPRO_PURE_PYTHON`` is unset), else stdlib ``array('q')``/``array('d')``
+— same values, same ``tobytes()`` signature, so fingerprints agree across
+modes on one platform.
+
+:class:`CSRGraph` is a read-only graph over a CSR snapshot, quacking like
+:class:`~repro.graph.graph.Graph` for every read path the algorithms use.
+It exists for the millions-of-vertices serving scenario: built directly
+from edge columns (no per-vertex ``set`` objects, ~30 bytes/edge instead
+of ~250), fingerprinted from the raw buffers, never journaled.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.ampc.vector import HAVE_NUMPY, np
+
+__all__ = ["CSRAdjacency", "CSRGraph"]
+
+
+def _int_column(values) -> "array":
+    if HAVE_NUMPY:
+        return np.asarray(values, dtype=np.int64)
+    if isinstance(values, array) and values.typecode == "q":
+        return values
+    return array("q", values)
+
+
+def _float_column(values) -> "array":
+    if HAVE_NUMPY:
+        return np.asarray(values, dtype=np.float64)
+    if isinstance(values, array) and values.typecode == "d":
+        return values
+    return array("d", values)
+
+
+class CSRAdjacency:
+    """Immutable flat-column adjacency snapshot (see module docstring)."""
+
+    __slots__ = ("num_vertices", "indptr", "indices", "weights")
+
+    def __init__(self, indptr, indices, weights=None):
+        self.indptr = _int_column(indptr)
+        self.indices = _int_column(indices)
+        self.weights = None if weights is None else _float_column(weights)
+        self.num_vertices = len(self.indptr) - 1
+        if self.weights is not None and \
+                len(self.weights) != len(self.indices):
+            raise ValueError("weights must align with indices")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(cls, adj: Sequence) -> "CSRAdjacency":
+        """Snapshot a ``Graph._adj`` (sets) or ``WeightedGraph._adj`` (dicts).
+
+        Rows come out sorted by neighbor id, matching ``neighbors()``.
+        """
+        weighted = bool(adj) and isinstance(adj[0], dict)
+        indptr = array("q", [0])
+        indices = array("q")
+        weights = array("d") if weighted else None
+        total = 0
+        if weighted:
+            for row in adj:
+                items = sorted(row.items())
+                total += len(items)
+                indptr.append(total)
+                for neighbor, weight in items:
+                    indices.append(neighbor)
+                    weights.append(weight)
+        else:
+            for row in adj:
+                total += len(row)
+                indptr.append(total)
+                indices.extend(sorted(row))
+        return cls(indptr, indices, weights)
+
+    @classmethod
+    def from_edge_arrays(cls, num_vertices: int, us, vs,
+                         ws=None) -> "CSRAdjacency":
+        """Build from columns of canonical undirected edges.
+
+        ``us``/``vs`` (and optionally ``ws``) are parallel columns, one
+        entry per undirected edge, endpoints already deduplicated and
+        self-loop free.  This is the bulk constructor the million-vertex
+        generator uses: O(m) array work, no per-vertex containers.
+        """
+        if HAVE_NUMPY:
+            us = np.asarray(us, dtype=np.int64)
+            vs = np.asarray(vs, dtype=np.int64)
+            src = np.concatenate([us, vs])
+            dst = np.concatenate([vs, us])
+            order = np.lexsort((dst, src))
+            indices = dst[order]
+            counts = np.bincount(src, minlength=num_vertices)
+            indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            weights = None
+            if ws is not None:
+                ws = np.asarray(ws, dtype=np.float64)
+                weights = np.concatenate([ws, ws])[order]
+            return cls(indptr, indices, weights)
+        rows: List[list] = [[] for _ in range(num_vertices)]
+        if ws is None:
+            for u, v in zip(us, vs):
+                rows[u].append(v)
+                rows[v].append(u)
+            for row in rows:
+                row.sort()
+            indptr = array("q", [0])
+            indices = array("q")
+            total = 0
+            for row in rows:
+                total += len(row)
+                indptr.append(total)
+                indices.extend(row)
+            return cls(indptr, indices, None)
+        for u, v, w in zip(us, vs, ws):
+            rows[u].append((v, w))
+            rows[v].append((u, w))
+        indptr = array("q", [0])
+        indices = array("q")
+        weights = array("d")
+        total = 0
+        for row in rows:
+            row.sort()
+            total += len(row)
+            indptr.append(total)
+            for neighbor, weight in row:
+                indices.append(neighbor)
+                weights.append(weight)
+        return cls(indptr, indices, weights)
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices) // 2
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def max_degree(self) -> int:
+        if self.num_vertices == 0:
+            return 0
+        if HAVE_NUMPY:
+            return int(np.diff(self.indptr).max())
+        return max(self.indptr[v + 1] - self.indptr[v]
+                   for v in range(self.num_vertices))
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbor tuple of ``v`` (plain Python ints)."""
+        start, stop = self.indptr[v], self.indptr[v + 1]
+        row = self.indices[start:stop]
+        if HAVE_NUMPY:
+            return tuple(row.tolist())
+        return tuple(row)
+
+    def neighbor_weights(self, v: int) -> List[Tuple[int, float]]:
+        """``(neighbor, weight)`` pairs of ``v`` sorted by neighbor id."""
+        if self.weights is None:
+            raise ValueError("unweighted CSR has no weights")
+        start, stop = self.indptr[v], self.indptr[v + 1]
+        row = self.indices[start:stop]
+        wrow = self.weights[start:stop]
+        if HAVE_NUMPY:
+            return list(zip(row.tolist(), wrow.tolist()))
+        return list(zip(row, wrow))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        start, stop = self.indptr[u], self.indptr[u + 1]
+        row = self.indices
+        # binary search within the sorted row
+        lo, hi = int(start), int(stop)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            value = row[mid]
+            if value < v:
+                lo = mid + 1
+            elif value > v:
+                hi = mid
+            else:
+                return True
+        return False
+
+    def signature_bytes(self) -> bytes:
+        """Raw column bytes, the content-stable fingerprint payload."""
+        parts = [_as_bytes(self.indptr), _as_bytes(self.indices)]
+        if self.weights is not None:
+            parts.append(_as_bytes(self.weights))
+        return b"".join(parts)
+
+
+def _as_bytes(column) -> bytes:
+    return column.tobytes()
+
+
+class CSRGraph:
+    """A read-only unweighted graph over a CSR snapshot.
+
+    Implements the read API the algorithms and the Session use
+    (``num_vertices``/``num_edges``/``vertices``/``neighbors``/``degree``/
+    ``max_degree``/``has_edge``/``edges``/``csr``).  Mutation is out of
+    scope: ``content_version`` is fixed and ``delta_since`` always reports
+    "history lost", so incremental consumers fall back to a full rebuild.
+    """
+
+    def __init__(self, csr: CSRAdjacency):
+        if csr.weights is not None:
+            raise ValueError("CSRGraph is unweighted; got a weighted CSR")
+        self._csr = csr
+        self.content_version = 0
+
+    @classmethod
+    def from_edge_arrays(cls, num_vertices: int, us, vs) -> "CSRGraph":
+        return cls(CSRAdjacency.from_edge_arrays(num_vertices, us, vs))
+
+    @classmethod
+    def from_graph(cls, graph) -> "CSRGraph":
+        return cls(graph.csr())
+
+    def csr(self) -> CSRAdjacency:
+        return self._csr
+
+    @property
+    def num_vertices(self) -> int:
+        return self._csr.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._csr.num_edges
+
+    def vertices(self) -> range:
+        return range(self._csr.num_vertices)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        self._check_vertex(v)
+        return self._csr.neighbors(v)
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return self._csr.degree(v)
+
+    def max_degree(self) -> int:
+        return self._csr.max_degree()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < self._csr.num_vertices):
+            return False
+        return self._csr.has_edge(u, v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        indptr, indices = self._csr.indptr, self._csr.indices
+        for u in range(self._csr.num_vertices):
+            for position in range(indptr[u], indptr[u + 1]):
+                v = int(indices[position])
+                if u < v:
+                    yield (u, v)
+
+    # -- journal protocol: immutable, so history is always "lost" ----------
+
+    @property
+    def journal_limit(self) -> int:
+        return 0
+
+    @property
+    def journal_floor(self) -> int:
+        return 0
+
+    def delta_since(self, version: Optional[int]):
+        return None
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._csr.num_vertices):
+            raise IndexError(
+                f"vertex {v} out of range [0, {self._csr.num_vertices})")

@@ -212,8 +212,14 @@ class Graph(_JournalMixin):
     def subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", Dict[int, int]]:
         """Induced subgraph on ``vertices``; returns (graph, old->new id map)."""
         ordered = sorted(set(vertices))
+        if ordered:
+            # ordered is sorted, so the extremes bound every id (and catch
+            # negative ids before Python's reverse indexing would).
+            self._check_vertex(ordered[0])
+            self._check_vertex(ordered[-1])
         relabel = {old: new for new, old in enumerate(ordered)}
         sub = Graph(len(ordered))
+        sub._journal_limit = self._journal_limit
         for old in ordered:
             for neighbor in self._adj[old]:
                 if neighbor in relabel and old < neighbor:
@@ -224,7 +230,23 @@ class Graph(_JournalMixin):
         clone = Graph(self.num_vertices)
         clone._adj = [set(neighbors) for neighbors in self._adj]
         clone._num_edges = self._num_edges
+        clone._journal_limit = self._journal_limit
         return clone
+
+    def csr(self):
+        """Flat CSR snapshot of the adjacency, cached per content_version.
+
+        The columnar fast paths (vectorized prepare stages, buffer-based
+        fingerprints) all start from this snapshot; repeat calls on an
+        unmutated graph are free.
+        """
+        from repro.graph.csr import CSRAdjacency
+        cache = getattr(self, "_csr_cache", None)
+        if cache is not None and cache[0] == self.content_version:
+            return cache[1]
+        snapshot = CSRAdjacency.from_adjacency(self._adj)
+        self._csr_cache = (self.content_version, snapshot)
+        return snapshot
 
     def __repr__(self) -> str:
         return f"Graph(n={self.num_vertices}, m={self.num_edges})"
@@ -267,6 +289,7 @@ class WeightedGraph(_JournalMixin):
     def from_graph(cls, graph: Graph, weight_fn=None) -> "WeightedGraph":
         """Lift an unweighted graph; ``weight_fn(u, v) -> float`` (default 1)."""
         weighted = cls(graph.num_vertices)
+        weighted._journal_limit = graph.journal_limit
         for u, v in graph.edges():
             weight = 1.0 if weight_fn is None else weight_fn(u, v)
             weighted.add_edge(u, v, weight)
@@ -362,6 +385,7 @@ class WeightedGraph(_JournalMixin):
     def unweighted(self) -> Graph:
         """Forget the weights."""
         graph = Graph(self.num_vertices)
+        graph._journal_limit = self._journal_limit
         for u, v, _ in self.edges():
             graph.add_edge(u, v)
         return graph
@@ -371,6 +395,7 @@ class WeightedGraph(_JournalMixin):
     ) -> "WeightedGraph":
         """Same vertex set, keeping only the given edges (weights copied)."""
         sub = WeightedGraph(self.num_vertices)
+        sub._journal_limit = self._journal_limit
         for u, v in edges:
             sub.add_edge(u, v, self._adj[u][v])
         return sub
@@ -379,7 +404,18 @@ class WeightedGraph(_JournalMixin):
         clone = WeightedGraph(self.num_vertices)
         clone._adj = [dict(neighbors) for neighbors in self._adj]
         clone._num_edges = self._num_edges
+        clone._journal_limit = self._journal_limit
         return clone
+
+    def csr(self):
+        """Weighted CSR snapshot (weights aligned), cached per version."""
+        from repro.graph.csr import CSRAdjacency
+        cache = getattr(self, "_csr_cache", None)
+        if cache is not None and cache[0] == self.content_version:
+            return cache[1]
+        snapshot = CSRAdjacency.from_adjacency(self._adj)
+        self._csr_cache = (self.content_version, snapshot)
+        return snapshot
 
     def __repr__(self) -> str:
         return f"WeightedGraph(n={self.num_vertices}, m={self.num_edges})"

@@ -14,8 +14,10 @@ import random
 
 import pytest
 
-from repro.ampc.cost_model import estimate_bytes, estimate_bytes_reference
+from repro.ampc.cost_model import (_sequence_bytes, estimate_bytes,
+                                   estimate_bytes_reference)
 from repro.ampc.hashing import _MASK, stable_hash, stable_hash_reference
+from repro.ampc.vector import HAVE_NUMPY
 
 SEED = 20260729
 
@@ -121,3 +123,92 @@ class TestEstimateBytesDispatch:
             estimate_bytes(object())
         with pytest.raises(TypeError):
             estimate_bytes_reference(object())
+
+
+class TestSequenceBytesUnrolledLevel:
+    """`_sequence_bytes` unrolls one nesting level inline; these shapes
+    pin every branch of that unrolled walk (scalar / tuple / str / other
+    at both depths) against the recursive reference."""
+
+    NESTED_SHAPES = [
+        (True, False, True),                       # bools: 1 byte, not 8
+        (1, (True, 2.5), "λx"),                    # mixed at both levels
+        ((True,), ("tag", (False, 3))),            # tuple-in-tuple recursion
+        ["a", ("b", "cλ"), (1, ("deep", (2, "e")))],
+        (None, (None, True), ()),                  # Nones inside sequences
+        ((b"bytes", 1), ("s", b"")),               # bytes at inner level
+        [(7, ("edge", (1.5, 0, 1, 2, 3))), (9, ("root", 4))],
+        (frozenset({1, 2}), ({"k": True},)),       # non-tuple inner values
+    ]
+
+    def test_nested_shapes_agree_with_reference(self):
+        for value in self.NESTED_SHAPES:
+            assert _sequence_bytes(value) == \
+                estimate_bytes_reference(value), value
+            assert estimate_bytes(value) == \
+                estimate_bytes_reference(value), value
+
+    def test_randomized_bool_str_mixtures(self):
+        rng = random.Random(SEED + 3)
+
+        def scalar():
+            return rng.choice(
+                [True, False, "λ" * rng.randrange(3), 1, 2.5, None, b"xy"])
+
+        for _ in range(2000):
+            value = [
+                scalar() if rng.random() < 0.5 else
+                tuple(scalar() if rng.random() < 0.7
+                      else (scalar(), scalar())
+                      for _ in range(rng.randrange(3)))
+                for _ in range(rng.randrange(5))
+            ]
+            assert _sequence_bytes(value) == \
+                estimate_bytes_reference(value), value
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="columnar layout needs numpy")
+class TestColumnarSizesMatchReference:
+    """The vectorized per-record size expression of ColumnarRecords must
+    equal what ``estimate_bytes_reference`` walks out of the boxed
+    records — shard-byte accounting flows through both paths."""
+
+    def test_ragged_pair_rows(self):
+        from repro.ampc.columnar import ColumnarRecords
+
+        rng = random.Random(SEED + 4)
+        counts = [rng.randrange(5) for _ in range(40)]
+        indptr = [0]
+        for count in counts:
+            indptr.append(indptr[-1] + count)
+        total = indptr[-1]
+        ranks = [rng.random() for _ in range(total)]
+        neighbors = [rng.randrange(1 << 20) for _ in range(total)]
+        records = ColumnarRecords.ragged(list(range(40)), indptr,
+                                         ranks, neighbors)
+        sizes = records.value_size_list()
+        for (key, value), size in zip(records.items(), sizes):
+            assert size == estimate_bytes_reference(value), (key, value)
+            assert size == estimate_bytes(value)
+
+    def test_ragged_scalar_rows_and_scalars(self):
+        from repro.ampc.columnar import ColumnarRecords
+
+        ragged = ColumnarRecords.ragged([3, 1, 2], [0, 2, 2, 5],
+                                        [10, 11, 12, 13, 14])
+        for (_, value), size in zip(ragged.items(),
+                                    ragged.value_size_list()):
+            assert size == estimate_bytes_reference(value)
+        scalars = ColumnarRecords.scalars([5, 6], [7, 8])
+        for (_, value), size in zip(scalars.items(),
+                                    scalars.value_size_list()):
+            assert size == estimate_bytes_reference(value)
+
+    def test_element_bytes_match_boxed_elements(self):
+        from repro.ampc.columnar import ColumnarRecords
+
+        records = ColumnarRecords.ragged([0, 1], [0, 1, 3],
+                                         [0.5, 0.25, 0.125], [4, 5, 6])
+        boxed_total = sum(estimate_bytes_reference(element)
+                          for element in records.items())
+        assert records.total_element_bytes() == boxed_total

@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.ampc.cluster import ClusterConfig
+from repro.ampc.dht import DHTStore
 from repro.ampc.runtime import AMPCRuntime
 from repro.api import Session, registry
 from repro.dataflow.dofn import MachineContext
@@ -116,7 +117,8 @@ class TestSpecConformance:
     def test_prepare_routes_kv_writes_through_batched_api(self, spec,
                                                           monkeypatch):
         """Every spec's prepare stage that writes to a DHT must do so via
-        the batched KV API (write_many), not per-element writes."""
+        a batched KV API — write_many or a whole-batch columnar write —
+        not per-element writes."""
         batched = [0]
         original = MachineContext.write_many
 
@@ -127,6 +129,14 @@ class TestSpecConformance:
 
         monkeypatch.setattr(MachineContext, "write_many",
                             counting_write_many)
+        original_columnar = DHTStore.write_columnar
+
+        def counting_write_columnar(self, records):
+            batched[0] += len(records.keys)
+            return original_columnar(self, records)
+
+        monkeypatch.setattr(DHTStore, "write_columnar",
+                            counting_write_columnar)
         runtime = (MPCRuntime(config=CONFIG) if spec.model == "mpc"
                    else AMPCRuntime(config=CONFIG))
         spec.prepare(_input_for(spec), runtime=runtime, seed=SEED)
@@ -152,10 +162,13 @@ class TestSpecConformance:
 @pytest.mark.parametrize("name", ["mis", "matching", "msf"])
 def test_core_algorithms_exercise_batched_kv_ops(name, monkeypatch):
     """The flagship algorithms must run on the batched KV API end to end
-    (lookup_many and/or write_many), not just compile against it."""
+    (lookup_many and/or a whole-batch write), not just compile against
+    it.  The prepare stage's KV write counts whether it flows through
+    ``write_many`` (pure-python mode) or the columnar batch write."""
     calls = {"lookup_many": 0, "write_many": 0}
     original_lookup_many = MachineContext.lookup_many
     original_write_many = MachineContext.write_many
+    original_write_columnar = DHTStore.write_columnar
 
     def spy_lookup_many(self, store, keys):
         calls["lookup_many"] += 1
@@ -165,8 +178,13 @@ def test_core_algorithms_exercise_batched_kv_ops(name, monkeypatch):
         calls["write_many"] += 1
         return original_write_many(self, store, items)
 
+    def spy_write_columnar(self, records):
+        calls["write_many"] += 1
+        return original_write_columnar(self, records)
+
     monkeypatch.setattr(MachineContext, "lookup_many", spy_lookup_many)
     monkeypatch.setattr(MachineContext, "write_many", spy_write_many)
+    monkeypatch.setattr(DHTStore, "write_columnar", spy_write_columnar)
     spec = registry.get(name)
     Session(CONFIG).run(name, _input_for(spec), seed=SEED)
     assert calls["write_many"] > 0, f"{name} never used write_many"

@@ -1,0 +1,46 @@
+"""Retry backoff: full jitter, max-delay ceiling, deterministic with a seed."""
+
+import random
+
+from repro.distdht.sockets import DEFAULT_MAX_BACKOFF_S, _NodeClient
+
+
+def _client(**kwargs):
+    defaults = dict(timeout=0.1, retries=5, backoff_s=0.05, pool_size=0)
+    defaults.update(kwargs)
+    return _NodeClient("127.0.0.1", 1, **defaults)
+
+
+class TestBackoffSchedule:
+    def test_delay_bounded_by_exponential_envelope(self):
+        client = _client(rng=random.Random(123))
+        for attempt in range(6):
+            ceiling = min(DEFAULT_MAX_BACKOFF_S, 0.05 * (2 ** attempt))
+            for _ in range(50):
+                delay = client._backoff_delay(attempt)
+                assert 0.0 <= delay <= ceiling
+
+    def test_max_delay_ceiling_binds(self):
+        client = _client(backoff_s=1.0, max_backoff_s=0.25,
+                         rng=random.Random(7))
+        # 1.0 * 2**10 would be ~17 minutes without the cap.
+        assert all(client._backoff_delay(10) <= 0.25 for _ in range(100))
+
+    def test_seeded_rng_gives_deterministic_schedule(self):
+        schedule_a = [_client(rng=random.Random(42))._backoff_delay(i)
+                      for i in range(5)]
+        schedule_b = [_client(rng=random.Random(42))._backoff_delay(i)
+                      for i in range(5)]
+        assert schedule_a == schedule_b
+
+    def test_distinct_clients_jitter_apart(self):
+        # The point of full jitter: two clients that fail at the same
+        # instant must not sleep the same amount and retry in lockstep.
+        a = _client(rng=random.Random(1))
+        b = _client(rng=random.Random(2))
+        assert [a._backoff_delay(i) for i in range(4)] != \
+               [b._backoff_delay(i) for i in range(4)]
+
+    def test_unseeded_default_rng_still_bounded(self):
+        client = _client()
+        assert 0.0 <= client._backoff_delay(3) <= 0.05 * 8

@@ -1,0 +1,97 @@
+"""Regression tests: journal_limit survives copy/subgraph/from_graph.
+
+A copy of a journal-disabled (``journal_limit=0``) graph used to silently
+re-enable the default journal and start accruing memory; derived graphs
+now inherit the setting.
+"""
+
+import pytest
+
+from repro.graph.graph import DEFAULT_JOURNAL_LIMIT, Graph, WeightedGraph
+
+
+def _triangle():
+    graph = Graph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+def _weighted_triangle():
+    graph = WeightedGraph(4)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 2.0)
+    graph.add_edge(0, 2, 3.0)
+    return graph
+
+
+class TestJournalLimitPropagation:
+    def test_graph_copy_preserves_disabled_journal(self):
+        graph = _triangle()
+        graph.journal_limit = 0
+        clone = graph.copy()
+        assert clone.journal_limit == 0
+        clone.add_edge(2, 3)
+        assert clone._journal == []
+
+    def test_graph_copy_preserves_custom_limit(self):
+        graph = _triangle()
+        graph.journal_limit = 7
+        assert graph.copy().journal_limit == 7
+
+    def test_graph_copy_default_limit_unchanged(self):
+        assert _triangle().copy().journal_limit == DEFAULT_JOURNAL_LIMIT
+
+    def test_weighted_copy_preserves_disabled_journal(self):
+        graph = _weighted_triangle()
+        graph.journal_limit = 0
+        clone = graph.copy()
+        assert clone.journal_limit == 0
+        clone.add_edge(2, 3, 4.0)
+        assert clone._journal == []
+
+    def test_subgraph_inherits_limit(self):
+        graph = _triangle()
+        graph.journal_limit = 0
+        sub, _relabel = graph.subgraph([0, 1, 2])
+        assert sub.journal_limit == 0
+
+    def test_from_graph_inherits_limit(self):
+        graph = _triangle()
+        graph.journal_limit = 0
+        weighted = WeightedGraph.from_graph(graph)
+        assert weighted.journal_limit == 0
+
+    def test_unweighted_inherits_limit(self):
+        graph = _weighted_triangle()
+        graph.journal_limit = 3
+        assert graph.unweighted().journal_limit == 3
+
+    def test_subgraph_edges_inherits_limit(self):
+        graph = _weighted_triangle()
+        graph.journal_limit = 0
+        sub = graph.subgraph_edges([(0, 1)])
+        assert sub.journal_limit == 0
+
+
+class TestSubgraphValidation:
+    def test_out_of_range_vertex_gets_descriptive_error(self):
+        graph = _triangle()
+        with pytest.raises(IndexError, match=r"vertex 9 out of range \[0, 4\)"):
+            graph.subgraph([0, 9])
+
+    def test_negative_vertex_rejected(self):
+        graph = _triangle()
+        with pytest.raises(IndexError, match="out of range"):
+            graph.subgraph([-1, 1])
+
+    def test_empty_selection_ok(self):
+        sub, relabel = _triangle().subgraph([])
+        assert sub.num_vertices == 0
+        assert relabel == {}
+
+    def test_valid_subgraph_still_works(self):
+        sub, relabel = _triangle().subgraph([0, 1, 2])
+        assert sub.num_edges == 3
+        assert relabel == {0: 0, 1: 1, 2: 2}
