@@ -12,10 +12,16 @@ ways:
   the concurrent front end; checks the serving layer adds no simulated
   cost).
 
-Reported: total simulated seconds, shuffles executed, and shuffles saved.
+Reported: total simulated seconds, shuffles executed, shuffles saved,
+and — for the service deployment — wall-clock p50/p99 per algorithm plus
+the load-shaping counters (``queries_shed``, ``deadline_exceeded``,
+``workers_scaled``) every serving stats() now carries.
 """
 
 from __future__ import annotations
+
+import time
+from collections import defaultdict
 
 from benchmarks.conftest import run_once
 from repro.ampc.cluster import ClusterConfig
@@ -59,7 +65,26 @@ def _session() -> dict:
             "saved": session.stats.shuffles_saved}
 
 
+def _percentile(values: list, quantile: float) -> float:
+    """Nearest-rank percentile in milliseconds (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(quantile * (len(ordered) - 1))))
+    return ordered[index]
+
+
 def _service() -> dict:
+    latencies_ms = defaultdict(list)
+
+    def timed_query(query):
+        algorithm, name, seed = query
+        start = time.perf_counter()
+        result = service.query(algorithm, name, seed=seed, timeout=600)
+        latencies_ms[algorithm].append(
+            (time.perf_counter() - start) * 1000.0)
+        return result
+
     with GraphService(CONFIG, workers=4) as service:
         for name, graph in GRAPHS.items():
             service.load(name, graph)
@@ -67,17 +92,20 @@ def _service() -> dict:
         # completion order — the map_unordered the dispatcher also uses
         clients = WorkerPool(4, name="bench-serving-client")
         try:
-            for _ in clients.map_unordered(
-                    lambda query: service.query(
-                        query[0], query[1], seed=query[2], timeout=600),
-                    QUERIES):
+            for _ in clients.map_unordered(timed_query, QUERIES):
                 pass
         finally:
             clients.close()
         stats = service.stats()
     return {"simulated_time_s": stats["simulated_time_s"],
             "shuffles": stats["shuffles_executed"],
-            "saved": stats["shuffles_saved"]}
+            "saved": stats["shuffles_saved"],
+            "tail_ms": {algorithm: (_percentile(sample, 0.50),
+                                    _percentile(sample, 0.99))
+                        for algorithm, sample in sorted(latencies_ms.items())},
+            "counters": {key: stats[key]
+                         for key in ("queries_shed", "deadline_exceeded",
+                                     "workers_scaled")}}
 
 
 def test_serving_amortization(benchmark):
@@ -96,9 +124,23 @@ def test_serving_amortization(benchmark):
                       row["shuffles"], row["saved"])
     table.show()
 
+    tails = Table(
+        "Service tail latency per algorithm (wall-clock, 4 workers)",
+        ["Algorithm", "p50 ms", "p99 ms"],
+    )
+    for algorithm, (p50, p99) in measured["service"]["tail_ms"].items():
+        tails.add_row(algorithm, f"{p50:.1f}", f"{p99:.1f}")
+    tails.show()
+
     # Amortization must be real, and the concurrent front end must charge
     # the same simulated work as the sequential session.
     assert measured["session"]["shuffles"] < measured["cold"]["shuffles"]
     assert measured["service"]["saved"] >= measured["session"]["saved"] // 2
     assert (measured["service"]["shuffles"]
             <= measured["cold"]["shuffles"])
+    # The load-shaping counters ship in every stats() payload; an
+    # unshaped run reports them all zero.
+    assert measured["service"]["counters"] == {
+        "queries_shed": 0, "deadline_exceeded": 0, "workers_scaled": 0}
+    for algorithm, (p50, p99) in measured["service"]["tail_ms"].items():
+        assert 0 < p50 <= p99, algorithm

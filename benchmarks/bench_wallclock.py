@@ -48,8 +48,13 @@ sys.path.insert(
 
 from repro.ampc.cluster import ClusterConfig  # noqa: E402
 from repro.analysis.datasets import load_dataset, load_weighted_dataset  # noqa: E402
-from repro.api import Session  # noqa: E402
-from repro.serve import GraphService, ProcessGraphService  # noqa: E402
+from repro.api import Session, registry  # noqa: E402
+from repro.serve import (  # noqa: E402
+    GraphService,
+    OverloadedError,
+    ProcessGraphService,
+    estimate_query_cost,
+)
 
 #: a fresh measurement may be at most this factor above the committed
 #: after_s before --check fails (cross-machine headroom included)
@@ -60,6 +65,11 @@ REGRESSION_FLOOR_S = 0.75
 #: at least this much faster than the full re-prepare baseline (the
 #: acceptance bar is 5x; the gate leaves CI-noise headroom below it)
 UPDATE_MIN_SPEEDUP = 3.0
+#: paired ``service.overload/*`` workloads must keep the p99 of served
+#: queries under admission control no worse than the same-run
+#: no-admission baseline times this factor — shedding exists precisely
+#: to cut the tail the unbounded queue grows
+OVERLOAD_P99_FACTOR = 1.1
 
 BENCH_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -248,6 +258,95 @@ def _update_workload(algorithm: str, dataset: str, *, weighted: bool,
     return build
 
 
+def _percentile(values: List[float], quantile: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                int(round(quantile * (len(ordered) - 1))))
+    return ordered[index]
+
+
+#: queries in one overload burst — priced at ~4x the admission ceiling,
+#: so the admission run must shed a substantial fraction
+_OVERLOAD_BURST = 24
+_OVERLOAD_WORKERS = 2
+
+
+def _overload_workload(dataset: str, *, scale: float,
+                       admission: bool) -> Callable[[], Callable[[], dict]]:
+    """A burst 4x past the admission budget, with and without the gate.
+
+    Both sides run the identical burst of cold-priced queries against
+    ``_OVERLOAD_WORKERS`` threads.  With ``admission=True`` the budget is
+    sized so the burst overcommits the queue ceiling ~4x: the tail is
+    shed with structured ``OverloadedError`` and the *served* queries
+    keep a bounded queue wait.  The ``admission=False`` twin queues
+    everything, so its p99 carries the full drain — the paired
+    ``baseline_p99_ms`` the CI gate compares against.  Returns per-run
+    extras (p50/p99 of served queries, shed/served counts) that land in
+    BENCH_wallclock.json next to the wall numbers.
+    """
+
+    def build() -> Callable[[], dict]:
+        graphs = {
+            f"load{index}": load_dataset(dataset, scale * factor)
+            for index, factor in enumerate((1.0, 0.85, 0.7))
+        }
+        names = sorted(graphs)
+        queries = [(algorithm, names[index % len(names)], index)
+                   for index, algorithm in enumerate(
+                       ("mis", "matching", "components") * _OVERLOAD_BURST)
+                   ][:_OVERLOAD_BURST]
+        # size the per-worker budget so the whole burst prices ~4x the
+        # queue ceiling (budget * queue_factor * workers)
+        burst_cost = sum(
+            estimate_query_cost(registry.get(algorithm),
+                                graphs[name].num_vertices,
+                                graphs[name].num_edges, cached=False)
+            for algorithm, name, _ in queries)
+        kwargs = {}
+        if admission:
+            kwargs = dict(
+                max_inflight_cost=burst_cost / (4 * 2 * _OVERLOAD_WORKERS),
+                admission_queue_factor=2.0, admission_decay_s=0.5)
+
+        def run() -> dict:
+            latencies_ms: List[float] = []
+            shed = 0
+            with GraphService(ClusterConfig(),
+                              workers=_OVERLOAD_WORKERS, **kwargs) as svc:
+                for name in names:
+                    svc.load(name, graphs[name])
+                pending = []
+                for algorithm, name, seed in queries:
+                    submitted_at = time.perf_counter()
+                    try:
+                        handle = svc.submit(algorithm, name, seed=seed)
+                    except OverloadedError:
+                        shed += 1
+                        continue
+                    handle.add_done_callback(
+                        lambda p, t0=submitted_at: latencies_ms.append(
+                            (time.perf_counter() - t0) * 1000.0))
+                    pending.append(handle)
+                for handle in pending:
+                    handle.result(600)
+                stats = svc.stats()
+            return {
+                "simulated_time_s": stats["simulated_time_s"],
+                "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+                "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+                "served": len(pending),
+                "queries_shed": shed,
+            }
+
+        return run
+
+    return build
+
+
 #: the multi-tenant mixed burst behind ``service.mixed/procpool``: several
 #: graphs, mixed algorithms, repeated seeds — the shape fingerprint
 #: affinity is built for (each worker owns its graphs' warm caches)
@@ -329,6 +428,13 @@ def _suite(quick: bool) -> List[Workload]:
                  _scaleout_workload(dataset, scale=scale, processes=True),
                  baseline=_scaleout_workload(dataset, scale=scale,
                                              processes=False)),
+        # the load-adaptive trajectory: the same 4x-overcommitted burst
+        # with admission control on (measured) and off (paired
+        # baseline); --check gates served-p99 against the baseline p99
+        Workload(f"service.overload/{dataset}",
+                 _overload_workload(dataset, scale=scale, admission=True),
+                 baseline=_overload_workload(dataset, scale=scale,
+                                             admission=False)),
         # the batch-dynamic trajectory: mutate k << m edges, patch the
         # DHT-resident artifact vs. the paired full re-prepare baseline
         # (>= 5x expected; --check gates at UPDATE_MIN_SPEEDUP)
@@ -351,15 +457,30 @@ def _suite(quick: bool) -> List[Workload]:
     ]
 
 
-def _best_of(run: Callable[[], float], repeats: int) -> Dict[str, float]:
+def _best_of(run: Callable[[], Any], repeats: int) -> Dict[str, float]:
+    """Best-of wall-clock; ``run`` returns simulated seconds, or a dict
+    of extras (tail-latency percentiles, shed counts) whose
+    ``simulated_time_s`` plays that role.  Extras ride along from the
+    best repeat."""
     best = float("inf")
     simulated = 0.0
+    extras: Dict[str, float] = {}
     for _ in range(repeats):
         start = time.perf_counter()
-        simulated = run()
-        best = min(best, time.perf_counter() - start)
-    return {"wall_s": round(best, 4),
-            "simulated_time_s": round(simulated, 6)}
+        value = run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            if isinstance(value, dict):
+                simulated = value.get("simulated_time_s", 0.0)
+                extras = {key: val for key, val in value.items()
+                          if key != "simulated_time_s"}
+            else:
+                simulated = value
+    numbers = {"wall_s": round(best, 4),
+               "simulated_time_s": round(simulated, 6)}
+    numbers.update(extras)
+    return numbers
 
 
 def _measure(workload: Workload, repeats: int) -> Dict[str, float]:
@@ -367,12 +488,16 @@ def _measure(workload: Workload, repeats: int) -> Dict[str, float]:
 
     A workload with a paired baseline measures both deployments in the
     same process on the same inputs; the baseline lands in
-    ``baseline_wall_s`` (recorded as the entry's ``before_s``).
+    ``baseline_wall_s`` (recorded as the entry's ``before_s``), and any
+    baseline extras land prefixed ``baseline_`` (``baseline_p99_ms``).
     """
     numbers = _best_of(workload.build(), repeats)
     if workload.baseline is not None:
-        numbers["baseline_wall_s"] = _best_of(
-            workload.baseline(), repeats)["wall_s"]
+        baseline = _best_of(workload.baseline(), repeats)
+        numbers["baseline_wall_s"] = baseline["wall_s"]
+        for key, value in baseline.items():
+            if key not in ("wall_s", "simulated_time_s"):
+                numbers[f"baseline_{key}"] = value
     return numbers
 
 
@@ -403,6 +528,12 @@ def _record(report: Dict, suite_name: str, measured: Dict[str, Dict],
             # paired workloads: before_s is the same-machine baseline
             # deployment, so speedup reads as a throughput ratio
             entry["before_s"] = numbers["baseline_wall_s"]
+        for key, value in numbers.items():
+            # extras from dict-returning workloads (tail percentiles,
+            # shed counts) persist verbatim alongside the trajectory
+            if key not in ("wall_s", "simulated_time_s",
+                           "baseline_wall_s"):
+                entry[key] = value
         if entry.get("before_s") and entry.get("after_s"):
             entry["speedup"] = round(entry["before_s"] / entry["after_s"], 2)
 
@@ -422,6 +553,25 @@ def _check(report: Dict, suite_name: str,
             if numbers["wall_s"]:
                 entry["last_check_speedup"] = round(
                     numbers["baseline_wall_s"] / numbers["wall_s"], 2)
+        for key, value in numbers.items():
+            if key not in ("wall_s", "simulated_time_s",
+                           "baseline_wall_s"):
+                entry[f"last_check_{key}"] = value
+        if (tracked[name] and name.startswith("service.overload/")
+                and numbers.get("baseline_p99_ms")):
+            # the admission gate: under the same 4x burst, served-query
+            # p99 with admission control must not exceed the
+            # shed-nothing baseline's p99 (plus slack) — shedding has
+            # to buy tail latency or it is pure loss
+            limit_ms = numbers["baseline_p99_ms"] * OVERLOAD_P99_FACTOR
+            if numbers["p99_ms"] > limit_ms:
+                failures.append(
+                    f"{name}: admission-controlled p99 "
+                    f"{numbers['p99_ms']:.1f}ms exceeds "
+                    f"{limit_ms:.1f}ms ({OVERLOAD_P99_FACTOR}x the "
+                    f"no-admission baseline "
+                    f"{numbers['baseline_p99_ms']:.1f}ms)"
+                )
         if (tracked[name] and name.startswith("session.update/")
                 and entry.get("last_check_speedup") is not None
                 and entry["last_check_speedup"] < UPDATE_MIN_SPEEDUP):
@@ -483,6 +633,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"         {'vs thread-pool baseline':36s} "
                   f"{baseline:8.3f}s wall  "
                   f"{ratio:9.2f}x throughput ({os.cpu_count()} cpus)")
+        numbers = measured[workload.name]
+        if "p99_ms" in numbers:
+            print(f"         {'served tail latency':36s} "
+                  f"p50 {numbers['p50_ms']:7.1f}ms   "
+                  f"p99 {numbers['p99_ms']:7.1f}ms   "
+                  f"shed {numbers['queries_shed']}"
+                  f" (baseline p99 "
+                  f"{numbers.get('baseline_p99_ms', 0.0):.1f}ms)")
 
     # coverage summary: nothing silently skipped or un-gated
     untracked = sorted(name for name, is_tracked in tracked.items()

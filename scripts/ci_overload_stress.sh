@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Overload stress: a TCP serve front end (--processes 2) under admission
+# control takes a concurrent burst priced ~4x past its queue ceiling.
+# The burst must stay bounded — the tail sheds with a structured
+# overloaded error carrying a retry-after hint, the admitted head
+# completes, and the service recovers to serve follow-up traffic.
+#
+# CI runs this; it is also a local smoke test:
+#
+#     bash scripts/ci_overload_stress.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+PORT=${PORT:-7180}
+
+# Per-worker budget: one cold mis query on the burst's graph shape fits,
+# a second queues, the rest shed.  16 distinct graphs make every burst
+# query price cold (repeat queries on a shipped graph are ~free).
+BUDGET=$(python - <<'PY'
+from repro.ampc.cluster import ClusterConfig
+from repro.api import registry
+from repro.serve import estimate_query_cost
+
+print(estimate_query_cost(registry.get("mis"), 40, 100, cached=False,
+                          config=ClusterConfig(num_machines=4)) * 1.2)
+PY
+)
+
+python -m repro serve --machines 4 --processes 2 \
+  --max-inflight-cost "$BUDGET" --port "$PORT" &
+SERVER=$!
+trap 'kill -TERM ${SERVER:-} 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  python - "$PORT" <<'PY' 2>/dev/null && break || sleep 0.2
+import socket, sys
+socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=1).close()
+PY
+done
+
+timeout 300 python - "$PORT" <<'PY'
+import json
+import socket
+import sys
+import threading
+
+from repro.graph.generators import erdos_renyi_gnm
+
+PORT = int(sys.argv[1])
+BURST = 16
+
+
+def ask(stream, request):
+    stream.write(json.dumps(request) + "\n")
+    stream.flush()
+    return json.loads(stream.readline())
+
+
+def one_query(index, responses):
+    # own connection per query: the burst is concurrent, not pipelined
+    graph = erdos_renyi_gnm(40, 100, seed=index)
+    with socket.create_connection(("127.0.0.1", PORT), timeout=120) as conn:
+        stream = conn.makefile("rw", encoding="utf-8")
+        loaded = ask(stream, {"op": "load", "name": f"g{index}",
+                              "edges": [[u, v] for u, v in graph.edges()]})
+        assert loaded["ok"], loaded
+        responses[index] = ask(stream, {"op": "run", "algorithm": "mis",
+                                        "graph": f"g{index}",
+                                        "seed": index, "id": index})
+
+
+responses = [None] * BURST
+threads = [threading.Thread(target=one_query, args=(index, responses))
+           for index in range(BURST)]
+for thread in threads:
+    thread.start()
+for thread in threads:
+    thread.join(300)
+assert all(r is not None for r in responses), "burst queries hung"
+
+served = [r for r in responses if r["ok"]]
+shed = [r for r in responses if r.get("overloaded")]
+other = [r for r in responses if not r["ok"] and not r.get("overloaded")]
+assert not other, f"non-structured failures: {other}"
+assert served, "overload shed the whole burst, nothing served"
+assert shed, "a 4x burst shed nothing -- admission control is asleep"
+assert all(r["retry_after_s"] > 0 for r in shed), shed
+assert all("overloaded" in r["error"] for r in shed), shed
+
+# Recovery: after the burst drains, the same service serves fresh work,
+# the shed counter is on the books, and no inflight cost leaks.
+with socket.create_connection(("127.0.0.1", PORT), timeout=60) as conn:
+    stream = conn.makefile("rw", encoding="utf-8")
+    follow_up = ask(stream, {"op": "run", "algorithm": "matching",
+                             "graph": f"g{served[0]['id']}", "seed": 99})
+    assert follow_up["ok"], follow_up
+    stats = ask(stream, {"op": "stats"})["stats"]
+    assert stats["queries_shed"] == len(shed), stats
+    assert stats["completed"] == len(served) + 1, stats
+    admission = stats["admission"]
+    assert admission["inflight_cost"] == 0.0, admission
+    ask(stream, {"op": "shutdown"})
+
+print(f"overload stress ok: {len(served)} served, {len(shed)} shed "
+      f"with retry hints, recovered and drained cleanly")
+PY
+
+wait "$SERVER" 2>/dev/null || true
+trap - EXIT
+echo "OVERLOAD-STRESS-OK"

@@ -60,5 +60,67 @@ PY
 kill -TERM "$NODE_A" "$NODE_B"
 wait "$NODE_A" 2>/dev/null || true
 wait "$NODE_B" 2>/dev/null || true
-trap 'rm -f "$OUT"' EXIT
 echo "SOCKET-INTEGRATION-OK"
+
+# ---- chaos phase: the same stack with a deliberately slow node --------
+# One ring node sleeps 150ms per request; the burst must still answer
+# every query correctly (replication keeps reads failing over fast, the
+# slow node just drags its share of the traffic).
+PORT_C=${PORT_C:-7173}
+PORT_D=${PORT_D:-7174}
+trap 'kill -TERM ${NODE_C:-} ${NODE_D:-} 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+python -m repro dht-server --port "$PORT_C" --chaos-latency-ms 150 &
+NODE_C=$!
+python -m repro dht-server --port "$PORT_D" &
+NODE_D=$!
+sleep 1
+
+# Prove the chaos injection is live before trusting the serve run: a
+# direct store round-trip against the slow node must eat the latency.
+python - "$PORT_C" <<'PY'
+import sys
+import time
+
+from repro.distdht import SocketBackingStore
+
+store = SocketBackingStore([("127.0.0.1", int(sys.argv[1]))])
+start = time.monotonic()
+store.put(b"chaos-probe", b"x")
+elapsed = time.monotonic() - start
+store.close()
+assert elapsed >= 0.15, f"chaos latency not injected ({elapsed:.3f}s)"
+print(f"chaos probe ok: slow node injected {elapsed * 1000:.0f}ms")
+PY
+
+printf '%s\n' \
+  '{"op": "load", "name": "g", "edges": [[0,1],[1,2],[2,3],[3,4],[4,0],[0,2],[1,3]]}' \
+  '{"op": "run", "algorithm": "mis", "graph": "g", "seed": 1}' \
+  '{"op": "run", "algorithm": "components", "graph": "g", "seed": 1}' \
+  '{"op": "stats"}' \
+  '{"op": "shutdown"}' \
+  | timeout 300 python -m repro serve --machines 4 --processes 2 \
+      --backend socket \
+      --dht-node "127.0.0.1:$PORT_C" --dht-node "127.0.0.1:$PORT_D" \
+      --replication 2 > "$OUT"
+
+python - "$OUT" <<'PY'
+import json
+import sys
+
+lines = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+bad = [line for line in lines if not line.get("ok")]
+assert not bad, f"failed responses under chaos: {bad}"
+runs = [line["result"] for line in lines if "result" in line]
+assert len(runs) == 2 and all(
+    run["summary"]["output_size"] >= 1 for run in runs), runs
+stats = [line["stats"] for line in lines if "stats" in line][-1]
+assert stats["completed"] == 2, stats
+print("chaos integration ok: slow-node ring answered every query")
+PY
+
+kill -TERM "$NODE_C" "$NODE_D"
+wait "$NODE_C" 2>/dev/null || true
+wait "$NODE_D" 2>/dev/null || true
+trap 'rm -f "$OUT"' EXIT
+echo "SOCKET-CHAOS-OK"

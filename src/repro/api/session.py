@@ -570,6 +570,21 @@ class Session:
         with self._lock:
             return self._cache_bytes
 
+    def is_prepared(self, algorithm: str, graph: Any, *,
+                    seed: int = 0) -> bool:
+        """Whether ``(algorithm, graph, seed)``'s shared preprocessing is
+        cache-resident right now — without running or building anything.
+
+        The admission layer prices queries differently when the prepared
+        artifact is already DHT-resident; this is its probe.  Advisory by
+        nature: the LRU may evict between the probe and the run.
+        """
+        spec = registry.get(algorithm)
+        _graph, fingerprint, _name, _ancestors = self._resolve_graph(graph)
+        key = self._cache_key(spec, fingerprint, seed)
+        with self._lock:
+            return key in self._cache
+
     def stats_snapshot(self) -> SessionStats:
         """A consistent copy of :attr:`stats`, taken under the lock.
 

@@ -17,6 +17,9 @@ Usage::
     python -m repro serve --backend socket \\
         --dht-node 127.0.0.1:7171 --dht-node 127.0.0.1:7172 \\
         --replication 2                                      # real cluster
+    python -m repro serve --processes 2 --max-inflight-cost 50 \\
+        --deadline-ms 2000 --autoscale 4      # load-adaptive serving
+    python -m repro dht-server --chaos-latency-ms 150        # slow node
 
 Every subcommand comes from :mod:`repro.api.registry`: registering an
 :class:`~repro.api.registry.AlgorithmSpec` in a core module is all it takes
@@ -117,6 +120,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replication", type=int, default=1, metavar="R",
                        help="replicas per key on the socket backend "
                             "(reads fail over node by node)")
+    serve.add_argument("--max-inflight-cost", type=float, default=None,
+                       metavar="COST",
+                       help="admission control: per-worker budget of "
+                            "estimated query cost (simulated seconds) "
+                            "held in flight; excess queries queue, then "
+                            "shed with a structured retry-after error")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="default queue-wait deadline per query; a "
+                            "query still queued past it fails with "
+                            "deadline_exceeded instead of running "
+                            "(requests may override via deadline_ms)")
+    serve.add_argument("--autoscale", type=int, default=None, metavar="MAX",
+                       help="with --processes: grow the worker-process "
+                            "pool up to MAX under sustained queue depth, "
+                            "shrink back when load drains")
     dht_server = sub.add_parser(
         "dht-server",
         help="run one standalone DHT node (binary KV protocol over TCP)")
@@ -124,6 +143,19 @@ def _build_parser() -> argparse.ArgumentParser:
     dht_server.add_argument("--port", type=int, default=0,
                             help="TCP port to listen on (0 picks an "
                                  "ephemeral port, printed on stderr)")
+    dht_server.add_argument("--chaos-latency-ms", type=float, default=0.0,
+                            metavar="MS",
+                            help="chaos harness: sleep MS before serving "
+                                 "each request (a deliberately slow node)")
+    dht_server.add_argument("--chaos-error-rate", type=float, default=0.0,
+                            metavar="P",
+                            help="chaos harness: reply STATUS_ERROR to "
+                                 "that fraction of requests")
+    dht_server.add_argument("--chaos-blackhole", action="store_true",
+                            help="chaos harness: drop every request "
+                                 "unanswered and reset the connection")
+    dht_server.add_argument("--chaos-seed", type=int, default=0,
+                            help="seed for the chaos error-rate schedule")
     return parser
 
 
@@ -169,17 +201,25 @@ def _cmd_serve(args) -> int:
         print("error: --backend socket needs at least one --dht-node",
               file=sys.stderr)
         return 2
+    if args.autoscale is not None and args.processes is None:
+        print("error: --autoscale needs --processes", file=sys.stderr)
+        return 2
+    deadline_s = (args.deadline_ms / 1000.0
+                  if args.deadline_ms is not None else None)
     backend_options = dict(backend=args.backend, dht_nodes=args.dht_nodes,
                            replication=args.replication)
+    load_options = dict(max_inflight_cost=args.max_inflight_cost,
+                        default_deadline_s=deadline_s)
     if args.processes is not None:
         service = ProcessGraphService(_config(args),
                                       processes=args.processes,
                                       max_cache_bytes=args.max_cache_bytes,
-                                      **backend_options)
+                                      autoscale_max=args.autoscale,
+                                      **load_options, **backend_options)
     else:
         service = GraphService(_config(args), workers=args.workers,
                                max_cache_bytes=args.max_cache_bytes,
-                               **backend_options)
+                               **load_options, **backend_options)
     try:
         if args.port is None:
             serve_stream(service, sys.stdin, sys.stdout)
@@ -200,6 +240,12 @@ def _cmd_dht_server(args) -> int:
     from repro.distdht import DHTNodeServer
 
     node = DHTNodeServer(args.host, args.port)
+    if (args.chaos_latency_ms > 0 or args.chaos_error_rate > 0
+            or args.chaos_blackhole):
+        node.inject_chaos(latency_s=args.chaos_latency_ms / 1000.0,
+                          error_rate=args.chaos_error_rate,
+                          blackhole=args.chaos_blackhole,
+                          seed=args.chaos_seed)
     host, port = node.address
     print(f"dht-server listening on {host}:{port}", file=sys.stderr,
           flush=True)

@@ -20,6 +20,9 @@ against a *distributed hash table*):
   standalone ``python -m repro dht-server`` nodes, with consistent-hash
   key placement, client-side connection pooling, retry with backoff,
   replication factor R and read-failover to a replica when a node dies;
+* :class:`ChaosInjector` — per-node fault injection (latency, error
+  rate, blackhole) so node-slow and half-dead shapes are testable
+  through the full stack, not just clean kills;
 * :class:`BackedDHTStore` — a :class:`~repro.ampc.dht.DHTStore`-compatible
   adapter that keeps **all simulated-cost accounting at the adapter
   boundary** (same shard placement, same ``estimate_bytes`` charging,
@@ -40,12 +43,15 @@ from repro.distdht.backing import (
     fetch,
 )
 from repro.distdht.backend import create_backend, parse_node
+from repro.distdht.chaos import BlackholeError, ChaosInjector
 from repro.distdht.shm import SharedMemoryBackingStore
 from repro.distdht.sockets import DHTNodeServer, SocketBackingStore
 from repro.distdht.store import BackedDHTStore, BackedDerivedDHTStore
 
 __all__ = [
     "BackingStore",
+    "BlackholeError",
+    "ChaosInjector",
     "InMemoryBackingStore",
     "SharedMemoryBackingStore",
     "SocketBackingStore",

@@ -1,0 +1,133 @@
+"""Fault injection for DHT nodes: latency, errors, blackholes.
+
+``sever_connections`` on :class:`~repro.distdht.sockets.DHTNodeServer`
+already covers *node-dead*.  Real clusters mostly fail softer than that:
+a node gets slow (GC pause, saturated disk, noisy neighbour), starts
+erroring (disk full, corrupted segment), or silently eats requests (a
+half-partitioned network).  :class:`ChaosInjector` makes those modes
+injectable on a live node so the full Session → procpool → socket-DHT
+stack can be tested against them — not just against clean kills.
+
+Three independent knobs, all applied per request *before* dispatch:
+
+* ``latency_s`` — sleep that long before serving (node-slow).  Client
+  requests still succeed; tail latency grows.  Exercises the pooled
+  clients' socket timeouts and the serving layer's patience.
+* ``error_rate`` — with that probability, reply ``STATUS_ERROR``
+  instead of serving.  Surfaces client-side as a RuntimeError (not a
+  ConnectionError), so it does **not** trigger replica failover — the
+  request fails loudly, the way a real storage error does.
+* ``blackhole`` — drop the request without any reply and hard-close
+  the connection.  The client sees a ConnectionError mid-frame and
+  retries / fails over exactly as it would for a killed node, except
+  the node is still accepting fresh connections, which is the nastier
+  half-dead shape.
+
+The RNG is seeded so an ``error_rate`` schedule is reproducible in
+tests.  ``heal()`` clears everything; injection and healing are safe on
+a live node (the handler reads one consistent snapshot per request).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Optional
+
+
+class BlackholeError(ConnectionError):
+    """Raised inside the node handler to drop a request unanswered.
+
+    The handler treats it as a signal to close the connection without
+    replying — the client-visible effect is a peer reset mid-request.
+    """
+
+
+class ChaosInjector:
+    """Injectable fault policy for one DHT node.
+
+    All knobs default to "off"; the injector is inert until one of them
+    is set.  Thread-safe: many handler threads consult it concurrently
+    while a test (or the CLI) reconfigures it.
+    """
+
+    def __init__(self, *, latency_s: float = 0.0, error_rate: float = 0.0,
+                 blackhole: bool = False, seed: int = 0):
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._latency_s = 0.0
+        self._error_rate = 0.0
+        self._blackhole = False
+        self._injected = 0
+        self.configure(latency_s=latency_s, error_rate=error_rate,
+                       blackhole=blackhole)
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(self, *, latency_s: Optional[float] = None,
+                  error_rate: Optional[float] = None,
+                  blackhole: Optional[bool] = None) -> None:
+        """Set any subset of the knobs; omitted ones keep their value."""
+        with self._lock:
+            if latency_s is not None:
+                if latency_s < 0:
+                    raise ValueError("latency_s must be >= 0")
+                self._latency_s = float(latency_s)
+            if error_rate is not None:
+                if not 0.0 <= error_rate <= 1.0:
+                    raise ValueError("error_rate must be in [0, 1]")
+                self._error_rate = float(error_rate)
+            if blackhole is not None:
+                self._blackhole = bool(blackhole)
+
+    def heal(self) -> None:
+        """Turn every fault off (latency 0, error rate 0, no blackhole)."""
+        self.configure(latency_s=0.0, error_rate=0.0, blackhole=False)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        with self._lock:
+            return (self._latency_s > 0.0 or self._error_rate > 0.0
+                    or self._blackhole)
+
+    @property
+    def injected(self) -> int:
+        """How many requests have had a fault applied (sleep counts)."""
+        with self._lock:
+            return self._injected
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "latency_s": self._latency_s,
+                "error_rate": self._error_rate,
+                "blackhole": self._blackhole,
+                "injected": self._injected,
+            }
+
+    # -- the hook ----------------------------------------------------------
+
+    def before_request(self) -> None:
+        """Called by the node handler once per incoming request.
+
+        Applies latency, then blackhole, then the error roll — a node
+        can be slow *and* flaky at once.  Raises
+        :class:`BlackholeError` to drop the request, or RuntimeError to
+        answer it with ``STATUS_ERROR``.
+        """
+        with self._lock:
+            latency_s = self._latency_s
+            blackhole = self._blackhole
+            erroring = (self._error_rate > 0.0
+                        and self._rng.random() < self._error_rate)
+            if latency_s > 0.0 or blackhole or erroring:
+                self._injected += 1
+        if latency_s > 0.0:
+            time.sleep(latency_s)
+        if blackhole:
+            raise BlackholeError("chaos: request blackholed")
+        if erroring:
+            raise RuntimeError("chaos: injected fault")

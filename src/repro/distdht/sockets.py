@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.ampc.hashing import stable_hash
 from repro.distdht.backing import BackingStore, register_fetcher
+from repro.distdht.chaos import BlackholeError, ChaosInjector
 
 # -- wire format ------------------------------------------------------------
 
@@ -120,7 +121,19 @@ class _NodeHandler(socketserver.BaseRequestHandler):
             except (ConnectionError, OSError):
                 return
             try:
+                chaos = getattr(self.server, "chaos", None)
+                if chaos is not None:
+                    chaos.before_request()
                 status, reply = self._dispatch(op, payload, data, lock)
+            except BlackholeError:
+                # Drop the request unanswered and kill the connection:
+                # the client sees a reset mid-frame, like a half-dead
+                # node that still accepts connects but never replies.
+                try:
+                    self.request.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return
             except Exception as error:  # noqa: BLE001 - report, stay up
                 status, reply = STATUS_ERROR, str(error).encode("utf-8")
             try:
@@ -195,6 +208,8 @@ class _NodeServer(socketserver.ThreadingTCPServer):
         super().__init__(*args, **kwargs)
         self._open_requests = set()
         self._open_lock = threading.Lock()
+        #: optional ChaosInjector consulted per request (None = inert)
+        self.chaos: Optional[ChaosInjector] = None
 
     def process_request(self, request, client_address):
         with self._open_lock:
@@ -235,6 +250,43 @@ class DHTNodeServer:
     def address(self) -> Tuple[str, int]:
         host, port = self._server.server_address[:2]
         return host, port
+
+    @property
+    def chaos(self) -> Optional[ChaosInjector]:
+        """The active fault injector, or None when the node is clean."""
+        return self._server.chaos
+
+    def inject_chaos(self, *, latency_s: Optional[float] = None,
+                     error_rate: Optional[float] = None,
+                     blackhole: Optional[bool] = None,
+                     seed: int = 0) -> ChaosInjector:
+        """Arm (or reconfigure) fault injection on this live node.
+
+        See :class:`~repro.distdht.chaos.ChaosInjector` for the knobs.
+        Safe while serving; returns the injector for introspection.
+        """
+        injector = self._server.chaos
+        if injector is None:
+            injector = ChaosInjector(seed=seed)
+            self._server.chaos = injector
+        injector.configure(latency_s=latency_s, error_rate=error_rate,
+                           blackhole=blackhole)
+        return injector
+
+    def heal(self) -> None:
+        """Clear all injected faults; the node serves cleanly again."""
+        injector = self._server.chaos
+        if injector is not None:
+            injector.heal()
+
+    def sever_connections(self) -> None:
+        """Hard-close every live connection without stopping the node.
+
+        Chaos-harness sibling of :meth:`inject_chaos`: every pooled
+        client connection dies at once (as on a node restart), but the
+        listener keeps accepting, so clients reconnect and recover.
+        """
+        self._server.sever_connections()
 
     def start(self) -> "DHTNodeServer":
         """Serve on a background thread (tests / embedded use)."""

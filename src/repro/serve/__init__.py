@@ -1,6 +1,6 @@
 """The serving layer: concurrent queries over long-lived Sessions.
 
-Four pieces:
+Five pieces:
 
 * :class:`~repro.serve.service.GraphService` — owns one thread-safe
   :class:`~repro.api.session.Session` and a bounded worker pool; queries
@@ -10,15 +10,33 @@ Four pieces:
   across N worker **processes**, each owning a private Session, with
   fingerprint-affinity routing (all queries for a graph go to the worker
   whose cache is warm, graphs pickled across the boundary once) — the
-  scale-out deployment for CPU-bound traffic.
+  scale-out deployment for CPU-bound traffic, with autoscaling and
+  hung-worker replacement.
+* :mod:`repro.serve.admission` — load-adaptive admission control: every
+  query is priced via the cost model before it runs, held against a
+  token budget with a peak-hold load estimator, and shed with a
+  structured retry-after hint when the service is overloaded.
 * :mod:`repro.serve.protocol` — a JSON-lines protocol (stdio or TCP) the
   ``python -m repro serve`` subcommand speaks; drives either service.
 * :mod:`repro.serve.pool` — the bounded worker pool, its
-  :class:`~repro.serve.pool.PendingResult` future, and
+  :class:`~repro.serve.pool.PendingResult` future (cancellable, with
+  queue-wait deadlines), and
   :meth:`~repro.serve.pool.WorkerPool.map_unordered`.
 """
 
-from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
+from repro.serve.admission import (
+    AdmissionController,
+    OverloadedError,
+    PeakHoldLoadEstimator,
+    estimate_query_cost,
+)
+from repro.serve.pool import (
+    CancelledError,
+    DeadlineExceededError,
+    PendingResult,
+    ServiceClosedError,
+    WorkerPool,
+)
 from repro.serve.procpool import ProcessGraphService, WorkerDiedError
 from repro.serve.protocol import (
     ServiceServer,
@@ -29,7 +47,12 @@ from repro.serve.protocol import (
 from repro.serve.service import GraphService, ServiceBase
 
 __all__ = [
+    "AdmissionController",
+    "CancelledError",
+    "DeadlineExceededError",
     "GraphService",
+    "OverloadedError",
+    "PeakHoldLoadEstimator",
     "PendingResult",
     "ProcessGraphService",
     "ServiceBase",
@@ -37,6 +60,7 @@ __all__ = [
     "ServiceServer",
     "WorkerDiedError",
     "WorkerPool",
+    "estimate_query_cost",
     "handle_request",
     "serve_socket",
     "serve_stream",

@@ -1,0 +1,214 @@
+"""Admission control: price queries up front, shed what cannot be served.
+
+The serving tier accepts work from an uncontrolled source (sockets), and
+a burst beyond capacity must not translate into unbounded queues and
+wedged connections.  Admission control prices every query *before* it
+runs using the same :class:`~repro.ampc.cost_model.CostModel` constants
+that price every simulated op, then holds admitted cost against a token
+budget:
+
+* total priced cost within the budget → **admit** (run immediately-ish);
+* within ``queue_factor`` times the budget → **queue** (accepted, waits);
+* beyond that → **shed**: the caller gets a structured
+  :class:`OverloadedError` with a retry-after hint instead of a blocked
+  socket.
+
+The load signal feeding the shed decision is a **peak-hold estimator**:
+it follows rises instantly but decays from the held peak slowly
+(exponentially, with a configurable half-life).  Plain instantaneous
+load oscillates at the admit/shed boundary — the instant a query
+finishes the service re-admits, immediately overloads again, and sheds —
+while the held peak keeps the gate closed until pressure has *stayed*
+off for a while.
+
+Costs are in the cost model's simulated seconds.  They are priced from
+graph size and cached-artifact state: a query whose shared preprocessing
+is already DHT-resident skips the shuffle+write price and pays only the
+adaptive query phases, which is exactly the asymmetry the serving tier
+exists to exploit.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.cost_model import BYTES_PER_ID
+
+__all__ = [
+    "OverloadedError",
+    "PeakHoldLoadEstimator",
+    "AdmissionController",
+    "estimate_query_cost",
+]
+
+
+class OverloadedError(RuntimeError):
+    """The service shed this query; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+def estimate_query_cost(spec: Any, num_vertices: int, num_edges: int, *,
+                        cached: bool,
+                        config: Optional[ClusterConfig] = None) -> float:
+    """Price one query, in simulated seconds, before it runs.
+
+    The estimate mirrors how the runtime charges the real phases:
+
+    * an uncached query pays the shared preprocessing — one shuffle of
+      the O(n + m) graph records into the DHT (setup plus bytes over the
+      aggregate durable-write bandwidth) plus the KV writes that
+      materialize the search structure;
+    * every query pays the adaptive phases — about one KV lookup per
+      vertex, latency-hidden across machines and threads when the
+      multithreading optimization is on, plus linear compute.
+
+    It is an admission price, not a prediction: monotone in graph size,
+    cheaper when the artifact is cached, and in the same units as
+    ``SessionStats.simulated_time_s`` so budgets can be read off real
+    measurements.
+    """
+    config = config if config is not None else ClusterConfig()
+    cost = config.cost_model
+    machines = max(1, config.num_machines)
+    hidden = machines * (max(1, config.threads_per_machine)
+                         if config.multithreading else 1)
+    records = max(1, int(num_vertices) + 2 * int(num_edges))
+    record_bytes = 3 * BYTES_PER_ID * records
+    price = 0.0
+    if not cached:
+        price += cost.shuffle_setup_s
+        price += record_bytes / (machines * cost.disk_bandwidth_bytes_per_s)
+        price += records * cost.kv_write_latency_s / hidden
+    lookups = max(1, int(num_vertices))
+    price += lookups * cost.kv_read_latency_s / hidden
+    price += records / (machines * cost.compute_ops_per_s)
+    return price
+
+
+class PeakHoldLoadEstimator:
+    """Hold the observed peak of a load signal; decay it slowly.
+
+    ``observe(load)`` returns the held level: the maximum of the current
+    observation and the previous peak decayed exponentially with
+    half-life ``decay_half_life_s``.  Rises are tracked instantly, falls
+    lag — which is the anti-oscillation property admission control needs
+    at the shed boundary.  Thread-safe via the owner's lock (callers
+    hold :class:`AdmissionController`'s lock; standalone use needs no
+    lock for a single writer).
+    """
+
+    def __init__(self, decay_half_life_s: float = 5.0, *,
+                 clock: Callable[[], float] = time.monotonic):
+        if decay_half_life_s <= 0:
+            raise ValueError("decay_half_life_s must be positive")
+        self.decay_half_life_s = decay_half_life_s
+        self._clock = clock
+        self._peak = 0.0
+        self._stamp = clock()
+
+    def observe(self, load: float) -> float:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._peak *= 0.5 ** (elapsed / self.decay_half_life_s)
+        if load > self._peak:
+            self._peak = float(load)
+        return self._peak
+
+    def level(self) -> float:
+        """The current held peak (decayed to now), without a new sample."""
+        return self.observe(0.0)
+
+
+class AdmissionController:
+    """A token budget of in-flight priced cost with peak-hold shedding.
+
+    ``budget`` is the cost (simulated seconds) the service is willing to
+    run concurrently; up to ``queue_factor`` times that may additionally
+    wait in queue.  Beyond the queue ceiling the controller sheds.  The
+    shed decision tests the *peak-held* in-flight cost, so a burst that
+    just drained does not flap the gate open and shut.
+    """
+
+    def __init__(self, budget: float, *, queue_factor: float = 2.0,
+                 decay_half_life_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if budget <= 0:
+            raise ValueError("admission budget must be positive")
+        if queue_factor < 1.0:
+            raise ValueError("queue_factor must be >= 1.0")
+        self.budget = float(budget)
+        self.queue_factor = float(queue_factor)
+        self._lock = threading.Lock()
+        self._estimator = PeakHoldLoadEstimator(
+            decay_half_life_s, clock=clock)
+        self._inflight_cost = 0.0
+        self._admitted = 0
+        self._queued = 0
+        self._shed = 0
+
+    def try_acquire(self, price: float) -> Tuple[str, float]:
+        """Admit/queue/shed one query priced at ``price``.
+
+        Returns ``(decision, retry_after_s)``.  For ``"admit"`` and
+        ``"queue"`` the price is charged to the in-flight total and the
+        caller **must** :meth:`release` it when the query resolves (any
+        outcome).  For ``"shed"`` nothing is charged and
+        ``retry_after_s`` hints when pressure should have drained.
+        """
+        price = max(0.0, float(price))
+        ceiling = self.budget * self.queue_factor
+        with self._lock:
+            held = self._estimator.observe(self._inflight_cost)
+            load = max(held, self._inflight_cost + price)
+            if self._inflight_cost + price > ceiling:
+                self._shed += 1
+                # Hint: how long the exponential peak decay needs to
+                # bring the held load back under the queue ceiling.
+                excess = max(load / ceiling, 1.0 + price / ceiling)
+                halvings = _log2(excess)
+                retry = min(30.0, max(
+                    0.05, halvings * self._estimator.decay_half_life_s))
+                return "shed", round(retry, 3)
+            self._inflight_cost += price
+            self._estimator.observe(self._inflight_cost)
+            if self._inflight_cost > self.budget:
+                self._queued += 1
+                return "queue", 0.0
+            self._admitted += 1
+            return "admit", 0.0
+
+    def release(self, price: float) -> None:
+        """Return a previously charged price (query finished, any way)."""
+        with self._lock:
+            self._inflight_cost = max(0.0, self._inflight_cost
+                                      - max(0.0, float(price)))
+            self._estimator.observe(self._inflight_cost)
+
+    @property
+    def inflight_cost(self) -> float:
+        with self._lock:
+            return self._inflight_cost
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "budget": self.budget,
+                "queue_factor": self.queue_factor,
+                "inflight_cost": round(self._inflight_cost, 6),
+                "held_peak_cost": round(self._estimator.level(), 6),
+                "admitted": self._admitted,
+                "queued": self._queued,
+                "shed": self._shed,
+            }
+
+
+def _log2(value: float) -> float:
+    return math.log2(value) if value > 1.0 else 0.0

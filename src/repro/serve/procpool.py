@@ -55,6 +55,7 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 from dataclasses import fields
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -68,7 +69,11 @@ from repro.distdht.backend import create_backend
 from repro.distdht.backing import fetch
 from repro.graph.generators import degree_weighted
 from repro.graph.graph import WeightedGraph
-from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
+from repro.serve.admission import (AdmissionController, OverloadedError,
+                                   PeakHoldLoadEstimator,
+                                   estimate_query_cost)
+from repro.serve.pool import (DeadlineExceededError, PendingResult,
+                              ServiceClosedError, WorkerPool)
 from repro.serve.service import ServiceBase, derived_weighted_name
 
 #: SessionStats field names, for flattening per-worker snapshots
@@ -127,11 +132,28 @@ def _send_error(conn, request_id: int, error: BaseException) -> None:
                    RuntimeError(f"{type(error).__name__}: {error}")))
 
 
+def _heartbeat_loop(conn, send_lock: threading.Lock,
+                    stop: threading.Event, interval_s: float) -> None:
+    """Worker-side liveness beacon: one tiny ``("hb", ...)`` message per
+    interval, even while the main loop is deep in a long query (the GIL
+    timeslices this thread through).  Silence therefore means the
+    *process* is wedged — stopped, deadlocked, or stuck in C — which is
+    exactly the signal the dispatcher's hung-worker detector keys on.
+    """
+    while not stop.wait(interval_s):
+        try:
+            with send_lock:
+                conn.send(("hb", 0, None))
+        except (OSError, ValueError, BrokenPipeError):
+            return
+
+
 def _worker_main(conn, index: int, config: Optional[ClusterConfig],
                  fault_plan: Optional[FaultPlan], strict_rounds: bool,
                  max_cache_bytes: Optional[int],
                  backend_spec: Tuple[str, Optional[List[Any]], int] = (
-                     "sim", None, 1)) -> None:
+                     "sim", None, 1),
+                 heartbeat_interval_s: float = 0.5) -> None:
     """One worker: a private Session answering run/stats messages.
 
     Graphs arrive at most once each — pickled into the message on the
@@ -139,7 +161,11 @@ def _worker_main(conn, index: int, config: Optional[ClusterConfig],
     shared backing store on a real one — and are registered (and pinned)
     under their fingerprint; later ``run`` messages reference the
     fingerprint only.  The loop is strictly sequential — per-run metrics
-    isolation inside a worker is the Session's own guarantee.
+    isolation inside a worker is the Session's own guarantee.  A side
+    heartbeat thread beats every ``heartbeat_interval_s`` so the
+    dispatcher can tell "busy" from "hung"; a ``run`` whose deadline
+    already passed while queued in the pipe is answered with
+    :class:`~repro.serve.pool.DeadlineExceededError` without executing.
     """
     backend, dht_nodes, replication = backend_spec
     session = Session(config, fault_plan=fault_plan,
@@ -148,6 +174,20 @@ def _worker_main(conn, index: int, config: Optional[ClusterConfig],
                       backend=backend, dht_nodes=dht_nodes,
                       replication=replication)
     pinned: Dict[str, Any] = {}
+    send_lock = threading.Lock()
+    stop_beat = threading.Event()
+    threading.Thread(target=_heartbeat_loop,
+                     args=(conn, send_lock, stop_beat, heartbeat_interval_s),
+                     name=f"repro-worker-hb-{index}", daemon=True).start()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    def send_error(request_id: int, error: BaseException) -> None:
+        with send_lock:
+            _send_error(conn, request_id, error)
+
     while True:
         try:
             message = conn.recv()
@@ -178,14 +218,18 @@ def _worker_main(conn, index: int, config: Optional[ClusterConfig],
                     graph = pinned.pop(old_fingerprint, None)
                     if graph is not None:
                         pinned[new_fingerprint] = graph
-                conn.send(("ok", request_id, handle.fingerprint))
+                send(("ok", request_id, handle.fingerprint))
             except BaseException as error:  # noqa: BLE001
-                _send_error(conn, request_id, error)
+                send_error(request_id, error)
             continue
         if op == "run":
             (_, request_id, algorithm, fingerprint, graph, seed,
-             reuse, params) = message
+             reuse, params, deadline_at) = message
             try:
+                # Absorb a shipped graph even when the deadline has
+                # passed: the dispatcher marked it shipped at submit, so
+                # later runs arrive fingerprint-only — dropping the ship
+                # here would orphan the fingerprint for good.
                 if graph is not None and fingerprint not in pinned:
                     if isinstance(graph, _BlobRef):
                         # write-once fronting: resolve the shared bytes
@@ -194,20 +238,27 @@ def _worker_main(conn, index: int, config: Optional[ClusterConfig],
                         graph = pickle.loads(fetch(graph.locator))
                     pinned[fingerprint] = graph
                     session.load(fingerprint, graph)
+                if (deadline_at is not None
+                        and time.monotonic() >= deadline_at):
+                    # expired while queued in the pipe: cancel the run
+                    send_error(request_id, DeadlineExceededError(
+                        f"deadline passed before {algorithm!r} started "
+                        f"on worker {index}"))
+                    continue
                 result = session.run(algorithm, fingerprint, seed=seed,
                                      reuse_preprocessing=reuse, **params)
-                conn.send(("ok", request_id, result))
+                send(("ok", request_id, result))
             except BaseException as error:  # noqa: BLE001 - report, not die
-                _send_error(conn, request_id, error)
+                send_error(request_id, error)
         elif op == "stats":
             _, request_id = message
             try:
-                conn.send(("ok", request_id,
-                           _stats_payload(session, pinned)))
+                send(("ok", request_id, _stats_payload(session, pinned)))
             except BaseException as error:  # noqa: BLE001
-                _send_error(conn, request_id, error)
+                send_error(request_id, error)
         # unknown ops are ignored: a newer dispatcher must not kill an
         # older worker
+    stop_beat.set()
     session.close()  # release shm segments / DHT connections
 
 
@@ -221,7 +272,9 @@ class _Outstanding:
     __slots__ = ("pending", "graph_name", "on_done", "is_run")
 
     def __init__(self, pending: PendingResult, graph_name: Optional[str],
-                 on_done: Optional[Callable[[bool], None]], is_run: bool):
+                 on_done: Optional[Callable[
+                     [bool, Optional[BaseException]], None]],
+                 is_run: bool):
         self.pending = pending
         self.graph_name = graph_name
         self.on_done = on_done
@@ -241,7 +294,9 @@ class _WorkerClient:
 
     def __init__(self, index: int, ctx, config, fault_plan, strict_rounds,
                  max_cache_bytes, on_death=None,
-                 backend_spec=("sim", None, 1)):
+                 backend_spec=("sim", None, 1),
+                 heartbeat_interval_s: float = 0.5,
+                 admission: Optional[AdmissionController] = None):
         self.index = index
         #: called (with this client) from the reader thread once the
         #: worker process is gone and its leftovers are failed — the
@@ -252,7 +307,7 @@ class _WorkerClient:
         self.process = ctx.Process(
             target=_worker_main,
             args=(child_conn, index, config, fault_plan, strict_rounds,
-                  max_cache_bytes, backend_spec),
+                  max_cache_bytes, backend_spec, heartbeat_interval_s),
             name=f"repro-serve-worker-{index}",
             daemon=True,
         )
@@ -267,6 +322,13 @@ class _WorkerClient:
         self.accepting = True
         self.alive = True
         self.last_stats: Optional[Dict[str, Any]] = None
+        #: this worker's token-budget gate (None = admission off)
+        self.admission = admission
+        #: hung-worker signal: flipped by the reader on *any* inbound
+        #: message (heartbeats included); the monitor clears it each tick
+        #: and counts consecutive silent ticks in ``heartbeat_misses``
+        self.beat_seen = False
+        self.heartbeat_misses = 0
         self._next_id = 0
         self.reader = threading.Thread(
             target=self._read_loop, daemon=True,
@@ -276,7 +338,8 @@ class _WorkerClient:
     # -- request side ------------------------------------------------------
 
     def _register(self, graph_name: Optional[str],
-                  on_done: Optional[Callable[[bool], None]],
+                  on_done: Optional[Callable[
+                      [bool, Optional[BaseException]], None]],
                   is_run: bool) -> Tuple[int, PendingResult]:
         pending = PendingResult()
         with self.lock:
@@ -305,8 +368,14 @@ class _WorkerClient:
     def submit_run(self, algorithm: str, fingerprint: str, graph: Any,
                    seed: int, reuse: bool, params: Dict[str, Any],
                    graph_name: Optional[str],
-                   on_done: Callable[[bool], None]) -> PendingResult:
-        """Route one query to this worker, shipping the graph if unseen."""
+                   on_done: Callable[[bool, Optional[BaseException]], None],
+                   deadline_at: Optional[float] = None) -> PendingResult:
+        """Route one query to this worker, shipping the graph if unseen.
+
+        ``deadline_at`` (absolute ``time.monotonic()`` seconds) rides in
+        the message; the worker answers expired-in-queue runs with
+        ``DeadlineExceededError`` instead of executing them.
+        """
         request_id, pending = self._register(graph_name, on_done,
                                              is_run=True)
         try:
@@ -314,7 +383,7 @@ class _WorkerClient:
                 ship = fingerprint not in self.shipped
                 self.conn.send(("run", request_id, algorithm, fingerprint,
                                 graph if ship else None, seed, reuse,
-                                dict(params)))
+                                dict(params), deadline_at))
                 if ship:
                     self.shipped.add(fingerprint)
         except (OSError, BrokenPipeError) as error:
@@ -386,6 +455,9 @@ class _WorkerClient:
             except (EOFError, OSError):
                 break
             kind, request_id, payload = message
+            self.beat_seen = True
+            if kind == "hb":  # liveness beacon, no request attached
+                continue
             with self.lock:
                 outstanding = self.pending.pop(request_id, None)
                 if outstanding is not None and outstanding.is_run:
@@ -397,7 +469,7 @@ class _WorkerClient:
             ok = kind == "ok"
             if outstanding.on_done is not None:
                 try:
-                    outstanding.on_done(ok)
+                    outstanding.on_done(ok, None if ok else payload)
                 except Exception:  # noqa: BLE001 - reader must not die
                     pass
             if ok:
@@ -422,7 +494,7 @@ class _WorkerClient:
         for outstanding in leftovers:
             if outstanding.on_done is not None:
                 try:
-                    outstanding.on_done(False)
+                    outstanding.on_done(False, error)
                 except Exception:  # noqa: BLE001
                     pass
             outstanding.pending._fail(error)
@@ -486,11 +558,22 @@ class ProcessGraphService(ServiceBase):
                  backend: str = "sim",
                  dht_nodes: Optional[List[Any]] = None,
                  replication: int = 1,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 max_inflight_cost: Optional[float] = None,
+                 admission_queue_factor: float = 2.0,
+                 admission_decay_s: float = 5.0,
+                 default_deadline_s: Optional[float] = None,
+                 autoscale_max: Optional[int] = None,
+                 monitor_interval_s: float = 0.5,
+                 hung_after_intervals: Optional[int] = 20,
+                 scale_after_intervals: int = 4,
+                 heartbeat_interval_s: float = 0.25):
         if processes < 1:
             raise ValueError("need at least one worker process")
         if spill_threshold < 1:
             raise ValueError("spill_threshold must be >= 1")
+        if autoscale_max is not None and autoscale_max < processes:
+            raise ValueError("autoscale_max must be >= processes")
         if not isinstance(backend, str):
             raise TypeError(
                 "ProcessGraphService needs a backend spec string "
@@ -529,6 +612,14 @@ class ProcessGraphService(ServiceBase):
         #: so merged counters stay coherent across respawns (best-effort:
         #: only what the dead worker last reported)
         self._retired_stats: List[Dict[str, Any]] = []
+        #: queries lacking an explicit deadline inherit this one (seconds)
+        self.default_deadline_s = default_deadline_s
+        #: admission: each worker carries its own token budget of
+        #: ``max_inflight_cost`` priced simulated-seconds
+        self._max_inflight_cost = max_inflight_cost
+        self._admission_queue_factor = admission_queue_factor
+        self._admission_decay_s = admission_decay_s
+        self._heartbeat_interval_s = heartbeat_interval_s
         self._clients = [self._spawn(index) for index in range(processes)]
         self._handles: Dict[str, GraphHandle] = {}
         self._pinned: Dict[str, Any] = {}
@@ -540,6 +631,8 @@ class ProcessGraphService(ServiceBase):
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._queries_shed = 0
+        self._deadline_exceeded = 0
         self._affinity_routed = 0
         self._rebalances = 0
         self._updates = 0
@@ -547,15 +640,42 @@ class ProcessGraphService(ServiceBase):
         #: and close-time draining without serializing on slow workers
         self._control = WorkerPool(min(4, processes),
                                    name="repro-procpool-ctl")
+        #: autoscaling + hung-worker monitor
+        self._base_processes = processes
+        self._autoscale_max = autoscale_max
+        self._monitor_interval_s = monitor_interval_s
+        self._hung_after_intervals = hung_after_intervals
+        self._scale_after_intervals = max(1, scale_after_intervals)
+        self._workers_scaled = 0
+        self._workers_hung = 0
+        self._grow_streak = 0
+        #: peak-hold over total queued runs: shrink only once pressure
+        #: has *stayed* off, so scale decisions don't flap
+        self._depth_estimator = PeakHoldLoadEstimator(admission_decay_s)
+        self._monitor_stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        if autoscale_max is not None or hung_after_intervals is not None:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, daemon=True,
+                name="repro-procpool-monitor")
+            self._monitor.start()
 
     # -- worker lifecycle --------------------------------------------------
 
     def _spawn(self, index: int) -> _WorkerClient:
+        admission = None
+        if self._max_inflight_cost is not None:
+            admission = AdmissionController(
+                self._max_inflight_cost,
+                queue_factor=self._admission_queue_factor,
+                decay_half_life_s=self._admission_decay_s)
         return _WorkerClient(index, self._ctx, self._config,
                              self._fault_plan, self._strict_rounds,
                              self._max_cache_bytes,
                              on_death=self._on_worker_death,
-                             backend_spec=self._backend_spec)
+                             backend_spec=self._backend_spec,
+                             heartbeat_interval_s=self._heartbeat_interval_s,
+                             admission=admission)
 
     # -- write-once blob publication ---------------------------------------
 
@@ -599,8 +719,9 @@ class ProcessGraphService(ServiceBase):
         stats are retired into the merged view.
         """
         with self._lock:
-            if self._closed or self._clients[client.index] is not client:
-                return
+            if (self._closed or client.index >= len(self._clients)
+                    or self._clients[client.index] is not client):
+                return  # already retired (close or scale-down)
             if client.last_stats is not None:
                 self._retired_stats.append(client.last_stats)
             self._clients[client.index] = self._spawn(client.index)
@@ -609,6 +730,106 @@ class ProcessGraphService(ServiceBase):
             client.conn.close()
         except OSError:
             pass
+
+    # -- load monitor: hung-worker detection + autoscaling ------------------
+
+    def _monitor_loop(self) -> None:
+        """Periodic sweep: count heartbeat-silent ticks per busy worker
+        (kill + respawn past the threshold) and grow/shrink the pool on
+        sustained queue depth.  Runs until close() sets the stop event.
+        """
+        while not self._monitor_stop.wait(self._monitor_interval_s):
+            with self._lock:
+                if self._closed:
+                    return
+                clients = list(self._clients)
+            if self._hung_after_intervals is not None:
+                self._sweep_hung(clients)
+            if self._autoscale_max is not None:
+                self._autoscale(clients)
+
+    def _sweep_hung(self, clients: List[_WorkerClient]) -> None:
+        for client in clients:
+            with client.lock:
+                busy = bool(client.pending) and client.alive
+            if not busy:
+                client.heartbeat_misses = 0
+                client.beat_seen = False
+                continue
+            if client.beat_seen:
+                client.beat_seen = False
+                client.heartbeat_misses = 0
+                continue
+            client.heartbeat_misses += 1
+            if client.heartbeat_misses < self._hung_after_intervals:
+                continue
+            # No message of any kind for N intervals while requests are
+            # outstanding: the process is wedged (its heartbeat thread
+            # would beat through a long query).  SIGKILL it — the pipe
+            # EOF then drives the exact same fail-leftovers + respawn
+            # path as a crash.
+            with self._lock:
+                self._workers_hung += 1
+            try:
+                client.process.kill()
+            except OSError:
+                pass
+
+    def _autoscale(self, clients: List[_WorkerClient]) -> None:
+        loads = [c.inflight_runs for c in clients if c.alive]
+        if not loads:
+            return
+        depth = sum(loads)
+        held_depth = self._depth_estimator.observe(depth)
+        if (min(loads) >= self._spill_threshold
+                and len(clients) < self._autoscale_max):
+            # every worker is backlogged deeper than spill can fix
+            self._grow_streak += 1
+            if self._grow_streak >= self._scale_after_intervals:
+                self._grow_streak = 0
+                self._scale_up()
+            return
+        self._grow_streak = 0
+        if held_depth <= 0.5 and len(clients) > self._base_processes:
+            # pressure has stayed off long enough for the peak-hold to
+            # decay — retire the newest extra worker
+            self._scale_down()
+
+    def _scale_up(self) -> None:
+        with self._lock:
+            if self._closed or len(self._clients) >= self._autoscale_max:
+                return
+            self._clients.append(self._spawn(len(self._clients)))
+            self._workers_scaled += 1
+
+    def _scale_down(self) -> None:
+        with self._lock:
+            if self._closed or len(self._clients) <= self._base_processes:
+                return
+            client = self._clients.pop()
+            self._workers_scaled += 1
+            # drop affinities pointing at the retired slot; the next
+            # query on those graphs re-homes to a surviving worker
+            for fingerprint in [f for f, i in self._affinity.items()
+                                if i >= len(self._clients)]:
+                del self._affinity[fingerprint]
+        client.stop_accepting()
+
+        def retire(client=client):
+            client.drain(60.0)
+            try:
+                payload = client.request_stats().result(10.0)
+            except Exception:  # noqa: BLE001 - best-effort snapshot
+                payload = client.last_stats
+            with self._lock:
+                if payload is not None:
+                    self._retired_stats.append(payload)
+            client.shutdown()
+
+        try:
+            self._control.submit(retire)
+        except ServiceClosedError:
+            client.shutdown(timeout=1.0)
 
     # -- graph registry ----------------------------------------------------
 
@@ -726,12 +947,18 @@ class ProcessGraphService(ServiceBase):
 
     def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
                reuse_preprocessing: bool = True,
+               deadline: Optional[float] = None,
                **params: Any) -> PendingResult:
         """Enqueue one query; returns a :class:`PendingResult`.
 
         Unknown algorithms, undeclared parameters and unknown graph names
         are rejected here, in the submitting thread (and process), so the
-        error surfaces immediately.
+        error surfaces immediately.  When admission control is on
+        (``max_inflight_cost``), the query is priced against the routed
+        worker's token budget first and may be shed with
+        :class:`~repro.serve.admission.OverloadedError`.  ``deadline``
+        is relative seconds; a query still queued when it passes is
+        cancelled worker-side before execution.
         """
         spec = registry.get(algorithm)
         merged = Session._merge_params(spec, params)
@@ -741,24 +968,61 @@ class ProcessGraphService(ServiceBase):
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
-            self._submitted += 1
             client = self._route(fingerprint)
+        price = None
+        if client.admission is not None:
+            price = estimate_query_cost(
+                spec,
+                getattr(obj, "num_vertices", 0),
+                getattr(obj, "num_edges", 0),
+                # cached-state proxy: once the graph is resident on the
+                # worker, repeat queries ride its warm artifact cache
+                cached=fingerprint in client.shipped,
+                config=self._config)
+            decision, retry_after = client.admission.try_acquire(price)
+            if decision == "shed":
+                with self._lock:
+                    self._queries_shed += 1
+                raise OverloadedError(
+                    f"worker {client.index} overloaded, shed "
+                    f"{spec.name!r} (priced {price:.3f}s); "
+                    f"retry in {retry_after}s",
+                    retry_after_s=retry_after)
+        if deadline is None:
+            deadline = self.default_deadline_s
+        deadline_at = (time.monotonic() + deadline
+                       if deadline is not None else None)
+        with self._lock:
+            self._submitted += 1
         del merged  # validation only; the worker Session re-merges defaults
         if self._blob_store is not None:
             # ship-once becomes write-once: the message carries a tiny
             # locator; the pickle exists once in the shared store no
             # matter how many workers (or respawns) resolve it
             obj = self._publish(fingerprint, obj)
-        return client.submit_run(
-            spec.name, fingerprint, obj, seed, reuse_preprocessing,
-            params, name, self._on_done)
+        try:
+            return client.submit_run(
+                spec.name, fingerprint, obj, seed, reuse_preprocessing,
+                params, name,
+                lambda ok, error, client=client, price=price:
+                    self._on_done(ok, error, client, price),
+                deadline_at=deadline_at)
+        except BaseException:
+            if price is not None:
+                client.admission.release(price)
+            raise
 
-    def _on_done(self, ok: bool) -> None:
+    def _on_done(self, ok: bool, error: Optional[BaseException],
+                 client: _WorkerClient, price: Optional[float]) -> None:
+        if price is not None and client.admission is not None:
+            client.admission.release(price)
         with self._lock:
             if ok:
                 self._completed += 1
             else:
                 self._failed += 1
+                if isinstance(error, DeadlineExceededError):
+                    self._deadline_exceeded += 1
 
     def _route(self, fingerprint: str) -> _WorkerClient:
         """Pick the worker for one query.  Caller holds the lock.
@@ -774,8 +1038,10 @@ class ProcessGraphService(ServiceBase):
             raise ServiceClosedError("all worker processes have exited")
         least = min(alive, key=lambda c: (c.inflight_runs, c.index))
         index = self._affinity.get(fingerprint)
+        # scale-down may have retired the affinity index entirely
         home = (self._clients[index]
-                if index is not None and self._clients[index] in alive
+                if index is not None and index < len(self._clients)
+                and self._clients[index] in alive
                 else None)
         if home is None:
             self._affinity[fingerprint] = least.index
@@ -835,37 +1101,46 @@ class ProcessGraphService(ServiceBase):
     def worker_stats(self, timeout: Optional[float] = 60.0
                      ) -> List[Dict[str, Any]]:
         """Per-worker stats, index-ordered: SessionStats fields flat plus
-        cache gauges.  Dead workers report their last known snapshot."""
+        cache gauges.  Degrades gracefully: a hung, dead, or erroring
+        worker contributes its last known snapshot with ``stale: True``
+        instead of losing the healthy workers' numbers — one sick worker
+        must never take down the observability of the rest.
+        """
 
         def fetch(client: _WorkerClient):
+            fresh = False
             try:
                 payload = client.request_stats().result(timeout)
-            except (ServiceClosedError, TimeoutError):
-                payload = client.last_stats
+                fresh = True
+            except Exception:  # noqa: BLE001 - hung/dead/error payload:
+                payload = client.last_stats  # serve the stale snapshot
             else:
                 client.last_stats = payload
-            return client.index, payload
+            return client.index, payload, fresh
 
-        rows: Dict[int, Optional[Dict[str, Any]]] = {}
+        clients = list(self._clients)
+        rows: Dict[int, Tuple[Optional[Dict[str, Any]], bool]] = {}
         try:
-            for index, payload in self._control.map_unordered(
-                    fetch, self._clients):
-                rows[index] = payload
+            for index, payload, fresh in self._control.map_unordered(
+                    fetch, clients):
+                rows[index] = (payload, fresh)
         except ServiceClosedError:
             # the control pool is closed (service already closed): fall
             # back to the serial path, which serves last known snapshots
-            for client in self._clients:
-                index, payload = fetch(client)
-                rows[index] = payload
+            for client in clients:
+                index, payload, fresh = fetch(client)
+                rows[index] = (payload, fresh)
         snapshots = []
-        for client in self._clients:
-            payload = rows.get(client.index) or {
+        for client in clients:
+            payload, fresh = rows.get(client.index, (None, False))
+            payload = payload or {
                 "stats": SessionStats(), "cached_preprocessings": 0,
                 "cache_bytes": 0, "graphs_loaded": 0, "pid": None,
             }
             flat = dict(payload["stats"].to_dict())
             flat["worker"] = client.index
             flat["pid"] = payload.get("pid")
+            flat["stale"] = not fresh
             flat["cached_preprocessings"] = payload["cached_preprocessings"]
             flat["cache_bytes"] = payload["cache_bytes"]
             flat["graphs_shipped"] = len(client.shipped)
@@ -890,12 +1165,34 @@ class ProcessGraphService(ServiceBase):
                 "submitted": self._submitted,
                 "completed": self._completed,
                 "failed": self._failed,
+                "queries_shed": self._queries_shed,
+                "deadline_exceeded": self._deadline_exceeded,
+                "workers_scaled": self._workers_scaled,
+                "workers_hung": self._workers_hung,
                 "graphs_loaded": len(self._handles),
                 "affinity_routed": self._affinity_routed,
                 "rebalances": self._rebalances,
                 "updates": self._updates,
                 "workers_respawned": self._workers_respawned,
             }
+            clients = list(self._clients)
+        stats["stale_workers"] = [row["worker"] for row in per_worker
+                                  if row.get("stale")]
+        if self._max_inflight_cost is not None:
+            merged_admission: Dict[str, Any] = {
+                "budget": 0.0, "inflight_cost": 0.0,
+                "admitted": 0, "queued": 0, "shed": 0,
+            }
+            for client in clients:
+                if client.admission is None:
+                    continue
+                snap = client.admission.snapshot()
+                merged_admission["budget"] += snap["budget"]
+                merged_admission["inflight_cost"] += snap["inflight_cost"]
+                merged_admission["admitted"] += snap["admitted"]
+                merged_admission["queued"] += snap["queued"]
+                merged_admission["shed"] += snap["shed"]
+            stats["admission"] = merged_admission
         stats["cached_preprocessings"] = sum(
             row["cached_preprocessings"] for row in per_worker)
         stats["cache_bytes"] = sum(row["cache_bytes"] for row in per_worker)
@@ -917,6 +1214,9 @@ class ProcessGraphService(ServiceBase):
             if self._closed:
                 return
             self._closed = True
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(self._monitor_interval_s * 4 + 5.0)
         for client in self._clients:
             client.stop_accepting()
         if wait:

@@ -9,7 +9,7 @@ Operations::
     {"op": "load", "name": "g", "edges": [[0, 1], [1, 2]]}
     {"op": "load", "name": "w", "path": "graph.txt", "weighted": true}
     {"op": "run", "algorithm": "mis", "graph": "g", "seed": 1,
-     "params": {"search_budget": 100}}
+     "params": {"search_budget": 100}, "deadline_ms": 2000}
     {"op": "update", "graph": "g", "insertions": [[0, 2]],
      "deletions": [[0, 1]]}
     {"op": "algorithms"}
@@ -22,7 +22,15 @@ Every response carries ``"ok": true`` or ``"ok": false`` with an
 ``error`` message; ``run`` responses embed the full
 :meth:`~repro.api.result.RunResult.to_dict` envelope under ``result``.
 Failed queries are reported, never fatal — a serving daemon does not die
-on a malformed request.
+on a malformed request: an unknown or malformed field (a string
+``deadline_ms``, a misspelled key) earns a structured error response on
+that line, never a connection teardown.
+
+The load-shedding contract: a ``run`` shed by admission control answers
+``{"ok": false, "overloaded": true, "retry_after_s": ...}`` — the
+client should back off for the hinted seconds and retry.  A ``run``
+whose ``deadline_ms`` passed while it sat in queue answers
+``{"ok": false, "deadline_exceeded": true}`` without executing.
 """
 
 from __future__ import annotations
@@ -36,11 +44,30 @@ from typing import Any, Dict, IO, Optional
 
 from repro.graph.graph import Graph, WeightedGraph
 from repro.graph.io import read_edge_list, read_weighted_edge_list
+from repro.serve.admission import OverloadedError
+from repro.serve.pool import DeadlineExceededError
 from repro.serve.service import ServiceBase
 
 
 class ProtocolError(ValueError):
     """A structurally invalid request."""
+
+
+#: the complete request surface per op — anything else is a structured
+#: error on that line (catching misspellings instead of ignoring them)
+_ALLOWED_FIELDS: Dict[str, frozenset] = {
+    "load": frozenset({"op", "id", "name", "edges", "path", "vertices",
+                       "weighted"}),
+    "run": frozenset({"op", "id", "algorithm", "graph", "seed", "params",
+                      "timeout", "deadline_ms"}),
+    "update": frozenset({"op", "id", "graph", "name", "insertions",
+                         "deletions"}),
+    "algorithms": frozenset({"op", "id"}),
+    "graphs": frozenset({"op", "id"}),
+    "stats": frozenset({"op", "id"}),
+    "ping": frozenset({"op", "id"}),
+    "shutdown": frozenset({"op", "id"}),
+}
 
 
 def _require(request: Dict[str, Any], field: str) -> Any:
@@ -90,11 +117,25 @@ def _op_run(service: ServiceBase, request: Dict[str, Any]) -> Dict[str, Any]:
     params = request.get("params") or {}
     if not isinstance(params, dict):
         raise ProtocolError("'params' must be an object")
+    deadline = _deadline_seconds(request.get("deadline_ms"))
     pending = service.submit(algorithm, graph,
                              seed=int(request.get("seed", 0)),
+                             deadline=deadline,
                              **params)
     result = pending.result(request.get("timeout"))
     return {"ok": True, "result": result.to_dict()}
+
+
+def _deadline_seconds(deadline_ms: Any) -> Optional[float]:
+    """Validate the wire field; relative seconds, or None when absent."""
+    if deadline_ms is None:
+        return None
+    if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)) or deadline_ms < 0:
+        raise ProtocolError(
+            "'deadline_ms' must be a non-negative number, got "
+            f"{deadline_ms!r}")
+    return float(deadline_ms) / 1000.0
 
 
 def _op_update(service: ServiceBase,
@@ -130,6 +171,15 @@ def handle_request(service: ServiceBase,
         if not isinstance(request, dict):
             raise ProtocolError("request must be a JSON object")
         op = str(_require(request, "op"))
+        allowed = _ALLOWED_FIELDS.get(op)
+        if allowed is None:
+            raise ProtocolError(f"unknown op {op!r}")
+        unknown = set(request) - allowed
+        if unknown:
+            raise ProtocolError(
+                f"unknown field(s) for op {op!r}: "
+                f"{', '.join(sorted(map(str, unknown)))}; allowed: "
+                f"{', '.join(sorted(allowed))}")
         if op == "load":
             response = _op_load(service, request)
         elif op == "run":
@@ -144,10 +194,19 @@ def handle_request(service: ServiceBase,
             response = {"ok": True, "stats": service.stats()}
         elif op == "ping":
             response = {"ok": True, "pong": True}
-        elif op == "shutdown":
+        else:  # op == "shutdown"
             response = {"ok": True, "bye": True}
-        else:
-            raise ProtocolError(f"unknown op {op!r}")
+    except OverloadedError as error:
+        # the shed/retry contract: structured, with a backoff hint —
+        # the connection stays healthy and the client knows what to do
+        response = {"ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                    "overloaded": True,
+                    "retry_after_s": error.retry_after_s}
+    except DeadlineExceededError as error:
+        response = {"ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                    "deadline_exceeded": True}
     except Exception as error:  # noqa: BLE001 - a daemon reports, not dies
         response = {"ok": False,
                     "error": f"{type(error).__name__}: {error}"}
@@ -161,6 +220,25 @@ def _decode_line(line: str) -> Any:
         return json.loads(line)
     except json.JSONDecodeError as error:
         raise ProtocolError(f"invalid JSON: {error}") from None
+
+
+def _encode_response(response: Dict[str, Any]) -> str:
+    """Serialize a response; a value JSON can't carry (a NaN-free encoder
+    meeting an exotic result payload) degrades to a structured error on
+    the line instead of killing the stream/connection."""
+    try:
+        return json.dumps(response)
+    except (TypeError, ValueError) as error:
+        fallback: Dict[str, Any] = {
+            "ok": False,
+            "error": ("response not serializable: "
+                      f"{type(error).__name__}: {error}"),
+        }
+        request_id = (response.get("id")
+                      if isinstance(response, dict) else None)
+        if isinstance(request_id, (str, int, float)):
+            fallback["id"] = request_id
+        return json.dumps(fallback)
 
 
 def serve_stream(service: ServiceBase, input_stream: IO[str],
@@ -178,7 +256,7 @@ def serve_stream(service: ServiceBase, input_stream: IO[str],
         else:
             response = handle_request(service, request)
         served += 1
-        output_stream.write(json.dumps(response) + "\n")
+        output_stream.write(_encode_response(response) + "\n")
         output_stream.flush()
         if response.get("bye"):
             break
@@ -214,7 +292,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
                     response = handle_request(self.server.service, request)
                 try:
                     self.wfile.write(
-                        (json.dumps(response) + "\n").encode("utf-8"))
+                        (_encode_response(response) + "\n").encode("utf-8"))
                     self.wfile.flush()
                 except (OSError, ValueError):
                     # the connection was force-closed under us (close()

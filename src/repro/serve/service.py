@@ -27,6 +27,7 @@ one thread-safe :class:`~repro.api.session.Session` and a bounded
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.ampc.cluster import ClusterConfig
@@ -36,7 +37,10 @@ from repro.api.result import RunResult
 from repro.api.session import GraphHandle, Session
 from repro.graph.generators import degree_weighted
 from repro.graph.graph import WeightedGraph
-from repro.serve.pool import PendingResult, ServiceClosedError, WorkerPool
+from repro.serve.admission import (AdmissionController, OverloadedError,
+                                   estimate_query_cost)
+from repro.serve.pool import (DeadlineExceededError, PendingResult,
+                              ServiceClosedError, WorkerPool)
 
 #: registration suffix for the automatic deg(u)+deg(v) weighted derivation
 DERIVED_WEIGHTED_SUFFIX = "#degree-weighted"
@@ -66,7 +70,15 @@ class ServiceBase:
 
     def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
                reuse_preprocessing: bool = True,
+               deadline: Optional[float] = None,
                **params: Any) -> PendingResult:
+        """Enqueue one query.  ``deadline`` is relative seconds from now:
+        a query still queued when it passes is cancelled before execution
+        and fails with
+        :class:`~repro.serve.pool.DeadlineExceededError`.  An overloaded
+        service sheds at submit time with
+        :class:`~repro.serve.admission.OverloadedError`.
+        """
         raise NotImplementedError
 
     def update(self, name: str, insertions: Any = (),
@@ -113,7 +125,11 @@ class GraphService(ServiceBase):
                  dht_nodes: Optional[List[Any]] = None,
                  replication: int = 1,
                  max_chain_generations: Optional[int] = None,
-                 session: Optional[Session] = None):
+                 session: Optional[Session] = None,
+                 max_inflight_cost: Optional[float] = None,
+                 admission_queue_factor: float = 2.0,
+                 admission_decay_s: float = 5.0,
+                 default_deadline_s: Optional[float] = None):
         #: whether close() owns the session's backing resources (it does
         #: unless the caller injected an externally managed session)
         self._owns_session = session is None
@@ -143,7 +159,20 @@ class GraphService(ServiceBase):
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._queries_shed = 0
+        self._deadline_exceeded = 0
         self._closed = False
+        #: queries lacking an explicit deadline inherit this one (seconds)
+        self.default_deadline_s = default_deadline_s
+        #: admission gate; ``max_inflight_cost`` is the per-worker token
+        #: budget (cost-model simulated seconds), so the service-level
+        #: budget scales with the pool
+        self._admission: Optional[AdmissionController] = None
+        if max_inflight_cost is not None:
+            self._admission = AdmissionController(
+                max_inflight_cost * self._pool.workers,
+                queue_factor=admission_queue_factor,
+                decay_half_life_s=admission_decay_s)
 
     # -- graph registry ----------------------------------------------------
 
@@ -188,35 +217,89 @@ class GraphService(ServiceBase):
 
     def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
                reuse_preprocessing: bool = True,
+               deadline: Optional[float] = None,
                **params: Any) -> PendingResult:
         """Enqueue one query; returns a :class:`PendingResult`.
 
         ``graph`` may be a registered name, a handle, or a graph object.
         Unknown algorithms and undeclared parameters are rejected here, in
-        the submitting thread, so the error surfaces immediately.
+        the submitting thread, so the error surfaces immediately — as is
+        an :class:`OverloadedError` shed when admission control is on.
+        ``deadline`` is relative seconds; queries still queued past it
+        are cancelled before execution (``DeadlineExceededError``).
         """
         spec = registry.get(algorithm)
         Session._merge_params(spec, params)  # fail fast on unknown params
+        price = None
+        if self._admission is not None:
+            price = self._price_query(spec, graph, seed)
+            decision, retry_after = self._admission.try_acquire(price)
+            if decision == "shed":
+                with self._lock:
+                    self._queries_shed += 1
+                raise OverloadedError(
+                    f"service overloaded, shed {spec.name!r} "
+                    f"(priced {price:.3f}s); retry in {retry_after}s",
+                    retry_after_s=retry_after)
+        if deadline is None:
+            deadline = self.default_deadline_s
+        deadline_at = (time.monotonic() + deadline
+                       if deadline is not None else None)
+        try:
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosedError("service is closed")
+                self._submitted += 1
+            pending = self._pool.submit(self._execute, spec, graph, seed,
+                                        reuse_preprocessing, params,
+                                        deadline=deadline_at)
+        except BaseException:
+            if price is not None:
+                self._admission.release(price)
+            raise
+        pending.add_done_callback(
+            lambda p, price=price: self._account_done(p, price))
+        return pending
+
+    def _account_done(self, pending: PendingResult,
+                      price: Optional[float]) -> None:
+        """Done-callback: counters + admission charge-back, any outcome
+        (success, failure, deadline expiry in queue, cancel)."""
+        error = pending.error
         with self._lock:
-            if self._closed:
-                raise ServiceClosedError("service is closed")
-            self._submitted += 1
-        return self._pool.submit(self._execute, spec, graph, seed,
-                                 reuse_preprocessing, params)
+            if error is None:
+                self._completed += 1
+            else:
+                self._failed += 1
+                if isinstance(error, DeadlineExceededError):
+                    self._deadline_exceeded += 1
+        if price is not None:
+            self._admission.release(price)
+
+    def _price_query(self, spec, graph: Any, seed: int) -> float:
+        """Admission price from graph size + cached-artifact state."""
+        obj = graph
+        try:
+            if isinstance(obj, str):
+                obj = self.session.handle(obj)
+            if isinstance(obj, GraphHandle):
+                obj = obj.graph
+            num_vertices = obj.num_vertices if obj is not None else 0
+            num_edges = obj.num_edges if obj is not None else 0
+            cached = self.session.is_prepared(spec.name, graph, seed=seed)
+        except (KeyError, AttributeError):
+            # Unknown name / collected graph: price nothing and let the
+            # run surface the real error with full context.
+            return 0.0
+        return estimate_query_cost(spec, num_vertices, num_edges,
+                                   cached=cached,
+                                   config=self.session.config)
 
     def _execute(self, spec, graph: Any, seed: int,
                  reuse_preprocessing: bool, params: Dict[str, Any]):
-        try:
-            result = self.session.run(
-                spec.name, self._resolve_input(spec, graph), seed=seed,
-                reuse_preprocessing=reuse_preprocessing, **params)
-        except BaseException:
-            with self._lock:
-                self._failed += 1
-            raise
-        with self._lock:
-            self._completed += 1
-        return result
+        return self.session.run(
+            spec.name, self._resolve_input(spec, graph), seed=seed,
+            reuse_preprocessing=reuse_preprocessing, **params)
 
     def _resolve_input(self, spec, graph: Any) -> Any:
         """Adapt a named/handle graph to the spec's input kind.
@@ -266,10 +349,15 @@ class GraphService(ServiceBase):
                 "submitted": self._submitted,
                 "completed": self._completed,
                 "failed": self._failed,
+                "queries_shed": self._queries_shed,
+                "deadline_exceeded": self._deadline_exceeded,
+                "workers_scaled": 0,  # thread pool is fixed-size
                 "graphs_loaded": len(self.session.graphs()),
                 "cached_preprocessings": self.session.cached_preprocessings,
                 "cache_bytes": self.session.cache_bytes,
             }
+        if self._admission is not None:
+            stats["admission"] = self._admission.snapshot()
         for name in ("runs", "preprocessing_hits", "preprocessing_misses",
                      "preprocessing_evictions", "incremental_updates",
                      "full_prepares", "shuffles_saved",

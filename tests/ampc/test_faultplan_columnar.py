@@ -1,0 +1,71 @@
+"""FaultPlan through the columnar prepare path.
+
+The columnar batch twins keep the boxed reference path's *stage-counter
+discipline*: each map/partition stage advances the same stage index and
+charges the same (stage, machine) cells, so a seeded
+:class:`~repro.ampc.faults.FaultPlan` — whose RNG is stateful and
+call-order-dependent — preempts exactly the same machines in exactly the
+same stages under either layout.  These tests pin that: for every
+columnar-gated algorithm, a faulty columnar run and a faulty boxed run
+must agree on *all* metrics (preemption count, simulated time), not just
+on the output.
+"""
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.ampc.faults import FaultPlan
+from repro.ampc.vector import HAVE_NUMPY
+from repro.api import Session
+from repro.graph.generators import degree_weighted, erdos_renyi_gnm
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the columnar prepare path needs numpy")
+
+CONFIG = ClusterConfig(num_machines=4)
+GRAPH = erdos_renyi_gnm(40, 100, seed=1)
+WEIGHTED = degree_weighted(GRAPH)
+
+#: (algorithm, input graph, module whose HAVE_NUMPY gates columnar)
+CASES = [
+    ("mis", GRAPH, "repro.core.mis"),
+    ("matching", GRAPH, "repro.core.matching"),
+    ("msf", WEIGHTED, "repro.core.msf"),
+]
+
+
+def _plan():
+    # FaultPlan RNG state advances per executions_for call: each Session
+    # needs a fresh plan for the comparison to be apples-to-apples.
+    return FaultPlan(preempt_probability=0.4, seed=7)
+
+
+@pytest.mark.parametrize("algorithm,graph,module", CASES,
+                         ids=[case[0] for case in CASES])
+def test_faulty_columnar_metrics_match_boxed(algorithm, graph, module,
+                                             monkeypatch):
+    columnar = Session(CONFIG, fault_plan=_plan()).run(
+        algorithm, graph, seed=5)
+
+    import importlib
+    monkeypatch.setattr(importlib.import_module(module),
+                        "HAVE_NUMPY", False)
+    boxed = Session(CONFIG, fault_plan=_plan()).run(
+        algorithm, graph, seed=5)
+
+    assert columnar.metrics == boxed.metrics
+    assert columnar.summary == boxed.summary
+    assert columnar.metrics["preemptions"] > 0
+
+
+@pytest.mark.parametrize("algorithm,graph,module", CASES,
+                         ids=[case[0] for case in CASES])
+def test_faults_cost_time_but_not_output(algorithm, graph, module):
+    clean = Session(CONFIG).run(algorithm, graph, seed=5)
+    faulty = Session(CONFIG, fault_plan=_plan()).run(
+        algorithm, graph, seed=5)
+    # re-execution is deterministic: output unchanged, time grows
+    assert faulty.summary == clean.summary
+    assert faulty.metrics["preemptions"] > 0
+    assert (faulty.metrics["simulated_time_s"]
+            >= clean.metrics["simulated_time_s"])

@@ -1,0 +1,142 @@
+"""The chaos harness: latency, error, and blackhole injection on DHT nodes.
+
+``sever_connections`` covers node-dead; these tests cover the softer
+failure shapes — a slow node, a flaky node, a half-dead node that
+accepts connections but answers nothing — both at the store level and
+through the full Session-over-socket-backend stack.
+"""
+
+import time
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import Session
+from repro.distdht import (
+    BlackholeError,
+    ChaosInjector,
+    DHTNodeServer,
+    SocketBackingStore,
+)
+from repro.graph.generators import erdos_renyi_gnm
+
+CONFIG = ClusterConfig(num_machines=4)
+GRAPH = erdos_renyi_gnm(30, 60, seed=7)
+
+
+class TestChaosInjector:
+    def test_inert_by_default(self):
+        injector = ChaosInjector()
+        assert not injector.active
+        injector.before_request()  # no fault, no exception
+        assert injector.injected == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosInjector(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            ChaosInjector(error_rate=1.5)
+
+    def test_error_schedule_is_seeded(self):
+        def schedule(seed):
+            injector = ChaosInjector(error_rate=0.5, seed=seed)
+            outcomes = []
+            for _ in range(32):
+                try:
+                    injector.before_request()
+                    outcomes.append(False)
+                except RuntimeError:
+                    outcomes.append(True)
+            return outcomes
+
+        assert schedule(3) == schedule(3)
+        assert any(schedule(3)) and not all(schedule(3))
+
+    def test_heal_clears_every_fault(self):
+        injector = ChaosInjector(error_rate=1.0, blackhole=True,
+                                 latency_s=0.01)
+        with pytest.raises(BlackholeError):
+            injector.before_request()
+        injector.heal()
+        assert not injector.active
+        injector.before_request()
+        assert injector.snapshot()["injected"] == 1
+
+
+class TestNodeChaos:
+    def test_latency_slows_requests_but_serves_them(self):
+        with DHTNodeServer() as node:
+            store = SocketBackingStore([node.address])
+            store.put(b"k", b"v")
+            node.inject_chaos(latency_s=0.05)
+            start = time.monotonic()
+            assert store.get(b"k") == b"v"
+            assert time.monotonic() - start >= 0.05
+            store.close()
+
+    def test_error_rate_surfaces_as_runtime_error_not_failover(self):
+        with DHTNodeServer() as node:
+            store = SocketBackingStore([node.address], retries=1,
+                                       backoff_s=0.01)
+            store.put(b"k", b"v")
+            node.inject_chaos(error_rate=1.0)
+            # a storage error is loud, not a silent miss or a retry storm
+            with pytest.raises(RuntimeError, match="chaos: injected fault"):
+                store.get(b"k")
+            node.heal()
+            assert store.get(b"k") == b"v"
+            store.close()
+
+    def test_blackhole_behaves_like_a_dead_node(self):
+        with DHTNodeServer() as node:
+            store = SocketBackingStore([node.address], retries=1,
+                                       backoff_s=0.01)
+            store.put(b"k", b"v")
+            node.inject_chaos(blackhole=True)
+            with pytest.raises(ConnectionError):
+                store.get(b"k")
+            node.heal()
+            assert store.get(b"k") == b"v"
+            store.close()
+
+    def test_sever_connections_forces_reconnect(self):
+        with DHTNodeServer() as node:
+            store = SocketBackingStore([node.address], retries=2,
+                                       backoff_s=0.01)
+            store.put(b"k", b"v")
+            node.sever_connections()
+            # the pooled connection died; the client reconnects and serves
+            assert store.get(b"k") == b"v"
+            store.close()
+
+
+class TestFullStackChaos:
+    """Session → socket backend with faults injected mid-service."""
+
+    def test_query_survives_a_slow_node(self):
+        baseline = Session(CONFIG).run("mis", GRAPH, seed=3)
+        with DHTNodeServer() as node_a, DHTNodeServer() as node_b:
+            node_a.inject_chaos(latency_s=0.005)
+            with Session(CONFIG, backend="socket",
+                         dht_nodes=[node_a.address, node_b.address],
+                         replication=2) as session:
+                result = session.run("mis", GRAPH, seed=3)
+        assert (result.output.independent_set
+                == baseline.output.independent_set)
+        assert node_a.chaos.injected > 0
+
+    def test_query_survives_a_blackholed_replica(self):
+        baseline = Session(CONFIG).run("mis", GRAPH, seed=3)
+        with DHTNodeServer() as node_a, DHTNodeServer() as node_b:
+            with Session(CONFIG, backend="socket",
+                         dht_nodes=[node_a.address, node_b.address],
+                         replication=2) as session:
+                # half-dead: accepts connections, answers nothing;
+                # reads fail over to the healthy replica
+                node_b.inject_chaos(blackhole=True)
+                result = session.run("mis", GRAPH, seed=3)
+                node_b.heal()
+                again = session.run("mis", GRAPH, seed=4)
+        assert (result.output.independent_set
+                == baseline.output.independent_set)
+        assert again.algorithm == "mis"

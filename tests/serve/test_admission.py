@@ -1,0 +1,355 @@
+"""Load-adaptive serving: admission control, deadlines, autoscaling.
+
+The acceptance story: a burst past the budget is shed with a structured
+retry hint instead of wedging the queue, deadlines bound queue wait end
+to end (pool, thread service, process service), cancel() gives callers
+the same lever explicitly, and the process-pool monitor replaces hung
+workers and scales the pool under sustained depth.  SIGSTOP stands in
+for a wedged worker throughout — it freezes the heartbeat thread exactly
+like a deadlocked or stuck-in-C process would.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.ampc.cluster import ClusterConfig
+from repro.api import registry
+from repro.graph.generators import erdos_renyi_gnm
+from repro.serve import (
+    AdmissionController,
+    CancelledError,
+    DeadlineExceededError,
+    GraphService,
+    OverloadedError,
+    PeakHoldLoadEstimator,
+    ProcessGraphService,
+    WorkerDiedError,
+    WorkerPool,
+    estimate_query_cost,
+)
+
+CONFIG = ClusterConfig(num_machines=4)
+GRAPH = erdos_renyi_gnm(40, 100, seed=1)
+
+#: what one cold mis query on GRAPH is priced at under CONFIG
+MIS_PRICE = estimate_query_cost(registry.get("mis"), GRAPH.num_vertices,
+                                GRAPH.num_edges, cached=False,
+                                config=CONFIG)
+
+
+def _wait_until(predicate, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestCostEstimator:
+    def test_monotone_in_graph_size(self):
+        spec = registry.get("mis")
+        small = estimate_query_cost(spec, 10, 20, cached=False)
+        large = estimate_query_cost(spec, 1000, 20000, cached=False)
+        assert 0 < small < large
+
+    def test_cached_queries_skip_the_preprocessing_price(self):
+        spec = registry.get("matching")
+        cold = estimate_query_cost(spec, 500, 2000, cached=True)
+        warm = estimate_query_cost(spec, 500, 2000, cached=False)
+        assert cold < warm
+        # the asymmetry the serving tier exploits: the shared artifact
+        # dominates the price
+        assert warm / cold > 10
+
+
+class TestPeakHoldEstimator:
+    def test_rises_instantly_decays_by_half_life(self):
+        clock = [0.0]
+        estimator = PeakHoldLoadEstimator(2.0, clock=lambda: clock[0])
+        assert estimator.observe(8.0) == 8.0
+        # a lower sample does not pull the held peak down...
+        assert estimator.observe(1.0) == 8.0
+        # ...until time decays it: one half-life halves the peak
+        clock[0] = 2.0
+        assert estimator.observe(1.0) == pytest.approx(4.0)
+        clock[0] = 6.0  # two more half-lives: 4 -> 1
+        assert estimator.level() == pytest.approx(1.0)
+
+    def test_new_peak_replaces_decayed_one(self):
+        clock = [0.0]
+        estimator = PeakHoldLoadEstimator(1.0, clock=lambda: clock[0])
+        estimator.observe(4.0)
+        clock[0] = 10.0
+        assert estimator.observe(3.0) == 3.0
+
+
+class TestAdmissionController:
+    def test_admit_queue_shed_ladder(self):
+        gate = AdmissionController(10.0, queue_factor=2.0)
+        assert gate.try_acquire(8.0)[0] == "admit"
+        assert gate.try_acquire(8.0)[0] == "queue"  # 16 <= 20, > 10
+        decision, retry_after = gate.try_acquire(8.0)  # 24 > 20
+        assert decision == "shed"
+        assert retry_after > 0
+        snapshot = gate.snapshot()
+        assert (snapshot["admitted"], snapshot["queued"],
+                snapshot["shed"]) == (1, 1, 1)
+        assert snapshot["inflight_cost"] == pytest.approx(16.0)
+
+    def test_release_reopens_the_gate(self):
+        gate = AdmissionController(1.0, queue_factor=1.0)
+        assert gate.try_acquire(1.0)[0] == "admit"
+        assert gate.try_acquire(1.0)[0] == "shed"
+        gate.release(1.0)
+        assert gate.inflight_cost == 0.0
+        assert gate.try_acquire(1.0)[0] == "admit"
+
+    def test_free_queries_are_always_admitted(self):
+        gate = AdmissionController(1.0)
+        assert gate.try_acquire(0.0)[0] == "admit"
+
+
+class TestPoolDeadlinesAndCancel:
+    def test_deadline_expires_while_queued(self):
+        pool = WorkerPool(workers=1)
+        gate = threading.Event()
+        blocker = pool.submit(gate.wait)
+        pending = pool.submit(lambda: "ran",
+                              deadline=time.monotonic() + 0.05)
+        time.sleep(0.1)
+        gate.set()
+        with pytest.raises(DeadlineExceededError):
+            pending.result(30)
+        assert blocker.result(30)
+        pool.close()
+
+    def test_started_work_is_never_interrupted(self):
+        pool = WorkerPool(workers=1)
+        pending = pool.submit(lambda: time.sleep(0.1) or "done",
+                              deadline=time.monotonic() + 0.02)
+        # the deadline passes mid-execution; execution wins
+        assert pending.result(30) == "done"
+        pool.close()
+
+    def test_cancel_while_queued(self):
+        pool = WorkerPool(workers=1)
+        gate = threading.Event()
+        pool.submit(gate.wait)
+        ran = []
+        pending = pool.submit(lambda: ran.append(1))
+        assert pending.cancel()
+        assert pending.cancelled()
+        assert not pending.cancel()  # idempotent: already resolved
+        gate.set()
+        with pytest.raises(CancelledError):
+            pending.result(30)
+        pool.close()
+        assert not ran
+
+    def test_cancel_after_completion_is_refused(self):
+        pool = WorkerPool(workers=1)
+        pending = pool.submit(lambda: 42)
+        assert pending.result(30) == 42
+        assert not pending.cancel()
+        assert not pending.cancelled()
+        pool.close()
+
+    def test_done_callback_runs_before_result_returns(self):
+        pool = WorkerPool(workers=1)
+        seen = []
+        pending = pool.submit(lambda: "x")
+        pending.add_done_callback(lambda p: seen.append(p.error))
+        assert pending.result(30) == "x"
+        assert seen == [None]
+        # late registration fires immediately
+        pending.add_done_callback(lambda p: seen.append("late"))
+        assert seen == [None, "late"]
+        pool.close()
+
+
+class TestGraphServiceAdmission:
+    def test_burst_sheds_structured_and_recovers(self):
+        with GraphService(CONFIG, workers=1,
+                          max_inflight_cost=MIS_PRICE * 1.2,
+                          admission_queue_factor=2.0,
+                          admission_decay_s=0.2) as service:
+            service.load("g", GRAPH)
+            gate = threading.Event()
+            service._pool.submit(gate.wait)  # wedge the only worker
+            admitted = service.submit("mis", "g", seed=0)
+            queued = service.submit("mis", "g", seed=1)
+            with pytest.raises(OverloadedError) as caught:
+                service.submit("mis", "g", seed=2)
+            assert caught.value.retry_after_s > 0
+            stats = service.stats()
+            assert stats["queries_shed"] == 1
+            assert stats["admission"]["shed"] == 1
+            assert stats["admission"]["admitted"] == 1
+            assert stats["admission"]["queued"] == 1
+            # pressure drains: charged cost is released and the gate
+            # reopens — the service answers again after the burst
+            gate.set()
+            admitted.result(60)
+            queued.result(60)
+            assert service.stats()["admission"]["inflight_cost"] == 0.0
+            after = service.query("mis", "g", seed=3, timeout=60)
+            assert after.algorithm == "mis"
+            assert service.stats()["completed"] >= 3
+
+    def test_queue_wait_deadline_sheds_stale_queries(self):
+        with GraphService(CONFIG, workers=1) as service:
+            service.load("g", GRAPH)
+            gate = threading.Event()
+            service._pool.submit(gate.wait)
+            pending = service.submit("mis", "g", seed=0, deadline=0.05)
+            time.sleep(0.1)
+            gate.set()
+            with pytest.raises(DeadlineExceededError):
+                pending.result(60)
+            stats = service.stats()
+            assert stats["deadline_exceeded"] == 1
+            assert stats["failed"] == 1
+
+    def test_default_deadline_applies_when_unspecified(self):
+        with GraphService(CONFIG, workers=1,
+                          default_deadline_s=0.05) as service:
+            service.load("g", GRAPH)
+            gate = threading.Event()
+            service._pool.submit(gate.wait)
+            pending = service.submit("mis", "g", seed=0)
+            time.sleep(0.1)
+            gate.set()
+            assert isinstance(pending.exception(60), DeadlineExceededError)
+
+    def test_admission_off_by_default(self):
+        with GraphService(CONFIG, workers=1) as service:
+            service.load("g", GRAPH)
+            assert "admission" not in service.stats()
+            assert service.stats()["queries_shed"] == 0
+
+
+@pytest.mark.parametrize("service_cls", [GraphService, ProcessGraphService],
+                         ids=["threads", "processes"])
+def test_expired_deadline_never_executes(service_cls):
+    """deadline=0 is already over at submit: both dispatchers cancel the
+    query before execution and report it in their counters."""
+    kwargs = ({"workers": 1} if service_cls is GraphService
+              else {"processes": 1})
+    with service_cls(CONFIG, **kwargs) as service:
+        service.load("g", GRAPH)
+        pending = service.submit("mis", "g", seed=0, deadline=0.0)
+        assert isinstance(pending.exception(60), DeadlineExceededError)
+        assert _wait_until(
+            lambda: service.stats()["deadline_exceeded"] == 1)
+        # the service is unharmed
+        assert service.query("mis", "g", seed=1, timeout=60).algorithm == "mis"
+
+
+class TestProcessServiceAdmission:
+    def test_burst_against_frozen_worker_sheds_and_recovers(self):
+        # distinct same-sized graphs: each query pays the full cold
+        # price (the shipped-fingerprint proxy makes repeats ~free)
+        graphs = {name: erdos_renyi_gnm(40, 100, seed=index)
+                  for index, name in enumerate(("a", "b", "c"))}
+        with ProcessGraphService(
+                CONFIG, processes=1, max_inflight_cost=MIS_PRICE * 1.2,
+                admission_queue_factor=2.0, admission_decay_s=0.2,
+                hung_after_intervals=None) as service:
+            for name, graph in graphs.items():
+                service.load(name, graph)
+            worker = service._clients[0]
+            os.kill(worker.process.pid, signal.SIGSTOP)
+            try:
+                admitted = service.submit("mis", "a", seed=0)
+                queued = service.submit("mis", "b", seed=0)
+                with pytest.raises(OverloadedError) as caught:
+                    service.submit("mis", "c", seed=0)
+                assert caught.value.retry_after_s > 0
+                # the burst did not grow the worker queue past the
+                # admission ceiling (admit + queue, shed the rest)
+                assert worker.inflight_runs == 2
+            finally:
+                os.kill(worker.process.pid, signal.SIGCONT)
+            admitted.result(120)
+            queued.result(120)
+            stats = service.stats()
+            assert stats["queries_shed"] == 1
+            assert stats["admission"]["shed"] == 1
+            assert stats["admission"]["inflight_cost"] == 0.0
+            after = service.query("mis", "a", seed=3, timeout=120)
+            assert after.algorithm == "mis"
+
+
+class TestHungWorkerDetection:
+    def test_wedged_worker_is_killed_and_replaced(self):
+        with ProcessGraphService(
+                CONFIG, processes=1,
+                monitor_interval_s=0.05, hung_after_intervals=4,
+                heartbeat_interval_s=0.02) as service:
+            service.load("g", GRAPH)
+            assert service.query("mis", "g", seed=0,
+                                 timeout=120).algorithm == "mis"
+            worker = service._clients[0]
+            os.kill(worker.process.pid, signal.SIGSTOP)
+            # outstanding work + total heartbeat silence = hung
+            pending = service.submit("mis", "g", seed=1)
+            assert isinstance(pending.exception(120), WorkerDiedError)
+            assert _wait_until(lambda: service._clients[0] is not worker)
+            stats = service.stats()
+            assert stats["workers_hung"] >= 1
+            assert stats["workers_respawned"] >= 1
+            # the replacement serves (the dispatcher re-ships the graph)
+            after = service.query("mis", "g", seed=2, timeout=120)
+            assert after.algorithm == "mis"
+
+    def test_heartbeats_keep_busy_workers_alive(self):
+        """A worker that is merely *busy* (long queries, heartbeats
+        flowing) is never mistaken for hung."""
+        with ProcessGraphService(
+                CONFIG, processes=1,
+                monitor_interval_s=0.05, hung_after_intervals=4,
+                heartbeat_interval_s=0.02) as service:
+            service.load("g", GRAPH)
+            pending = [service.submit("mis", "g", seed=seed)
+                       for seed in range(6)]
+            results = [p.result(300) for p in pending]
+            assert len(results) == 6
+            stats = service.stats()
+            assert stats["workers_hung"] == 0
+            assert stats["workers_respawned"] == 0
+
+
+class TestAutoscaling:
+    def test_sustained_depth_grows_then_drains_shrink(self):
+        with ProcessGraphService(
+                CONFIG, processes=1, autoscale_max=2,
+                monitor_interval_s=0.05, scale_after_intervals=2,
+                spill_threshold=1, hung_after_intervals=None,
+                admission_decay_s=0.1) as service:
+            service.load("g", GRAPH)
+            worker = service._clients[0]
+            os.kill(worker.process.pid, signal.SIGSTOP)
+            try:
+                pending = [service.submit("mis", "g", seed=seed)
+                           for seed in range(3)]
+                # sustained backlog on every worker -> the pool grows
+                assert _wait_until(lambda: service.processes == 2)
+            finally:
+                os.kill(worker.process.pid, signal.SIGCONT)
+            for p in pending:
+                p.result(120)
+            assert service.stats()["workers_scaled"] >= 1
+            # pressure stays off -> the held depth decays -> the pool
+            # shrinks back to its base size
+            assert _wait_until(lambda: service.processes == 1, timeout=30.0)
+            assert service.query("mis", "g", seed=9,
+                                 timeout=120).algorithm == "mis"
+
+    def test_autoscale_max_must_cover_base(self):
+        with pytest.raises(ValueError, match="autoscale_max"):
+            ProcessGraphService(CONFIG, processes=4, autoscale_max=2)

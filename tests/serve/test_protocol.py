@@ -108,6 +108,82 @@ class TestStream:
         assert not response["ok"]
 
 
+class TestLoadShaping:
+    """The wire half of admission control and deadlines: structured
+    errors on the line, never a connection teardown."""
+
+    def test_malformed_deadline_ms_is_a_structured_error(self, service):
+        responses = _drive(service, [
+            {"op": "load", "name": "g", "edges": EDGES},
+            {"op": "run", "algorithm": "mis", "graph": "g",
+             "deadline_ms": "soon", "id": 1},
+            {"op": "run", "algorithm": "mis", "graph": "g",
+             "deadline_ms": -5, "id": 2},
+            {"op": "run", "algorithm": "mis", "graph": "g",
+             "deadline_ms": True, "id": 3},
+            # the stream survives every malformed line
+            {"op": "run", "algorithm": "mis", "graph": "g", "id": 4},
+        ])
+        assert [r["ok"] for r in responses] == [True, False, False,
+                                                False, True]
+        for response in responses[1:4]:
+            assert "'deadline_ms'" in response["error"]
+            assert "deadline_exceeded" not in response
+
+    def test_unknown_fields_are_rejected_by_name(self, service):
+        responses = _drive(service, [
+            {"op": "load", "name": "g", "edges": EDGES},
+            {"op": "run", "algorithm": "mis", "graph": "g",
+             "deadlin_ms": 50, "id": 1},
+            {"op": "ping", "shards": 3, "id": 2},
+            {"op": "run", "algorithm": "mis", "graph": "g", "id": 3},
+        ])
+        assert [r["ok"] for r in responses] == [True, False, False, True]
+        assert "deadlin_ms" in responses[1]["error"]  # the misspelling
+        assert "deadline_ms" in responses[1]["error"]  # what is allowed
+        assert "shards" in responses[2]["error"]
+
+    def test_expired_deadline_answers_deadline_exceeded(self, service):
+        responses = _drive(service, [
+            {"op": "load", "name": "g", "edges": EDGES},
+            {"op": "run", "algorithm": "mis", "graph": "g",
+             "deadline_ms": 0, "id": 1},
+            {"op": "run", "algorithm": "mis", "graph": "g", "id": 2},
+        ])
+        assert not responses[1]["ok"]
+        assert responses[1]["deadline_exceeded"] is True
+        assert responses[2]["ok"]  # the service is unharmed
+
+    def test_shed_query_answers_overloaded_with_retry_hint(self):
+        import threading
+
+        from repro.serve import estimate_query_cost
+        from repro.api import registry
+
+        price = estimate_query_cost(
+            registry.get("mis"), GRAPH.num_vertices, GRAPH.num_edges,
+            cached=False, config=CONFIG)
+        with GraphService(CONFIG, workers=1,
+                          max_inflight_cost=price * 1.2,
+                          admission_queue_factor=1.0) as svc:
+            svc.load("g", GRAPH)
+            gate = threading.Event()
+            svc._pool.submit(gate.wait)  # hold the admitted cost in flight
+            first = svc.submit("mis", "g", seed=0)
+            response = handle_request(
+                svc, {"op": "run", "algorithm": "mis", "graph": "g",
+                      "seed": 1, "id": 7})
+            gate.set()
+            first.result(60)
+            assert response == {
+                "ok": False, "error": response["error"],
+                "overloaded": True,
+                "retry_after_s": response["retry_after_s"], "id": 7,
+            }
+            assert response["retry_after_s"] > 0
+            assert "overloaded" in response["error"]
+
+
 class TestSocket:
     def test_tcp_round_trip(self, service):
         server = serve_socket(service)  # ephemeral port
