@@ -124,3 +124,87 @@ wait "$NODE_C" 2>/dev/null || true
 wait "$NODE_D" 2>/dev/null || true
 trap 'rm -f "$OUT"' EXIT
 echo "SOCKET-CHAOS-OK"
+
+# ---- self-healing phase: kill -> hints -> rejoin -> repair -> verify --
+# A replica node is killed mid-workload; writes keep landing (hinted
+# handoff), the node restarts EMPTY, hint replay + anti-entropy converge
+# it, and the dht-repair CLI digest-verifies the cluster from outside.
+# Then a worker process is killed with queries in flight: with retries
+# enabled the client sees zero failures.
+python - <<'PY'
+import json
+import os
+import signal
+import subprocess
+import sys
+
+from repro.ampc.cluster import ClusterConfig
+from repro.distdht import DHTNodeServer, NodeOutage, SocketBackingStore
+from repro.graph.generators import erdos_renyi_gnm
+from repro.serve import ProcessGraphService
+
+node_a = DHTNodeServer("127.0.0.1", 0).start()
+node_b = DHTNodeServer("127.0.0.1", 0).start()
+store = SocketBackingStore([node_a.address, node_b.address],
+                           replication=2, retries=0, backoff_s=0.01,
+                           failure_threshold=1, probe_interval_s=0.0)
+keys = [f"ci|heal|k{i}".encode() for i in range(32)]
+store.put_many([(key, b"v-" + key) for key in keys])
+
+# kill one replica mid-workload: writes land via hints, no exceptions
+outage = NodeOutage(node_b)
+outage.__enter__()
+store.ping()  # observe the kill -> circuit opens
+for key in keys[:8]:
+    store.put(key, b"v2-" + key)
+store.put(b"ci|heal|fresh", b"fresh")
+assert store.delete(keys[8])
+node_b = outage.restart()  # rejoins EMPTY
+assert store.probe_now() == [1]  # hint replay + auto anti-entropy
+counters = store.health()["counters"]
+assert counters["hints_parked"] >= 10, counters
+assert counters["hints_replayed"] >= 10, counters
+assert counters["auto_repairs"] == 1, counters
+assert store.node_digest(0) == store.node_digest(1), "digests diverge"
+assert store.get(keys[0]) == b"v2-" + keys[0]
+assert store.get(keys[8]) is None, "deleted key resurrected"
+print(f"self-heal ok: {counters['hints_replayed']} hints replayed, "
+      "digests agree after rejoin")
+
+# worker kill with retries on: every in-flight query still answers
+config = ClusterConfig(num_machines=4)
+addresses = [f"{host}:{port}"
+             for host, port in (node_a.address, node_b.address)]
+with ProcessGraphService(config, processes=2, backend="socket",
+                         dht_nodes=addresses,
+                         replication=2) as service:
+    service.load("g", erdos_renyi_gnm(40, 100, seed=1))
+    service.query("mis", "g", seed=0, timeout=300)
+    victim = next(c for c in service._clients if c.shipped)
+    os.kill(victim.process.pid, signal.SIGSTOP)  # wedge: burst queues
+    pending = [service.submit("mis", "g", seed=0) for _ in range(4)]
+    os.kill(victim.process.pid, signal.SIGKILL)
+    results = [p.result(300) for p in pending]
+    assert len(results) == 4
+    stats = service.stats()
+    assert stats["queries_retried"] >= 1, stats
+    assert stats["failed"] == 0, stats
+print(f"worker-kill ok: {stats['queries_retried']} retried, "
+      "0 client-visible failures")
+
+# outside-in digest verification via the CLI verb
+verify = subprocess.run(
+    [sys.executable, "-m", "repro", "dht-repair",
+     "--dht-node", addresses[0], "--dht-node", addresses[1],
+     "--replication", "2", "--json"],
+    capture_output=True, text=True)
+assert verify.returncode == 0, verify.stderr[-2000:]
+report = json.loads(verify.stdout)
+assert report["converged"], report
+print(f"dht-repair verify ok: {report['keys_checked']} keys checked, "
+      f"converged in {report['rounds']} round(s)")
+store.close()
+node_a.close()
+node_b.close()
+PY
+echo "SOCKET-SELFHEAL-OK"

@@ -20,6 +20,8 @@ Usage::
     python -m repro serve --processes 2 --max-inflight-cost 50 \\
         --deadline-ms 2000 --autoscale 4      # load-adaptive serving
     python -m repro dht-server --chaos-latency-ms 150        # slow node
+    python -m repro dht-repair --dht-node 127.0.0.1:7171 \\
+        --dht-node 127.0.0.1:7172 --replication 2        # anti-entropy
 
 Every subcommand comes from :mod:`repro.api.registry`: registering an
 :class:`~repro.api.registry.AlgorithmSpec` in a core module is all it takes
@@ -136,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --processes: grow the worker-process "
                             "pool up to MAX under sustained queue depth, "
                             "shrink back when load drains")
+    serve.add_argument("--no-worker-retry", action="store_true",
+                       help="with --processes: fail queries caught on a "
+                            "crashed worker with worker_died instead of "
+                            "re-running them once on a survivor")
     dht_server = sub.add_parser(
         "dht-server",
         help="run one standalone DHT node (binary KV protocol over TCP)")
@@ -156,6 +162,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "unanswered and reset the connection")
     dht_server.add_argument("--chaos-seed", type=int, default=0,
                             help="seed for the chaos error-rate schedule")
+    dht_repair = sub.add_parser(
+        "dht-repair",
+        help="anti-entropy sweep: converge replicas across dht-server "
+             "nodes (digest, copy divergence, verify)")
+    dht_repair.add_argument("--dht-node", action="append", dest="dht_nodes",
+                            required=True, metavar="HOST:PORT",
+                            help="a dht-server node address (repeatable; "
+                                 "list every node of the cluster)")
+    dht_repair.add_argument("--replication", type=int, default=1,
+                            metavar="R",
+                            help="the cluster's replicas-per-key (must "
+                                 "match what writers used)")
+    dht_repair.add_argument("--prefix", default="",
+                            help="only repair keys under this prefix "
+                                 "(default: everything)")
+    dht_repair.add_argument("--max-rounds", type=int, default=4,
+                            metavar="N",
+                            help="copy+verify round budget; normal "
+                                 "convergence takes two")
+    dht_repair.add_argument("--json", action="store_true",
+                            help="print the full RepairReport as JSON")
     return parser
 
 
@@ -215,6 +242,8 @@ def _cmd_serve(args) -> int:
                                       processes=args.processes,
                                       max_cache_bytes=args.max_cache_bytes,
                                       autoscale_max=args.autoscale,
+                                      retry_worker_death=(
+                                          not args.no_worker_retry),
                                       **load_options, **backend_options)
     else:
         service = GraphService(_config(args), workers=args.workers,
@@ -258,12 +287,44 @@ def _cmd_dht_server(args) -> int:
     return 0
 
 
+def _cmd_dht_repair(args) -> int:
+    import json
+
+    from repro.distdht import SocketBackingStore, parse_node, repair_store
+
+    nodes = [parse_node(spec) for spec in args.dht_nodes]
+    store = SocketBackingStore(nodes, replication=args.replication,
+                               probe_interval_s=0.0,
+                               repair_on_rejoin=False)
+    try:
+        report = repair_store(store, prefix=args.prefix.encode("utf-8"),
+                              max_rounds=args.max_rounds)
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        state = "converged" if report.converged else "NOT converged"
+        print(f"{state} in {report.rounds} round(s): "
+              f"{report.keys_checked} keys checked, "
+              f"{report.keys_copied} copied "
+              f"({report.tombstones_copied} tombstones), "
+              f"{report.copy_failures} copy failures, "
+              f"{report.nodes_unreachable} nodes unreachable")
+        for name, counts in sorted(report.namespaces.items()):
+            print(f"  {name}: checked {counts['checked']} "
+                  f"copied {counts['copied']}")
+    return 0 if report.converged else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "dht-server":
         return _cmd_dht_server(args)
+    if args.command == "dht-repair":
+        return _cmd_dht_repair(args)
     spec = registry.get(args.command)
     session = Session(_config(args))
     graph = _load_graph(spec, args)

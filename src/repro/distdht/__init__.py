@@ -22,7 +22,14 @@ against a *distributed hash table*):
   replication factor R and read-failover to a replica when a node dies;
 * :class:`ChaosInjector` — per-node fault injection (latency, error
   rate, blackhole) so node-slow and half-dead shapes are testable
-  through the full stack, not just clean kills;
+  through the full stack, not just clean kills; :class:`NodeOutage` /
+  :func:`restart_node_empty` script the crash-and-rejoin-empty shape;
+* :func:`repair_store` / :class:`RepairReport` — anti-entropy for the
+  socket backend: per-key digests compared across replicas, divergence
+  copied (tombstone-wins) until they agree.  The socket client also
+  heals online: a circuit breaker skips down nodes, hinted handoff
+  parks writes for them, read-repair back-fills failover reads, and a
+  background prober replays hints + repairs when a node rejoins;
 * :class:`BackedDHTStore` — a :class:`~repro.ampc.dht.DHTStore`-compatible
   adapter that keeps **all simulated-cost accounting at the adapter
   boundary** (same shard placement, same ``estimate_bytes`` charging,
@@ -43,7 +50,13 @@ from repro.distdht.backing import (
     fetch,
 )
 from repro.distdht.backend import create_backend, parse_node
-from repro.distdht.chaos import BlackholeError, ChaosInjector
+from repro.distdht.chaos import (
+    BlackholeError,
+    ChaosInjector,
+    NodeOutage,
+    restart_node_empty,
+)
+from repro.distdht.repair import RepairReport, repair_store
 from repro.distdht.shm import SharedMemoryBackingStore
 from repro.distdht.sockets import DHTNodeServer, SocketBackingStore
 from repro.distdht.store import BackedDHTStore, BackedDerivedDHTStore
@@ -52,6 +65,10 @@ __all__ = [
     "BackingStore",
     "BlackholeError",
     "ChaosInjector",
+    "NodeOutage",
+    "RepairReport",
+    "repair_store",
+    "restart_node_empty",
     "InMemoryBackingStore",
     "SharedMemoryBackingStore",
     "SocketBackingStore",

@@ -16,6 +16,7 @@ with replica failover where the backend supports it.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import struct
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -66,6 +67,16 @@ def record_size(data: bytes) -> int:
 
 def is_tombstone(data: bytes) -> bool:
     return _SIZE.unpack_from(data)[0] == TOMBSTONE_SIZE
+
+
+def record_digest(record: bytes) -> bytes:
+    """8-byte content digest of a raw record.
+
+    The anti-entropy sweep compares these across replicas instead of
+    shipping the records themselves; node servers and the repair client
+    must therefore agree on this exact function.
+    """
+    return hashlib.blake2b(record, digest_size=8).digest()
 
 
 class BackingStore:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 import threading
 import time
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class BlackholeError(ConnectionError):
@@ -131,3 +131,58 @@ class ChaosInjector:
             raise BlackholeError("chaos: request blackholed")
         if erroring:
             raise RuntimeError("chaos: injected fault")
+
+
+# -- node crash / rejoin ------------------------------------------------------
+
+
+def restart_node_empty(host: str, port: int, *,
+                       timeout_s: float = 5.0):
+    """Start a fresh, empty DHT node on an address a node just vacated.
+
+    The data-loss half of the self-healing story: a node that crashes
+    and restarts comes back with *nothing* — hinted handoff and
+    anti-entropy have to repopulate it.  Retries the bind briefly
+    because the old listener's socket can linger a moment after close.
+    """
+    from repro.distdht.sockets import DHTNodeServer  # import cycle
+
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return DHTNodeServer(host, port).start()
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+class NodeOutage:
+    """Scripted crash-and-rejoin of one live DHT node.
+
+    Entering the context kills the node (listener and every established
+    connection); :meth:`restart` — or exiting the context — brings an
+    **empty** node back on the same address.  The caller owns closing
+    the restarted node::
+
+        with NodeOutage(node_b) as outage:
+            store.put(b"k", b"v")          # lands via hints
+        node_b = outage.restarted          # rejoined, empty
+    """
+
+    def __init__(self, node):
+        self.node = node
+        self.address: Tuple[str, int] = node.address
+        self.restarted = None
+
+    def __enter__(self) -> "NodeOutage":
+        self.node.close()
+        return self
+
+    def restart(self):
+        if self.restarted is None:
+            self.restarted = restart_node_empty(*self.address)
+        return self.restarted
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.restart()

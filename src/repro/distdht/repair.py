@@ -1,0 +1,168 @@
+"""Anti-entropy for the socket DHT: digest replicas, copy divergence.
+
+Hinted handoff and read-repair (see :mod:`repro.distdht.sockets`) heal
+the differences the client *witnesses*.  This module heals the ones it
+doesn't: :func:`repair_store` asks every node for per-key record digests
+(one DIGEST frame each), compares each key across its replica set, and
+copies the winning record onto the replicas that are missing it or hold
+something else — looping until a full pass finds every digest equal.
+
+Conflict resolution is **tombstone-wins**: a delete marker on any
+replica beats a live record everywhere (the delete happened; the live
+copy is the replica that missed it).  Otherwise the first holder in
+replica order wins — records are immutable under the sealed-store
+discipline, so differing live records only occur mid-write and converge
+on the next pass.
+
+Everything here moves raw backing-store bytes, strictly below the
+:class:`~repro.distdht.store.BackedDHTStore` accounting boundary:
+simulated metrics cannot observe a repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distdht.backing import TOMBSTONE, record_digest
+
+
+def _namespace_label(key: bytes) -> str:
+    """The ``BackedDHTStore`` namespace a raw key belongs to.
+
+    Namespaces look like ``s<pid>.<n>|<store name>|`` (see
+    :func:`repro.distdht.store._fresh_namespace`); keys written outside
+    the adapter report as ``(raw)``.
+    """
+    first = key.find(b"|")
+    if first < 0:
+        return "(raw)"
+    second = key.find(b"|", first + 1)
+    if second < 0:
+        return "(raw)"
+    return key[:second + 1].decode("ascii", "replace")
+
+
+@dataclass
+class RepairReport:
+    """What one :func:`repair_store` sweep did.
+
+    ``converged`` is True only when a full digest pass found every
+    reachable replica equal — the sweep's success criterion.  A report
+    with ``nodes_unreachable`` or ``copy_failures`` can still converge
+    on the *reachable* part of the cluster.
+    """
+
+    prefix: bytes = b""
+    rounds: int = 0
+    keys_checked: int = 0
+    keys_copied: int = 0
+    tombstones_copied: int = 0
+    nodes_unreachable: int = 0
+    copy_failures: int = 0
+    converged: bool = False
+    #: per-namespace breakdown: {namespace: {"checked": n, "copied": m}}
+    namespaces: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "prefix": self.prefix.decode("utf-8", "replace"),
+            "rounds": self.rounds,
+            "keys_checked": self.keys_checked,
+            "keys_copied": self.keys_copied,
+            "tombstones_copied": self.tombstones_copied,
+            "nodes_unreachable": self.nodes_unreachable,
+            "copy_failures": self.copy_failures,
+            "converged": self.converged,
+            "namespaces": {name: dict(counts)
+                           for name, counts in self.namespaces.items()},
+        }
+
+
+def repair_store(store, *, prefix: bytes = b"",
+                 max_rounds: int = 4) -> RepairReport:
+    """Converge a :class:`~repro.distdht.sockets.SocketBackingStore`'s
+    replicas for every key under ``prefix``.
+
+    Each round: digest every node, pick a winner per divergent key
+    (tombstone-wins, else first holder in replica order), copy it to the
+    replicas that disagree.  A round that finds nothing to copy proves
+    convergence; ``max_rounds`` bounds pathological churn (concurrent
+    writers) rather than normal operation, which needs two rounds — one
+    that copies and one that verifies.
+    """
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    report = RepairReport(prefix=prefix)
+    tomb_digest = record_digest(TOMBSTONE)
+    node_count = len(store.nodes)
+    for round_index in range(max_rounds):
+        report.rounds = round_index + 1
+        digests: List[Optional[Dict[bytes, bytes]]] = []
+        for index in range(node_count):
+            try:
+                digests.append(store.node_digest(index, prefix))
+            except ConnectionError:
+                digests.append(None)
+        report.nodes_unreachable = sum(1 for d in digests if d is None)
+        if report.nodes_unreachable == node_count:
+            return report  # nobody answered; nothing to compare
+        keys: set = set()
+        for node_digests in digests:
+            if node_digests:
+                keys.update(node_digests)
+        report.keys_checked = max(report.keys_checked, len(keys))
+        checked: Dict[str, int] = {}
+        copies: List[Tuple[bytes, int, List[int]]] = []
+        for key in sorted(keys):
+            label = _namespace_label(key)
+            checked[label] = checked.get(label, 0) + 1
+            views = [(index, digests[index].get(key))
+                     for index in store.replicas_for(key)
+                     if digests[index] is not None]
+            holders = [(index, digest) for index, digest in views
+                       if digest is not None]
+            if not holders:
+                # Every reachable *replica* lacks the key, so it came
+                # from an off-replica node (replication reconfigured
+                # between runs): that node is the copy source.
+                holders = [(index, node_digests[key])
+                           for index, node_digests in enumerate(digests)
+                           if node_digests is not None
+                           and key in node_digests]
+            winner = next(((index, digest) for index, digest in holders
+                           if digest == tomb_digest), holders[0])
+            source, winning_digest = winner
+            targets = [index for index, digest in views
+                       if digest != winning_digest]
+            if targets:
+                copies.append((key, source, targets))
+        for label, count in checked.items():
+            bucket = report.namespaces.setdefault(
+                label, {"checked": 0, "copied": 0})
+            bucket["checked"] = count
+        if not copies:
+            report.converged = True
+            return report
+        for key, source, targets in copies:
+            try:
+                record = store.node_get_record(source, key)
+            except ConnectionError:
+                report.copy_failures += 1
+                continue
+            if record is None:
+                continue  # raced a concurrent delete_prefix; next round
+            label = _namespace_label(key)
+            for target in targets:
+                try:
+                    store.node_put_record(target, key, record)
+                except ConnectionError:
+                    report.copy_failures += 1
+                    continue
+                report.keys_copied += 1
+                if record == TOMBSTONE:
+                    report.tombstones_copied += 1
+                bucket = report.namespaces.setdefault(
+                    label, {"checked": 0, "copied": 0})
+                bucket["copied"] += 1
+    return report  # max_rounds exhausted without a clean verify pass

@@ -1,4 +1,4 @@
-"""Multi-host socket backend: binary KV protocol, ring placement, failover.
+"""Multi-host socket backend: binary KV protocol, ring placement, healing.
 
 One :class:`DHTNodeServer` is one storage node — a threaded TCP server
 over an in-memory byte map, speaking a length-prefixed binary protocol
@@ -12,14 +12,31 @@ runs one as a standalone process.
 served by the first ``replication`` distinct nodes clockwise of its hash),
 connections are **pooled** per node and reused across requests, transient
 failures **retry with exponential backoff**, and reads **fail over** to
-the next replica when a node is unreachable — a killed node mid-query
-costs a reconnect, not the query, as long as one replica survives.
+the next replica when a node is unreachable or misses the key — a killed
+node mid-query costs a reconnect, not the query, as long as one replica
+survives.
 
-Writes go to every replica that is reachable; a write that reaches no
-replica raises.  A node that rejoins empty serves misses for keys it
-missed writes for — replicas exist for availability, not consistency
-repair (matching the sealed/immutable store discipline: shared records
-are written once, before readers arrive).
+Replicas also *converge*, not just survive:
+
+* **Node health / circuit breaker** — ``failure_threshold`` consecutive
+  request failures mark a node down; replica walks then skip it (one
+  bounded fast-fail instead of a retry storm per key) and a background
+  prober PINGs it every ``probe_interval_s`` until it answers again.
+* **Hinted handoff** — a write whose replica is down (or fails) is
+  parked as a *hint* on a reachable peer (HINT/TAKE_HINTS frames) and
+  replayed onto the node when the prober sees it return.  Deletes
+  write :data:`~repro.distdht.backing.TOMBSTONE` marker records, so a
+  delete a replica missed cannot resurrect on a later failover read.
+* **Read-repair** — a read answered by a later replica writes the
+  record back to the earlier replicas that missed it.
+* **Anti-entropy** — :meth:`SocketBackingStore.repair` (DIGEST frames,
+  see :mod:`repro.distdht.repair`) compares per-key digests across
+  replicas and copies records until they agree; it runs automatically
+  when a node rejoins and is exposed as the ``dht-repair`` CLI verb.
+
+All of this happens strictly below the
+:class:`~repro.distdht.store.BackedDHTStore` accounting boundary, so
+repair traffic never shows up in simulated metrics.
 """
 
 from __future__ import annotations
@@ -32,10 +49,15 @@ import struct
 import threading
 import time
 from bisect import bisect_right
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ampc.hashing import stable_hash
-from repro.distdht.backing import BackingStore, register_fetcher
+from repro.distdht.backing import (
+    TOMBSTONE,
+    BackingStore,
+    record_digest,
+    register_fetcher,
+)
 from repro.distdht.chaos import BlackholeError, ChaosInjector
 
 # -- wire format ------------------------------------------------------------
@@ -53,6 +75,10 @@ OP_MPUT = 7
 OP_MGET = 8
 OP_PING = 9
 OP_STATS = 10
+OP_HINT = 11
+OP_TAKE_HINTS = 12
+OP_DIGEST = 13
+OP_TOMBSTONE = 14
 
 STATUS_OK = 0
 STATUS_MISSING = 1
@@ -63,6 +89,18 @@ VNODES = 64
 
 #: ceiling on a single retry backoff sleep, whatever the attempt count
 DEFAULT_MAX_BACKOFF_S = 2.0
+
+#: consecutive request failures before the health registry marks a node
+#: down (0 disables the breaker entirely)
+DEFAULT_FAILURE_THRESHOLD = 3
+
+#: how often the background prober PINGs down nodes (0 = manual
+#: :meth:`SocketBackingStore.probe_now` only)
+DEFAULT_PROBE_INTERVAL_S = 0.5
+
+#: hint-entry kind tags (first byte of a hint's stored key)
+_HINT_PUT = b"P"
+_HINT_PREFIX_DELETE = b"X"
 
 
 def _recv_exact(sock: socket.socket, length: int) -> bytes:
@@ -107,14 +145,24 @@ def _unpack_chunks(payload: bytes) -> List[bytes]:
     return chunks
 
 
+def _pack_pairs(pairs: Sequence[Tuple[bytes, bytes]]) -> bytes:
+    chunks: List[bytes] = []
+    for first, second in pairs:
+        chunks.extend((first, second))
+    return _pack_chunks(chunks)
+
+
+def _unpack_pairs(payload: bytes) -> List[Tuple[bytes, bytes]]:
+    chunks = _unpack_chunks(payload)
+    return [(chunks[i], chunks[i + 1]) for i in range(0, len(chunks), 2)]
+
+
 # -- server -----------------------------------------------------------------
 
 
 class _NodeHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # one connection, many requests
         self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        data = self.server.data
-        lock = self.server.data_lock
         while True:
             try:
                 op, payload = _recv_frame(self.request)
@@ -124,7 +172,7 @@ class _NodeHandler(socketserver.BaseRequestHandler):
                 chaos = getattr(self.server, "chaos", None)
                 if chaos is not None:
                     chaos.before_request()
-                status, reply = self._dispatch(op, payload, data, lock)
+                status, reply = self._dispatch(op, payload, self.server)
             except BlackholeError:
                 # Drop the request unanswered and kill the connection:
                 # the client sees a reset mid-frame, like a half-dead
@@ -142,8 +190,10 @@ class _NodeHandler(socketserver.BaseRequestHandler):
                 return
 
     @staticmethod
-    def _dispatch(op: int, payload: bytes, data: Dict[bytes, bytes],
-                  lock: threading.Lock) -> Tuple[int, bytes]:
+    def _dispatch(op: int, payload: bytes,
+                  server: "_NodeServer") -> Tuple[int, bytes]:
+        data: Dict[bytes, bytes] = server.data
+        lock = server.data_lock
         if op == OP_PUT:
             klen = _U32.unpack_from(payload, 0)[0]
             key = payload[_U32.size:_U32.size + klen]
@@ -161,13 +211,23 @@ class _NodeHandler(socketserver.BaseRequestHandler):
             with lock:
                 found = data.pop(payload, None) is not None
             return STATUS_OK, b"\x01" if found else b"\x00"
+        if op == OP_TOMBSTONE:
+            # A replicated delete: leave a marker so a replica that
+            # missed the delete can never resurrect the key on failover
+            # reads, and so anti-entropy propagates the delete itself.
+            with lock:
+                prior = data.get(payload)
+                data[payload] = TOMBSTONE
+            found = prior is not None and prior != TOMBSTONE
+            return STATUS_OK, b"\x01" if found else b"\x00"
         if op == OP_CONTAINS:
             with lock:
-                found = payload in data
+                found = data.get(payload) not in (None, TOMBSTONE)
             return STATUS_OK, b"\x01" if found else b"\x00"
         if op == OP_SCAN:
             with lock:
-                keys = [key for key in data if key.startswith(payload)]
+                keys = [key for key, value in data.items()
+                        if key.startswith(payload) and value != TOMBSTONE]
             return STATUS_OK, _pack_chunks(keys)
         if op == OP_DELETE_PREFIX:
             with lock:
@@ -188,6 +248,24 @@ class _NodeHandler(socketserver.BaseRequestHandler):
             return STATUS_OK, _pack_chunks(
                 [b"" if value is None else b"\x01" + value
                  for value in found])
+        if op == OP_HINT:
+            chunks = _unpack_chunks(payload)
+            target = chunks[0]
+            with lock:
+                bucket = server.hints.setdefault(target, {})
+                for index in range(1, len(chunks), 2):
+                    bucket[chunks[index]] = chunks[index + 1]
+            return STATUS_OK, _U32.pack((len(chunks) - 1) // 2)
+        if op == OP_TAKE_HINTS:
+            with lock:
+                bucket = server.hints.pop(payload, {})
+            return STATUS_OK, _pack_pairs(list(bucket.items()))
+        if op == OP_DIGEST:
+            with lock:
+                pairs = [(key, record_digest(value))
+                         for key, value in data.items()
+                         if key.startswith(payload)]
+            return STATUS_OK, _pack_pairs(pairs)
         if op == OP_PING:
             return STATUS_OK, b"pong"
         if op == OP_STATS:
@@ -195,6 +273,10 @@ class _NodeHandler(socketserver.BaseRequestHandler):
                 stats = {
                     "entries": len(data),
                     "payload_bytes": sum(len(v) for v in data.values()),
+                    "tombstones": sum(1 for v in data.values()
+                                      if v == TOMBSTONE),
+                    "hints_held": sum(len(bucket)
+                                      for bucket in server.hints.values()),
                 }
             return STATUS_OK, json.dumps(stats).encode("utf-8")
         return STATUS_ERROR, f"unknown op {op}".encode("utf-8")
@@ -244,6 +326,9 @@ class DHTNodeServer:
         self._server = _NodeServer((host, port), _NodeHandler)
         self._server.data = {}
         self._server.data_lock = threading.Lock()
+        #: hints parked here for other nodes: target address bytes
+        #: (``b"host:port"``) -> {kind-prefixed key -> payload}
+        self._server.hints = {}
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -423,7 +508,8 @@ def _fetch_dht(locator) -> bytes:
     """Resolve a ``("dht", ((host, port), ...), key)`` locator.
 
     Tries each replica in placement order over a transient connection;
-    the record must exist on some reachable replica.
+    the record must exist (and not be tombstoned) on some reachable
+    replica.
     """
     _tag, nodes, key = locator
     last_error: Optional[Exception] = None
@@ -437,13 +523,72 @@ def _fetch_dht(locator) -> bytes:
             continue
         finally:
             client.close()
-        if status == STATUS_OK:
+        if status == STATUS_OK and reply != TOMBSTONE:
             return reply
         last_error = KeyError(f"record {key!r} missing on {host}:{port}")
     raise last_error if last_error is not None else KeyError(key)
 
 
 register_fetcher("dht", _fetch_dht)
+
+
+class _HealthRegistry:
+    """Per-node circuit breaker state shared by every client operation.
+
+    ``threshold`` consecutive request failures open the circuit (the
+    node is *down*); any success closes it again.  A threshold of 0
+    disables the breaker — no node is ever marked down.
+    """
+
+    def __init__(self, count: int, threshold: int):
+        self._threshold = threshold
+        self._lock = threading.Lock()
+        self._failures = [0] * count
+        self._down = [False] * count
+        self._down_since = [0.0] * count
+
+    def note_failure(self, index: int) -> bool:
+        """Record one failure; True when this one marks the node down."""
+        if self._threshold <= 0:
+            return False
+        with self._lock:
+            self._failures[index] += 1
+            if (not self._down[index]
+                    and self._failures[index] >= self._threshold):
+                self._down[index] = True
+                self._down_since[index] = time.monotonic()
+                return True
+        return False
+
+    def note_success(self, index: int) -> bool:
+        """Record one success; True when the node just came back up."""
+        with self._lock:
+            self._failures[index] = 0
+            if self._down[index]:
+                self._down[index] = False
+                return True
+        return False
+
+    def is_down(self, index: int) -> bool:
+        with self._lock:
+            return self._down[index]
+
+    def down_indexes(self) -> List[int]:
+        with self._lock:
+            return [i for i, down in enumerate(self._down) if down]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        now = time.monotonic()
+        with self._lock:
+            return [
+                {
+                    "down": down,
+                    "consecutive_failures": failures,
+                    "down_for_s": round(now - since, 3) if down else 0.0,
+                }
+                for down, failures, since
+                in zip(self._down, self._failures, self._down_since)
+            ]
 
 
 class SocketBackingStore(BackingStore):
@@ -453,16 +598,39 @@ class SocketBackingStore(BackingStore):
     ``"host:port"`` strings).  ``replication`` copies each record onto
     that many distinct ring-successive nodes; any reachable replica
     serves reads, which is what lets a query survive a killed node.
+
+    Self-healing knobs (all per-store, defaults on):
+
+    * ``failure_threshold`` — consecutive failures before a node is
+      marked down and skipped in replica walks (0 disables).
+    * ``probe_interval_s`` — background PING cadence for down nodes;
+      0 means probe only via explicit :meth:`probe_now` calls.
+    * ``hinted_handoff`` — park writes for down/failed replicas on a
+      reachable peer, replayed on rejoin.
+    * ``read_repair`` — write a failover read's record back to the
+      earlier replicas that missed it.
+    * ``repair_on_rejoin`` — run a full anti-entropy :meth:`repair`
+      sweep whenever a down node comes back.
     """
 
     kind = "socket"
     remote = True
 
+    _COUNTER_NAMES = (
+        "fast_fails", "hints_parked", "hints_replayed", "read_repairs",
+        "probes", "nodes_marked_down", "nodes_recovered", "auto_repairs",
+    )
+
     def __init__(self, nodes: Sequence[Any], *, replication: int = 1,
                  timeout: float = 10.0, retries: int = 2,
                  backoff_s: float = 0.05, pool_size: int = 2,
                  max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
-                 backoff_rng: Optional[random.Random] = None):
+                 backoff_rng: Optional[random.Random] = None,
+                 failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+                 probe_interval_s: float = DEFAULT_PROBE_INTERVAL_S,
+                 hinted_handoff: bool = True,
+                 read_repair: bool = True,
+                 repair_on_rejoin: bool = True):
         if not nodes:
             raise ValueError("need at least one dht node")
         parsed = []
@@ -492,6 +660,22 @@ class SocketBackingStore(BackingStore):
         ring.sort()
         self._ring = ring
         self._ring_hashes = [point[0] for point in ring]
+        # -- self-healing state -------------------------------------------
+        self.failure_threshold = failure_threshold
+        self.probe_interval_s = probe_interval_s
+        self.hinted_handoff = hinted_handoff
+        self.read_repair = read_repair
+        self.repair_on_rejoin = repair_on_rejoin
+        #: callbacks invoked (with the node index) after a rejoined node
+        #: has had its hints replayed and its auto-repair run
+        self.on_rejoin: List[Callable[[int], None]] = []
+        self._health = _HealthRegistry(len(parsed), failure_threshold)
+        self._state_lock = threading.Lock()
+        self._counters = {name: 0 for name in self._COUNTER_NAMES}
+        self._pending_rejoin: List[int] = []
+        self._probe_stop = threading.Event()
+        self._probe_lock = threading.RLock()
+        self._prober: Optional[threading.Thread] = None
 
     # -- placement --------------------------------------------------------
 
@@ -507,124 +691,514 @@ class SocketBackingStore(BackingStore):
                     break
         return replicas
 
+    # -- node health ------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._state_lock:
+            self._counters[name] += amount
+
+    def _note_failure(self, index: int) -> None:
+        if self._health.note_failure(index):
+            self._count("nodes_marked_down")
+            self._ensure_prober()
+
+    def _note_success(self, index: int) -> None:
+        if self._health.note_success(index):
+            self._count("nodes_recovered")
+            with self._state_lock:
+                self._pending_rejoin.append(index)
+            # someone has to run the rejoin work (hint replay, repair):
+            # the prober if configured, else the next probe_now() call
+            self._ensure_prober()
+
+    def _partition(self, replicas: Sequence[int]) -> Tuple[List[int],
+                                                           List[int]]:
+        """Split a replica walk into (attempt-now, known-down).
+
+        When *every* replica is marked down the walk attempts all of
+        them anyway (half-open: the only way back up without a prober).
+        """
+        up = [i for i in replicas if not self._health.is_down(i)]
+        if not up:
+            return list(replicas), []
+        if len(up) == len(replicas):
+            return up, []
+        down = [i for i in replicas if i not in up]
+        return up, down
+
+    # -- prober -----------------------------------------------------------
+
+    def _ensure_prober(self) -> None:
+        if self.probe_interval_s <= 0 or self._probe_stop.is_set():
+            return
+        with self._state_lock:
+            if self._prober is not None and self._prober.is_alive():
+                return
+            self._prober = threading.Thread(
+                target=self._probe_loop, name="repro-dht-prober",
+                daemon=True)
+            self._prober.start()
+
+    def _probe_loop(self) -> None:
+        while not self._probe_stop.wait(self.probe_interval_s):
+            try:
+                self.probe_now()
+            except Exception:  # noqa: BLE001 - the prober must survive
+                pass
+
+    def probe_now(self) -> List[int]:
+        """PING every down node once; run rejoin work for recoveries.
+
+        Returns the indexes of nodes that came back this call.  Tests
+        (and stores built with ``probe_interval_s=0``) call this instead
+        of waiting for the background prober.
+        """
+        with self._probe_lock:
+            recovered: List[int] = []
+            for index in self._health.down_indexes():
+                self._count("probes")
+                try:
+                    self._clients[index].request(OP_PING, b"")
+                except (ConnectionError, RuntimeError):
+                    continue
+                if self._health.note_success(index):
+                    self._count("nodes_recovered")
+                    recovered.append(index)
+            with self._state_lock:
+                pending, self._pending_rejoin = self._pending_rejoin, []
+            for index in pending:
+                if index not in recovered:
+                    recovered.append(index)
+            for index in recovered:
+                self._on_rejoin(index)
+            return recovered
+
+    def _on_rejoin(self, index: int) -> None:
+        """A down node answered again: replay its hints, then repair.
+
+        Hint replay runs first so parked deletes (tombstones) and
+        prefix-drops land before anti-entropy compares digests —
+        otherwise the sweep would copy the stale records right back.
+        """
+        try:
+            self._replay_hints_for(index)
+        except Exception:  # noqa: BLE001 - rejoin is best-effort
+            pass
+        if self.repair_on_rejoin:
+            try:
+                self.repair()
+                self._count("auto_repairs")
+            except Exception:  # noqa: BLE001
+                pass
+        for callback in list(self.on_rejoin):
+            try:
+                callback(index)
+            except Exception:  # noqa: BLE001
+                pass
+
+    # -- hinted handoff ---------------------------------------------------
+
+    def _hint_target(self, index: int) -> bytes:
+        host, port = self.nodes[index]
+        return f"{host}:{port}".encode("ascii")
+
+    def _park_hints(self, target_index: int,
+                    entries: Sequence[Tuple[bytes, bytes]]) -> bool:
+        """Park write intents for an unreachable node on a peer.
+
+        Entries are ``(kind-prefixed key, payload)`` pairs; best-effort
+        (a cluster where *no* peer is reachable simply loses the hints,
+        exactly as the pre-hint code lost the replica copy).
+        """
+        if not entries or not self.hinted_handoff or len(self._clients) < 2:
+            return False
+        chunks: List[bytes] = [self._hint_target(target_index)]
+        for kind_key, payload in entries:
+            chunks.extend((kind_key, payload))
+        frame = _pack_chunks(chunks)
+        order = [(target_index + step) % len(self._clients)
+                 for step in range(1, len(self._clients))]
+        candidates = ([i for i in order if not self._health.is_down(i)]
+                      + [i for i in order if self._health.is_down(i)])
+        for index in candidates:
+            try:
+                self._clients[index].request(OP_HINT, frame)
+            except ConnectionError:
+                self._note_failure(index)
+                continue
+            self._note_success(index)
+            self._count("hints_parked", len(entries))
+            return True
+        return False
+
+    def _replay_hints_for(self, index: int) -> int:
+        """Collect and apply every peer's parked hints for one node."""
+        target = self._hint_target(index)
+        replayed = 0
+        for holder, client in enumerate(self._clients):
+            if holder == index or self._health.is_down(holder):
+                continue
+            try:
+                _status, reply = client.request(OP_TAKE_HINTS, target)
+            except ConnectionError:
+                self._note_failure(holder)
+                continue
+            self._note_success(holder)
+            pairs = _unpack_pairs(reply)
+            if not pairs:
+                continue
+            puts = [(kind_key[1:], payload) for kind_key, payload in pairs
+                    if kind_key[:1] == _HINT_PUT]
+            prefixes = [kind_key[1:] for kind_key, _payload in pairs
+                        if kind_key[:1] == _HINT_PREFIX_DELETE]
+            try:
+                if puts:
+                    self._clients[index].request(OP_MPUT, _pack_pairs(puts))
+                # prefix-drops last: a namespace released while its
+                # node was down must win over that namespace's writes
+                for prefix in prefixes:
+                    self._clients[index].request(OP_DELETE_PREFIX, prefix)
+            except ConnectionError:
+                self._note_failure(index)
+                self._park_hints(index, pairs)  # it vanished again
+                break
+            replayed += len(pairs)
+        if replayed:
+            self._count("hints_replayed", replayed)
+        return replayed
+
+    # -- anti-entropy -----------------------------------------------------
+
+    def repair(self, prefix: bytes = b"", *, max_rounds: int = 4):
+        """Anti-entropy sweep: converge replicas under ``prefix``.
+
+        See :func:`repro.distdht.repair.repair_store`; returns its
+        :class:`~repro.distdht.repair.RepairReport`.
+        """
+        from repro.distdht.repair import repair_store
+        return repair_store(self, prefix=prefix, max_rounds=max_rounds)
+
+    # direct single-node accessors for the repair module (no failover,
+    # tombstones returned verbatim) -------------------------------------
+
+    def node_digest(self, index: int, prefix: bytes = b"") \
+            -> Dict[bytes, bytes]:
+        """``{key: record digest}`` for one node's keys under prefix."""
+        try:
+            _status, reply = self._clients[index].request(OP_DIGEST, prefix)
+        except ConnectionError:
+            self._note_failure(index)
+            raise
+        self._note_success(index)
+        return dict(_unpack_pairs(reply))
+
+    def node_get_record(self, index: int, key: bytes) -> Optional[bytes]:
+        try:
+            status, reply = self._clients[index].request(OP_GET, key)
+        except ConnectionError:
+            self._note_failure(index)
+            raise
+        self._note_success(index)
+        return reply if status == STATUS_OK else None
+
+    def node_put_record(self, index: int, key: bytes,
+                        record: bytes) -> None:
+        payload = _U32.pack(len(key)) + key + record
+        try:
+            self._clients[index].request(OP_PUT, payload)
+        except ConnectionError:
+            self._note_failure(index)
+            raise
+        self._note_success(index)
+
+    # -- read repair ------------------------------------------------------
+
+    def _repair_back(self, key: bytes, record: bytes,
+                     indexes: Sequence[int]) -> None:
+        payload = _U32.pack(len(key)) + key + record
+        for index in indexes:
+            try:
+                self._clients[index].request(OP_PUT, payload)
+            except ConnectionError:
+                self._note_failure(index)
+                continue
+            self._note_success(index)
+            self._count("read_repairs")
+
     # -- BackingStore -----------------------------------------------------
 
     def put(self, key: bytes, record: bytes) -> None:
         payload = _U32.pack(len(key)) + key + record
+        attempt, skipped = self._partition(self.replicas_for(key))
+        if skipped:
+            self._count("fast_fails", len(skipped))
         reached = 0
+        failed: List[int] = []
         last_error: Optional[Exception] = None
-        for index in self.replicas_for(key):
+        for index in attempt:
             try:
                 self._clients[index].request(OP_PUT, payload)
-                reached += 1
             except ConnectionError as error:
-                last_error = error  # a dead replica loses the copy
+                last_error = error
+                self._note_failure(index)
+                failed.append(index)
+                continue
+            self._note_success(index)
+            reached += 1
         if not reached:
             raise ConnectionError(
                 f"no replica reachable for write: {last_error}")
+        for index in skipped + failed:
+            self._park_hints(index, [(_HINT_PUT + key, record)])
 
     def put_many(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
         """Group items by replica node: one MPUT round trip per node."""
         per_node: Dict[int, List[bytes]] = {}
+        hints: Dict[int, List[Tuple[bytes, bytes]]] = {}
         for key, record in items:
-            for index in self.replicas_for(key):
+            attempt, skipped = self._partition(self.replicas_for(key))
+            if skipped:
+                self._count("fast_fails", len(skipped))
+            for index in attempt:
                 per_node.setdefault(index, []).extend((key, record))
+            for index in skipped:
+                hints.setdefault(index, []).append(
+                    (_HINT_PUT + key, record))
         reached = 0
         last_error: Optional[Exception] = None
         for index, chunks in per_node.items():
             try:
                 self._clients[index].request(OP_MPUT, _pack_chunks(chunks))
-                reached += 1
             except ConnectionError as error:
                 last_error = error
+                self._note_failure(index)
+                hints.setdefault(index, []).extend(
+                    (_HINT_PUT + chunks[i], chunks[i + 1])
+                    for i in range(0, len(chunks), 2))
+                continue
+            self._note_success(index)
+            reached += 1
         if per_node and not reached:
             raise ConnectionError(
                 f"no replica reachable for batch write: {last_error}")
+        for index, entries in hints.items():
+            self._park_hints(index, entries)
 
     def get(self, key: bytes) -> Optional[bytes]:
+        attempt, skipped = self._partition(self.replicas_for(key))
+        if skipped:
+            self._count("fast_fails", len(skipped))
         last_error: Optional[Exception] = None
-        for index in self.replicas_for(key):
+        answered = False
+        stale: List[int] = []   # up replicas that answered "missing"
+        boundary = len(attempt)
+        for position, index in enumerate(attempt + skipped):
+            if answered and position >= boundary:
+                break  # an up replica already answered authoritatively
             try:
                 status, reply = self._clients[index].request(OP_GET, key)
             except ConnectionError as error:
                 last_error = error
+                self._note_failure(index)
                 continue  # read failover: next replica
-            return reply if status == STATUS_OK else None
+            self._note_success(index)
+            answered = True
+            if status != STATUS_OK:
+                stale.append(index)
+                continue  # miss failover: a later replica may hold it
+            if reply == TOMBSTONE:
+                return None  # the delete marker is authoritative
+            if stale and self.read_repair:
+                self._repair_back(key, reply, stale)
+            return reply
+        if answered:
+            return None
         raise ConnectionError(
             f"every replica unreachable for read: {last_error}")
 
     def get_many(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
-        """Group keys by primary node: one MGET per node, with failover.
+        """Batched read with per-key replica failover.
 
-        Keys whose primary is down are retried individually through
-        :meth:`get` (which walks the replicas).
+        Round-based: every unresolved key is batched into one MGET per
+        *next* replica node, so keys whose node just failed (or missed)
+        advance together to the following replica — never back through
+        the node that failed, and never one-by-one.
         """
-        per_node: Dict[int, List[int]] = {}
-        for position, key in enumerate(keys):
-            primary = self.replicas_for(key)[0]
-            per_node.setdefault(primary, []).append(position)
-        results: List[Optional[bytes]] = [None] * len(keys)
-        for index, positions in per_node.items():
+        count = len(keys)
+        results: List[Optional[bytes]] = [None] * count
+        if not count:
+            return results
+        orders: List[List[int]] = []
+        boundaries: List[int] = []  # where each key's down-tail starts
+        for key in keys:
+            attempt, skipped = self._partition(self.replicas_for(key))
+            if skipped:
+                self._count("fast_fails", len(skipped))
+            orders.append(attempt + skipped)
+            boundaries.append(len(attempt))
+        ranks = [0] * count
+        answered = [False] * count
+        stale: List[List[int]] = [[] for _ in range(count)]
+        errors: List[Optional[Exception]] = [None] * count
+        repairs: Dict[int, List[Tuple[bytes, bytes]]] = {}
+        active = list(range(count))
+        while active:
+            batches: Dict[int, List[int]] = {}
+            for position in active:
+                rank = ranks[position]
+                exhausted = (rank >= len(orders[position])
+                             or (answered[position]
+                                 and rank >= boundaries[position]))
+                if exhausted:
+                    if not answered[position]:
+                        raise ConnectionError(
+                            "every replica unreachable for read: "
+                            f"{errors[position]}")
+                    continue  # authoritative miss: stays None
+                batches.setdefault(orders[position][rank],
+                                   []).append(position)
+            active = []
+            for index, positions in batches.items():
+                try:
+                    _status, reply = self._clients[index].request(
+                        OP_MGET,
+                        _pack_chunks([keys[p] for p in positions]))
+                except ConnectionError as error:
+                    self._note_failure(index)
+                    for position in positions:
+                        errors[position] = error
+                        ranks[position] += 1
+                        active.append(position)
+                    continue
+                self._note_success(index)
+                for position, chunk in zip(positions,
+                                           _unpack_chunks(reply)):
+                    answered[position] = True
+                    if not chunk:
+                        stale[position].append(index)
+                        ranks[position] += 1
+                        active.append(position)
+                        continue
+                    value = chunk[1:]
+                    if value == TOMBSTONE:
+                        continue  # deleted: resolved as None
+                    if stale[position] and self.read_repair:
+                        for target in stale[position]:
+                            repairs.setdefault(target, []).append(
+                                (keys[position], value))
+                    results[position] = value
+        for index, items in repairs.items():
             try:
-                _status, reply = self._clients[index].request(
-                    OP_MGET, _pack_chunks([keys[p] for p in positions]))
+                self._clients[index].request(OP_MPUT, _pack_pairs(items))
             except ConnectionError:
-                for position in positions:
-                    results[position] = self.get(keys[position])
+                self._note_failure(index)
                 continue
-            for position, chunk in zip(positions, _unpack_chunks(reply)):
-                results[position] = chunk[1:] if chunk else None
+            self._note_success(index)
+            self._count("read_repairs", len(items))
         return results
 
     def contains(self, key: bytes) -> bool:
+        attempt, skipped = self._partition(self.replicas_for(key))
+        if skipped:
+            self._count("fast_fails", len(skipped))
         last_error: Optional[Exception] = None
-        for index in self.replicas_for(key):
+        answered = False
+        boundary = len(attempt)
+        for position, index in enumerate(attempt + skipped):
+            if answered and position >= boundary:
+                break
             try:
                 _status, reply = self._clients[index].request(
                     OP_CONTAINS, key)
             except ConnectionError as error:
                 last_error = error
+                self._note_failure(index)
                 continue
-            return reply == b"\x01"
+            self._note_success(index)
+            answered = True
+            if reply == b"\x01":
+                return True
+        if answered:
+            return False
         raise ConnectionError(
             f"every replica unreachable for contains: {last_error}")
 
     def delete(self, key: bytes) -> bool:
+        attempt, skipped = self._partition(self.replicas_for(key))
+        if skipped:
+            self._count("fast_fails", len(skipped))
         found = False
         reached = 0
-        for index in self.replicas_for(key):
+        failed: List[int] = []
+        last_error: Optional[Exception] = None
+        for index in attempt:
             try:
-                _status, reply = self._clients[index].request(OP_DELETE, key)
-                reached += 1
-                found = found or reply == b"\x01"
-            except ConnectionError:
+                _status, reply = self._clients[index].request(
+                    OP_TOMBSTONE, key)
+            except ConnectionError as error:
+                last_error = error
+                self._note_failure(index)
+                failed.append(index)
                 continue
+            self._note_success(index)
+            reached += 1
+            found = found or reply == b"\x01"
         if not reached:
-            raise ConnectionError("every replica unreachable for delete")
+            raise ConnectionError(
+                f"every replica unreachable for delete: {last_error}")
+        for index in skipped + failed:
+            self._park_hints(index, [(_HINT_PUT + key, TOMBSTONE)])
         return found
 
     def scan(self, prefix: bytes) -> List[bytes]:
         seen = set()
         reached = 0
-        for client in self._clients:
-            try:
-                _status, reply = client.request(OP_SCAN, prefix)
+        last_error: Optional[Exception] = None
+        up = [i for i in range(len(self._clients))
+              if not self._health.is_down(i)]
+        down = [i for i in range(len(self._clients))
+                if self._health.is_down(i)]
+        if down:
+            self._count("fast_fails", len(down))
+        for phase in (up, down):
+            if reached and phase is down:
+                break
+            for index in phase:
+                try:
+                    _status, reply = self._clients[index].request(
+                        OP_SCAN, prefix)
+                except ConnectionError as error:
+                    last_error = error
+                    self._note_failure(index)
+                    continue
+                self._note_success(index)
                 reached += 1
-            except ConnectionError:
-                continue
-            seen.update(_unpack_chunks(reply))
+                seen.update(_unpack_chunks(reply))
         if not reached:
-            raise ConnectionError("every node unreachable for scan")
+            raise ConnectionError(
+                f"every node unreachable for scan: {last_error}")
         return list(seen)
 
     def delete_prefix(self, prefix: bytes) -> int:
         dropped = 0
-        for client in self._clients:
+        unreached: List[int] = []
+        for index, client in enumerate(self._clients):
+            if self._health.is_down(index):
+                self._count("fast_fails")
+                unreached.append(index)
+                continue
             try:
                 _status, reply = client.request(OP_DELETE_PREFIX, prefix)
-                dropped = max(dropped, _U32.unpack(reply)[0])
             except ConnectionError:
+                self._note_failure(index)
+                unreached.append(index)
                 continue
+            self._note_success(index)
+            dropped = max(dropped, _U32.unpack(reply)[0])
+        # a namespace released while a node is down would otherwise leak
+        # (and anti-entropy would copy it back on rejoin): park the drop
+        for index in unreached:
+            self._park_hints(index, [(_HINT_PREFIX_DELETE + prefix, b"")])
         return dropped
 
     def share(self, key: bytes) -> Tuple[str, Tuple, bytes]:
@@ -641,17 +1215,36 @@ class SocketBackingStore(BackingStore):
     def ping(self) -> List[bool]:
         """Liveness of each node, index-aligned with ``nodes``."""
         alive = []
-        for client in self._clients:
+        for index, client in enumerate(self._clients):
             try:
                 client.request(OP_PING, b"")
-                alive.append(True)
             except ConnectionError:
+                self._note_failure(index)
                 alive.append(False)
+                continue
+            self._note_success(index)
+            alive.append(True)
         return alive
 
     def close(self) -> None:
+        self._probe_stop.set()
+        with self._state_lock:
+            prober = self._prober
+        if (prober is not None and prober.is_alive()
+                and prober is not threading.current_thread()):
+            prober.join(2.0)
         for client in self._clients:
             client.close()
+
+    def health(self) -> Dict[str, Any]:
+        """Breaker state per node plus the self-healing counters."""
+        nodes = []
+        for (host, port), state in zip(self.nodes, self._health.snapshot()):
+            state["node"] = f"{host}:{port}"
+            nodes.append(state)
+        with self._state_lock:
+            counters = dict(self._counters)
+        return {"nodes": nodes, "counters": counters}
 
     def stats(self) -> Dict[str, Any]:
         per_node = []
@@ -667,4 +1260,5 @@ class SocketBackingStore(BackingStore):
             "nodes": [f"{host}:{port}" for host, port in self.nodes],
             "replication": self.replication,
             "per_node": per_node,
+            "health": self.health(),
         }

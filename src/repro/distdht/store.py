@@ -90,6 +90,20 @@ class BackedDHTStore(DHTStore):
     def _key_bytes(self, key: Any) -> bytes:
         return self._ns + encode_key(key)
 
+    def repair(self):
+        """Anti-entropy sweep of this store's namespace.
+
+        Converges the backing replicas for every record this store
+        wrote; a no-op (returns None) on single-copy backings (sim /
+        mem / shm), a :class:`~repro.distdht.repair.RepairReport` on
+        the socket backend.  Pure backing-level traffic — simulated
+        metrics are unaffected.
+        """
+        repair = getattr(self._backing, "repair", None)
+        if repair is None:
+            return None
+        return repair(self._ns)
+
     # -- writes (accounting identical to DHTStore.write/write_many) ------
 
     def write(self, key: Any, value: Any) -> int:
@@ -302,6 +316,7 @@ class BackedDerivedDHTStore(DerivedDHTStore):
     _install = BackedDHTStore._install
     cache_resident_bytes = BackedDHTStore.cache_resident_bytes
     release = BackedDHTStore.release
+    repair = BackedDHTStore.repair
 
     # -- resolution (reads are inherited: they go through _entry) ---------
 

@@ -491,6 +491,13 @@ class _WorkerClient:
         error = WorkerDiedError(
             f"worker {self.index} (pid {self.process.pid}) exited with "
             "requests outstanding")
+        # respawn FIRST so a retry dispatched from a leftover's done-
+        # callback can route to the replacement even in a 1-worker pool
+        if self.on_death is not None:
+            try:
+                self.on_death(self)
+            except Exception:  # noqa: BLE001 - the reader must not die
+                pass
         for outstanding in leftovers:
             if outstanding.on_done is not None:
                 try:
@@ -498,11 +505,6 @@ class _WorkerClient:
                 except Exception:  # noqa: BLE001
                     pass
             outstanding.pending._fail(error)
-        if self.on_death is not None:
-            try:
-                self.on_death(self)
-            except Exception:  # noqa: BLE001 - the reader must not die
-                pass
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -567,7 +569,8 @@ class ProcessGraphService(ServiceBase):
                  monitor_interval_s: float = 0.5,
                  hung_after_intervals: Optional[int] = 20,
                  scale_after_intervals: int = 4,
-                 heartbeat_interval_s: float = 0.25):
+                 heartbeat_interval_s: float = 0.25,
+                 retry_worker_death: bool = True):
         if processes < 1:
             raise ValueError("need at least one worker process")
         if spill_threshold < 1:
@@ -628,10 +631,15 @@ class ProcessGraphService(ServiceBase):
         self._derived: Dict[str, Tuple[str, Any, str]] = {}
         self._affinity: Dict[str, int] = {}
         self._fingerprints = FingerprintMemo()
+        #: queries are idempotent (same spec, graph, seed -> same result),
+        #: so a query lost to a worker crash is re-dispatched once to a
+        #: surviving worker instead of surfacing WorkerDiedError
+        self._retry_worker_death = bool(retry_worker_death)
         self._submitted = 0
         self._completed = 0
         self._failed = 0
         self._queries_shed = 0
+        self._queries_retried = 0
         self._deadline_exceeded = 0
         self._affinity_routed = 0
         self._rebalances = 0
@@ -948,6 +956,7 @@ class ProcessGraphService(ServiceBase):
     def submit(self, algorithm: str, graph: Any, *, seed: int = 0,
                reuse_preprocessing: bool = True,
                deadline: Optional[float] = None,
+               retry_worker_death: Optional[bool] = None,
                **params: Any) -> PendingResult:
         """Enqueue one query; returns a :class:`PendingResult`.
 
@@ -959,12 +968,48 @@ class ProcessGraphService(ServiceBase):
         :class:`~repro.serve.admission.OverloadedError`.  ``deadline``
         is relative seconds; a query still queued when it passes is
         cancelled worker-side before execution.
+
+        Queries are idempotent (same spec, graph and seed produce the
+        same result), so one lost to a worker crash is transparently
+        re-dispatched once to a surviving worker instead of failing with
+        :class:`WorkerDiedError`.  ``retry_worker_death`` overrides the
+        service-wide default per query (updates are never retried — they
+        mutate worker state).
         """
         spec = registry.get(algorithm)
         merged = Session._merge_params(spec, params)
+        del merged  # validation only; the worker Session re-merges defaults
         obj, fingerprint, name = self._resolve(graph)
         obj, fingerprint, name = self._adapt_weighted(
             spec, obj, fingerprint, name)
+        if deadline is None:
+            deadline = self.default_deadline_s
+        deadline_at = (time.monotonic() + deadline
+                       if deadline is not None else None)
+        retries = (self._retry_worker_death if retry_worker_death is None
+                   else bool(retry_worker_death))
+        outer = PendingResult(deadline=deadline_at)
+        self._dispatch_query(spec, obj, fingerprint, name, seed,
+                             reuse_preprocessing, params, deadline_at,
+                             outer, attempts_left=1 if retries else 0,
+                             first=True)
+        return outer
+
+    def _dispatch_query(self, spec, obj: Any, fingerprint: str,
+                        name: Optional[str], seed: int, reuse: bool,
+                        params: Dict[str, Any],
+                        deadline_at: Optional[float],
+                        outer: PendingResult, attempts_left: int,
+                        first: bool) -> None:
+        """One delivery attempt: route, admit, publish, send.
+
+        The caller-facing ``outer`` pending resolves from the attempt's
+        done-callback; a :class:`WorkerDiedError` with attempts left
+        re-enters here (routing picks a surviving — or respawned —
+        worker) instead of resolving.  On the first attempt errors
+        raise synchronously, exactly as submit always did; on re-
+        dispatch they fail ``outer``.
+        """
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
@@ -988,36 +1033,68 @@ class ProcessGraphService(ServiceBase):
                     f"{spec.name!r} (priced {price:.3f}s); "
                     f"retry in {retry_after}s",
                     retry_after_s=retry_after)
-        if deadline is None:
-            deadline = self.default_deadline_s
-        deadline_at = (time.monotonic() + deadline
-                       if deadline is not None else None)
-        with self._lock:
-            self._submitted += 1
-        del merged  # validation only; the worker Session re-merges defaults
+        if first:
+            with self._lock:
+                self._submitted += 1
+        ship = obj
         if self._blob_store is not None:
             # ship-once becomes write-once: the message carries a tiny
             # locator; the pickle exists once in the shared store no
-            # matter how many workers (or respawns) resolve it
-            obj = self._publish(fingerprint, obj)
-        try:
-            return client.submit_run(
-                spec.name, fingerprint, obj, seed, reuse_preprocessing,
-                params, name,
-                lambda ok, error, client=client, price=price:
-                    self._on_done(ok, error, client, price),
-                deadline_at=deadline_at)
-        except BaseException:
-            if price is not None:
-                client.admission.release(price)
-            raise
+            # matter how many workers (or respawns or retries) resolve it
+            ship = self._publish(fingerprint, obj)
 
-    def _on_done(self, ok: bool, error: Optional[BaseException],
-                 client: _WorkerClient, price: Optional[float]) -> None:
-        if price is not None and client.admission is not None:
-            client.admission.release(price)
+        def forward(inner: PendingResult, client=client,
+                    price=price) -> None:
+            if price is not None and client.admission is not None:
+                client.admission.release(price)
+            error = inner.error
+            if isinstance(error, WorkerDiedError) and attempts_left > 0:
+                with self._lock:
+                    retryable = not self._closed
+                    if retryable:
+                        self._queries_retried += 1
+                if retryable:
+                    try:
+                        self._dispatch_query(spec, obj, fingerprint, name,
+                                             seed, reuse, params,
+                                             deadline_at, outer,
+                                             attempts_left - 1,
+                                             first=False)
+                        return
+                    except BaseException as retry_error:  # noqa: BLE001
+                        error = retry_error
+            self._account_outcome(error)
+            if error is None:
+                outer._resolve(inner._value)
+            else:
+                outer._fail(error)
+
+        try:
+            inner = client.submit_run(spec.name, fingerprint, ship, seed,
+                                      reuse, params, name, None,
+                                      deadline_at=deadline_at)
+        except BaseException as error:
+            if price is not None and client.admission is not None:
+                client.admission.release(price)
+            if isinstance(error, WorkerDiedError) and attempts_left > 0:
+                with self._lock:
+                    retryable = not self._closed
+                    if retryable:
+                        self._queries_retried += 1
+                if retryable:
+                    # _submitted was already counted above; the retry is
+                    # the same query, not a new one
+                    self._dispatch_query(spec, obj, fingerprint, name,
+                                         seed, reuse, params, deadline_at,
+                                         outer, attempts_left - 1,
+                                         first=False)
+                    return
+            raise
+        inner.add_done_callback(forward)
+
+    def _account_outcome(self, error: Optional[BaseException]) -> None:
         with self._lock:
-            if ok:
+            if error is None:
                 self._completed += 1
             else:
                 self._failed += 1
@@ -1166,6 +1243,7 @@ class ProcessGraphService(ServiceBase):
                 "completed": self._completed,
                 "failed": self._failed,
                 "queries_shed": self._queries_shed,
+                "queries_retried": self._queries_retried,
                 "deadline_exceeded": self._deadline_exceeded,
                 "workers_scaled": self._workers_scaled,
                 "workers_hung": self._workers_hung,

@@ -350,6 +350,9 @@ class GraphService(ServiceBase):
                 "completed": self._completed,
                 "failed": self._failed,
                 "queries_shed": self._queries_shed,
+                # in-process threads can't die under us; parity field so
+                # dashboards read one schema across both services
+                "queries_retried": 0,
                 "deadline_exceeded": self._deadline_exceeded,
                 "workers_scaled": 0,  # thread pool is fixed-size
                 "graphs_loaded": len(self.session.graphs()),

@@ -287,10 +287,13 @@ class TestProcessServiceAdmission:
 
 class TestHungWorkerDetection:
     def test_wedged_worker_is_killed_and_replaced(self):
+        # retry_worker_death=False so the kill surfaces to the caller —
+        # this test asserts the *detection* machinery, not the retry
         with ProcessGraphService(
                 CONFIG, processes=1,
                 monitor_interval_s=0.05, hung_after_intervals=4,
-                heartbeat_interval_s=0.02) as service:
+                heartbeat_interval_s=0.02,
+                retry_worker_death=False) as service:
             service.load("g", GRAPH)
             assert service.query("mis", "g", seed=0,
                                  timeout=120).algorithm == "mis"

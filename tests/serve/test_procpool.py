@@ -15,6 +15,7 @@ suite with 2).
 import dataclasses
 import os
 import random
+import signal
 import socket
 import threading
 
@@ -293,6 +294,62 @@ def test_worker_death_fails_pending_then_fails_over():
         with pytest.raises((WorkerDiedError, ServiceClosedError)):
             client.submit_run("mis", "fp", GRAPHS["a"], 0, True, {},
                               None, lambda ok: None)
+
+
+@pytest.mark.skipif(PROCESSES < 2, reason="failover needs >= 2 workers")
+def test_worker_death_retries_inflight_queries():
+    """Queries in flight on a killed worker are transparently re-run on
+    a survivor: the caller sees results, never WorkerDiedError."""
+    with ProcessGraphService(CONFIG, processes=PROCESSES) as service:
+        service.load("g", GRAPHS["a"])
+        warm = service.query("mis", "g", seed=0, timeout=300)
+        victim = next(c for c in service._clients if c.shipped)
+        # wedge the worker so the burst is provably in flight at the kill
+        os.kill(victim.process.pid, signal.SIGSTOP)
+        pending = [service.submit("mis", "g", seed=0) for _ in range(3)]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        for p in pending:
+            result = p.result(300)
+            assert (result.output.independent_set
+                    == warm.output.independent_set)
+        stats = service.stats()
+        assert stats["queries_retried"] == 3
+        assert stats["failed"] == 0
+        assert stats["completed"] == 4
+        assert stats["submitted"] == 4  # a retry is the same query
+
+
+def test_single_worker_death_retries_on_respawn():
+    """With one worker there is no survivor: the retry lands on the
+    replacement that the on-death respawn brings up (the respawn runs
+    before in-flight queries are failed, so the retry has a target)."""
+    with ProcessGraphService(CONFIG, processes=1) as service:
+        service.load("g", GRAPHS["a"])
+        warm = service.query("mis", "g", seed=0, timeout=300)
+        victim = service._clients[0]
+        os.kill(victim.process.pid, signal.SIGSTOP)
+        pending = service.submit("mis", "g", seed=0)
+        os.kill(victim.process.pid, signal.SIGKILL)
+        result = pending.result(300)
+        assert (result.output.independent_set
+                == warm.output.independent_set)
+        stats = service.stats()
+        assert stats["queries_retried"] == 1
+        assert stats["workers_respawned"] >= 1
+
+
+def test_retry_opt_out_surfaces_worker_death():
+    """retry_worker_death=False restores fail-fast WorkerDiedError."""
+    with ProcessGraphService(CONFIG, processes=1,
+                             retry_worker_death=False) as service:
+        service.load("g", GRAPHS["a"])
+        service.query("mis", "g", seed=0, timeout=300)
+        victim = service._clients[0]
+        os.kill(victim.process.pid, signal.SIGSTOP)
+        pending = service.submit("mis", "g", seed=0)
+        os.kill(victim.process.pid, signal.SIGKILL)
+        assert isinstance(pending.exception(300), WorkerDiedError)
+        assert service.stats()["queries_retried"] == 0
 
 
 class TestProtocol:
